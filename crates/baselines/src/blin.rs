@@ -1,0 +1,311 @@
+//! B_LIN (Tong, Faloutsos & Pan, KAIS 2008): partition the graph, keep
+//! within-partition edges exact, and low-rank-approximate the
+//! cross-partition edges.
+//!
+//! With `Ãᵀ = A₁ + A₂` (within / cross) and `A₂ ≈ U Σ V`,
+//!
+//! ```text
+//! H ≈ M − (1−c) U Σ V,    M = I − (1−c) A₁   (block diagonal)
+//! H⁻¹ ≈ M⁻¹ + M⁻¹ U Λ V M⁻¹,  Λ = ( ((1−c)Σ)⁻¹ − V M⁻¹ U )⁻¹
+//! ```
+//!
+//! `M⁻¹` is materialized block by block (the step where the original
+//! implementation runs out of memory on large partitions — reproduced
+//! here with a budget pre-check on `Σ sizeᵢ²`).
+
+use crate::nblin::{build_lambda, effective_rank};
+use bear_core::rwr::{normalized_adjacency, validate_distribution, RwrConfig};
+use bear_core::RwrSolver;
+use bear_graph::partition::{partition_bfs, partition_ordering, split_by_partition};
+use bear_graph::Graph;
+use bear_sparse::mem::{MemBudget, MemoryUsage, VALUE_BYTES};
+use bear_sparse::svd::{csr_times_dense, randomized_svd};
+use bear_sparse::{
+    CooMatrix, CsrMatrix, DenseLu, DenseMatrix, Error, Permutation, Result,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for B_LIN.
+#[derive(Debug, Clone, Copy)]
+pub struct BLinConfig {
+    /// Restart probability and normalization.
+    pub rwr: RwrConfig,
+    /// Number of partitions `#p` (Table 5 uses 100–2000).
+    pub num_partitions: usize,
+    /// Approximation rank `t` for the cross-partition edges.
+    pub rank: usize,
+    /// Drop tolerance `ξ` applied to `M⁻¹`, `U`, and `V`.
+    pub drop_tolerance: f64,
+    /// RNG seed for the randomized SVD sketch.
+    pub seed: u64,
+}
+
+impl Default for BLinConfig {
+    fn default() -> Self {
+        BLinConfig {
+            rwr: RwrConfig::default(),
+            num_partitions: 10,
+            rank: 100,
+            drop_tolerance: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Preprocessed B_LIN solver.
+#[derive(Debug, Clone)]
+pub struct BLin {
+    m_inv: CsrMatrix,
+    u: CsrMatrix,
+    v: CsrMatrix,
+    lambda: DenseMatrix,
+    perm: Permutation,
+    c: f64,
+}
+
+impl BLin {
+    /// Preprocesses `g`, honouring `budget` for the block inverses.
+    pub fn new(g: &Graph, config: &BLinConfig, budget: &MemBudget) -> Result<Self> {
+        config.rwr.validate()?;
+        let n = g.num_nodes();
+        let c = config.rwr.c;
+
+        // Partition, then reorder so partitions are contiguous.
+        let labels = partition_bfs(g, config.num_partitions);
+        let (order, sizes) = partition_ordering(&labels, config.num_partitions);
+        let perm = Permutation::from_new_to_old(order)?;
+
+        // Block-inverse footprint pre-check: the original implementation
+        // densifies each diagonal block to invert it.
+        let block_footprint: usize = sizes
+            .iter()
+            .map(|&s| s.saturating_mul(s).saturating_mul(VALUE_BYTES))
+            .sum();
+        budget.check(block_footprint)?;
+
+        let at = perm.permute_symmetric(&normalized_adjacency(g, &config.rwr).transpose())?;
+        let perm_labels: Vec<usize> = (0..n).map(|i| labels[perm.old_of(i)]).collect();
+        let (a1, a2) = split_by_partition(&at, &perm_labels);
+
+        // M = I − (1−c) A₁, block diagonal; invert per block (dense).
+        let m_inv = invert_block_diagonal(&a1, &sizes, c)?;
+
+        // Low-rank approximation of the cross-partition edges.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let svd = randomized_svd(&a2, config.rank, 10.min(n), 2, &mut rng)?;
+        let t = effective_rank(&svd.s);
+        if t == 0 {
+            return Err(Error::InvalidStructure(
+                "cross-partition matrix has no significant singular values \
+                 (try fewer partitions)"
+                    .into(),
+            ));
+        }
+
+        // G = V M⁻¹ U: Y = M⁻¹ U (n × t), then G = V · Y (t × t).
+        let mut u_dense = DenseMatrix::zeros(n, t);
+        for i in 0..n {
+            for j in 0..t {
+                u_dense[(i, j)] = svd.u[(i, j)];
+            }
+        }
+        let y = csr_times_dense(&m_inv, &u_dense)?;
+        let mut g_mat = DenseMatrix::zeros(t, t);
+        for i in 0..t {
+            for j in 0..t {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += svd.vt[(i, k)] * y[(k, j)];
+                }
+                g_mat[(i, j)] = acc;
+            }
+        }
+        let lambda = build_lambda(&svd.s[..t], &g_mat, c)?;
+
+        let mut v_dense = DenseMatrix::zeros(t, n);
+        for i in 0..t {
+            for j in 0..n {
+                v_dense[(i, j)] = svd.vt[(i, j)];
+            }
+        }
+        let xi = config.drop_tolerance.max(0.0);
+        let m_inv = bear_sparse::sparsify::drop_tolerance_csr(&m_inv, xi);
+        Ok(BLin {
+            m_inv,
+            u: u_dense.to_csr(xi),
+            v: v_dense.to_csr(xi),
+            lambda,
+            perm,
+            c,
+        })
+    }
+}
+
+/// Inverts `M = I − (1−c) A₁` where `A₁` only has entries inside the
+/// contiguous diagonal blocks given by `sizes`. Each block is densified,
+/// inverted with partial-pivot LU, and written back sparsely.
+fn invert_block_diagonal(a1: &CsrMatrix, sizes: &[usize], c: f64) -> Result<CsrMatrix> {
+    let n = a1.nrows();
+    let mut coo = CooMatrix::new(n, n);
+    let mut off = 0usize;
+    for &size in sizes {
+        if size == 0 {
+            continue;
+        }
+        let block = a1.submatrix(off, off + size, off, off + size)?;
+        let mut dense = DenseMatrix::zeros(size, size);
+        for (r, col, v) in block.iter() {
+            dense[(r, col)] = -(1.0 - c) * v;
+        }
+        for i in 0..size {
+            dense[(i, i)] += 1.0;
+        }
+        let inv = DenseLu::factor(&dense)?.inverse()?;
+        for r in 0..size {
+            for col in 0..size {
+                let v = inv[(r, col)];
+                if v != 0.0 {
+                    coo.push(off + r, off + col, v);
+                }
+            }
+        }
+        off += size;
+    }
+    if off != n {
+        return Err(Error::InvalidStructure(format!(
+            "partition sizes sum to {off}, expected {n}"
+        )));
+    }
+    Ok(coo.to_csr())
+}
+
+impl RwrSolver for BLin {
+    fn name(&self) -> &'static str {
+        "B_LIN"
+    }
+
+    fn query_distribution(&self, q: &[f64]) -> Result<Vec<f64>> {
+        let n = self.perm.len();
+        if q.len() != n {
+            return Err(Error::DimensionMismatch {
+                op: "b_lin query",
+                lhs: (n, 1),
+                rhs: (q.len(), 1),
+            });
+        }
+        validate_distribution(q)?;
+        let qp = self.perm.permute_vec(q)?;
+        // r = c (M⁻¹q + M⁻¹ U Λ V M⁻¹ q)
+        let t0 = self.m_inv.matvec(&qp)?;
+        let t1 = self.v.matvec(&t0)?;
+        let t2 = self.lambda.matvec(&t1)?;
+        let t3 = self.u.matvec(&t2)?;
+        let t4 = self.m_inv.matvec(&t3)?;
+        let r: Vec<f64> = t0.iter().zip(&t4).map(|(a, b)| self.c * (a + b)).collect();
+        self.perm.unpermute_vec(&r)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.perm.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.m_inv.memory_bytes()
+            + self.u.memory_bytes()
+            + self.v.memory_bytes()
+            + self.lambda.memory_bytes()
+    }
+
+    fn precomputed_nnz(&self) -> usize {
+        self.m_inv.nnz()
+            + self.u.nnz()
+            + self.v.nnz()
+            + self.lambda.nrows() * self.lambda.ncols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bear_core::metrics::cosine_similarity;
+    use bear_core::{Bear, BearConfig};
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut all = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            all.push((u, v));
+            all.push((v, u));
+        }
+        Graph::from_edges(n, &all).unwrap()
+    }
+
+    fn two_communities() -> Graph {
+        undirected(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (0, 2),
+                (1, 3),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (5, 7),
+                (6, 8),
+                (4, 5), // single cross edge
+            ],
+        )
+    }
+
+    #[test]
+    fn high_rank_blin_is_nearly_exact() {
+        let g = two_communities();
+        let config = BLinConfig { num_partitions: 2, rank: 10, ..BLinConfig::default() };
+        let bl = BLin::new(&g, &config, &MemBudget::unlimited()).unwrap();
+        let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        for seed in [0, 4, 5, 9] {
+            let ra = bl.query(seed).unwrap();
+            let rb = bear.query(seed).unwrap();
+            for (a, b) in ra.iter().zip(&rb) {
+                assert!((a - b).abs() < 1e-6, "seed {seed}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_rank_blin_is_directionally_right() {
+        let g = two_communities();
+        let config = BLinConfig { num_partitions: 2, rank: 2, ..BLinConfig::default() };
+        let bl = BLin::new(&g, &config, &MemBudget::unlimited()).unwrap();
+        let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        let ra = bl.query(0).unwrap();
+        let rb = bear.query(0).unwrap();
+        assert!(cosine_similarity(&ra, &rb) > 0.9);
+    }
+
+    #[test]
+    fn budget_on_block_inverses_enforced() {
+        let g = two_communities();
+        let config = BLinConfig { num_partitions: 1, rank: 2, ..BLinConfig::default() };
+        // One partition of 10 nodes = 100 floats = 800 bytes of block
+        // inverse; a 100-byte budget must refuse.
+        assert!(matches!(
+            BLin::new(&g, &config, &MemBudget::bytes(100)),
+            Err(Error::OutOfBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_accounts_all_parts() {
+        let g = two_communities();
+        let config = BLinConfig { num_partitions: 2, rank: 3, ..BLinConfig::default() };
+        let bl = BLin::new(&g, &config, &MemBudget::unlimited()).unwrap();
+        assert!(bl.memory_bytes() > 0);
+        assert_eq!(bl.num_nodes(), 10);
+        assert_eq!(bl.name(), "B_LIN");
+    }
+}

@@ -1,0 +1,200 @@
+//! Boundary-restricted personalized PageRank (Gleich & Polito, Internet
+//! Mathematics 2006): the RPPR variant that, each iteration, expands
+//! boundary nodes in decreasing score order until the total score mass
+//! remaining on the boundary drops below `ε_b`.
+
+use bear_core::rwr::{normalized_adjacency, validate_distribution, RwrConfig};
+use bear_core::{metrics::l1_diff, RwrSolver};
+use bear_graph::Graph;
+use bear_sparse::{CsrMatrix, Error, Result};
+
+/// Configuration for BRPPR.
+#[derive(Debug, Clone, Copy)]
+pub struct BrpprConfig {
+    /// Restart probability and normalization.
+    pub rwr: RwrConfig,
+    /// Boundary mass threshold `ε_b`: expansion stops once the boundary's
+    /// total score is below this.
+    pub boundary_threshold: f64,
+    /// Convergence threshold on the L1 change of scores.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for BrpprConfig {
+    fn default() -> Self {
+        BrpprConfig {
+            rwr: RwrConfig::default(),
+            boundary_threshold: 1e-4,
+            epsilon: 1e-8,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// The BRPPR solver (no preprocessing).
+#[derive(Debug, Clone)]
+pub struct Brppr {
+    a: CsrMatrix,
+    config: BrpprConfig,
+}
+
+impl Brppr {
+    /// Prepares BRPPR for `g`.
+    pub fn new(g: &Graph, config: &BrpprConfig) -> Result<Self> {
+        config.rwr.validate()?;
+        Ok(Brppr { a: normalized_adjacency(g, &config.rwr), config: *config })
+    }
+
+    fn run(&self, q: &[f64]) -> Result<Vec<f64>> {
+        let n = self.a.nrows();
+        let c = self.config.rwr.c;
+        let mut in_subgraph = vec![false; n];
+        let mut expanded = vec![false; n];
+        for (u, &v) in q.iter().enumerate() {
+            if v > 0.0 {
+                in_subgraph[u] = true;
+            }
+        }
+        let mut r: Vec<f64> = q.iter().map(|&v| c * v).collect();
+        let mut next = vec![0.0f64; n];
+        let mut boundary: Vec<usize> = Vec::new();
+
+        for _ in 0..self.config.max_iterations {
+            // Collect the boundary (in subgraph, not expanded) and its mass.
+            boundary.clear();
+            boundary.extend((0..n).filter(|&u| in_subgraph[u] && !expanded[u]));
+            boundary.sort_unstable_by(|&a, &b| {
+                r[b].partial_cmp(&r[a]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut boundary_mass: f64 = boundary.iter().map(|&u| r[u]).sum();
+            let mut grew = false;
+            // Expand highest-score nodes until the remaining boundary mass
+            // drops below the threshold.
+            for &u in &boundary {
+                if boundary_mass < self.config.boundary_threshold {
+                    break;
+                }
+                expanded[u] = true;
+                grew = true;
+                boundary_mass -= r[u];
+                let (nbrs, _) = self.a.row(u);
+                for &v in nbrs {
+                    in_subgraph[v] = true;
+                }
+            }
+
+            // Restricted update (same as RPPR).
+            for (nv, &qv) in next.iter_mut().zip(q) {
+                *nv = c * qv;
+            }
+            for u in 0..n {
+                if expanded[u] && r[u] != 0.0 {
+                    let (nbrs, vals) = self.a.row(u);
+                    let push = (1.0 - c) * r[u];
+                    for (&v, &w) in nbrs.iter().zip(vals) {
+                        next[v] += push * w;
+                    }
+                }
+            }
+            let delta = l1_diff(&next, &r);
+            std::mem::swap(&mut r, &mut next);
+            if delta < self.config.epsilon && !grew {
+                return Ok(r);
+            }
+        }
+        Err(Error::DidNotConverge { what: "BRPPR", iterations: self.config.max_iterations })
+    }
+}
+
+impl RwrSolver for Brppr {
+    fn name(&self) -> &'static str {
+        "BRPPR"
+    }
+
+    fn query_distribution(&self, q: &[f64]) -> Result<Vec<f64>> {
+        if q.len() != self.a.nrows() {
+            return Err(Error::DimensionMismatch {
+                op: "brppr query",
+                lhs: (self.a.nrows(), 1),
+                rhs: (q.len(), 1),
+            });
+        }
+        validate_distribution(q)?;
+        self.run(q)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut all = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            all.push((u, v));
+            all.push((v, u));
+        }
+        Graph::from_edges(n, &all).unwrap()
+    }
+
+    #[test]
+    fn tiny_threshold_recovers_exact_scores() {
+        let g = undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let config = BrpprConfig { boundary_threshold: 1e-12, ..BrpprConfig::default() };
+        let brppr = Brppr::new(&g, &config).unwrap();
+        let exact = crate::iterative::Iterative::new(
+            &g,
+            &crate::iterative::IterativeConfig::default(),
+        )
+        .unwrap();
+        let ra = brppr.query(0).unwrap();
+        let re = exact.query(0).unwrap();
+        for (a, b) in ra.iter().zip(&re) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn loose_threshold_is_less_accurate_than_tight() {
+        let edges: Vec<(usize, usize)> = (0..29).map(|i| (i, i + 1)).collect();
+        let g = undirected(30, &edges);
+        let exact = crate::iterative::Iterative::new(
+            &g,
+            &crate::iterative::IterativeConfig::default(),
+        )
+        .unwrap();
+        let re = exact.query(0).unwrap();
+        let err = |threshold: f64| {
+            let config = BrpprConfig { boundary_threshold: threshold, ..BrpprConfig::default() };
+            let b = Brppr::new(&g, &config).unwrap();
+            bear_core::metrics::l2_error(&b.query(0).unwrap(), &re)
+        };
+        assert!(err(0.5) >= err(1e-9) - 1e-12);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let g = undirected(8, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (6, 7)]);
+        let brppr = Brppr::new(&g, &BrpprConfig::default()).unwrap();
+        let r = brppr.query(0).unwrap();
+        assert!(r.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+    }
+
+    #[test]
+    fn no_preprocessed_memory() {
+        let g = undirected(3, &[(0, 1), (1, 2)]);
+        let b = Brppr::new(&g, &BrpprConfig::default()).unwrap();
+        assert_eq!(b.memory_bytes(), 0);
+        assert_eq!(b.name(), "BRPPR");
+    }
+}

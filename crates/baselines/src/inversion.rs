@@ -1,0 +1,116 @@
+//! The inversion baseline: precompute the dense `H⁻¹` (Equation 4).
+//!
+//! Exact but hopelessly unscalable — `H⁻¹` is dense (Figure 2(a)), so the
+//! method needs `n²` floats. The constructor refuses inputs whose dense
+//! footprint exceeds the memory budget *before* allocating, reproducing
+//! the paper's out-of-memory bars.
+
+use bear_core::rwr::{build_h, validate_distribution, RwrConfig};
+use bear_core::RwrSolver;
+use bear_sparse::mem::{dense_bytes, MemBudget, MemoryUsage};
+use bear_sparse::{DenseLu, DenseMatrix, Error, Result};
+
+/// Preprocessed dense-inversion solver.
+#[derive(Debug, Clone)]
+pub struct Inversion {
+    h_inv: DenseMatrix,
+    c: f64,
+}
+
+impl Inversion {
+    /// Computes `H⁻¹` for `g`, honouring the memory budget.
+    pub fn new(g: &bear_graph::Graph, rwr: &RwrConfig, budget: &MemBudget) -> Result<Self> {
+        rwr.validate()?;
+        let n = g.num_nodes();
+        // Refuse before allocating: the dense inverse plus the working
+        // copy used by the factorization.
+        budget.check(dense_bytes(n, n).saturating_mul(2))?;
+        let h = build_h(g, rwr)?;
+        let lu = DenseLu::factor(&h.to_dense())?;
+        Ok(Inversion { h_inv: lu.inverse()?, c: rwr.c })
+    }
+}
+
+impl RwrSolver for Inversion {
+    fn name(&self) -> &'static str {
+        "Inversion"
+    }
+
+    fn query_distribution(&self, q: &[f64]) -> Result<Vec<f64>> {
+        if q.len() != self.h_inv.nrows() {
+            return Err(Error::DimensionMismatch {
+                op: "inversion query",
+                lhs: (self.h_inv.nrows(), 1),
+                rhs: (q.len(), 1),
+            });
+        }
+        validate_distribution(q)?;
+        // r = c H⁻¹ q
+        let mut r = self.h_inv.matvec(q)?;
+        for v in &mut r {
+            *v *= self.c;
+        }
+        Ok(r)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.h_inv.nrows()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.h_inv.memory_bytes()
+    }
+
+    fn precomputed_nnz(&self) -> usize {
+        self.h_inv.nrows() * self.h_inv.ncols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bear_core::{Bear, BearConfig};
+    use bear_graph::Graph;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut all = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            all.push((u, v));
+            all.push((v, u));
+        }
+        Graph::from_edges(n, &all).unwrap()
+    }
+
+    #[test]
+    fn matches_bear_exact() {
+        let g = undirected(6, &[(0, 1), (0, 2), (2, 3), (3, 4), (0, 5)]);
+        let inv =
+            Inversion::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
+        let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        for seed in 0..6 {
+            let ri = inv.query(seed).unwrap();
+            let rb = bear.query(seed).unwrap();
+            for (a, b) in ri.iter().zip(&rb) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_refused_before_allocation() {
+        let g = undirected(100, &[(0, 1)]);
+        let tiny = MemBudget::bytes(1024);
+        assert!(matches!(
+            Inversion::new(&g, &RwrConfig::default(), &tiny),
+            Err(Error::OutOfBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_is_dense_n_squared() {
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let inv =
+            Inversion::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
+        assert_eq!(inv.memory_bytes(), 25 * 8);
+    }
+}

@@ -1,0 +1,32 @@
+//! The eight RWR baselines the BEAR paper evaluates against
+//! (Section 2.2), each behind the shared
+//! [`RwrSolver`](bear_core::RwrSolver) trait:
+//!
+//! | Module | Method | Kind |
+//! |---|---|---|
+//! | [`iterative`] | power iteration on Equation (3) | exact (to ε) |
+//! | [`rppr`] | restricted personalized PageRank (Gleich & Polito) | approximate |
+//! | [`brppr`] | boundary-restricted PPR (Gleich & Polito) | approximate |
+//! | [`inversion`] | dense `H⁻¹` | exact |
+//! | [`lu_decomp`] | sparse LU of reordered `H`, inverted factors (Fujiwara et al.) | exact |
+//! | [`qr_decomp`] | QR of reordered `H`, `Qᵀ` and `R⁻¹` (Fujiwara et al.) | exact |
+//! | [`blin`] | partition + low-rank on cross edges + SMW (Tong et al.) | approximate |
+//! | [`nblin`] | global low-rank + SMW (Tong et al.) | approximate |
+
+pub mod blin;
+pub mod brppr;
+pub mod inversion;
+pub mod iterative;
+pub mod lu_decomp;
+pub mod nblin;
+pub mod qr_decomp;
+pub mod rppr;
+
+pub use blin::{BLin, BLinConfig};
+pub use brppr::{Brppr, BrpprConfig};
+pub use inversion::Inversion;
+pub use iterative::{Iterative, IterativeConfig};
+pub use lu_decomp::LuDecomp;
+pub use nblin::{NbLin, NbLinConfig};
+pub use qr_decomp::QrDecomp;
+pub use rppr::{Rppr, RpprConfig};

@@ -1,0 +1,143 @@
+//! LU-decomposition baseline (Fujiwara et al., PVLDB 2012): reorder `H`
+//! by community structure and degree, LU-factor the whole matrix, and
+//! store `L⁻¹` and `U⁻¹` for `r = c U⁻¹ (L⁻¹ q)`.
+//!
+//! Exact, and the strongest preprocessing competitor in the paper — but
+//! the whole-matrix triangular inverses fill in badly on graphs without
+//! clean community structure, which is why BEAR beats it on space
+//! (Figure 5). The fill-bounded inversion aborts with `OutOfBudget`
+//! exactly when the paper's version would die.
+
+use bear_core::rwr::{build_h, validate_distribution, RwrConfig};
+use bear_core::RwrSolver;
+use bear_graph::community::{community_degree_ordering, label_propagation};
+use bear_graph::Graph;
+use bear_sparse::mem::{MemBudget, MemoryUsage, INDEX_BYTES, VALUE_BYTES};
+use bear_sparse::{CscMatrix, Error, Permutation, Result, SparseLu};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Preprocessed LU-decomposition solver.
+#[derive(Debug, Clone)]
+pub struct LuDecomp {
+    l_inv: CscMatrix,
+    u_inv: CscMatrix,
+    perm: Permutation,
+    c: f64,
+}
+
+impl LuDecomp {
+    /// Preprocesses `g`: community+degree reordering, sparse LU, inverted
+    /// factors. Aborts with `OutOfBudget` when factor fill exceeds the
+    /// budget.
+    pub fn new(g: &Graph, rwr: &RwrConfig, budget: &MemBudget) -> Result<Self> {
+        rwr.validate()?;
+        let n = g.num_nodes();
+        // Fujiwara's reordering rule: communities first, ascending degree
+        // inside each.
+        let mut rng = StdRng::seed_from_u64(0x1u64);
+        let labels = label_propagation(g, 20, &mut rng);
+        let order = community_degree_ordering(g, &labels);
+        let perm = Permutation::from_new_to_old(order)?;
+
+        let h = perm.permute_symmetric(&build_h(g, rwr)?)?;
+        let max_nnz = budget
+            .limit()
+            .map(|bytes| bytes / (INDEX_BYTES + VALUE_BYTES))
+            .unwrap_or(usize::MAX);
+        let lu = SparseLu::factor_with_limit(&h.to_csc(), max_nnz)?;
+        let (l_inv, u_inv) = lu.invert_factors_with_limit(max_nnz)?;
+        budget.check(l_inv.memory_bytes() + u_inv.memory_bytes())?;
+        let _ = n;
+        Ok(LuDecomp { l_inv, u_inv, perm, c: rwr.c })
+    }
+}
+
+impl RwrSolver for LuDecomp {
+    fn name(&self) -> &'static str {
+        "LU decomp."
+    }
+
+    fn query_distribution(&self, q: &[f64]) -> Result<Vec<f64>> {
+        let n = self.perm.len();
+        if q.len() != n {
+            return Err(Error::DimensionMismatch {
+                op: "lu decomp query",
+                lhs: (n, 1),
+                rhs: (q.len(), 1),
+            });
+        }
+        validate_distribution(q)?;
+        // r = c U⁻¹ (L⁻¹ q), in the reordered space.
+        let qp = self.perm.permute_vec(q)?;
+        let t = self.l_inv.matvec(&qp)?;
+        let mut r = self.u_inv.matvec(&t)?;
+        for v in &mut r {
+            *v *= self.c;
+        }
+        self.perm.unpermute_vec(&r)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.perm.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.l_inv.memory_bytes() + self.u_inv.memory_bytes()
+    }
+
+    fn precomputed_nnz(&self) -> usize {
+        self.l_inv.nnz() + self.u_inv.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bear_core::{Bear, BearConfig};
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut all = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            all.push((u, v));
+            all.push((v, u));
+        }
+        Graph::from_edges(n, &all).unwrap()
+    }
+
+    #[test]
+    fn matches_bear_exact() {
+        let g = undirected(
+            8,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3), (0, 6), (6, 7)],
+        );
+        let lu = LuDecomp::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
+        let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        for seed in 0..8 {
+            let rl = lu.query(seed).unwrap();
+            let rb = bear.query(seed).unwrap();
+            for (a, b) in rl.iter().zip(&rb) {
+                assert!((a - b).abs() < 1e-9, "seed {seed}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn oom_budget_aborts() {
+        let g = undirected(30, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 6), (6, 7)]);
+        // 64 bytes cannot hold any factor.
+        let tiny = MemBudget::bytes(64);
+        assert!(matches!(
+            LuDecomp::new(&g, &RwrConfig::default(), &tiny),
+            Err(Error::OutOfBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_factor_memory() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let lu = LuDecomp::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
+        assert!(lu.memory_bytes() > 0);
+        assert_eq!(lu.num_nodes(), 4);
+    }
+}

@@ -1,0 +1,240 @@
+//! NB_LIN (Tong, Faloutsos & Pan, KAIS 2008): approximate the whole
+//! `Ãᵀ` with a rank-`t` factorization `U Σ V` and answer queries with the
+//! Sherman–Morrison–Woodbury identity.
+//!
+//! With `H = I − (1−c) Ãᵀ ≈ I − (1−c) U Σ V`,
+//!
+//! ```text
+//! H⁻¹ ≈ I + U Λ V,   Λ = ( ((1−c)Σ)⁻¹ − V U )⁻¹
+//! ```
+//!
+//! so a query is two thin matrix–vector products plus a `t × t` solve
+//! folded into the precomputed `Λ`. Near-zero entries of `U` and `V` are
+//! dropped at tolerance `ξ`, the same knob the paper sweeps in Figure 8.
+
+use bear_core::rwr::{normalized_adjacency, validate_distribution, RwrConfig};
+use bear_core::RwrSolver;
+use bear_graph::Graph;
+use bear_sparse::mem::MemoryUsage;
+use bear_sparse::svd::randomized_svd;
+use bear_sparse::{CsrMatrix, DenseLu, DenseMatrix, Error, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for NB_LIN.
+#[derive(Debug, Clone, Copy)]
+pub struct NbLinConfig {
+    /// Restart probability and normalization.
+    pub rwr: RwrConfig,
+    /// Approximation rank `t` (Table 5 uses 100–1000 per dataset).
+    pub rank: usize,
+    /// Drop tolerance `ξ` applied to the stored `U` and `V`.
+    pub drop_tolerance: f64,
+    /// RNG seed for the randomized SVD sketch.
+    pub seed: u64,
+}
+
+impl Default for NbLinConfig {
+    fn default() -> Self {
+        NbLinConfig { rwr: RwrConfig::default(), rank: 100, drop_tolerance: 0.0, seed: 0 }
+    }
+}
+
+/// Preprocessed NB_LIN solver.
+#[derive(Debug, Clone)]
+pub struct NbLin {
+    u: CsrMatrix,
+    v: CsrMatrix,
+    lambda: DenseMatrix,
+    c: f64,
+    n: usize,
+}
+
+/// Builds `Λ = (((1−c)Σ)⁻¹ − G)⁻¹` given the singular values and
+/// `G = V M⁻¹ U` (for NB_LIN, `M = I`). Shared with B_LIN.
+pub(crate) fn build_lambda(s: &[f64], g: &DenseMatrix, c: f64) -> Result<DenseMatrix> {
+    let t = s.len();
+    let mut core = DenseMatrix::zeros(t, t);
+    for i in 0..t {
+        for j in 0..t {
+            core[(i, j)] = -g[(i, j)];
+        }
+        let scaled = (1.0 - c) * s[i];
+        if scaled.abs() < 1e-12 {
+            return Err(Error::SingularMatrix { at: i });
+        }
+        core[(i, i)] += 1.0 / scaled;
+    }
+    DenseLu::factor(&core)?.inverse()
+}
+
+/// Truncates an SVD to its numerically significant singular values.
+pub(crate) fn effective_rank(s: &[f64]) -> usize {
+    let cutoff = s.first().copied().unwrap_or(0.0) * 1e-10;
+    s.iter().take_while(|&&v| v > cutoff && v > 1e-12).count()
+}
+
+impl NbLin {
+    /// Preprocesses `g` at rank `config.rank`.
+    pub fn new(g: &Graph, config: &NbLinConfig) -> Result<Self> {
+        config.rwr.validate()?;
+        let n = g.num_nodes();
+        let at = normalized_adjacency(g, &config.rwr).transpose();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let svd = randomized_svd(&at, config.rank, 10.min(n), 2, &mut rng)?;
+        let t = effective_rank(&svd.s);
+        if t == 0 {
+            return Err(Error::InvalidStructure(
+                "adjacency has no significant singular values".into(),
+            ));
+        }
+
+        // G = V U (t × t).
+        let (u_dense, vt) = (&svd.u, &svd.vt);
+        let mut g_mat = DenseMatrix::zeros(t, t);
+        for i in 0..t {
+            for j in 0..t {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += vt[(i, k)] * u_dense[(k, j)];
+                }
+                g_mat[(i, j)] = acc;
+            }
+        }
+        let lambda = build_lambda(&svd.s[..t], &g_mat, config.rwr.c)?;
+
+        // Store U (n × t) and V (t × n) sparsely after dropping.
+        let xi = config.drop_tolerance.max(0.0);
+        let mut u_trim = DenseMatrix::zeros(n, t);
+        for i in 0..n {
+            for j in 0..t {
+                u_trim[(i, j)] = u_dense[(i, j)];
+            }
+        }
+        let mut v_trim = DenseMatrix::zeros(t, n);
+        for i in 0..t {
+            for j in 0..n {
+                v_trim[(i, j)] = vt[(i, j)];
+            }
+        }
+        Ok(NbLin {
+            u: u_trim.to_csr(xi),
+            v: v_trim.to_csr(xi),
+            lambda,
+            c: config.rwr.c,
+            n,
+        })
+    }
+}
+
+impl RwrSolver for NbLin {
+    fn name(&self) -> &'static str {
+        "NB_LIN"
+    }
+
+    fn query_distribution(&self, q: &[f64]) -> Result<Vec<f64>> {
+        if q.len() != self.n {
+            return Err(Error::DimensionMismatch {
+                op: "nb_lin query",
+                lhs: (self.n, 1),
+                rhs: (q.len(), 1),
+            });
+        }
+        validate_distribution(q)?;
+        // r = c (q + U Λ V q)
+        let vq = self.v.matvec(q)?;
+        let lvq = self.lambda.matvec(&vq)?;
+        let ulvq = self.u.matvec(&lvq)?;
+        Ok(q.iter().zip(&ulvq).map(|(a, b)| self.c * (a + b)).collect())
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.u.memory_bytes() + self.v.memory_bytes() + self.lambda.memory_bytes()
+    }
+
+    fn precomputed_nnz(&self) -> usize {
+        self.u.nnz() + self.v.nnz() + self.lambda.nrows() * self.lambda.ncols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bear_core::metrics::cosine_similarity;
+    use bear_core::{Bear, BearConfig};
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut all = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            all.push((u, v));
+            all.push((v, u));
+        }
+        Graph::from_edges(n, &all).unwrap()
+    }
+
+    #[test]
+    fn full_rank_approximation_is_nearly_exact() {
+        // Rank >= n recovers the exact inverse via SMW.
+        let g = undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let config = NbLinConfig { rank: 6, ..NbLinConfig::default() };
+        let nb = NbLin::new(&g, &config).unwrap();
+        let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        for seed in 0..6 {
+            let ra = nb.query(seed).unwrap();
+            let rb = bear.query(seed).unwrap();
+            for (a, b) in ra.iter().zip(&rb) {
+                assert!((a - b).abs() < 1e-6, "seed {seed}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_rank_approximation_is_directionally_right() {
+        let g = undirected(
+            12,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (6, 7),
+                (6, 8),
+                (6, 9),
+                (9, 10),
+                (10, 11),
+            ],
+        );
+        let config = NbLinConfig { rank: 6, ..NbLinConfig::default() };
+        let nb = NbLin::new(&g, &config).unwrap();
+        let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        let ra = nb.query(0).unwrap();
+        let rb = bear.query(0).unwrap();
+        assert!(cosine_similarity(&ra, &rb) > 0.9);
+    }
+
+    #[test]
+    fn drop_tolerance_reduces_memory() {
+        let g = undirected(10, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9)]);
+        let dense = NbLin::new(&g, &NbLinConfig { rank: 5, ..NbLinConfig::default() }).unwrap();
+        let dropped = NbLin::new(
+            &g,
+            &NbLinConfig { rank: 5, drop_tolerance: 0.05, ..NbLinConfig::default() },
+        )
+        .unwrap();
+        assert!(dropped.memory_bytes() <= dense.memory_bytes());
+    }
+
+    #[test]
+    fn invalid_query_rejected() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let nb = NbLin::new(&g, &NbLinConfig { rank: 3, ..NbLinConfig::default() }).unwrap();
+        assert!(nb.query(9).is_err());
+        assert!(nb.query_distribution(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Restricted personalized PageRank (Gleich & Polito, Internet
+//! Mathematics 2006): the iterative update run only on an adaptively
+//! grown subgraph around the seed.
+//!
+//! The subgraph starts as the seed alone; a node's out-edges join the
+//! subgraph once its current score exceeds the expansion threshold `ε_b`.
+//! Nodes never reached keep score 0. Fast but inexact — the probability
+//! mass that would flow through unexpanded nodes is simply truncated.
+
+use bear_core::rwr::{normalized_adjacency, validate_distribution, RwrConfig};
+use bear_core::{metrics::l1_diff, RwrSolver};
+use bear_graph::Graph;
+use bear_sparse::{CsrMatrix, Error, Result};
+
+/// Configuration for RPPR.
+#[derive(Debug, Clone, Copy)]
+pub struct RpprConfig {
+    /// Restart probability and normalization.
+    pub rwr: RwrConfig,
+    /// Expansion threshold `ε_b`: a subgraph node is expanded when its
+    /// score exceeds this (the knob swept in Figure 8).
+    pub expand_threshold: f64,
+    /// Convergence threshold on the L1 change of scores.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for RpprConfig {
+    fn default() -> Self {
+        RpprConfig {
+            rwr: RwrConfig::default(),
+            expand_threshold: 1e-4,
+            epsilon: 1e-8,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// The RPPR solver (no preprocessing).
+#[derive(Debug, Clone)]
+pub struct Rppr {
+    /// Row-normalized adjacency (rows = out-edges), used for the forward
+    /// push restricted to expanded nodes.
+    a: CsrMatrix,
+    config: RpprConfig,
+}
+
+impl Rppr {
+    /// Prepares RPPR for `g`.
+    pub fn new(g: &Graph, config: &RpprConfig) -> Result<Self> {
+        config.rwr.validate()?;
+        Ok(Rppr { a: normalized_adjacency(g, &config.rwr), config: *config })
+    }
+
+    fn run(&self, q: &[f64]) -> Result<Vec<f64>> {
+        let n = self.a.nrows();
+        let c = self.config.rwr.c;
+        let mut in_subgraph = vec![false; n];
+        let mut expanded = vec![false; n];
+        for (u, &v) in q.iter().enumerate() {
+            if v > 0.0 {
+                in_subgraph[u] = true;
+            }
+        }
+        let mut r: Vec<f64> = q.iter().map(|&v| c * v).collect();
+        let mut next = vec![0.0f64; n];
+
+        for _ in 0..self.config.max_iterations {
+            // Expansion pass: any subgraph node above the threshold gets
+            // its out-edges (and out-neighbors) added.
+            let mut grew = false;
+            for u in 0..n {
+                if in_subgraph[u] && !expanded[u] && r[u] > self.config.expand_threshold {
+                    expanded[u] = true;
+                    grew = true;
+                    let (nbrs, _) = self.a.row(u);
+                    for &v in nbrs {
+                        in_subgraph[v] = true;
+                    }
+                }
+            }
+
+            // Restricted update: scores flow only out of expanded nodes.
+            for (nv, &qv) in next.iter_mut().zip(q) {
+                *nv = c * qv;
+            }
+            for u in 0..n {
+                if expanded[u] && r[u] != 0.0 {
+                    let (nbrs, vals) = self.a.row(u);
+                    let push = (1.0 - c) * r[u];
+                    for (&v, &w) in nbrs.iter().zip(vals) {
+                        next[v] += push * w;
+                    }
+                }
+            }
+            let delta = l1_diff(&next, &r);
+            std::mem::swap(&mut r, &mut next);
+            if delta < self.config.epsilon && !grew {
+                return Ok(r);
+            }
+        }
+        Err(Error::DidNotConverge { what: "RPPR", iterations: self.config.max_iterations })
+    }
+}
+
+impl RwrSolver for Rppr {
+    fn name(&self) -> &'static str {
+        "RPPR"
+    }
+
+    fn query_distribution(&self, q: &[f64]) -> Result<Vec<f64>> {
+        if q.len() != self.a.nrows() {
+            return Err(Error::DimensionMismatch {
+                op: "rppr query",
+                lhs: (self.a.nrows(), 1),
+                rhs: (q.len(), 1),
+            });
+        }
+        validate_distribution(q)?;
+        self.run(q)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bear_baselines_test_util::*;
+
+    // Local helper module so RPPR and BRPPR tests share graph builders.
+    mod bear_baselines_test_util {
+        use bear_graph::Graph;
+        pub fn undirected(n: usize, edges: &[(usize, usize)]) -> Graph {
+            let mut all = Vec::with_capacity(edges.len() * 2);
+            for &(u, v) in edges {
+                all.push((u, v));
+                all.push((v, u));
+            }
+            Graph::from_edges(n, &all).unwrap()
+        }
+    }
+
+    #[test]
+    fn tiny_threshold_recovers_exact_scores() {
+        let g = undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let config = RpprConfig { expand_threshold: 1e-12, ..RpprConfig::default() };
+        let rppr = Rppr::new(&g, &config).unwrap();
+        let exact = crate::iterative::Iterative::new(
+            &g,
+            &crate::iterative::IterativeConfig::default(),
+        )
+        .unwrap();
+        let ra = rppr.query(0).unwrap();
+        let re = exact.query(0).unwrap();
+        for (a, b) in ra.iter().zip(&re) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn large_threshold_truncates_far_nodes() {
+        // Long path: with a huge expansion threshold, remote nodes stay 0.
+        let edges: Vec<(usize, usize)> = (0..19).map(|i| (i, i + 1)).collect();
+        let g = undirected(20, &edges);
+        let config = RpprConfig { expand_threshold: 0.5, ..RpprConfig::default() };
+        let rppr = Rppr::new(&g, &config).unwrap();
+        let r = rppr.query(0).unwrap();
+        assert_eq!(r[19], 0.0);
+        assert!(r[0] > 0.0);
+    }
+
+    #[test]
+    fn scores_never_negative_and_sum_at_most_one() {
+        let g = undirected(8, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (6, 7)]);
+        let rppr = Rppr::new(&g, &RpprConfig::default()).unwrap();
+        let r = rppr.query(0).unwrap();
+        assert!(r.iter().all(|&v| v >= 0.0));
+        let sum: f64 = r.iter().sum();
+        assert!(sum <= 1.0 + 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn no_preprocessed_memory() {
+        let g = undirected(3, &[(0, 1), (1, 2)]);
+        let rppr = Rppr::new(&g, &RpprConfig::default()).unwrap();
+        assert_eq!(rppr.memory_bytes(), 0);
+    }
+}

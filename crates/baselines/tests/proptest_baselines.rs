@@ -1,0 +1,125 @@
+//! Property-based parity tests: on arbitrary random graphs, every exact
+//! baseline agrees with the iterative reference, and the approximate
+//! methods behave sanely.
+
+use bear_baselines::{
+    Brppr, BrpprConfig, Inversion, Iterative, IterativeConfig, LuDecomp, NbLin, NbLinConfig,
+    QrDecomp, Rppr, RpprConfig,
+};
+use bear_core::rwr::RwrConfig;
+use bear_core::RwrSolver;
+use bear_graph::Graph;
+use bear_sparse::mem::MemBudget;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |mut edges| {
+            for u in 0..n {
+                edges.push((u, (u + 1) % n)); // cycle backbone
+            }
+            Graph::from_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+fn reference(g: &Graph, seed: usize) -> Vec<f64> {
+    Iterative::new(
+        g,
+        &IterativeConfig { epsilon: 1e-13, max_iterations: 200_000, ..Default::default() },
+    )
+    .unwrap()
+    .query(seed)
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn inversion_matches_iterative(g in arb_graph(), s in 0.0f64..1.0) {
+        let seed = ((s * g.num_nodes() as f64) as usize).min(g.num_nodes() - 1);
+        let want = reference(&g, seed);
+        let inv = Inversion::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
+        let got = inv.query(seed).unwrap();
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lu_decomp_matches_iterative(g in arb_graph(), s in 0.0f64..1.0) {
+        let seed = ((s * g.num_nodes() as f64) as usize).min(g.num_nodes() - 1);
+        let want = reference(&g, seed);
+        let lu = LuDecomp::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
+        let got = lu.query(seed).unwrap();
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn qr_decomp_matches_iterative(g in arb_graph(), s in 0.0f64..1.0) {
+        let seed = ((s * g.num_nodes() as f64) as usize).min(g.num_nodes() - 1);
+        let want = reference(&g, seed);
+        let qr = QrDecomp::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
+        let got = qr.query(seed).unwrap();
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn full_rank_nblin_matches_iterative(g in arb_graph()) {
+        let n = g.num_nodes();
+        let want = reference(&g, 0);
+        let nb = NbLin::new(&g, &NbLinConfig { rank: n, ..Default::default() }).unwrap();
+        let got = nb.query(0).unwrap();
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rppr_with_tiny_threshold_matches_iterative(g in arb_graph()) {
+        let want = reference(&g, 0);
+        let rppr = Rppr::new(
+            &g,
+            &RpprConfig { expand_threshold: 1e-14, epsilon: 1e-13, ..Default::default() },
+        )
+        .unwrap();
+        let got = rppr.query(0).unwrap();
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn brppr_scores_bounded_at_any_threshold(g in arb_graph(), t in 0.0f64..0.5) {
+        let brppr = Brppr::new(
+            &g,
+            &BrpprConfig { boundary_threshold: t.max(1e-9), ..Default::default() },
+        )
+        .unwrap();
+        let r = brppr.query(0).unwrap();
+        for &v in &r {
+            prop_assert!(v >= 0.0);
+            prop_assert!(v <= 1.0 + 1e-9);
+        }
+        let sum: f64 = r.iter().sum();
+        prop_assert!(sum <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn approximate_scores_never_negative(g in arb_graph()) {
+        // NB_LIN can technically produce tiny negative values from the
+        // low-rank error, but at full rank they must be non-negative up
+        // to rounding.
+        let n = g.num_nodes();
+        let nb = NbLin::new(&g, &NbLinConfig { rank: n, ..Default::default() }).unwrap();
+        let r = nb.query(0).unwrap();
+        for &v in &r {
+            prop_assert!(v >= -1e-8, "negative score {v}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: serial vs parallel preprocessing kernels
+//! (SpGEMM and triangular-factor inversion over crossbeam threads).
+
+use bear_core::rwr::{build_h, RwrConfig};
+use bear_datasets::dataset_by_name;
+use bear_sparse::ops::spgemm;
+use bear_sparse::parallel::{par_invert_triangular, par_spgemm};
+use bear_sparse::triangular::{invert_triangular, Triangle};
+use bear_sparse::SparseLu;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_parallel(c: &mut Criterion) {
+    let g = dataset_by_name("small_citation").unwrap().load();
+    let h = build_h(&g, &RwrConfig::default()).unwrap();
+    let lu = SparseLu::factor(&h.to_csc()).unwrap();
+
+    let mut group = c.benchmark_group("parallel_spgemm");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| std::hint::black_box(spgemm(&h, &h).unwrap()))
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| std::hint::black_box(par_spgemm(&h, &h, t).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("parallel_invert");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| std::hint::black_box(invert_triangular(lu.l(), Triangle::Lower, true).unwrap()))
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                std::hint::black_box(
+                    par_invert_triangular(lu.l(), Triangle::Lower, true, t).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

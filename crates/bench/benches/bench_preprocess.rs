@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark: preprocessing cost of BEAR-Exact vs the
+//! other preprocessing methods (the fast core of Figure 1(a)).
+
+use bear_bench::params::params_for;
+use bear_bench::{build_method, MethodSpec};
+use bear_datasets::dataset_by_name;
+use bear_sparse::mem::MemBudget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(10);
+    let dataset = "small_routing";
+    let g = dataset_by_name(dataset).unwrap().load();
+    let params = params_for(dataset);
+    let budget = MemBudget::unlimited();
+    for spec in [
+        MethodSpec::Bear { xi: 0.0 },
+        MethodSpec::LuDecomp,
+        MethodSpec::QrDecomp,
+        MethodSpec::Inversion,
+        MethodSpec::NbLin { xi: 0.0 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.display_name()),
+            &spec,
+            |b, spec| {
+                b.iter(|| std::hint::black_box(build_method(spec, &g, &params, &budget).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

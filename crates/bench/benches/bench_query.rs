@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark: query latency of BEAR vs the iterative
+//! method and LU decomposition (the paper's Figure 1(b) comparison,
+//! reduced to its fast core).
+
+use bear_bench::{build_method, MethodSpec};
+use bear_bench::params::params_for;
+use bear_datasets::dataset_by_name;
+use bear_sparse::mem::MemBudget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+    for dataset in ["small_routing", "small_web"] {
+        let g = dataset_by_name(dataset).unwrap().load();
+        let params = params_for(dataset);
+        let budget = MemBudget::unlimited();
+        for spec in [
+            MethodSpec::Bear { xi: 0.0 },
+            MethodSpec::Bear { xi: 1e-4 },
+            MethodSpec::LuDecomp,
+            MethodSpec::Iterative,
+        ] {
+            let solver = build_method(&spec, &g, &params, &budget).unwrap();
+            let label = format!("{}/{}", dataset, spec.display_name());
+            group.bench_with_input(BenchmarkId::from_parameter(label), &solver, |b, s| {
+                let mut seed = 0usize;
+                b.iter(|| {
+                    seed = (seed + 17) % s.num_nodes();
+                    std::hint::black_box(s.query(seed).unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

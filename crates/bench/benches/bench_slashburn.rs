@@ -1,0 +1,22 @@
+//! Criterion micro-benchmark of the SlashBurn reordering (the dominant
+//! term of BEAR's preprocessing on spoke-heavy graphs, Table 3 line 2).
+
+use bear_datasets::dataset_by_name;
+use bear_graph::{slashburn, SlashBurnConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_slashburn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slashburn");
+    group.sample_size(10);
+    for dataset in ["small_routing", "small_web", "small_citation"] {
+        let g = dataset_by_name(dataset).unwrap().load();
+        let config = SlashBurnConfig::paper_default(g.num_nodes());
+        group.bench_with_input(BenchmarkId::from_parameter(dataset), &g, |b, g| {
+            b.iter(|| std::hint::black_box(slashburn(g, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slashburn);
+criterion_main!(benches);

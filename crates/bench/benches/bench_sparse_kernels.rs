@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark of the sparse kernels BEAR's phases are
+//! built from: SpMV, SpGEMM, sparse LU, and triangular-factor inversion.
+
+use bear_core::rwr::{build_h, RwrConfig};
+use bear_datasets::dataset_by_name;
+use bear_sparse::ops::spgemm;
+use bear_sparse::SparseLu;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = dataset_by_name("small_routing").unwrap().load();
+    let h = build_h(&g, &RwrConfig::default()).unwrap();
+    let n = h.nrows();
+    let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+
+    c.bench_function("spmv", |b| {
+        b.iter(|| std::hint::black_box(h.matvec(&x).unwrap()))
+    });
+
+    c.bench_function("spgemm_h_squared", |b| {
+        b.iter(|| std::hint::black_box(spgemm(&h, &h).unwrap()))
+    });
+
+    let h_csc = h.to_csc();
+    c.bench_function("sparse_lu_factor", |b| {
+        b.iter(|| std::hint::black_box(SparseLu::factor(&h_csc).unwrap()))
+    });
+
+    let lu = SparseLu::factor(&h_csc).unwrap();
+    c.bench_function("invert_lu_factors", |b| {
+        b.iter(|| std::hint::black_box(lu.invert_factors().unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

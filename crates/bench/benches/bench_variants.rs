@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the RWR variants and production
+//! features: personalized PageRank, effective importance, top-k
+//! extraction, index save/load, dynamic edge insertion, and the
+//! iterative-hub extension.
+
+use bear_core::{Bear, BearConfig, BearHubIterative, DynamicBear, RwrSolver};
+use bear_datasets::dataset_by_name;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_variants(c: &mut Criterion) {
+    let g = dataset_by_name("small_routing").unwrap().load();
+    let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+    let n = g.num_nodes();
+
+    c.bench_function("variants/ppr_100_seeds", |b| {
+        let mut q = vec![0.0; n];
+        for i in 0..100 {
+            q[(i * 37) % n] += 0.01;
+        }
+        b.iter(|| std::hint::black_box(bear.query_distribution(&q).unwrap()))
+    });
+
+    c.bench_function("variants/effective_importance", |b| {
+        b.iter(|| std::hint::black_box(bear.query_effective_importance(5).unwrap()))
+    });
+
+    c.bench_function("variants/top_k_10", |b| {
+        b.iter(|| std::hint::black_box(bear.query_top_k(5, 10).unwrap()))
+    });
+
+    c.bench_function("persist/save_load_round_trip", |b| {
+        let path = std::env::temp_dir().join("bench_persist.idx");
+        b.iter(|| {
+            bear.save(&path).unwrap();
+            std::hint::black_box(Bear::load(&path).unwrap())
+        });
+        std::fs::remove_file(&path).ok();
+    });
+
+    c.bench_function("dynamic/hub_edge_insert", |b| {
+        // Hub 0 (generator convention) gets repeatedly strengthened.
+        let mut dynamic = DynamicBear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        b.iter(|| std::hint::black_box(dynamic.insert_edge(0, 42, 0.001).unwrap()))
+    });
+
+    let hub_iter = BearHubIterative::new(&g, &BearConfig::exact(0.05)).unwrap();
+    c.bench_function("hub_iter/query", |b| {
+        b.iter(|| std::hint::black_box(hub_iter.query(5).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

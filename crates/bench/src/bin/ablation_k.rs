@@ -1,0 +1,58 @@
+//! Ablation (DESIGN.md §6): sensitivity of BEAR to SlashBurn's `k`
+//! (hubs removed per iteration). The paper fixes `k = 0.001 n` as "a good
+//! trade-off between running time and reordering quality"; this sweep
+//! shows why, reporting `n₂`, `Σ n₁ᵢ²`, space, and timing across k/n.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin ablation_k \
+//!     [--datasets a,b] [--seeds N] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::load_dataset;
+use bear_bench::harness::{measure, mean_query_time, ExperimentResult, ResultRow};
+use bear_core::{Bear, BearConfig, RwrSolver};
+
+fn main() {
+    let args = Args::from_env();
+    let opts = CommonOpts::from_args(&args, &["routing_like", "email_like"]);
+    let mut out = ExperimentResult::new(
+        "ablation_k",
+        "BEAR-Exact vs SlashBurn k (hubs removed per iteration)",
+    );
+    println!(
+        "{:<16} {:>9} {:>7} {:>12} {:>9} {:>11} {:>10}",
+        "dataset", "k/n", "n2", "sum n1i^2", "pre(s)", "query(ms)", "mem(KB)"
+    );
+    for dataset in &opts.datasets {
+        let g = load_dataset(dataset);
+        let n = g.num_nodes();
+        for ratio in [0.0005f64, 0.001, 0.005, 0.01, 0.05] {
+            let k = ((n as f64 * ratio).ceil() as usize).max(1);
+            let config = BearConfig { slashburn_k: Some(k), ..BearConfig::default() };
+            let (bear, pre_s) = measure(|| Bear::new(&g, &config).expect("preprocess"));
+            let st = bear.stats();
+            let query_s = mean_query_time(&bear, opts.num_seeds);
+            println!(
+                "{:<16} {:>9} {:>7} {:>12} {:>9.3} {:>11.3} {:>10}",
+                dataset,
+                format!("{ratio}"),
+                st.n2,
+                st.sum_block_sq,
+                pre_s,
+                query_s * 1e3,
+                bear.memory_bytes() / 1024
+            );
+            let mut row = ResultRow::new(dataset, "BEAR-Exact");
+            row.param = Some(format!("k/n={ratio} n2={} sum_sq={}", st.n2, st.sum_block_sq));
+            row.preprocess_s = Some(pre_s);
+            row.query_s = Some(query_s);
+            row.memory_bytes = Some(bear.memory_bytes());
+            out.rows.push(row);
+        }
+    }
+    if let Some(path) = &opts.json {
+        out.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

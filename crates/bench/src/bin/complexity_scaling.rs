@@ -1,0 +1,87 @@
+//! Empirical validation of the complexity analysis (Section 3.3,
+//! Theorems 2–4): BEAR's preprocessing time, query time, and space
+//! measured over a family of hub-and-spoke graphs of growing size but
+//! fixed structure (constant hub fraction and cave-size distribution).
+//!
+//! The theorems predict that with `n₂ = Θ(h)` hubs and bounded block
+//! sizes, space and query time grow **linearly** in `n` plus an `n₂²`
+//! term, and preprocessing adds an `n₂³` term — so on this family, where
+//! hubs grow with √n, all three curves should stay near-linear until the
+//! hub terms take over.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin complexity_scaling [--seeds N] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::harness::{measure, mean_query_time, ExperimentResult, ResultRow};
+use bear_core::{Bear, BearConfig, RwrSolver};
+use bear_graph::generators::{hub_and_spoke, HubSpokeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let opts = CommonOpts::from_args(&args, &[]);
+    let mut out = ExperimentResult::new(
+        "complexity_scaling",
+        "BEAR time/space vs graph size at fixed structure (Theorems 2-4)",
+    );
+    println!(
+        "{:<10} {:>8} {:>9} {:>7} {:>10} {:>11} {:>10}",
+        "caves", "n", "m", "n2", "pre(s)", "query(ms)", "mem(KB)"
+    );
+    for &caves in &[500usize, 1000, 2000, 4000, 8000] {
+        let config = HubSpokeConfig {
+            num_hubs: ((caves as f64).sqrt() as usize).max(4),
+            num_caves: caves,
+            max_cave_size: 5,
+            cave_density: 0.3,
+            hub_links: 1,
+            hub_density: 0.3,
+        };
+        let g = hub_and_spoke(&config, &mut StdRng::seed_from_u64(77));
+        let (bear, pre_s) =
+            measure(|| Bear::new(&g, &BearConfig::default()).expect("preprocess"));
+        let query_s = mean_query_time(&bear, opts.num_seeds.max(5));
+        println!(
+            "{:<10} {:>8} {:>9} {:>7} {:>10.3} {:>11.3} {:>10}",
+            caves,
+            g.num_nodes(),
+            g.num_edges(),
+            bear.n_hubs(),
+            pre_s,
+            query_s * 1e3,
+            bear.memory_bytes() / 1024
+        );
+        let mut row = ResultRow::new(&format!("caves_{caves}"), "BEAR-Exact");
+        row.param = Some(format!("n={} n2={}", g.num_nodes(), bear.n_hubs()));
+        row.preprocess_s = Some(pre_s);
+        row.query_s = Some(query_s);
+        row.memory_bytes = Some(bear.memory_bytes());
+        out.rows.push(row);
+    }
+    // Near-linear check: memory per node should stay within a small
+    // constant factor across the sweep.
+    let per_node: Vec<f64> = out
+        .rows
+        .iter()
+        .map(|r| {
+            let n: f64 = r
+                .param
+                .as_ref()
+                .and_then(|p| p.split(['=', ' ']).nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1.0);
+            r.memory_bytes.unwrap_or(0) as f64 / n
+        })
+        .collect();
+    let (min, max) = per_node
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    println!("\nbytes per node across the sweep: {min:.1} .. {max:.1} (ratio {:.2})", max / min);
+    if let Some(path) = &opts.json {
+        out.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Reproduces **Figure 10** (Appendix E.1): personalized-PageRank query
+//! time of the exact methods as the number of seeds grows
+//! (1, 10, 100, 1000).
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig10_ppr_query \
+//!     [--datasets a,b] [--budget-mb N] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::load_dataset;
+use bear_bench::harness::{measure, ExperimentResult, ResultRow};
+use bear_bench::methods::{build_method, exact_method_names};
+use bear_bench::params::params_for;
+use bear_sparse::mem::MemBudget;
+
+/// Builds a normalized preference vector over `k` deterministic seeds.
+fn multi_seed_q(n: usize, k: usize) -> Vec<f64> {
+    let k = k.min(n);
+    let mut q = vec![0.0; n];
+    for i in 0..k {
+        q[(i * 2654435761) % n] += 1.0;
+    }
+    let sum: f64 = q.iter().sum();
+    for v in &mut q {
+        *v /= sum;
+    }
+    q
+}
+
+fn main() {
+    let args = Args::from_env();
+    let opts = CommonOpts::from_args(&args, &["routing_like", "email_like"]);
+    let budget = MemBudget::bytes(opts.budget_bytes);
+    let repeats = 5;
+
+    let mut out = ExperimentResult::new(
+        "figure_10",
+        "PPR query time of exact methods vs number of seeds",
+    );
+    for dataset in &opts.datasets {
+        let g = load_dataset(dataset);
+        let params = params_for(dataset);
+        for spec in exact_method_names() {
+            let solver = match build_method(&spec, &g, &params, &budget) {
+                Ok(s) => s,
+                Err(e) => {
+                    let mut row = ResultRow::new(dataset, &spec.display_name());
+                    row.failed = Some(format!("{e}"));
+                    out.rows.push(row);
+                    continue;
+                }
+            };
+            for k in [1usize, 10, 100, 1000] {
+                let q = multi_seed_q(g.num_nodes(), k);
+                let mut total = 0.0;
+                for _ in 0..repeats {
+                    let (_, secs) =
+                        measure(|| solver.query_distribution(&q).expect("ppr query"));
+                    total += secs;
+                }
+                let mut row = ResultRow::new(dataset, &spec.display_name());
+                row.param = Some(format!("seeds={k}"));
+                row.query_s = Some(total / repeats as f64);
+                out.rows.push(row);
+            }
+        }
+    }
+    out.print_table();
+    if let Some(path) = &opts.json {
+        out.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

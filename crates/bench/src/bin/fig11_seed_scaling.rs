@@ -1,0 +1,67 @@
+//! Reproduces **Figure 11** (Appendix E.1): the effect of the number of
+//! seeds on BEAR-Exact's query time across datasets. Expected shape: the
+//! query time grows with the seed count but the rate of increase slows.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig11_seed_scaling \
+//!     [--datasets a,b,...] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::load_dataset;
+use bear_bench::harness::{measure, ExperimentResult, ResultRow};
+use bear_bench::methods::{build_method, MethodSpec};
+use bear_bench::params::params_for;
+use bear_datasets::all_datasets;
+use bear_sparse::mem::MemBudget;
+
+fn main() {
+    let args = Args::from_env();
+    let default_names: Vec<String> =
+        all_datasets().iter().map(|d| d.name.to_string()).collect();
+    let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
+    let opts = CommonOpts::from_args(&args, &defaults);
+    let repeats = 5;
+
+    let mut out = ExperimentResult::new(
+        "figure_11",
+        "BEAR-Exact query time vs number of seeds",
+    );
+    for dataset in &opts.datasets {
+        let g = load_dataset(dataset);
+        let params = params_for(dataset);
+        let solver = build_method(
+            &MethodSpec::Bear { xi: 0.0 },
+            &g,
+            &params,
+            &MemBudget::unlimited(),
+        )
+        .expect("BEAR-Exact preprocessing");
+        let n = g.num_nodes();
+        for k in [1usize, 10, 100, 1000] {
+            let k_eff = k.min(n);
+            let mut q = vec![0.0; n];
+            for i in 0..k_eff {
+                q[(i * 2654435761) % n] += 1.0;
+            }
+            let sum: f64 = q.iter().sum();
+            for v in &mut q {
+                *v /= sum;
+            }
+            let mut total = 0.0;
+            for _ in 0..repeats {
+                let (_, secs) = measure(|| solver.query_distribution(&q).expect("query"));
+                total += secs;
+            }
+            let mut row = ResultRow::new(dataset, "BEAR-Exact");
+            row.param = Some(format!("seeds={k}"));
+            row.query_s = Some(total / repeats as f64);
+            out.rows.push(row);
+        }
+    }
+    out.print_table();
+    if let Some(path) = &opts.json {
+        out.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

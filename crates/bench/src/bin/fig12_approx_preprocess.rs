@@ -1,0 +1,57 @@
+//! Reproduces **Figure 12** (Appendix E.2): preprocessing time of the
+//! approximate methods (BEAR-Approx, B_LIN, NB_LIN). B_LIN fails on
+//! datasets where its block inverses exceed the budget, matching the
+//! paper's note that it cannot scale to Talk or Citation.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig12_approx_preprocess \
+//!     [--datasets a,b] [--budget-mb N] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::load_dataset;
+use bear_bench::harness::{measure, ExperimentResult, ResultRow};
+use bear_bench::methods::{build_method, MethodSpec};
+use bear_bench::params::params_for;
+use bear_datasets::all_datasets;
+use bear_sparse::mem::MemBudget;
+
+fn main() {
+    let args = Args::from_env();
+    let default_names: Vec<String> =
+        all_datasets().iter().map(|d| d.name.to_string()).collect();
+    let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
+    let opts = CommonOpts::from_args(&args, &defaults);
+    let budget = MemBudget::bytes(opts.budget_bytes);
+
+    let mut out = ExperimentResult::new(
+        "figure_12",
+        "preprocessing time of approximate methods",
+    );
+    for dataset in &opts.datasets {
+        let g = load_dataset(dataset);
+        let params = params_for(dataset);
+        let xi = (g.num_nodes() as f64).powf(-0.5);
+        for spec in [
+            MethodSpec::Bear { xi },
+            MethodSpec::BLin { xi: 0.0 },
+            MethodSpec::NbLin { xi: 0.0 },
+        ] {
+            let mut row = ResultRow::new(dataset, &spec.display_name());
+            let (built, pre_s) = measure(|| build_method(&spec, &g, &params, &budget));
+            match built {
+                Ok(solver) => {
+                    row.preprocess_s = Some(pre_s);
+                    row.memory_bytes = Some(solver.memory_bytes());
+                }
+                Err(e) => row.failed = Some(format!("{e}")),
+            }
+            out.rows.push(row);
+        }
+    }
+    out.print_table();
+    if let Some(path) = &opts.json {
+        out.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Reproduces **Figure 13** (Appendix E.3): the approximate-method
+//! trade-off panels of Figure 8 repeated on every dataset.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig13_all_datasets \
+//!     [--datasets a,b,...] [--seeds N] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::approx_tradeoff_suite;
+use bear_datasets::all_datasets;
+
+fn main() {
+    let args = Args::from_env();
+    let default_names: Vec<String> =
+        all_datasets().iter().map(|d| d.name.to_string()).collect();
+    let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
+    let opts = CommonOpts::from_args(&args, &defaults);
+    let out = approx_tradeoff_suite(
+        "figure_13",
+        "approximate-method trade-offs on every dataset (Appendix E.3)",
+        &opts.datasets,
+        opts.num_seeds,
+        opts.budget_bytes,
+    );
+    out.print_table();
+    if let Some(path) = &opts.json {
+        out.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Reproduces **Figure 1(a)**: preprocessing time of the exact methods
+//! (BEAR-Exact, LU decomposition, QR decomposition, inversion) on every
+//! dataset. Methods that exceed the memory budget appear as `failed`
+//! rows — the paper's omitted bars.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig1a_preprocess_time \
+//!     [--datasets a,b] [--seeds N] [--budget-mb N] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::exact_suite;
+use bear_datasets::all_datasets;
+
+fn main() {
+    let args = Args::from_env();
+    let default_names: Vec<String> =
+        all_datasets().iter().map(|d| d.name.to_string()).collect();
+    let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
+    let opts = CommonOpts::from_args(&args, &defaults);
+    let result = exact_suite(
+        "figure_1a",
+        "preprocessing time of exact methods",
+        &opts.datasets,
+        opts.num_seeds,
+        opts.budget_bytes,
+    );
+    result.print_table();
+    if let Some(path) = &opts.json {
+        result.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

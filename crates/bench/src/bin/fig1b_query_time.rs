@@ -1,0 +1,31 @@
+//! Reproduces **Figure 1(b)**: average query time of the exact methods
+//! (plus the iterative method) over a spread of random seed nodes.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig1b_query_time \
+//!     [--datasets a,b] [--seeds N] [--budget-mb N] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::exact_suite;
+use bear_datasets::all_datasets;
+
+fn main() {
+    let args = Args::from_env();
+    let default_names: Vec<String> =
+        all_datasets().iter().map(|d| d.name.to_string()).collect();
+    let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
+    let opts = CommonOpts::from_args(&args, &defaults);
+    let result = exact_suite(
+        "figure_1b",
+        "query time of exact methods (mean over seeds)",
+        &opts.datasets,
+        opts.num_seeds,
+        opts.budget_bytes,
+    );
+    result.print_table();
+    if let Some(path) = &opts.json {
+        result.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Reproduces **Figure 4(b)** as a textual "spy summary": the structure
+//! of the SlashBurn-reordered adjacency matrix — block-diagonal spoke
+//! region up front, dense hub corner at the end — plus a verification
+//! that no spoke–spoke edge crosses a block boundary.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig4_reordering [--datasets routing_like]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::load_dataset;
+use bear_graph::{slashburn, SlashBurnConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let opts = CommonOpts::from_args(&args, &["routing_like"]);
+    for dataset in &opts.datasets {
+        let g = load_dataset(dataset);
+        let n = g.num_nodes();
+        let ord = slashburn(&g, &SlashBurnConfig::paper_default(n)).expect("slashburn");
+        println!("== figure_4 — SlashBurn reordering on {dataset} ==");
+        println!("n = {n}, m = {}", g.num_edges());
+        println!(
+            "n1 (spokes) = {}, n2 (hubs) = {}, b (blocks) = {}, T (iterations) = {}",
+            ord.n_spokes,
+            ord.n_hubs,
+            ord.block_sizes.len(),
+            ord.iterations
+        );
+        println!("sum n1i^2 = {}", ord.sum_block_sq());
+        let max_block = ord.block_sizes.iter().copied().max().unwrap_or(0);
+        println!("block sizes: max = {max_block}");
+        // Histogram of block sizes.
+        let mut hist: std::collections::BTreeMap<usize, usize> = Default::default();
+        for &b in &ord.block_sizes {
+            *hist.entry(b).or_insert(0) += 1;
+        }
+        for (size, count) in &hist {
+            println!("  {count:>6} blocks of size {size}");
+        }
+
+        // Verify the block-diagonal property and count quadrant nonzeros.
+        let sym = g.symmetrized_pattern();
+        let reordered = ord.perm.permute_symmetric(&sym).expect("permute");
+        let mut block_of = vec![usize::MAX; n];
+        let mut pos = 0;
+        for (bid, &sz) in ord.block_sizes.iter().enumerate() {
+            for _ in 0..sz {
+                block_of[pos] = bid;
+                pos += 1;
+            }
+        }
+        let (mut nz11, mut nz12, mut nz22, mut crossings) = (0usize, 0usize, 0usize, 0usize);
+        for (r, c, _) in reordered.iter() {
+            match (r < ord.n_spokes, c < ord.n_spokes) {
+                (true, true) => {
+                    nz11 += 1;
+                    if block_of[r] != block_of[c] {
+                        crossings += 1;
+                    }
+                }
+                (false, false) => nz22 += 1,
+                _ => nz12 += 1,
+            }
+        }
+        println!(
+            "quadrant nnz: H11 = {nz11}, H12+H21 = {nz12}, H22 = {nz22}; \
+             block-crossing spoke edges = {crossings} (must be 0)"
+        );
+        assert_eq!(crossings, 0, "block-diagonal property violated");
+        println!();
+    }
+}

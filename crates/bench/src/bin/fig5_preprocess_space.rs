@@ -1,0 +1,33 @@
+//! Reproduces **Figure 5** (and Figure 1(c)'s exact half): space for
+//! preprocessed data of the exact methods on every dataset.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig5_preprocess_space \
+//!     [--datasets a,b] [--budget-mb N] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::exact_suite;
+use bear_datasets::all_datasets;
+
+fn main() {
+    let args = Args::from_env();
+    let default_names: Vec<String> =
+        all_datasets().iter().map(|d| d.name.to_string()).collect();
+    let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
+    let mut opts = CommonOpts::from_args(&args, &defaults);
+    // Space measurement doesn't need many query samples.
+    opts.num_seeds = opts.num_seeds.min(3);
+    let result = exact_suite(
+        "figure_5",
+        "space for preprocessed data of exact methods",
+        &opts.datasets,
+        opts.num_seeds,
+        opts.budget_bytes,
+    );
+    result.print_table();
+    if let Some(path) = &opts.json {
+        result.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

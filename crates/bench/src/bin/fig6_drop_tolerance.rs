@@ -1,0 +1,54 @@
+//! Reproduces **Figure 6**: the effect of the drop tolerance
+//! `ξ ∈ {0, n⁻², n⁻¹, n⁻¹ᐟ², n⁻¹ᐟ⁴}` on BEAR-Approx's space, query time,
+//! and accuracy (cosine similarity and L2 error vs BEAR-Exact).
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig6_drop_tolerance \
+//!     [--datasets a,b] [--seeds N] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::{accuracy_of, load_dataset, reference_scores, xi_grid};
+use bear_bench::harness::{measure, ExperimentResult, ResultRow};
+use bear_bench::methods::{build_method, MethodSpec};
+use bear_bench::params::params_for;
+use bear_datasets::all_datasets;
+use bear_sparse::mem::MemBudget;
+
+fn main() {
+    let args = Args::from_env();
+    let default_names: Vec<String> =
+        all_datasets().iter().map(|d| d.name.to_string()).collect();
+    let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
+    let opts = CommonOpts::from_args(&args, &defaults);
+
+    let mut out = ExperimentResult::new(
+        "figure_6",
+        "drop tolerance vs space, query time, and accuracy (BEAR-Approx)",
+    );
+    for dataset in &opts.datasets {
+        let g = load_dataset(dataset);
+        let params = params_for(dataset);
+        let (seeds, reference) = reference_scores(&g, dataset, opts.num_seeds);
+        for (label, xi) in xi_grid(g.num_nodes()) {
+            let mut row = ResultRow::new(dataset, "BEAR-Approx");
+            row.param = Some(label);
+            let (built, pre_s) = measure(|| {
+                build_method(&MethodSpec::Bear { xi }, &g, &params, &MemBudget::unlimited())
+            });
+            let solver = built.expect("BEAR-Approx preprocessing");
+            let (query_s, cos, l2) = accuracy_of(solver.as_ref(), &seeds, &reference);
+            row.preprocess_s = Some(pre_s);
+            row.query_s = Some(query_s);
+            row.memory_bytes = Some(solver.memory_bytes());
+            row.cosine = Some(cos);
+            row.l2 = Some(l2);
+            out.rows.push(row);
+        }
+    }
+    out.print_table();
+    if let Some(path) = &opts.json {
+        out.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

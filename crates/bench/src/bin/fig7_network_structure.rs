@@ -1,0 +1,49 @@
+//! Reproduces **Figure 7** (Section 4.4): the effect of network structure
+//! on BEAR-Exact, using the R-MAT family with `p_ul ∈ {0.5 … 0.9}`.
+//! Expected shape: preprocessing time, query time, and space all fall as
+//! `p_ul` grows (stronger hub-and-spoke structure ⇒ smaller `n₂` and
+//! `Σ n₁ᵢ²`).
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig7_network_structure \
+//!     [--seeds N] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::load_dataset;
+use bear_bench::harness::{measure, mean_query_time, ExperimentResult, ResultRow};
+use bear_bench::methods::{build_method, MethodSpec};
+use bear_bench::params::params_for;
+use bear_datasets::rmat_family;
+use bear_sparse::mem::MemBudget;
+
+fn main() {
+    let args = Args::from_env();
+    let default_names: Vec<String> =
+        rmat_family().iter().map(|d| d.name.to_string()).collect();
+    let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
+    let opts = CommonOpts::from_args(&args, &defaults);
+
+    let mut out = ExperimentResult::new(
+        "figure_7",
+        "BEAR-Exact vs network structure (R-MAT p_ul sweep)",
+    );
+    for dataset in &opts.datasets {
+        let g = load_dataset(dataset);
+        let params = params_for(dataset);
+        let (built, pre_s) = measure(|| {
+            build_method(&MethodSpec::Bear { xi: 0.0 }, &g, &params, &MemBudget::unlimited())
+        });
+        let solver = built.expect("BEAR-Exact preprocessing");
+        let mut row = ResultRow::new(dataset, "BEAR-Exact");
+        row.preprocess_s = Some(pre_s);
+        row.query_s = Some(mean_query_time(solver.as_ref(), opts.num_seeds));
+        row.memory_bytes = Some(solver.memory_bytes());
+        out.rows.push(row);
+    }
+    out.print_table();
+    if let Some(path) = &opts.json {
+        out.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Reproduces **Figure 8**: the trade-off between accuracy (cosine
+//! similarity / L2 error), query time, and space for the approximate
+//! methods — BEAR-Approx, B_LIN, and NB_LIN over the drop-tolerance
+//! grid, and RPPR / BRPPR over the expansion-threshold grid — on the
+//! paper's two featured datasets (Routing and Web-Stan stand-ins).
+//!
+//! `--print-params` additionally prints the per-dataset parameter table
+//! (the reproduction's Table 5). For the all-dataset panels of
+//! Figure 13, see the `fig13_all_datasets` binary.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin fig8_approx_tradeoff \
+//!     [--datasets routing_like,web_stan_like] [--seeds N] [--json out.json] [--print-params]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::approx_tradeoff_suite;
+use bear_bench::params::params_for;
+
+fn main() {
+    let args = Args::from_env();
+    let opts = CommonOpts::from_args(&args, &["routing_like", "web_stan_like"]);
+
+    if args.has("print-params") {
+        println!(
+            "{:<16} {:>8} {:>8} {:>9} {:>10} {:>10}   (Table 5 analogue)",
+            "dataset", "blin #p", "blin t", "nblin t", "rppr eps", "brppr eps"
+        );
+        for d in &opts.datasets {
+            let p = params_for(d);
+            println!(
+                "{:<16} {:>8} {:>8} {:>9} {:>10.0e} {:>10.0e}",
+                d, p.blin_partitions, p.blin_rank, p.nblin_rank, p.rppr_threshold,
+                p.brppr_threshold
+            );
+        }
+        println!();
+    }
+
+    let out = approx_tradeoff_suite(
+        "figure_8",
+        "accuracy / time / space trade-off of approximate methods",
+        &opts.datasets,
+        opts.num_seeds,
+        opts.budget_bytes,
+    );
+    out.print_table();
+    if let Some(path) = &opts.json {
+        out.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

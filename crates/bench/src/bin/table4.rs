@@ -1,0 +1,69 @@
+//! Reproduces **Table 4** of the paper: per-dataset structural statistics
+//! and the nonzero counts of BEAR's precomputed matrices.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin table4 [--datasets a,b] [--json out.json]
+//! ```
+
+use bear_bench::cli::{Args, CommonOpts};
+use bear_bench::experiments::load_dataset;
+use bear_bench::harness::{ExperimentResult, ResultRow};
+use bear_core::rwr::{build_h, RwrConfig};
+use bear_core::{Bear, BearConfig};
+use bear_datasets::{all_datasets, rmat_family};
+
+fn main() {
+    let args = Args::from_env();
+    let default_names: Vec<String> = all_datasets()
+        .iter()
+        .chain(rmat_family().iter())
+        .map(|d| d.name.to_string())
+        .collect();
+    let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
+    let opts = CommonOpts::from_args(&args, &defaults);
+
+    let mut out = ExperimentResult::new(
+        "table_4",
+        "dataset statistics and precomputed-matrix nonzeros (Table 4)",
+    );
+    println!(
+        "{:<16} {:>8} {:>9} {:>7} {:>12} {:>10} {:>12} {:>14} {:>14}",
+        "dataset", "n", "m", "n2", "sum n1i^2", "|H|", "|H12|+|H21|", "|L1-1|+|U1-1|", "|L2-1|+|U2-1|"
+    );
+    for name in &opts.datasets {
+        let g = load_dataset(name);
+        let h = build_h(&g, &RwrConfig::default()).expect("H");
+        let bear = Bear::new(&g, &BearConfig::default()).expect("BEAR preprocessing");
+        let st = bear.stats();
+        println!(
+            "{:<16} {:>8} {:>9} {:>7} {:>12} {:>10} {:>12} {:>14} {:>14}",
+            name,
+            st.n,
+            g.num_edges(),
+            st.n2,
+            st.sum_block_sq,
+            h.nnz(),
+            st.nnz_cross(),
+            st.nnz_spoke_factors(),
+            st.nnz_hub_factors(),
+        );
+        let mut row = ResultRow::new(name, "BEAR-Exact");
+        row.memory_bytes = Some(st.bytes);
+        row.param = Some(format!(
+            "n={} m={} n2={} sum_sq={} nnz_h={} cross={} spoke={} hub={}",
+            st.n,
+            g.num_edges(),
+            st.n2,
+            st.sum_block_sq,
+            h.nnz(),
+            st.nnz_cross(),
+            st.nnz_spoke_factors(),
+            st.nnz_hub_factors()
+        ));
+        out.rows.push(row);
+    }
+    if let Some(path) = &opts.json {
+        out.write_json(path).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Shared experiment drivers used by the figure binaries.
+
+use crate::harness::{measure, mean_query_time, ExperimentResult, ResultRow};
+use crate::methods::{build_method, exact_method_names, MethodSpec};
+use crate::params::params_for;
+use bear_core::metrics::{cosine_similarity, l2_error};
+use bear_core::RwrSolver;
+use bear_datasets::dataset_by_name;
+use bear_graph::Graph;
+use bear_sparse::mem::MemBudget;
+
+/// Loads a dataset by name, panicking with a helpful message on typos.
+pub fn load_dataset(name: &str) -> Graph {
+    dataset_by_name(name)
+        .unwrap_or_else(|| panic!("unknown dataset '{name}' (see bear-datasets registry)"))
+        .load()
+}
+
+/// Runs the exact-method suite (Figures 1(a), 1(b), 5): preprocess time,
+/// memory, and mean query time for every exact method on every dataset.
+/// Methods that blow the budget produce a `failed` row — the paper's
+/// omitted bars.
+pub fn exact_suite(
+    experiment: &str,
+    description: &str,
+    datasets: &[String],
+    num_seeds: usize,
+    budget_bytes: usize,
+) -> ExperimentResult {
+    let mut out = ExperimentResult::new(experiment, description);
+    let budget = MemBudget::bytes(budget_bytes);
+    for dataset in datasets {
+        let g = load_dataset(dataset);
+        let params = params_for(dataset);
+        for spec in exact_method_names() {
+            let mut row = ResultRow::new(dataset, &spec.display_name());
+            let (built, pre_s) = measure(|| build_method(&spec, &g, &params, &budget));
+            match built {
+                Ok(solver) => {
+                    row.preprocess_s = Some(pre_s);
+                    row.memory_bytes = Some(solver.memory_bytes());
+                    row.query_s = Some(mean_query_time(solver.as_ref(), num_seeds));
+                }
+                Err(e) => row.failed = Some(format!("{e}")),
+            }
+            out.rows.push(row);
+        }
+    }
+    out
+}
+
+/// The drop-tolerance grid the paper sweeps: `ξ ∈ {0, n⁻², n⁻¹, n⁻¹ᐟ²,
+/// n⁻¹ᐟ⁴}`, with display labels.
+pub fn xi_grid(n: usize) -> Vec<(String, f64)> {
+    let nf = n as f64;
+    vec![
+        ("xi=0".into(), 0.0),
+        ("xi=n^-2".into(), nf.powf(-2.0)),
+        ("xi=n^-1".into(), nf.powf(-1.0)),
+        ("xi=n^-1/2".into(), nf.powf(-0.5)),
+        ("xi=n^-1/4".into(), nf.powf(-0.25)),
+    ]
+}
+
+/// The RPPR/BRPPR expansion-threshold grid of Figure 8.
+pub fn threshold_grid() -> Vec<(String, f64)> {
+    vec![
+        ("eps=1e-4".into(), 1e-4),
+        ("eps=1e-3".into(), 1e-3),
+        ("eps=1e-2".into(), 1e-2),
+        ("eps=0.1".into(), 0.1),
+        ("eps=0.5".into(), 0.5),
+    ]
+}
+
+/// Reference (exact) scores for accuracy measurements: BEAR-Exact queries
+/// over the harness's deterministic seed spread.
+pub fn reference_scores(g: &Graph, dataset: &str, num_seeds: usize) -> (Vec<usize>, Vec<Vec<f64>>) {
+    let params = params_for(dataset);
+    let exact = build_method(
+        &MethodSpec::Bear { xi: 0.0 },
+        g,
+        &params,
+        &MemBudget::unlimited(),
+    )
+    .expect("BEAR-Exact preprocessing");
+    let n = g.num_nodes();
+    let seeds: Vec<usize> = (0..num_seeds).map(|i| (i * 2654435761) % n).collect();
+    let scores = seeds
+        .iter()
+        .map(|&s| exact.query(s).expect("exact query"))
+        .collect();
+    (seeds, scores)
+}
+
+/// Measures one approximate solver against reference scores: mean query
+/// time, mean cosine similarity, mean L2 error.
+pub fn accuracy_of(
+    solver: &dyn RwrSolver,
+    seeds: &[usize],
+    reference: &[Vec<f64>],
+) -> (f64, f64, f64) {
+    let mut time = 0.0;
+    let mut cos = 0.0;
+    let mut l2 = 0.0;
+    for (&seed, exact) in seeds.iter().zip(reference) {
+        let (r, secs) = measure(|| solver.query(seed).expect("query"));
+        time += secs;
+        cos += cosine_similarity(&r, exact);
+        l2 += l2_error(&r, exact);
+    }
+    let k = seeds.len() as f64;
+    (time / k, cos / k, l2 / k)
+}
+
+/// Runs the approximate-method trade-off suite (Figures 8 and 13):
+/// BEAR-Approx / B_LIN / NB_LIN over the drop-tolerance grid and
+/// RPPR / BRPPR over the threshold grid, measuring query time, space,
+/// and accuracy against BEAR-Exact.
+pub fn approx_tradeoff_suite(
+    experiment: &str,
+    description: &str,
+    datasets: &[String],
+    num_seeds: usize,
+    budget_bytes: usize,
+) -> ExperimentResult {
+    let budget = MemBudget::bytes(budget_bytes);
+    let mut out = ExperimentResult::new(experiment, description);
+    for dataset in datasets {
+        let g = load_dataset(dataset);
+        let params = params_for(dataset);
+        let (seeds, reference) = reference_scores(&g, dataset, num_seeds);
+
+        for (label, xi) in xi_grid(g.num_nodes()) {
+            for spec in [
+                MethodSpec::Bear { xi },
+                MethodSpec::BLin { xi },
+                MethodSpec::NbLin { xi },
+            ] {
+                let mut row = ResultRow::new(dataset, &spec.display_name());
+                row.param = Some(label.clone());
+                let (built, pre_s) = measure(|| build_method(&spec, &g, &params, &budget));
+                match built {
+                    Ok(solver) => {
+                        let (query_s, cos, l2) = accuracy_of(solver.as_ref(), &seeds, &reference);
+                        row.preprocess_s = Some(pre_s);
+                        row.query_s = Some(query_s);
+                        row.memory_bytes = Some(solver.memory_bytes());
+                        row.cosine = Some(cos);
+                        row.l2 = Some(l2);
+                    }
+                    Err(e) => row.failed = Some(format!("{e}")),
+                }
+                out.rows.push(row);
+            }
+        }
+
+        for (label, eps) in threshold_grid() {
+            for spec in [
+                MethodSpec::Rppr { threshold: Some(eps) },
+                MethodSpec::Brppr { threshold: Some(eps) },
+            ] {
+                let mut row = ResultRow::new(dataset, &spec.display_name());
+                row.param = Some(label.clone());
+                match build_method(&spec, &g, &params, &budget) {
+                    Ok(solver) => {
+                        let (query_s, cos, l2) = accuracy_of(solver.as_ref(), &seeds, &reference);
+                        row.query_s = Some(query_s);
+                        row.memory_bytes = Some(0);
+                        row.cosine = Some(cos);
+                        row.l2 = Some(l2);
+                    }
+                    Err(e) => row.failed = Some(format!("{e}")),
+                }
+                out.rows.push(row);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xi_grid_is_monotone_increasing() {
+        let grid = xi_grid(10_000);
+        assert_eq!(grid.len(), 5);
+        for w in grid.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(grid[0].1, 0.0);
+    }
+
+    #[test]
+    fn exact_suite_runs_on_small_dataset() {
+        let result = exact_suite(
+            "test",
+            "smoke",
+            &["small_routing".to_string()],
+            2,
+            usize::MAX / 4,
+        );
+        assert_eq!(result.rows.len(), exact_method_names().len());
+        // BEAR must succeed.
+        let bear = result.rows.iter().find(|r| r.method == "BEAR-Exact").unwrap();
+        assert!(bear.failed.is_none());
+        assert!(bear.query_s.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn accuracy_of_exact_solver_is_perfect() {
+        let g = load_dataset("small_routing");
+        let (seeds, reference) = reference_scores(&g, "small_routing", 3);
+        let exact = build_method(
+            &MethodSpec::Bear { xi: 0.0 },
+            &g,
+            &params_for("small_routing"),
+            &MemBudget::unlimited(),
+        )
+        .unwrap();
+        let (_, cos, l2) = accuracy_of(exact.as_ref(), &seeds, &reference);
+        assert!((cos - 1.0).abs() < 1e-12);
+        assert!(l2 < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Measurement and reporting helpers shared by the figure binaries.
+
+use bear_core::RwrSolver;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// One measurement row of an experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResultRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method display name.
+    pub method: String,
+    /// Free-form parameter annotation (e.g. `"xi=n^-1"`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub param: Option<String>,
+    /// Preprocessing wall-clock seconds, if measured.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub preprocess_s: Option<f64>,
+    /// Average query wall-clock seconds, if measured.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub query_s: Option<f64>,
+    /// Bytes of precomputed data, if measured.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub memory_bytes: Option<usize>,
+    /// Cosine similarity vs the exact scores, if measured.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cosine: Option<f64>,
+    /// L2 error vs the exact scores, if measured.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub l2: Option<f64>,
+    /// Set when the method aborted (e.g. out of memory budget), with the
+    /// reason. Such rows correspond to the paper's omitted bars.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub failed: Option<String>,
+}
+
+impl ResultRow {
+    /// A fresh row for `dataset` × `method`.
+    pub fn new(dataset: &str, method: &str) -> Self {
+        ResultRow {
+            dataset: dataset.to_string(),
+            method: method.to_string(),
+            param: None,
+            preprocess_s: None,
+            query_s: None,
+            memory_bytes: None,
+            cosine: None,
+            l2: None,
+            failed: None,
+        }
+    }
+}
+
+/// A full experiment: id, description, and rows. Serialized with
+/// `--json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Paper exhibit id, e.g. `"figure_1b"`.
+    pub experiment: String,
+    /// One-line description.
+    pub description: String,
+    /// Measurement rows.
+    pub rows: Vec<ResultRow>,
+}
+
+impl ExperimentResult {
+    /// Creates an experiment result container.
+    pub fn new(experiment: &str, description: &str) -> Self {
+        ExperimentResult {
+            experiment: experiment.to_string(),
+            description: description.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Prints the rows as an aligned text table (the "same rows the paper
+    /// reports" output), then optionally writes JSON.
+    pub fn print_table(&self) {
+        println!("== {} — {} ==", self.experiment, self.description);
+        println!(
+            "{:<16} {:<12} {:<14} {:>12} {:>12} {:>12} {:>9} {:>10}  {}",
+            "dataset", "method", "param", "pre(s)", "query(ms)", "mem(KB)", "cosine", "L2", "note"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<16} {:<12} {:<14} {:>12} {:>12} {:>12} {:>9} {:>10}  {}",
+                r.dataset,
+                r.method,
+                r.param.as_deref().unwrap_or("-"),
+                r.preprocess_s.map_or("-".into(), |v| format!("{v:.3}")),
+                r.query_s.map_or("-".into(), |v| format!("{:.3}", v * 1e3)),
+                r.memory_bytes.map_or("-".into(), |v| format!("{}", v / 1024)),
+                r.cosine.map_or("-".into(), |v| format!("{v:.4}")),
+                r.l2.map_or("-".into(), |v| format!("{v:.2e}")),
+                r.failed.as_deref().unwrap_or(""),
+            );
+        }
+        println!();
+    }
+
+    /// Writes the experiment as JSON to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("serializable");
+        std::fs::write(path, json)
+    }
+}
+
+/// Average single-seed query time over `num_seeds` deterministic
+/// pseudo-random seeds (the paper averages over 1000 random seeds).
+pub fn mean_query_time(solver: &dyn RwrSolver, num_seeds: usize) -> f64 {
+    let n = solver.num_nodes();
+    let mut total = 0.0;
+    for i in 0..num_seeds {
+        // Simple deterministic spread of seed nodes.
+        let seed = (i * 2654435761) % n;
+        let (_, secs) = measure(|| solver.query(seed).expect("query succeeds"));
+        total += secs;
+    }
+    total / num_seeds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_positive_time() {
+        let (value, secs) = measure(|| (0..1000).sum::<usize>());
+        assert_eq!(value, 499_500);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn result_row_serializes_without_empty_fields() {
+        let row = ResultRow::new("d", "m");
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("\"dataset\":\"d\""));
+        assert!(!json.contains("preprocess_s"));
+    }
+
+    #[test]
+    fn experiment_json_round_trip() {
+        let mut e = ExperimentResult::new("figure_test", "desc");
+        let mut row = ResultRow::new("d", "m");
+        row.query_s = Some(0.5);
+        e.rows.push(row);
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("figure_test"));
+        assert!(json.contains("0.5"));
+    }
+}

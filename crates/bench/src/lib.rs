@@ -1,0 +1,17 @@
+//! Experiment harness for the BEAR reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §5 for the mapping); this library
+//! holds the shared machinery: the method registry, per-dataset
+//! parameters (the paper's Table 5), wall-clock measurement, result rows,
+//! and table/JSON output.
+
+pub mod cli;
+pub mod experiments;
+pub mod harness;
+pub mod methods;
+pub mod params;
+
+pub use harness::{measure, ExperimentResult, ResultRow};
+pub use methods::{build_method, exact_method_names, MethodSpec};
+pub use params::{DatasetParams, DEFAULT_BUDGET_BYTES};

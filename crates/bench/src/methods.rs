@@ -1,0 +1,175 @@
+//! Method registry: build any solver by name for a given dataset.
+
+use crate::params::DatasetParams;
+use bear_baselines::{
+    BLin, BLinConfig, Brppr, BrpprConfig, Inversion, Iterative, IterativeConfig, LuDecomp, NbLin,
+    NbLinConfig, QrDecomp, Rppr, RpprConfig,
+};
+use bear_core::{Bear, BearConfig, RwrSolver};
+use bear_graph::Graph;
+use bear_sparse::mem::MemBudget;
+use bear_sparse::Result;
+
+/// Identifier of a method in the harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MethodSpec {
+    /// BEAR-Exact, or BEAR-Approx when `xi > 0`.
+    Bear {
+        /// Drop tolerance (0 = exact).
+        xi: f64,
+    },
+    /// The iterative power method.
+    Iterative,
+    /// Restricted PPR with the dataset's `ε_b` (or an override).
+    Rppr {
+        /// Expansion threshold override; `None` uses the dataset default.
+        threshold: Option<f64>,
+    },
+    /// Boundary-restricted PPR.
+    Brppr {
+        /// Boundary threshold override; `None` uses the dataset default.
+        threshold: Option<f64>,
+    },
+    /// Dense inversion.
+    Inversion,
+    /// Fujiwara LU decomposition.
+    LuDecomp,
+    /// Fujiwara QR decomposition.
+    QrDecomp,
+    /// Tong B_LIN, with drop tolerance.
+    BLin {
+        /// Drop tolerance for the stored matrices.
+        xi: f64,
+    },
+    /// Tong NB_LIN, with drop tolerance.
+    NbLin {
+        /// Drop tolerance for the stored matrices.
+        xi: f64,
+    },
+}
+
+impl MethodSpec {
+    /// Display name matching the paper's figures.
+    pub fn display_name(&self) -> String {
+        match self {
+            MethodSpec::Bear { xi } if *xi == 0.0 => "BEAR-Exact".into(),
+            MethodSpec::Bear { .. } => "BEAR-Approx".into(),
+            MethodSpec::Iterative => "Iterative".into(),
+            MethodSpec::Rppr { .. } => "RPPR".into(),
+            MethodSpec::Brppr { .. } => "BRPPR".into(),
+            MethodSpec::Inversion => "Inversion".into(),
+            MethodSpec::LuDecomp => "LU decomp.".into(),
+            MethodSpec::QrDecomp => "QR decomp.".into(),
+            MethodSpec::BLin { .. } => "B_LIN".into(),
+            MethodSpec::NbLin { .. } => "NB_LIN".into(),
+        }
+    }
+}
+
+/// The exact methods compared in Figures 1 and 5, in plot order.
+pub fn exact_method_names() -> Vec<MethodSpec> {
+    vec![
+        MethodSpec::Bear { xi: 0.0 },
+        MethodSpec::LuDecomp,
+        MethodSpec::QrDecomp,
+        MethodSpec::Inversion,
+        MethodSpec::Iterative,
+    ]
+}
+
+/// Builds (= preprocesses) a solver. Errors out with `OutOfBudget` when
+/// the method cannot fit its precomputed data in `budget` — the harness
+/// renders that as the paper's omitted ("ran out of memory") bars.
+pub fn build_method(
+    spec: &MethodSpec,
+    g: &Graph,
+    params: &DatasetParams,
+    budget: &MemBudget,
+) -> Result<Box<dyn RwrSolver>> {
+    let rwr = params.rwr;
+    Ok(match *spec {
+        MethodSpec::Bear { xi } => Box::new(Bear::new(
+            g,
+            &BearConfig {
+                rwr,
+                drop_tolerance: xi,
+                budget: *budget,
+                ..BearConfig::default()
+            },
+        )?),
+        MethodSpec::Iterative => {
+            Box::new(Iterative::new(g, &IterativeConfig { rwr, ..Default::default() })?)
+        }
+        MethodSpec::Rppr { threshold } => Box::new(Rppr::new(
+            g,
+            &RpprConfig {
+                rwr,
+                expand_threshold: threshold.unwrap_or(params.rppr_threshold),
+                ..Default::default()
+            },
+        )?),
+        MethodSpec::Brppr { threshold } => Box::new(Brppr::new(
+            g,
+            &BrpprConfig {
+                rwr,
+                boundary_threshold: threshold.unwrap_or(params.brppr_threshold),
+                ..Default::default()
+            },
+        )?),
+        MethodSpec::Inversion => Box::new(Inversion::new(g, &rwr, budget)?),
+        MethodSpec::LuDecomp => Box::new(LuDecomp::new(g, &rwr, budget)?),
+        MethodSpec::QrDecomp => Box::new(QrDecomp::new(g, &rwr, budget)?),
+        MethodSpec::BLin { xi } => Box::new(BLin::new(
+            g,
+            &BLinConfig {
+                rwr,
+                num_partitions: params.blin_partitions,
+                rank: params.blin_rank,
+                drop_tolerance: xi,
+                seed: 7,
+            },
+            budget,
+        )?),
+        MethodSpec::NbLin { xi } => Box::new(NbLin::new(
+            g,
+            &NbLinConfig { rwr, rank: params.nblin_rank, drop_tolerance: xi, seed: 7 },
+        )?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bear_datasets::dataset_by_name;
+
+    #[test]
+    fn every_method_builds_on_a_small_graph() {
+        let g = dataset_by_name("small_routing").unwrap().load();
+        let params = DatasetParams::default();
+        let budget = MemBudget::unlimited();
+        let specs = [
+            MethodSpec::Bear { xi: 0.0 },
+            MethodSpec::Bear { xi: 1e-4 },
+            MethodSpec::Iterative,
+            MethodSpec::Rppr { threshold: None },
+            MethodSpec::Brppr { threshold: None },
+            MethodSpec::Inversion,
+            MethodSpec::LuDecomp,
+            MethodSpec::QrDecomp,
+            MethodSpec::BLin { xi: 0.0 },
+            MethodSpec::NbLin { xi: 0.0 },
+        ];
+        for spec in specs {
+            let solver = build_method(&spec, &g, &params, &budget)
+                .unwrap_or_else(|e| panic!("{spec:?} failed: {e}"));
+            let r = solver.query(0).unwrap();
+            assert_eq!(r.len(), g.num_nodes(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn display_names_distinguish_exact_and_approx_bear() {
+        assert_eq!(MethodSpec::Bear { xi: 0.0 }.display_name(), "BEAR-Exact");
+        assert_eq!(MethodSpec::Bear { xi: 0.5 }.display_name(), "BEAR-Approx");
+    }
+}

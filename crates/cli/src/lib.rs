@@ -1,0 +1,329 @@
+//! Implementation of the `bear` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0]` —
+//!   read an edge list, run BEAR preprocessing, write the query index;
+//! * `bear query <index.bear> <seed> [--top 10]` — answer one RWR query
+//!   from a saved index;
+//! * `bear stats <graph.txt>` — graph and SlashBurn structure statistics;
+//! * `bear generate <dataset> <out.txt>` — materialize a registry dataset
+//!   as an edge list.
+//!
+//! The library half exists so the command logic is unit-testable without
+//! spawning processes; `main.rs` is a thin argv adapter.
+
+use bear_core::{Bear, BearConfig};
+use bear_graph::io::{read_edge_list, write_edge_list};
+use bear_graph::{slashburn, SlashBurnConfig};
+use bear_sparse::{Error, Result};
+use std::path::Path;
+
+/// Parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Preprocess an edge list into an index file.
+    Preprocess {
+        /// Input edge-list path.
+        graph: String,
+        /// Output index path.
+        index: String,
+        /// Restart probability.
+        c: f64,
+        /// Drop tolerance (0 = exact).
+        xi: f64,
+    },
+    /// Query a saved index.
+    Query {
+        /// Index path.
+        index: String,
+        /// Seed node.
+        seed: usize,
+        /// How many top nodes to print.
+        top: usize,
+    },
+    /// Print graph statistics.
+    Stats {
+        /// Input edge-list path.
+        graph: String,
+    },
+    /// Generate a registry dataset as an edge list.
+    Generate {
+        /// Dataset name (see `bear-datasets`).
+        dataset: String,
+        /// Output path.
+        out: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses an argv-style token list (without the binary name).
+pub fn parse_command(args: &[String]) -> Result<Command> {
+    let flag = |name: &str, default: f64| -> Result<f64> {
+        match args.iter().position(|a| a == name) {
+            Some(i) => args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| Error::InvalidStructure(format!("{name} needs a numeric value"))),
+            None => Ok(default),
+        }
+    };
+    match args.first().map(|s| s.as_str()) {
+        Some("preprocess") => {
+            let graph = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| Error::InvalidStructure("preprocess needs <graph> <index>".into()))?
+                .clone();
+            let index = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| Error::InvalidStructure("preprocess needs <graph> <index>".into()))?
+                .clone();
+            Ok(Command::Preprocess {
+                graph,
+                index,
+                c: flag("--c", 0.05)?,
+                xi: flag("--xi", 0.0)?,
+            })
+        }
+        Some("query") => {
+            let index = args
+                .get(1)
+                .ok_or_else(|| Error::InvalidStructure("query needs <index> <seed>".into()))?
+                .clone();
+            let seed: usize = args
+                .get(2)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| Error::InvalidStructure("query needs a numeric seed".into()))?;
+            let top = flag("--top", 10.0)? as usize;
+            Ok(Command::Query { index, seed, top })
+        }
+        Some("stats") => Ok(Command::Stats {
+            graph: args
+                .get(1)
+                .ok_or_else(|| Error::InvalidStructure("stats needs <graph>".into()))?
+                .clone(),
+        }),
+        Some("generate") => Ok(Command::Generate {
+            dataset: args
+                .get(1)
+                .ok_or_else(|| Error::InvalidStructure("generate needs <dataset> <out>".into()))?
+                .clone(),
+            out: args
+                .get(2)
+                .ok_or_else(|| Error::InvalidStructure("generate needs <dataset> <out>".into()))?
+                .clone(),
+        }),
+        Some("help") | Some("--help") | Some("-h") | None => Ok(Command::Help),
+        Some(other) => Err(Error::InvalidStructure(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+bear — block elimination approach for random walk with restart
+
+USAGE:
+  bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0]
+  bear query <index.bear> <seed> [--top 10]
+  bear stats <graph.txt>
+  bear generate <dataset> <out.txt>
+
+Graphs are whitespace edge lists: 'src dst [weight]' per line, '#'
+comments. Datasets: any name from the bear-datasets registry, e.g.
+routing_like, email_like, rmat_0.7, small_routing.";
+
+/// Executes a parsed command, writing human-readable output to `out`.
+pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
+    let io_err = |e: std::io::Error| Error::InvalidStructure(format!("output error: {e}"));
+    match cmd {
+        Command::Help => writeln!(out, "{USAGE}").map_err(io_err),
+        Command::Preprocess { graph, index, c, xi } => {
+            let g = read_edge_list(Path::new(graph), None)?;
+            let config = if *xi > 0.0 {
+                BearConfig::approx(*c, *xi)
+            } else {
+                BearConfig::exact(*c)
+            };
+            let start = std::time::Instant::now();
+            let bear = Bear::new(&g, &config)?;
+            let elapsed = start.elapsed().as_secs_f64();
+            bear.save(Path::new(index))?;
+            let st = bear.stats();
+            writeln!(
+                out,
+                "preprocessed {} nodes / {} edges in {elapsed:.3}s: \
+                 n1={} n2={} blocks={} nnz={} bytes={} -> {index}",
+                g.num_nodes(),
+                g.num_edges(),
+                st.n1,
+                st.n2,
+                st.num_blocks,
+                st.total_nnz(),
+                st.bytes
+            )
+            .map_err(io_err)
+        }
+        Command::Query { index, seed, top } => {
+            let bear = Bear::load(Path::new(index))?;
+            let start = std::time::Instant::now();
+            let ranked = bear.query_top_k(*seed, *top)?;
+            let elapsed = start.elapsed().as_secs_f64();
+            writeln!(out, "top {} nodes for seed {} ({elapsed:.6}s):", ranked.len(), seed)
+                .map_err(io_err)?;
+            for s in ranked {
+                writeln!(out, "  {}\t{:.6e}", s.node, s.score).map_err(io_err)?;
+            }
+            Ok(())
+        }
+        Command::Stats { graph } => {
+            let g = read_edge_list(Path::new(graph), None)?;
+            let ord = slashburn(&g, &SlashBurnConfig::paper_default(g.num_nodes()))?;
+            writeln!(
+                out,
+                "nodes={} edges={} | slashburn: n1={} n2={} blocks={} \
+                 max_block={} sum_block_sq={} iterations={}",
+                g.num_nodes(),
+                g.num_edges(),
+                ord.n_spokes,
+                ord.n_hubs,
+                ord.block_sizes.len(),
+                ord.block_sizes.iter().copied().max().unwrap_or(0),
+                ord.sum_block_sq(),
+                ord.iterations
+            )
+            .map_err(io_err)
+        }
+        Command::Generate { dataset, out: path } => {
+            let spec = bear_datasets::dataset_by_name(dataset).ok_or_else(|| {
+                Error::InvalidStructure(format!("unknown dataset '{dataset}'"))
+            })?;
+            let g = spec.load();
+            write_edge_list(&g, Path::new(path))?;
+            writeln!(
+                out,
+                "generated {} ({} nodes, {} edges) -> {path}",
+                dataset,
+                g.num_nodes(),
+                g.num_edges()
+            )
+            .map_err(io_err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Command> {
+        parse_command(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_preprocess() {
+        let cmd = parse(&["preprocess", "g.txt", "g.idx", "--c", "0.1", "--xi", "1e-4"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Preprocess {
+                graph: "g.txt".into(),
+                index: "g.idx".into(),
+                c: 0.1,
+                xi: 1e-4
+            }
+        );
+    }
+
+    #[test]
+    fn parses_query_with_defaults() {
+        let cmd = parse(&["query", "g.idx", "42"]).unwrap();
+        assert_eq!(cmd, Command::Query { index: "g.idx".into(), seed: 42, top: 10 });
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse(&["preprocess", "only-one"]).is_err());
+        assert!(parse(&["query", "idx", "notanumber"]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn end_to_end_generate_preprocess_query_stats() {
+        let dir = std::env::temp_dir();
+        let graph_path = dir.join("bear_cli_e2e.txt");
+        let index_path = dir.join("bear_cli_e2e.idx");
+        let mut buf = Vec::new();
+
+        run(
+            &Command::Generate {
+                dataset: "small_routing".into(),
+                out: graph_path.to_string_lossy().into_owned(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&buf).contains("generated small_routing"));
+
+        buf.clear();
+        run(
+            &Command::Preprocess {
+                graph: graph_path.to_string_lossy().into_owned(),
+                index: index_path.to_string_lossy().into_owned(),
+                c: 0.05,
+                xi: 0.0,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&buf).contains("preprocessed"));
+
+        buf.clear();
+        run(
+            &Command::Query {
+                index: index_path.to_string_lossy().into_owned(),
+                seed: 0,
+                top: 5,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.contains("top 5 nodes for seed 0"));
+        assert_eq!(text.lines().count(), 6); // header + 5 rows
+
+        buf.clear();
+        run(
+            &Command::Stats { graph: graph_path.to_string_lossy().into_owned() },
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&buf).contains("slashburn:"));
+
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&index_path).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let mut buf = Vec::new();
+        assert!(run(
+            &Command::Generate { dataset: "nope".into(), out: "/tmp/x.txt".into() },
+            &mut buf
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn query_rejects_missing_index() {
+        let mut buf = Vec::new();
+        assert!(run(
+            &Command::Query { index: "/nonexistent/path.idx".into(), seed: 0, top: 5 },
+            &mut buf
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! BEAR: Block Elimination Approach for Random Walk with Restart.
+//!
+//! Reproduction of Shin, Sael, Jung & Kang (SIGMOD 2015). Given a graph
+//! `G` and restart probability `c`, random walk with restart scores solve
+//!
+//! ```text
+//! H r = c q,    H = I − (1 − c) Ãᵀ
+//! ```
+//!
+//! where `Ã` is the row-normalized adjacency matrix and `q` is the
+//! one-hot starting vector of the seed node. BEAR preprocesses `H` once —
+//! reorder with SlashBurn so the spoke–spoke block `H₁₁` is block
+//! diagonal, LU-factor `H₁₁` block by block, form the Schur complement
+//! `S` of `H₁₁`, LU-factor `S`, and store the *inverses* of all four
+//! triangular factors plus the off-diagonal blocks `H₁₂`, `H₂₁` — and
+//! then answers each query with two sparse block-elimination sweeps
+//! (Algorithm 2).
+//!
+//! # Quick start
+//!
+//! ```
+//! use bear_graph::Graph;
+//! use bear_core::{Bear, BearConfig, RwrSolver};
+//!
+//! // A toy graph: star with hub 0.
+//! let g = Graph::from_edges(5, &[(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0), (0, 4), (4, 0)]).unwrap();
+//! let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+//! let scores = bear.query(1).unwrap();
+//! assert_eq!(scores.len(), 5);
+//! // Scores are a probability distribution on this strongly connected graph,
+//! // and the seed leaf outranks the other leaves.
+//! assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+//! assert!(scores[1] > scores[2]);
+//! ```
+
+pub mod dynamic;
+pub mod hub_iterative;
+pub mod metrics;
+pub mod persist;
+pub mod precompute;
+pub mod query;
+pub mod rwr;
+pub mod solver;
+pub mod stats;
+pub mod topk;
+pub mod variants;
+
+pub use dynamic::{DynamicBear, UpdateKind};
+pub use hub_iterative::BearHubIterative;
+pub use precompute::{Bear, BearConfig};
+pub use rwr::{build_h, Normalization, RwrConfig};
+pub use solver::RwrSolver;
+pub use stats::PrecomputedStats;
+pub use topk::ScoredNode;

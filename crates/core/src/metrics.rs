@@ -1,0 +1,76 @@
+//! Accuracy metrics used throughout the paper's evaluation:
+//! cosine similarity (footnote 4) and L2 error (footnote 5).
+
+/// Cosine similarity `(r·r̂) / (‖r‖‖r̂‖)`, in `[-1, 1]`. Returns 0 when
+/// either vector is all-zero (undefined direction).
+///
+/// ```
+/// use bear_core::metrics::cosine_similarity;
+/// assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-12);
+/// assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+/// ```
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// L2 norm of the error `‖r̂ − r‖`.
+pub fn l2_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// L1 norm of the difference (used as the iterative method's convergence
+/// criterion).
+pub fn l1_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_cosine_one() {
+        let v = vec![0.2, 0.3, 0.5];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-12);
+        assert_eq!(l2_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn orthogonal_vectors_have_cosine_zero() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_vectors_have_cosine_minus_one() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[-1.0, -2.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_yields_zero_similarity() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn l2_error_known_value() {
+        assert!((l2_error(&[0.0, 3.0], &[4.0, 0.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_diff_known_value() {
+        assert!((l1_diff(&[1.0, 2.0], &[0.0, 4.0]) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,238 @@
+//! Persistence of BEAR's precomputed index.
+//!
+//! Preprocessing is the expensive phase; a production deployment computes
+//! it once and serves queries from many processes. This module writes the
+//! six precomputed matrices, the node ordering, and the partition metadata
+//! in a compact little-endian binary format (magic + version header, then
+//! length-prefixed `u64`/`f64` arrays — no external serialization crate).
+
+use crate::precompute::Bear;
+use bear_sparse::{CscMatrix, CsrMatrix, Error, Permutation, Result};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"BEARIDX1";
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::InvalidStructure(format!("index io error: {e}"))
+}
+
+fn write_usize_slice<W: Write>(w: &mut W, data: &[usize]) -> Result<()> {
+    w.write_all(&(data.len() as u64).to_le_bytes()).map_err(io_err)?;
+    for &v in data {
+        w.write_all(&(v as u64).to_le_bytes()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn write_f64_slice<W: Write>(w: &mut W, data: &[f64]) -> Result<()> {
+    w.write_all(&(data.len() as u64).to_le_bytes()).map_err(io_err)?;
+    for &v in data {
+        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_usize_slice<R: Read>(r: &mut R) -> Result<Vec<usize>> {
+    let len = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(read_u64(r)? as usize);
+    }
+    Ok(out)
+}
+
+fn read_f64_slice<R: Read>(r: &mut R) -> Result<Vec<f64>> {
+    let len = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut buf = [0u8; 8];
+    for _ in 0..len {
+        r.read_exact(&mut buf).map_err(io_err)?;
+        out.push(f64::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+fn write_csc<W: Write>(w: &mut W, m: &CscMatrix) -> Result<()> {
+    w.write_all(&(m.nrows() as u64).to_le_bytes()).map_err(io_err)?;
+    w.write_all(&(m.ncols() as u64).to_le_bytes()).map_err(io_err)?;
+    write_usize_slice(w, m.indptr())?;
+    write_usize_slice(w, m.indices())?;
+    write_f64_slice(w, m.values())
+}
+
+fn read_csc<R: Read>(r: &mut R) -> Result<CscMatrix> {
+    let nrows = read_u64(r)? as usize;
+    let ncols = read_u64(r)? as usize;
+    let indptr = read_usize_slice(r)?;
+    let indices = read_usize_slice(r)?;
+    let values = read_f64_slice(r)?;
+    CscMatrix::from_raw(nrows, ncols, indptr, indices, values)
+}
+
+fn write_csr<W: Write>(w: &mut W, m: &CsrMatrix) -> Result<()> {
+    w.write_all(&(m.nrows() as u64).to_le_bytes()).map_err(io_err)?;
+    w.write_all(&(m.ncols() as u64).to_le_bytes()).map_err(io_err)?;
+    write_usize_slice(w, m.indptr())?;
+    write_usize_slice(w, m.indices())?;
+    write_f64_slice(w, m.values())
+}
+
+fn read_csr<R: Read>(r: &mut R) -> Result<CsrMatrix> {
+    let nrows = read_u64(r)? as usize;
+    let ncols = read_u64(r)? as usize;
+    let indptr = read_usize_slice(r)?;
+    let indices = read_usize_slice(r)?;
+    let values = read_f64_slice(r)?;
+    CsrMatrix::from_raw(nrows, ncols, indptr, indices, values)
+}
+
+impl Bear {
+    /// Writes the precomputed index to `path`.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let file = std::fs::File::create(path).map_err(io_err)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(MAGIC).map_err(io_err)?;
+        w.write_all(&(self.n1 as u64).to_le_bytes()).map_err(io_err)?;
+        w.write_all(&(self.n2 as u64).to_le_bytes()).map_err(io_err)?;
+        w.write_all(&self.c.to_le_bytes()).map_err(io_err)?;
+        write_usize_slice(&mut w, self.perm.as_new_to_old())?;
+        write_usize_slice(&mut w, &self.block_sizes)?;
+        write_usize_slice(&mut w, &self.degrees)?;
+        write_csc(&mut w, &self.l1_inv)?;
+        write_csc(&mut w, &self.u1_inv)?;
+        write_csc(&mut w, &self.l2_inv)?;
+        write_csc(&mut w, &self.u2_inv)?;
+        write_csr(&mut w, &self.h12)?;
+        write_csr(&mut w, &self.h21)?;
+        w.flush().map_err(io_err)
+    }
+
+    /// Reads a precomputed index previously written with [`Bear::save`].
+    /// All structural invariants are re-validated on load.
+    pub fn load(path: &Path) -> Result<Self> {
+        let file = std::fs::File::open(path).map_err(io_err)?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != MAGIC {
+            return Err(Error::InvalidStructure(format!(
+                "not a BEAR index file (magic {magic:?})"
+            )));
+        }
+        let n1 = read_u64(&mut r)? as usize;
+        let n2 = read_u64(&mut r)? as usize;
+        let mut cbuf = [0u8; 8];
+        r.read_exact(&mut cbuf).map_err(io_err)?;
+        let c = f64::from_le_bytes(cbuf);
+        if !(c > 0.0 && c < 1.0) {
+            return Err(Error::InvalidStructure(format!("corrupt restart probability {c}")));
+        }
+        let perm = Permutation::from_new_to_old(read_usize_slice(&mut r)?)?;
+        let block_sizes = read_usize_slice(&mut r)?;
+        let degrees = read_usize_slice(&mut r)?;
+        let l1_inv = read_csc(&mut r)?;
+        let u1_inv = read_csc(&mut r)?;
+        let l2_inv = read_csc(&mut r)?;
+        let u2_inv = read_csc(&mut r)?;
+        let h12 = read_csr(&mut r)?;
+        let h21 = read_csr(&mut r)?;
+
+        // Cross-validate dimensions before accepting the index.
+        let n = n1 + n2;
+        if perm.len() != n
+            || degrees.len() != n
+            || block_sizes.iter().sum::<usize>() != n1
+            || l1_inv.nrows() != n1
+            || u1_inv.nrows() != n1
+            || l2_inv.nrows() != n2
+            || u2_inv.nrows() != n2
+            || h12.nrows() != n1
+            || h12.ncols() != n2
+            || h21.nrows() != n2
+            || h21.ncols() != n1
+        {
+            return Err(Error::InvalidStructure("inconsistent index dimensions".into()));
+        }
+        Ok(Bear {
+            l1_inv,
+            u1_inv,
+            l2_inv,
+            u2_inv,
+            h12,
+            h21,
+            perm,
+            n1,
+            n2,
+            c,
+            block_sizes,
+            degrees,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::precompute::{Bear, BearConfig};
+    use bear_graph::Graph;
+
+    fn sample_graph() -> Graph {
+        let mut edges = Vec::new();
+        for v in 1..10 {
+            edges.push((0, v));
+            edges.push((v, 0));
+        }
+        edges.push((3, 4));
+        edges.push((4, 3));
+        Graph::from_edges(10, &edges).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_queries() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let path = std::env::temp_dir().join("bear_persist_round_trip.idx");
+        bear.save(&path).unwrap();
+        let loaded = Bear::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.num_nodes(), bear.num_nodes());
+        assert_eq!(loaded.n_hubs(), bear.n_hubs());
+        for seed in 0..10 {
+            assert_eq!(bear.query(seed).unwrap(), loaded.query(seed).unwrap());
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("bear_persist_garbage.idx");
+        std::fs::write(&path, b"not an index at all").unwrap();
+        assert!(Bear::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_magic() {
+        let path = std::env::temp_dir().join("bear_persist_magic.idx");
+        std::fs::write(&path, b"WRONGMAGICxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(Bear::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_load_preserves_approx_variant() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::approx(0.1, 1e-3)).unwrap();
+        let path = std::env::temp_dir().join("bear_persist_approx.idx");
+        bear.save(&path).unwrap();
+        let loaded = Bear::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(bear.stats(), loaded.stats());
+        assert_eq!(bear.query(2).unwrap(), loaded.query(2).unwrap());
+    }
+}

@@ -1,0 +1,438 @@
+//! BEAR preprocessing (Algorithm 1 of the paper).
+//!
+//! Steps, matching the paper's line numbers:
+//! 1. build `H = I − (1−c) Ãᵀ`;
+//! 2. run SlashBurn to split nodes into spokes and hubs;
+//! 3. reorder `H` so spoke components form the block-diagonal `H₁₁`
+//!    (nodes inside each block ascending by degree);
+//! 4. partition `H` into `H₁₁, H₁₂, H₂₁, H₂₂`;
+//! 5. LU-decompose `H₁₁` block by block and invert the factors
+//!    (`L₁⁻¹`, `U₁⁻¹`);
+//! 6. compute the Schur complement `S = H₂₂ − H₂₁ (U₁⁻¹ (L₁⁻¹ H₁₂))`;
+//! 7. reorder the hubs ascending by degree within `S`;
+//! 8. LU-decompose `S` and invert the factors (`L₂⁻¹`, `U₂⁻¹`);
+//! 9. (BEAR-Approx) drop entries below the drop tolerance `ξ` from all
+//!    six precomputed matrices.
+
+use crate::rwr::{build_h, RwrConfig};
+use crate::stats::PrecomputedStats;
+use bear_graph::{slashburn, Graph, SlashBurnConfig};
+use bear_sparse::mem::{MemBudget, MemoryUsage};
+use bear_sparse::sparsify::{drop_tolerance_csc, drop_tolerance_csr};
+use bear_sparse::{ops, BlockDiagLu, CscMatrix, CsrMatrix, Permutation, Result, SparseLu};
+
+/// Configuration for BEAR preprocessing.
+#[derive(Debug, Clone, Copy)]
+pub struct BearConfig {
+    /// Restart probability and adjacency normalization.
+    pub rwr: RwrConfig,
+    /// Drop tolerance `ξ`. `0.0` gives BEAR-Exact; `> 0` gives
+    /// BEAR-Approx (Algorithm 1 line 9).
+    pub drop_tolerance: f64,
+    /// SlashBurn hubs-per-iteration. `None` uses the paper's default
+    /// `k = max(1, ⌈0.001 n⌉)`.
+    pub slashburn_k: Option<usize>,
+    /// Memory budget charged by the precomputed matrices; exceeding it
+    /// aborts preprocessing with `Error::OutOfBudget`.
+    pub budget: MemBudget,
+    /// Reorder hubs ascending by degree within `S` before factoring it
+    /// (Algorithm 1 line 7). Disable only for ablation experiments.
+    pub reorder_hubs: bool,
+    /// Sort spoke-block nodes ascending by within-component degree
+    /// (Observation 1). Disable only for ablation experiments.
+    pub sort_blocks_by_degree: bool,
+    /// Worker threads for the parallelizable preprocessing kernels
+    /// (Schur-complement SpGEMM and triangular-factor inversion). `1`
+    /// runs the serial kernels; results are identical either way.
+    pub threads: usize,
+}
+
+impl Default for BearConfig {
+    fn default() -> Self {
+        BearConfig {
+            rwr: RwrConfig::default(),
+            drop_tolerance: 0.0,
+            slashburn_k: None,
+            budget: MemBudget::unlimited(),
+            reorder_hubs: true,
+            sort_blocks_by_degree: true,
+            threads: 1,
+        }
+    }
+}
+
+impl BearConfig {
+    /// BEAR-Exact with the given restart probability.
+    pub fn exact(c: f64) -> Self {
+        BearConfig { rwr: RwrConfig { c, ..RwrConfig::default() }, ..BearConfig::default() }
+    }
+
+    /// BEAR-Approx with the given restart probability and drop tolerance.
+    pub fn approx(c: f64, xi: f64) -> Self {
+        BearConfig { drop_tolerance: xi, ..BearConfig::exact(c) }
+    }
+}
+
+/// Intermediate preprocessing state shared by [`Bear`] and the
+/// iterative-hub variant: everything up to (and including) the Schur
+/// complement, before `S` is factored.
+#[derive(Debug, Clone)]
+pub(crate) struct PreprocessParts {
+    pub(crate) l1_inv: CscMatrix,
+    pub(crate) u1_inv: CscMatrix,
+    pub(crate) h12: CsrMatrix,
+    pub(crate) h21: CsrMatrix,
+    pub(crate) s: CsrMatrix,
+    pub(crate) perm: Permutation,
+    pub(crate) n1: usize,
+    pub(crate) n2: usize,
+    pub(crate) block_sizes: Vec<usize>,
+    pub(crate) degrees: Vec<usize>,
+}
+
+/// Runs Algorithm 1 lines 1–7: build `H`, SlashBurn-reorder, partition,
+/// block-factor `H₁₁` and invert its factors, form the Schur complement,
+/// and reorder the hubs. Stops before factoring `S`.
+pub(crate) fn preprocess_to_schur(g: &Graph, config: &BearConfig) -> Result<PreprocessParts> {
+    config.rwr.validate()?;
+    let n = g.num_nodes();
+
+    // Line 1: H = I − (1−c) Ãᵀ.
+    let h = build_h(g, &config.rwr)?;
+
+    // Lines 2–3: SlashBurn ordering.
+    let mut sb_config = match config.slashburn_k {
+        Some(k) => SlashBurnConfig::with_k(k),
+        None => SlashBurnConfig::paper_default(n),
+    };
+    sb_config.sort_blocks_by_degree = config.sort_blocks_by_degree;
+    let ordering = slashburn(g, &sb_config)?;
+    let (n1, n2) = (ordering.n_spokes, ordering.n_hubs);
+    let h = ordering.perm.permute_symmetric(&h)?;
+
+    // Line 4: partition.
+    let h11 = h.submatrix(0, n1, 0, n1)?;
+    let mut h12 = h.submatrix(0, n1, n1, n)?;
+    let mut h21 = h.submatrix(n1, n, 0, n1)?;
+    let h22 = h.submatrix(n1, n, n1, n)?;
+    config.budget.check(h12.memory_bytes() + h21.memory_bytes())?;
+
+    // Line 5: block-diagonal LU of H₁₁ and inverted factors.
+    let block_lu = BlockDiagLu::factor(&h11.to_csc(), &ordering.block_sizes)?;
+    let (l1_inv, u1_inv) = block_lu.invert_factors()?;
+    config.budget.check(
+        h12.memory_bytes() + h21.memory_bytes() + l1_inv.memory_bytes() + u1_inv.memory_bytes(),
+    )?;
+
+    // Line 6: Schur complement S = H₂₂ − H₂₁ U₁⁻¹ L₁⁻¹ H₁₂.
+    let threads = config.threads.max(1);
+    let mm = |a: &CsrMatrix, b: &CsrMatrix| -> Result<CsrMatrix> {
+        if threads > 1 {
+            bear_sparse::parallel::par_spgemm(a, b, threads)
+        } else {
+            ops::spgemm(a, b)
+        }
+    };
+    let r1 = mm(&l1_inv.to_csr(), &h12)?;
+    let r2 = mm(&u1_inv.to_csr(), &r1)?;
+    let r3 = mm(&h21, &r2)?;
+    let mut s = ops::sub(&h22, &r3)?;
+
+    // Line 7: reorder hubs ascending by degree within S.
+    let hub_perm = if config.reorder_hubs {
+        hub_degree_ordering(&s)
+    } else {
+        Permutation::identity(n2)
+    };
+    s = hub_perm.permute_symmetric(&s)?;
+    h12 = hub_perm.permute_cols(&h12)?;
+    h21 = hub_perm.permute_rows(&h21)?;
+
+    // Full ordering = hub reorder on top of the SlashBurn ordering.
+    let mut full_forward: Vec<usize> = (0..n).collect();
+    for new_hub in 0..n2 {
+        full_forward[n1 + new_hub] = n1 + hub_perm.old_of(new_hub);
+    }
+    let hub_lift = Permutation::from_new_to_old(full_forward)?;
+    let perm = hub_lift.compose(&ordering.perm)?;
+
+    Ok(PreprocessParts {
+        l1_inv,
+        u1_inv,
+        h12,
+        h21,
+        s,
+        perm,
+        n1,
+        n2,
+        block_sizes: ordering.block_sizes,
+        degrees: g.undirected_degrees(),
+    })
+}
+
+/// A preprocessed BEAR solver (output of Algorithm 1), ready to answer
+/// queries via block elimination (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct Bear {
+    /// `L₁⁻¹` — inverse of the unit-lower factor of `H₁₁` (block diagonal).
+    pub(crate) l1_inv: CscMatrix,
+    /// `U₁⁻¹` — inverse of the upper factor of `H₁₁` (block diagonal).
+    pub(crate) u1_inv: CscMatrix,
+    /// `L₂⁻¹` — inverse of the unit-lower factor of the Schur complement.
+    pub(crate) l2_inv: CscMatrix,
+    /// `U₂⁻¹` — inverse of the upper factor of the Schur complement.
+    pub(crate) u2_inv: CscMatrix,
+    /// `H₁₂` — spoke → hub block of the reordered `H`.
+    pub(crate) h12: CsrMatrix,
+    /// `H₂₁` — hub → spoke block of the reordered `H`.
+    pub(crate) h21: CsrMatrix,
+    /// Full node ordering (reordered position → original node).
+    pub(crate) perm: Permutation,
+    /// Number of spokes (`n₁`).
+    pub(crate) n1: usize,
+    /// Number of hubs (`n₂`).
+    pub(crate) n2: usize,
+    /// Restart probability.
+    pub(crate) c: f64,
+    /// Sizes of the diagonal blocks of `H₁₁`.
+    pub(crate) block_sizes: Vec<usize>,
+    /// Undirected degree of every node (used by the effective-importance
+    /// variant).
+    pub(crate) degrees: Vec<usize>,
+}
+
+impl Bear {
+    /// Runs Algorithm 1 on `g`.
+    pub fn new(g: &Graph, config: &BearConfig) -> Result<Self> {
+        let parts = preprocess_to_schur(g, config)?;
+
+        // Line 8: LU of S and inverted factors.
+        let s_lu = SparseLu::factor(&parts.s.to_csc())?;
+        let threads = config.threads.max(1);
+        let (l2_inv, u2_inv) = if threads > 1 {
+            use bear_sparse::parallel::par_invert_triangular;
+            use bear_sparse::triangular::Triangle;
+            (
+                par_invert_triangular(s_lu.l(), Triangle::Lower, true, threads)?,
+                par_invert_triangular(s_lu.u(), Triangle::Upper, false, threads)?,
+            )
+        } else {
+            s_lu.invert_factors()?
+        };
+
+        // Line 9: drop tolerance (BEAR-Approx only).
+        let xi = config.drop_tolerance;
+        let (l1_inv, u1_inv, l2_inv, u2_inv, h12, h21) = if xi > 0.0 {
+            (
+                drop_tolerance_csc(&parts.l1_inv, xi),
+                drop_tolerance_csc(&parts.u1_inv, xi),
+                drop_tolerance_csc(&l2_inv, xi),
+                drop_tolerance_csc(&u2_inv, xi),
+                drop_tolerance_csr(&parts.h12, xi),
+                drop_tolerance_csr(&parts.h21, xi),
+            )
+        } else {
+            (parts.l1_inv, parts.u1_inv, l2_inv, u2_inv, parts.h12, parts.h21)
+        };
+
+        let total_bytes = l1_inv.memory_bytes()
+            + u1_inv.memory_bytes()
+            + l2_inv.memory_bytes()
+            + u2_inv.memory_bytes()
+            + h12.memory_bytes()
+            + h21.memory_bytes();
+        config.budget.check(total_bytes)?;
+
+        Ok(Bear {
+            l1_inv,
+            u1_inv,
+            l2_inv,
+            u2_inv,
+            h12,
+            h21,
+            perm: parts.perm,
+            n1: parts.n1,
+            n2: parts.n2,
+            c: config.rwr.c,
+            block_sizes: parts.block_sizes,
+            degrees: parts.degrees,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n1 + self.n2
+    }
+
+    /// Number of spokes (`n₁`).
+    pub fn n_spokes(&self) -> usize {
+        self.n1
+    }
+
+    /// Number of hubs (`n₂`).
+    pub fn n_hubs(&self) -> usize {
+        self.n2
+    }
+
+    /// Restart probability.
+    pub fn restart_probability(&self) -> f64 {
+        self.c
+    }
+
+    /// Sizes of the diagonal blocks of `H₁₁`.
+    pub fn block_sizes(&self) -> &[usize] {
+        &self.block_sizes
+    }
+
+    /// The node ordering used internally (new position → original node).
+    pub fn ordering(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Per-matrix nonzero counts and byte sizes of the precomputed data
+    /// (the paper's Table 4 columns).
+    pub fn stats(&self) -> PrecomputedStats {
+        PrecomputedStats {
+            n: self.num_nodes(),
+            n1: self.n1,
+            n2: self.n2,
+            num_blocks: self.block_sizes.len(),
+            sum_block_sq: self
+                .block_sizes
+                .iter()
+                .map(|&b| (b as u128) * (b as u128))
+                .sum(),
+            nnz_l1_inv: self.l1_inv.nnz(),
+            nnz_u1_inv: self.u1_inv.nnz(),
+            nnz_l2_inv: self.l2_inv.nnz(),
+            nnz_u2_inv: self.u2_inv.nnz(),
+            nnz_h12: self.h12.nnz(),
+            nnz_h21: self.h21.nnz(),
+            bytes: self.l1_inv.memory_bytes()
+                + self.u1_inv.memory_bytes()
+                + self.l2_inv.memory_bytes()
+                + self.u2_inv.memory_bytes()
+                + self.h12.memory_bytes()
+                + self.h21.memory_bytes(),
+        }
+    }
+}
+
+/// Ascending-degree ordering of the hubs within `S`: degree of hub `i` is
+/// the number of off-diagonal nonzeros in row `i` plus column `i` of `S`.
+fn hub_degree_ordering(s: &CsrMatrix) -> Permutation {
+    let n2 = s.nrows();
+    let mut degree = vec![0usize; n2];
+    for (r, c, _) in s.iter() {
+        if r != c {
+            degree[r] += 1;
+            degree[c] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..n2).collect();
+    order.sort_unstable_by_key(|&i| (degree[i], i));
+    Permutation::from_new_to_old(order).expect("ordering is a bijection")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::RwrSolver;
+
+    fn star_graph() -> Graph {
+        let mut edges = Vec::new();
+        for v in 1..8 {
+            edges.push((0, v));
+            edges.push((v, 0));
+        }
+        Graph::from_edges(8, &edges).unwrap()
+    }
+
+    #[test]
+    fn preprocessing_splits_spokes_and_hubs() {
+        let g = star_graph();
+        let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+        assert_eq!(bear.num_nodes(), 8);
+        // SlashBurn with k = 1: center 0 plus the final singleton GCC.
+        assert_eq!(bear.n_hubs(), 2);
+        assert_eq!(bear.n_spokes(), 6);
+        assert_eq!(bear.block_sizes().iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn stats_report_all_matrices() {
+        let g = star_graph();
+        let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+        let st = bear.stats();
+        assert_eq!(st.n, 8);
+        assert!(st.bytes > 0);
+        assert!(st.nnz_l1_inv >= 6); // at least the unit diagonal
+        assert_eq!(st.sum_block_sq, 6);
+    }
+
+    #[test]
+    fn budget_violation_reported() {
+        let g = star_graph();
+        let config = BearConfig {
+            budget: MemBudget::bytes(8), // absurdly small
+            ..BearConfig::default()
+        };
+        assert!(matches!(
+            Bear::new(&g, &config),
+            Err(bear_sparse::Error::OutOfBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_c_rejected() {
+        let g = star_graph();
+        assert!(Bear::new(&g, &BearConfig::exact(0.0)).is_err());
+        assert!(Bear::new(&g, &BearConfig::exact(1.0)).is_err());
+    }
+
+    #[test]
+    fn drop_tolerance_shrinks_matrices() {
+        let g = bear_graph::generators::hub_and_spoke(
+            &bear_graph::generators::HubSpokeConfig {
+                num_hubs: 4,
+                num_caves: 20,
+                max_cave_size: 5,
+                cave_density: 0.4,
+                hub_links: 2,
+                hub_density: 0.6,
+            },
+            &mut rand_rng(3),
+        );
+        let exact = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        let approx = Bear::new(&g, &BearConfig::approx(0.05, 0.01)).unwrap();
+        assert!(approx.stats().bytes <= exact.stats().bytes);
+        assert!(approx.memory_bytes() <= exact.memory_bytes());
+    }
+
+    fn rand_rng(seed: u64) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn parallel_preprocessing_matches_serial() {
+        let g = bear_graph::generators::hub_and_spoke(
+            &bear_graph::generators::HubSpokeConfig {
+                num_hubs: 6,
+                num_caves: 40,
+                max_cave_size: 6,
+                cave_density: 0.4,
+                hub_links: 1,
+                hub_density: 0.5,
+            },
+            &mut rand_rng(8),
+        );
+        let serial = Bear::new(&g, &BearConfig::default()).unwrap();
+        let parallel =
+            Bear::new(&g, &BearConfig { threads: 4, ..BearConfig::default() }).unwrap();
+        assert_eq!(serial.stats(), parallel.stats());
+        for seed in [0, 7, 42] {
+            assert_eq!(serial.query(seed).unwrap(), parallel.query(seed).unwrap());
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! BEAR query phase (Algorithm 2): block elimination.
+//!
+//! Given the precomputed matrices, a query is two sparse sweeps
+//! (Equation 6):
+//!
+//! ```text
+//! r₂ = c · U₂⁻¹ ( L₂⁻¹ ( q₂ − H₂₁ ( U₁⁻¹ ( L₁⁻¹ q₁ ) ) ) )
+//! r₁ = U₁⁻¹ ( L₁⁻¹ ( c·q₁ − H₁₂ r₂ ) )
+//! ```
+//!
+//! with every product a sparse matrix–vector multiplication, giving the
+//! paper's query complexity `O(Σ n₁ᵢ² + n₂² + min(n₁n₂, m))` (Theorem 3).
+
+use crate::precompute::Bear;
+use crate::rwr::validate_distribution;
+use crate::solver::RwrSolver;
+use bear_sparse::mem::MemoryUsage;
+use bear_sparse::{Error, Result};
+
+impl Bear {
+    /// RWR scores of every node w.r.t. `seed` (Algorithm 2).
+    pub fn query(&self, seed: usize) -> Result<Vec<f64>> {
+        let n = self.num_nodes();
+        if seed >= n {
+            return Err(Error::IndexOutOfBounds { index: seed, bound: n });
+        }
+        let mut q = vec![0.0; n];
+        q[seed] = 1.0;
+        self.query_distribution(&q)
+    }
+
+    /// Personalized PageRank for an arbitrary preference distribution
+    /// (Section 3.4): the same block elimination with a general `q`.
+    pub fn query_distribution(&self, q: &[f64]) -> Result<Vec<f64>> {
+        let n = self.num_nodes();
+        if q.len() != n {
+            return Err(Error::DimensionMismatch {
+                op: "bear query",
+                lhs: (n, 1),
+                rhs: (q.len(), 1),
+            });
+        }
+        validate_distribution(q)?;
+        // Move q into the reordered index space and split.
+        let q_perm = self.perm.permute_vec(q)?;
+        let (q1, q2) = q_perm.split_at(self.n1);
+
+        // r₂ = c U₂⁻¹ L₂⁻¹ (q₂ − H₂₁ U₁⁻¹ L₁⁻¹ q₁)
+        let t1 = self.l1_inv.matvec(q1)?;
+        let t2 = self.u1_inv.matvec(&t1)?;
+        let t3 = self.h21.matvec(&t2)?;
+        let mut inner: Vec<f64> = q2.iter().zip(&t3).map(|(a, b)| a - b).collect();
+        inner = self.l2_inv.matvec(&inner)?;
+        inner = self.u2_inv.matvec(&inner)?;
+        let r2: Vec<f64> = inner.iter().map(|v| self.c * v).collect();
+
+        // r₁ = U₁⁻¹ L₁⁻¹ (c q₁ − H₁₂ r₂)
+        let h12_r2 = self.h12.matvec(&r2)?;
+        let rhs: Vec<f64> = q1
+            .iter()
+            .zip(&h12_r2)
+            .map(|(a, b)| self.c * a - b)
+            .collect();
+        let t4 = self.l1_inv.matvec(&rhs)?;
+        let r1 = self.u1_inv.matvec(&t4)?;
+
+        // Concatenate and map back to the original node ids.
+        let mut r_perm = r1;
+        r_perm.extend_from_slice(&r2);
+        self.perm.unpermute_vec(&r_perm)
+    }
+}
+
+impl Bear {
+    /// Answers many single-seed queries, fanning out over `threads`
+    /// crossbeam-scoped workers (queries are independent and `Bear` is
+    /// immutable after preprocessing). Results are in seed order and
+    /// bit-identical to sequential [`Bear::query`] calls.
+    pub fn query_batch(&self, seeds: &[usize], threads: usize) -> Result<Vec<Vec<f64>>> {
+        let threads = threads.max(1).min(seeds.len().max(1));
+        if threads <= 1 {
+            return seeds.iter().map(|&s| self.query(s)).collect();
+        }
+        let chunk = seeds.len().div_ceil(threads);
+        let results: Vec<Result<Vec<Vec<f64>>>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .chunks(chunk)
+                .map(|chunk_seeds| {
+                    scope.spawn(move |_| {
+                        chunk_seeds.iter().map(|&s| self.query(s)).collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        })
+        .expect("crossbeam scope");
+        let mut out = Vec::with_capacity(seeds.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+}
+
+impl RwrSolver for Bear {
+    fn name(&self) -> &'static str {
+        "BEAR"
+    }
+
+    fn query(&self, seed: usize) -> Result<Vec<f64>> {
+        Bear::query(self, seed)
+    }
+
+    fn query_distribution(&self, q: &[f64]) -> Result<Vec<f64>> {
+        Bear::query_distribution(self, q)
+    }
+
+    fn num_nodes(&self) -> usize {
+        Bear::num_nodes(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.l1_inv.memory_bytes()
+            + self.u1_inv.memory_bytes()
+            + self.l2_inv.memory_bytes()
+            + self.u2_inv.memory_bytes()
+            + self.h12.memory_bytes()
+            + self.h21.memory_bytes()
+    }
+
+    fn precomputed_nnz(&self) -> usize {
+        self.stats().total_nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precompute::BearConfig;
+    use bear_graph::Graph;
+    use bear_sparse::DenseMatrix;
+
+    /// Dense oracle: solve H r = c q directly.
+    fn oracle(g: &Graph, c: f64, q: &[f64]) -> Vec<f64> {
+        let h = crate::rwr::build_h(
+            g,
+            &crate::rwr::RwrConfig { c, normalization: crate::rwr::Normalization::Row },
+        )
+        .unwrap();
+        let dense: DenseMatrix = h.to_dense();
+        let lu = bear_sparse::DenseLu::factor(&dense).unwrap();
+        let rhs: Vec<f64> = q.iter().map(|v| c * v).collect();
+        lu.solve(&rhs).unwrap()
+    }
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut all = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            all.push((u, v));
+            all.push((v, u));
+        }
+        Graph::from_edges(n, &all).unwrap()
+    }
+
+    #[test]
+    fn exact_matches_dense_solve_on_star() {
+        let g = undirected(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        for seed in 0..6 {
+            let got = bear.query(seed).unwrap();
+            let mut q = vec![0.0; 6];
+            q[seed] = 1.0;
+            let want = oracle(&g, 0.05, &q);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-10, "seed {seed}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_dense_solve_on_two_caves() {
+        // Hub 0 bridges two triangles.
+        let g = undirected(
+            7,
+            &[(0, 1), (1, 2), (2, 1), (0, 2), (0, 3), (3, 4), (4, 5), (5, 3), (0, 6)],
+        );
+        let bear = Bear::new(&g, &BearConfig::exact(0.2)).unwrap();
+        for seed in [0, 1, 4, 6] {
+            let got = bear.query(seed).unwrap();
+            let mut q = vec![0.0; 7];
+            q[seed] = 1.0;
+            let want = oracle(&g, 0.2, &q);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn scores_sum_to_one_on_strongly_connected_graph() {
+        // Directed cycle: every row of Ã sums to 1, so scores sum to 1.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let r = bear.query(2).unwrap();
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-10, "sum = {sum}");
+    }
+
+    #[test]
+    fn ppr_distribution_query_matches_superposition() {
+        let g = undirected(6, &[(0, 1), (0, 2), (2, 3), (3, 4), (0, 5)]);
+        let bear = Bear::new(&g, &BearConfig::exact(0.15)).unwrap();
+        // RWR is linear in q: query over a mixture equals the mixture of
+        // single-seed queries.
+        let q = vec![0.5, 0.0, 0.25, 0.0, 0.0, 0.25];
+        let got = bear.query_distribution(&q).unwrap();
+        let r0 = bear.query(0).unwrap();
+        let r2 = bear.query(2).unwrap();
+        let r5 = bear.query(5).unwrap();
+        for i in 0..6 {
+            let want = 0.5 * r0[i] + 0.25 * r2[i] + 0.25 * r5[i];
+            assert!((got[i] - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        assert!(bear.query(4).is_err());
+        assert!(bear.query_distribution(&[0.0; 3]).is_err());
+        assert!(bear.query_distribution(&[0.0; 4]).is_err()); // all-zero
+        assert!(bear.query_distribution(&[-1.0, 0.0, 0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn approx_close_to_exact_for_small_tolerance() {
+        let g = undirected(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (0, 6), (6, 7), (1, 2)],
+        );
+        let exact = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        let approx = Bear::new(&g, &BearConfig::approx(0.05, 1e-4)).unwrap();
+        let re = exact.query(1).unwrap();
+        let ra = approx.query(1).unwrap();
+        let err: f64 = re
+            .iter()
+            .zip(&ra)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-2, "L2 error {err}");
+    }
+
+    #[test]
+    fn batch_query_matches_sequential() {
+        let g = undirected(10, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (0, 7), (7, 8), (8, 9)]);
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let seeds: Vec<usize> = (0..10).collect();
+        let sequential: Vec<Vec<f64>> = seeds.iter().map(|&s| bear.query(s).unwrap()).collect();
+        for threads in [1, 2, 4, 16] {
+            let batch = bear.query_batch(&seeds, threads).unwrap();
+            assert_eq!(batch, sequential, "threads = {threads}");
+        }
+        // Error propagation: an out-of-range seed fails the whole batch.
+        assert!(bear.query_batch(&[0, 99], 2).is_err());
+        // Empty batch is fine.
+        assert!(bear.query_batch(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dangling_nodes_handled() {
+        // Node 3 has no out-edges.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap();
+        let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        let r = bear.query(0).unwrap();
+        let mut q = vec![0.0; 4];
+        q[0] = 1.0;
+        let want = oracle(&g, 0.05, &q);
+        for (a, b) in r.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

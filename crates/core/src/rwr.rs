@@ -1,0 +1,166 @@
+//! The RWR linear system: `H = I − (1−c) Ãᵀ` and its variants.
+
+use bear_graph::Graph;
+use bear_sparse::{ops, CsrMatrix, Error, Result};
+
+/// How the adjacency matrix is normalized before building `H`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Normalization {
+    /// Row normalization `Ã` — standard RWR / personalized PageRank.
+    #[default]
+    Row,
+    /// Symmetric normalization `D^{-1/2} A D^{-1/2}` — the
+    /// normalized-graph-Laplacian variant of Tong et al. (Section 3.4).
+    Symmetric,
+}
+
+/// Shared RWR configuration: restart probability and normalization.
+#[derive(Debug, Clone, Copy)]
+pub struct RwrConfig {
+    /// Restart probability `c ∈ (0, 1)`. The paper's experiments use 0.05
+    /// ("in this work, c denotes 1 − restart probability" — i.e. their
+    /// walk follows edges with probability 0.95).
+    pub c: f64,
+    /// Adjacency normalization.
+    pub normalization: Normalization,
+}
+
+impl Default for RwrConfig {
+    fn default() -> Self {
+        RwrConfig { c: 0.05, normalization: Normalization::Row }
+    }
+}
+
+impl RwrConfig {
+    /// Validates `0 < c < 1`.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.c > 0.0 && self.c < 1.0) {
+            return Err(Error::InvalidStructure(format!(
+                "restart probability c = {} outside (0, 1)",
+                self.c
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Returns the normalized adjacency matrix selected by the config.
+pub fn normalized_adjacency(g: &Graph, config: &RwrConfig) -> CsrMatrix {
+    match config.normalization {
+        Normalization::Row => g.row_normalized(),
+        Normalization::Symmetric => g.symmetric_normalized(),
+    }
+}
+
+/// Builds `H = I − (1−c) Ãᵀ` (Equation 2 of the paper).
+pub fn build_h(g: &Graph, config: &RwrConfig) -> Result<CsrMatrix> {
+    config.validate()?;
+    let a = normalized_adjacency(g, config);
+    let at = a.transpose();
+    let identity = CsrMatrix::identity(g.num_nodes());
+    ops::axpby(1.0, &identity, -(1.0 - config.c), &at)
+}
+
+/// Builds the one-hot starting vector for `seed`.
+pub fn one_hot(n: usize, seed: usize) -> Result<Vec<f64>> {
+    if seed >= n {
+        return Err(Error::IndexOutOfBounds { index: seed, bound: n });
+    }
+    let mut q = vec![0.0; n];
+    q[seed] = 1.0;
+    Ok(q)
+}
+
+/// Validates a PPR preference distribution: non-negative, finite, and not
+/// all zero (it is conventionally normalized to sum 1, but any positive
+/// scale is accepted since RWR is linear in `q`).
+pub fn validate_distribution(q: &[f64]) -> Result<()> {
+    if q.iter().any(|&v| !v.is_finite() || v < 0.0) {
+        return Err(Error::InvalidStructure(
+            "preference vector has negative or non-finite entries".into(),
+        ));
+    }
+    if q.iter().all(|&v| v == 0.0) {
+        return Err(Error::InvalidStructure("preference vector is all zero".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn h_has_unit_diagonal_for_cycle() {
+        let g = cycle();
+        let h = build_h(&g, &RwrConfig::default()).unwrap();
+        for i in 0..3 {
+            assert!((h.get(i, i) - 1.0).abs() < 1e-12);
+        }
+        // Off-diagonal: -(1-c) * Ã^T entries.
+        assert!((h.get(1, 0) + 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_columns_are_diagonally_dominant() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]).unwrap();
+        let h = build_h(&g, &RwrConfig::default()).unwrap();
+        // Column sums of |off-diagonal| must be < diagonal (strict
+        // dominance by columns, the basis for pivot-free LU).
+        let ht = h.transpose();
+        for j in 0..4 {
+            let (cols, vals) = ht.row(j);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == j {
+                    diag = v.abs();
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off, "column {j} not dominant: {diag} <= {off}");
+        }
+    }
+
+    #[test]
+    fn invalid_c_rejected() {
+        let g = cycle();
+        for c in [0.0, 1.0, -0.5, 1.5] {
+            let cfg = RwrConfig { c, normalization: Normalization::Row };
+            assert!(build_h(&g, &cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn one_hot_basics() {
+        let q = one_hot(4, 2).unwrap();
+        assert_eq!(q, vec![0.0, 0.0, 1.0, 0.0]);
+        assert!(one_hot(4, 4).is_err());
+    }
+
+    #[test]
+    fn distribution_validation() {
+        assert!(validate_distribution(&[0.5, 0.5]).is_ok());
+        assert!(validate_distribution(&[0.0, 0.0]).is_err());
+        assert!(validate_distribution(&[-0.1, 1.1]).is_err());
+        assert!(validate_distribution(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn symmetric_normalization_builds_symmetric_h() {
+        // Undirected path graph.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+        let cfg = RwrConfig { c: 0.1, normalization: Normalization::Symmetric };
+        let h = build_h(&g, &cfg).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((h.get(i, j) - h.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+}

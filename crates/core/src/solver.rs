@@ -1,0 +1,40 @@
+//! The common interface every RWR method (BEAR and all baselines)
+//! implements, so the experiment harness can treat them uniformly.
+
+use bear_sparse::Result;
+
+/// An RWR solver that has already been preprocessed for a fixed graph and
+/// restart probability, and can now answer queries.
+pub trait RwrSolver {
+    /// Human-readable method name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// RWR scores of all nodes w.r.t. a single seed node.
+    fn query(&self, seed: usize) -> Result<Vec<f64>> {
+        let mut q = vec![0.0; self.num_nodes()];
+        if seed >= q.len() {
+            return Err(bear_sparse::Error::IndexOutOfBounds { index: seed, bound: q.len() });
+        }
+        q[seed] = 1.0;
+        self.query_distribution(&q)
+    }
+
+    /// Personalized PageRank: scores for an arbitrary non-negative
+    /// preference distribution `q` (Section 3.4).
+    fn query_distribution(&self, q: &[f64]) -> Result<Vec<f64>>;
+
+    /// Number of nodes of the preprocessed graph.
+    fn num_nodes(&self) -> usize;
+
+    /// Bytes of precomputed data this solver must keep in memory to answer
+    /// queries (the paper's "space for preprocessed data"). Methods with
+    /// no preprocessing report 0.
+    fn memory_bytes(&self) -> usize;
+
+    /// Number of stored entries across all precomputed matrices (the
+    /// paper's `#nz` in Figure 2). Dense matrices count every cell.
+    /// Methods with no preprocessing report 0.
+    fn precomputed_nnz(&self) -> usize {
+        0
+    }
+}

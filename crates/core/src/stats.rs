@@ -1,0 +1,86 @@
+//! Accounting for the precomputed matrices (Tables 2 and 4 of the paper).
+
+/// Nonzero counts and total bytes of BEAR's six precomputed matrices,
+/// plus the structural statistics the paper reports per dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecomputedStats {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of spokes (`n₁`).
+    pub n1: usize,
+    /// Number of hubs (`n₂`).
+    pub n2: usize,
+    /// Number of diagonal blocks in `H₁₁` (`b`).
+    pub num_blocks: usize,
+    /// `Σᵢ n₁ᵢ²` (Table 4 column).
+    pub sum_block_sq: u128,
+    /// Nonzeros of `L₁⁻¹`.
+    pub nnz_l1_inv: usize,
+    /// Nonzeros of `U₁⁻¹`.
+    pub nnz_u1_inv: usize,
+    /// Nonzeros of `L₂⁻¹`.
+    pub nnz_l2_inv: usize,
+    /// Nonzeros of `U₂⁻¹`.
+    pub nnz_u2_inv: usize,
+    /// Nonzeros of `H₁₂`.
+    pub nnz_h12: usize,
+    /// Nonzeros of `H₂₁`.
+    pub nnz_h21: usize,
+    /// Total bytes of the six matrices in compressed sparse storage.
+    pub bytes: usize,
+}
+
+impl PrecomputedStats {
+    /// Total nonzeros across all six precomputed matrices (the paper's
+    /// `#nz` in Figure 2).
+    pub fn total_nnz(&self) -> usize {
+        self.nnz_l1_inv
+            + self.nnz_u1_inv
+            + self.nnz_l2_inv
+            + self.nnz_u2_inv
+            + self.nnz_h12
+            + self.nnz_h21
+    }
+
+    /// `|L₁⁻¹| + |U₁⁻¹|` (Table 4 column).
+    pub fn nnz_spoke_factors(&self) -> usize {
+        self.nnz_l1_inv + self.nnz_u1_inv
+    }
+
+    /// `|L₂⁻¹| + |U₂⁻¹|` (Table 4 column).
+    pub fn nnz_hub_factors(&self) -> usize {
+        self.nnz_l2_inv + self.nnz_u2_inv
+    }
+
+    /// `|H₁₂| + |H₂₁|` (Table 4 column).
+    pub fn nnz_cross(&self) -> usize {
+        self.nnz_h12 + self.nnz_h21
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_add_up() {
+        let s = PrecomputedStats {
+            n: 10,
+            n1: 8,
+            n2: 2,
+            num_blocks: 3,
+            sum_block_sq: 24,
+            nnz_l1_inv: 1,
+            nnz_u1_inv: 2,
+            nnz_l2_inv: 3,
+            nnz_u2_inv: 4,
+            nnz_h12: 5,
+            nnz_h21: 6,
+            bytes: 100,
+        };
+        assert_eq!(s.total_nnz(), 21);
+        assert_eq!(s.nnz_spoke_factors(), 3);
+        assert_eq!(s.nnz_hub_factors(), 7);
+        assert_eq!(s.nnz_cross(), 11);
+    }
+}

@@ -1,0 +1,105 @@
+//! Top-k convenience queries.
+//!
+//! The paper contrasts BEAR with top-k-only systems (K-dash, FLoS): BEAR
+//! computes the scores of *all* nodes, so top-k extraction is a cheap
+//! post-processing step rather than a restriction of the method. These
+//! helpers package that step.
+
+use crate::precompute::Bear;
+use bear_sparse::Result;
+
+/// A node with its relevance score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredNode {
+    /// Node id.
+    pub node: usize,
+    /// RWR score.
+    pub score: f64,
+}
+
+/// Extracts the `k` best-scoring nodes (descending; ties by node id) from
+/// a full score vector using a partial selection — O(n + k log k), not a
+/// full sort.
+pub fn top_k_of(scores: &[f64], k: usize) -> Vec<ScoredNode> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut items: Vec<ScoredNode> = scores
+        .iter()
+        .enumerate()
+        .map(|(node, &score)| ScoredNode { node, score })
+        .collect();
+    let cmp = |a: &ScoredNode, b: &ScoredNode| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    };
+    items.select_nth_unstable_by(k - 1, cmp);
+    items.truncate(k);
+    items.sort_by(cmp);
+    items
+}
+
+impl Bear {
+    /// The `k` most relevant nodes w.r.t. `seed`, excluding the seed
+    /// itself, in descending score order.
+    pub fn query_top_k(&self, seed: usize, k: usize) -> Result<Vec<ScoredNode>> {
+        let mut scores = self.query(seed)?;
+        // Exclude the seed by zeroing it out before selection (its score
+        // is by construction among the largest and rarely wanted).
+        scores[seed] = f64::NEG_INFINITY;
+        let mut out = top_k_of(&scores, k);
+        out.retain(|s| s.score.is_finite());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precompute::{Bear, BearConfig};
+    use bear_graph::Graph;
+
+    #[test]
+    fn top_k_of_selects_and_orders() {
+        let scores = vec![0.1, 0.5, 0.3, 0.5, 0.0];
+        let top = top_k_of(&scores, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].node, 1); // tie with 3 broken by id
+        assert_eq!(top[1].node, 3);
+        assert_eq!(top[2].node, 2);
+    }
+
+    #[test]
+    fn top_k_handles_degenerate_k() {
+        let scores = vec![1.0, 2.0];
+        assert!(top_k_of(&scores, 0).is_empty());
+        assert_eq!(top_k_of(&scores, 10).len(), 2);
+    }
+
+    #[test]
+    fn query_top_k_matches_full_sort() {
+        let mut edges = Vec::new();
+        for v in 1..8 {
+            edges.push((0, v));
+            edges.push((v, 0));
+        }
+        edges.push((1, 2));
+        edges.push((2, 1));
+        let g = Graph::from_edges(8, &edges).unwrap();
+        let bear = Bear::new(&g, &BearConfig::exact(0.2)).unwrap();
+        let seed = 1;
+        let top = bear.query_top_k(seed, 3).unwrap();
+        // Oracle: full sort of the query result.
+        let scores = bear.query(seed).unwrap();
+        let mut oracle: Vec<usize> = (0..8).filter(|&u| u != seed).collect();
+        oracle.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
+        });
+        let got: Vec<usize> = top.iter().map(|s| s.node).collect();
+        assert_eq!(got, oracle[..3].to_vec());
+        assert!(!got.contains(&seed));
+    }
+}

@@ -1,0 +1,91 @@
+//! RWR variants supported by BEAR (Section 3.4 of the paper).
+//!
+//! * **Personalized PageRank** — already covered by
+//!   [`Bear::query_distribution`](crate::Bear::query_distribution): pass
+//!   the user preference distribution as `q`.
+//! * **Effective importance** (Bogdanov & Singh, CIKM 2013) — the
+//!   degree-normalized RWR score, computed here by dividing each entry of
+//!   `r` by the node's degree.
+//! * **RWR with normalized graph Laplacian** (Tong et al., KAIS 2008) —
+//!   select [`Normalization::Symmetric`](crate::Normalization::Symmetric)
+//!   in [`BearConfig`](crate::BearConfig) so preprocessing replaces `Ã`
+//!   with `D^{-1/2} A D^{-1/2}`.
+
+use crate::precompute::Bear;
+use bear_sparse::Result;
+
+impl Bear {
+    /// Effective importance: RWR scores divided by node degree
+    /// (undirected degree; zero-degree nodes keep their raw score, which
+    /// is necessarily 0 for any seed other than themselves).
+    pub fn query_effective_importance(&self, seed: usize) -> Result<Vec<f64>> {
+        let r = self.query(seed)?;
+        Ok(r.iter()
+            .zip(&self.degrees)
+            .map(|(&score, &d)| if d > 0 { score / d as f64 } else { score })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::precompute::{Bear, BearConfig};
+    use crate::rwr::{Normalization, RwrConfig};
+    use bear_graph::Graph;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut all = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            all.push((u, v));
+            all.push((v, u));
+        }
+        Graph::from_edges(n, &all).unwrap()
+    }
+
+    #[test]
+    fn effective_importance_divides_by_degree() {
+        let g = undirected(4, &[(0, 1), (0, 2), (0, 3)]);
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let r = bear.query(1).unwrap();
+        let ei = bear.query_effective_importance(1).unwrap();
+        // Node 0 has degree 3, leaves have degree 1.
+        assert!((ei[0] - r[0] / 3.0).abs() < 1e-12);
+        assert!((ei[1] - r[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_importance_boosts_low_degree_relatives() {
+        // Hub 0 with many leaves; EI of a leaf should exceed EI of the hub
+        // relative to the plain RWR ordering when degrees differ a lot.
+        let g = undirected(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5)]);
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let r = bear.query(5).unwrap();
+        let ei = bear.query_effective_importance(5).unwrap();
+        // Raw RWR ranks hub 0 above leaf 1... EI must penalize the hub.
+        assert!(ei[0] / r[0] < ei[1].max(1e-300) / r[1].max(1e-300));
+    }
+
+    #[test]
+    fn laplacian_variant_symmetric_scores_on_undirected_graph() {
+        // With symmetric normalization on an undirected graph, the
+        // relevance of u w.r.t. v equals that of v w.r.t. u.
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let config = BearConfig {
+            rwr: RwrConfig { c: 0.2, normalization: Normalization::Symmetric },
+            ..BearConfig::default()
+        };
+        let bear = Bear::new(&g, &config).unwrap();
+        for u in 0..5 {
+            let ru = bear.query(u).unwrap();
+            for v in 0..5 {
+                let rv = bear.query(v).unwrap();
+                assert!(
+                    (ru[v] - rv[u]).abs() < 1e-10,
+                    "asymmetry between {u} and {v}: {} vs {}",
+                    ru[v],
+                    rv[u]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Crate-level property tests for bear-core: the iterative-hub variant,
+//! persistence, top-k, and drop-tolerance behaviour on arbitrary graphs.
+
+use bear_core::{Bear, BearConfig, BearHubIterative, RwrSolver};
+use bear_graph::Graph;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..35).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 2)).prop_map(move |mut edges| {
+            for u in 0..n {
+                edges.push((u, (u + 1) % n));
+            }
+            Graph::from_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn hub_iterative_equals_exact_bear(g in arb_graph(), s in 0.0f64..1.0) {
+        let seed = ((s * g.num_nodes() as f64) as usize).min(g.num_nodes() - 1);
+        let exact = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let hub_iter = BearHubIterative::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let re = exact.query(seed).unwrap();
+        let ri = hub_iter.query(seed).unwrap();
+        for (a, b) in re.iter().zip(&ri) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        prop_assert!(hub_iter.memory_bytes() <= exact.memory_bytes());
+    }
+
+    #[test]
+    fn persistence_round_trips_on_random_graphs(g in arb_graph(), tag in 0u64..1_000_000) {
+        let bear = Bear::new(&g, &BearConfig::exact(0.2)).unwrap();
+        let path = std::env::temp_dir().join(format!("bear_prop_persist_{tag}.idx"));
+        bear.save(&path).unwrap();
+        let loaded = Bear::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(bear.stats(), loaded.stats());
+        let seed = g.num_nodes() / 2;
+        prop_assert_eq!(bear.query(seed).unwrap(), loaded.query(seed).unwrap());
+    }
+
+    #[test]
+    fn top_k_prefix_property(g in arb_graph(), k in 1usize..10) {
+        let bear = Bear::new(&g, &BearConfig::exact(0.15)).unwrap();
+        let seed = 0;
+        let k = k.min(g.num_nodes() - 1);
+        let top_k = bear.query_top_k(seed, k).unwrap();
+        let top_k1 = bear.query_top_k(seed, k + 1).unwrap();
+        // top-k is a prefix of top-(k+1).
+        prop_assert_eq!(&top_k[..], &top_k1[..top_k.len().min(top_k1.len())]);
+        // Scores descend and exclude the seed.
+        for w in top_k.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        prop_assert!(top_k.iter().all(|s| s.node != seed));
+    }
+
+    #[test]
+    fn drop_tolerance_zero_is_exact(g in arb_graph()) {
+        let a = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let b = Bear::new(&g, &BearConfig::approx(0.1, 0.0)).unwrap();
+        prop_assert_eq!(a.query(0).unwrap(), b.query(0).unwrap());
+        prop_assert_eq!(a.memory_bytes(), b.memory_bytes());
+    }
+
+    #[test]
+    fn batch_query_equals_individual(g in arb_graph()) {
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let n = g.num_nodes();
+        let seeds: Vec<usize> = (0..n.min(6)).collect();
+        let batch = bear.query_batch(&seeds, 3).unwrap();
+        for (i, &s) in seeds.iter().enumerate() {
+            prop_assert_eq!(&batch[i], &bear.query(s).unwrap());
+        }
+    }
+
+    #[test]
+    fn effective_importance_degree_relation(g in arb_graph()) {
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let deg = g.undirected_degrees();
+        let r = bear.query(0).unwrap();
+        let ei = bear.query_effective_importance(0).unwrap();
+        for u in 0..g.num_nodes() {
+            let want = if deg[u] > 0 { r[u] / deg[u] as f64 } else { r[u] };
+            prop_assert!((ei[u] - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Connected components over full graphs and node subsets.
+//!
+//! SlashBurn repeatedly removes hubs and asks for the connected components
+//! of the surviving subgraph, so the core routine here works on an
+//! `active` mask instead of materializing subgraphs.
+
+use bear_sparse::CsrMatrix;
+
+/// Connected components of the undirected pattern `adj`, restricted to the
+/// nodes where `active` is true. Returns one `Vec` of node ids per
+/// component, each sorted ascending; components are ordered by their
+/// smallest member.
+///
+/// `adj` must be a symmetric pattern (as produced by
+/// [`crate::Graph::symmetrized_pattern`]); the traversal only follows
+/// edges whose both endpoints are active.
+pub fn components_in_subset(adj: &CsrMatrix, active: &[bool]) -> Vec<Vec<usize>> {
+    let n = adj.nrows();
+    debug_assert_eq!(active.len(), n);
+    let mut visited = vec![false; n];
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut queue: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if !active[start] || visited[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        visited[start] = true;
+        queue.push(start);
+        while let Some(u) = queue.pop() {
+            comp.push(u);
+            let (nbrs, _) = adj.row(u);
+            for &v in nbrs {
+                if active[v] && !visited[v] {
+                    visited[v] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// Connected components of the whole undirected pattern.
+pub fn connected_components(adj: &CsrMatrix) -> Vec<Vec<usize>> {
+    let active = vec![true; adj.nrows()];
+    components_in_subset(adj, &active)
+}
+
+/// Index (within the returned component list) of the largest component;
+/// ties broken by smallest member. Returns `None` for an empty list.
+pub fn largest_component(components: &[Vec<usize>]) -> Option<usize> {
+    components
+        .iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.len().cmp(&b.len()).then(ib.cmp(ia)))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn pattern(n: usize, edges: &[(usize, usize)]) -> CsrMatrix {
+        Graph::from_edges(n, edges).unwrap().symmetrized_pattern()
+    }
+
+    #[test]
+    fn single_component() {
+        let p = pattern(3, &[(0, 1), (1, 2)]);
+        let comps = connected_components(&p);
+        assert_eq!(comps, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let p = pattern(4, &[(0, 1)]);
+        let comps = connected_components(&p);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2]);
+        assert_eq!(comps[2], vec![3]);
+    }
+
+    #[test]
+    fn directed_edges_treated_as_undirected() {
+        let p = pattern(3, &[(2, 0)]);
+        let comps = connected_components(&p);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 2]);
+    }
+
+    #[test]
+    fn subset_restriction_cuts_paths() {
+        // Path 0-1-2-3; deactivating 1 splits {0} from {2,3}.
+        let p = pattern(4, &[(0, 1), (1, 2), (2, 3)]);
+        let active = vec![true, false, true, true];
+        let comps = components_in_subset(&p, &active);
+        assert_eq!(comps, vec![vec![0], vec![2, 3]]);
+    }
+
+    #[test]
+    fn largest_component_found() {
+        let p = pattern(5, &[(0, 1), (2, 3), (3, 4)]);
+        let comps = connected_components(&p);
+        let idx = largest_component(&comps).unwrap();
+        assert_eq!(comps[idx], vec![2, 3, 4]);
+        assert!(largest_component(&[]).is_none());
+    }
+
+    #[test]
+    fn all_inactive_gives_no_components() {
+        let p = pattern(3, &[(0, 1)]);
+        let comps = components_in_subset(&p, &[false, false, false]);
+        assert!(comps.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Erdős–Rényi `G(n, m)` random graphs (used by tests and as a
+//! structure-free control in the experiments).
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Samples a directed graph with `n` nodes and (up to) `m` edges drawn
+/// uniformly; duplicate samples merge, self-loops are excluded.
+pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let mut edges = Vec::with_capacity(m);
+    if n >= 2 {
+        for _ in 0..m {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n - 1);
+            if v >= u {
+                v += 1;
+            }
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_node_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(50, 200, &mut rng);
+        assert_eq!(g.num_nodes(), 50);
+        assert!(g.num_edges() <= 200);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi(20, 500, &mut rng);
+        assert!(g.edges().iter().all(|&(u, v, _)| u != v));
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(erdos_renyi(0, 10, &mut rng).num_edges(), 0);
+        assert_eq!(erdos_renyi(1, 10, &mut rng).num_edges(), 0);
+    }
+}

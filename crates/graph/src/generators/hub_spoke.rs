@@ -1,0 +1,122 @@
+//! Explicit hub-and-spoke synthesizer.
+//!
+//! Builds graphs with a controllable SlashBurn profile: `num_hubs` densely
+//! interconnected hubs, plus many small "cave" components whose nodes
+//! attach to a few random hubs. This directly controls the structural
+//! quantities BEAR's complexity depends on (`n₂`, block-size profile),
+//! which is what the dataset stand-ins need to match per Table 4.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Configuration for the hub-and-spoke synthesizer.
+#[derive(Debug, Clone, Copy)]
+pub struct HubSpokeConfig {
+    /// Number of hub nodes.
+    pub num_hubs: usize,
+    /// Number of cave (spoke) components.
+    pub num_caves: usize,
+    /// Maximum nodes per cave (sizes are sampled uniformly in
+    /// `1..=max_cave_size`).
+    pub max_cave_size: usize,
+    /// Probability of an edge between each pair of nodes within a cave.
+    pub cave_density: f64,
+    /// Number of hub attachments per cave node.
+    pub hub_links: usize,
+    /// Probability of an edge between each ordered pair of hubs.
+    pub hub_density: f64,
+}
+
+/// Generates a hub-and-spoke graph; node ids: hubs first (`0..num_hubs`),
+/// then cave nodes.
+pub fn hub_and_spoke<R: Rng>(config: &HubSpokeConfig, rng: &mut R) -> Graph {
+    let h = config.num_hubs.max(1);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Hub core.
+    for a in 0..h {
+        for b in 0..h {
+            if a != b && rng.gen_bool(config.hub_density.clamp(0.0, 1.0)) {
+                edges.push((a, b));
+            }
+        }
+    }
+    let mut next = h;
+    for _ in 0..config.num_caves {
+        let size = rng.gen_range(1..=config.max_cave_size.max(1));
+        let members: Vec<usize> = (next..next + size).collect();
+        next += size;
+        // Intra-cave edges: a spanning path for connectivity plus random
+        // density.
+        for w in members.windows(2) {
+            edges.push((w[0], w[1]));
+            edges.push((w[1], w[0]));
+        }
+        for &a in &members {
+            for &b in &members {
+                if a < b && rng.gen_bool(config.cave_density.clamp(0.0, 1.0)) {
+                    edges.push((a, b));
+                    edges.push((b, a));
+                }
+            }
+        }
+        // Hub attachments (both directions so hubs see the caves too).
+        for &a in &members {
+            for _ in 0..config.hub_links.max(1) {
+                let hub = rng.gen_range(0..h);
+                edges.push((a, hub));
+                edges.push((hub, a));
+            }
+        }
+    }
+    Graph::from_edges(next, &edges).expect("generated edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slashburn::{slashburn, SlashBurnConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> HubSpokeConfig {
+        HubSpokeConfig {
+            num_hubs: 5,
+            num_caves: 40,
+            max_cave_size: 6,
+            cave_density: 0.3,
+            hub_links: 1,
+            hub_density: 0.5,
+        }
+    }
+
+    #[test]
+    fn generates_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = hub_and_spoke(&config(), &mut rng);
+        assert!(g.num_nodes() > 40);
+        assert!(g.num_edges() > 80);
+    }
+
+    #[test]
+    fn slashburn_recovers_small_hub_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = hub_and_spoke(&config(), &mut rng);
+        let ord = slashburn(&g, &SlashBurnConfig::with_k(2)).unwrap();
+        // Removing the 5 planted hubs should shatter the graph, so the hub
+        // region stays small relative to n.
+        assert!(
+            ord.n_hubs <= 12,
+            "hub region too large: {} of {}",
+            ord.n_hubs,
+            g.num_nodes()
+        );
+        assert!(ord.block_sizes.iter().all(|&b| b <= 6));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = hub_and_spoke(&config(), &mut StdRng::seed_from_u64(7));
+        let g2 = hub_and_spoke(&config(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic graph generators.
+//!
+//! The paper's synthetic experiments use R-MAT with a tunable upper-left
+//! probability `p_ul` (Section 4.4); the real-world datasets are
+//! substituted by generator-based stand-ins (see `bear-datasets`), built
+//! from these primitives.
+
+mod erdos_renyi;
+mod forest_fire;
+mod hub_spoke;
+mod pref_attach;
+mod rmat;
+
+pub use erdos_renyi::erdos_renyi;
+pub use forest_fire::{forest_fire, ForestFireConfig};
+pub use hub_spoke::{hub_and_spoke, HubSpokeConfig};
+pub use pref_attach::preferential_attachment;
+pub use rmat::{rmat, RmatConfig};

@@ -1,0 +1,139 @@
+//! R-MAT recursive matrix generator (Chakrabarti, Zhan & Faloutsos, SDM
+//! 2004), parameterized the way the BEAR paper uses it: `p_ul` is the
+//! probability of recursing into the upper-left quadrant and the other
+//! three quadrants share `(1 - p_ul) / 3` each. Larger `p_ul` produces a
+//! stronger hub-and-spoke structure (Section 4.4, Figure 7).
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Configuration for an R-MAT generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the number of nodes (the generated graph has `2^scale`
+    /// node slots; nodes that receive no edge stay isolated).
+    pub scale: u32,
+    /// Number of edges to sample (duplicates are merged, so the final
+    /// count can be slightly lower).
+    pub edges: usize,
+    /// Probability of the upper-left quadrant (`a` in R-MAT terms).
+    pub p_ul: f64,
+    /// Noise added per recursion level to avoid exact self-similarity,
+    /// as recommended by the original paper. 0 disables.
+    pub noise: f64,
+}
+
+impl RmatConfig {
+    /// The paper's Section 4.4 setup: quadrant probabilities
+    /// `(p_ul, rest/3, rest/3, rest/3)`.
+    pub fn paper(scale: u32, edges: usize, p_ul: f64) -> Self {
+        RmatConfig { scale, edges, p_ul, noise: 0.0 }
+    }
+}
+
+/// Generates a directed R-MAT graph.
+pub fn rmat<R: Rng>(config: &RmatConfig, rng: &mut R) -> Graph {
+    let n = 1usize << config.scale;
+    let rest = (1.0 - config.p_ul) / 3.0;
+    let (a, b, c) = (config.p_ul, rest, rest);
+    let mut edges = Vec::with_capacity(config.edges);
+    for _ in 0..config.edges {
+        let (mut row, mut col) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            let (mut pa, mut pb, mut pc) = (a, b, c);
+            if config.noise > 0.0 {
+                let jitter = |p: f64, rng: &mut R| {
+                    (p * (1.0 - config.noise + 2.0 * config.noise * rng.gen::<f64>())).max(0.0)
+                };
+                pa = jitter(pa, rng);
+                pb = jitter(pb, rng);
+                pc = jitter(pc, rng);
+                let pd = jitter(1.0 - a - b - c, rng);
+                let total = pa + pb + pc + pd;
+                pa /= total;
+                pb /= total;
+                pc /= total;
+            }
+            let u: f64 = rng.gen();
+            if u < pa {
+                // upper-left: nothing to add
+            } else if u < pa + pb {
+                col += half;
+            } else if u < pa + pb + pc {
+                row += half;
+            } else {
+                row += half;
+                col += half;
+            }
+            half >>= 1;
+        }
+        edges.push((row, col));
+    }
+    Graph::from_edges(n, &edges).expect("generated edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_count_is_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = rmat(&RmatConfig::paper(8, 1000, 0.6), &mut rng);
+        assert_eq!(g.num_nodes(), 256);
+    }
+
+    #[test]
+    fn edge_count_close_to_requested() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = rmat(&RmatConfig::paper(10, 5000, 0.6), &mut rng);
+        // Duplicates merge, so <= requested but not wildly fewer.
+        assert!(g.num_edges() <= 5000);
+        assert!(g.num_edges() > 3000, "too many duplicates: {}", g.num_edges());
+    }
+
+    #[test]
+    fn high_p_ul_concentrates_in_low_ids() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = rmat(&RmatConfig::paper(10, 20000, 0.9), &mut rng);
+        // With p_ul = 0.9, the top-left quadrant (ids < n/2 both endpoints)
+        // should hold the large majority of edges.
+        let n_half = g.num_nodes() / 2;
+        let in_ul = g
+            .edges()
+            .iter()
+            .filter(|&&(u, v, _)| u < n_half && v < n_half)
+            .count();
+        assert!(
+            in_ul as f64 > 0.7 * g.num_edges() as f64,
+            "only {in_ul}/{} edges in upper-left",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn higher_p_ul_means_more_skew() {
+        // Compare the share of edges held by the ten busiest sources —
+        // a stabler skew measure than the single max degree.
+        let top10_share = |p_ul: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = rmat(&RmatConfig::paper(10, 10000, p_ul), &mut rng);
+            let mut degs = g.out_degrees();
+            degs.sort_unstable_by(|a, b| b.cmp(a));
+            degs.iter().take(10).sum::<usize>() as f64 / g.num_edges() as f64
+        };
+        let low = top10_share(0.5, 4);
+        let high = top10_share(0.9, 4);
+        assert!(high > low, "top-10 share {high} !> {low}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = rmat(&RmatConfig::paper(8, 500, 0.7), &mut StdRng::seed_from_u64(9));
+        let g2 = rmat(&RmatConfig::paper(8, 500, 0.7), &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+}

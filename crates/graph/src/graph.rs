@@ -1,0 +1,280 @@
+//! Directed weighted graph stored as a CSR adjacency matrix.
+
+use bear_sparse::{CooMatrix, CsrMatrix, Error, Result};
+
+/// A directed, weighted graph over nodes `0..n`.
+///
+/// ```
+/// use bear_graph::Graph;
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// // Row-normalized adjacency: each non-empty row sums to 1.
+/// let a = g.row_normalized();
+/// assert_eq!(a.get(0, 1), 1.0);
+/// ```
+///
+/// The adjacency matrix `A` has `A[u][v] = w` for each edge `u → v` of
+/// weight `w`. Parallel edges are merged by summing weights at
+/// construction. Self-loops are allowed (RWR handles them naturally).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    adj: CsrMatrix,
+}
+
+impl Graph {
+    /// Builds a graph from unweighted edges (each of weight 1).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
+        let weighted: Vec<(usize, usize, f64)> =
+            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        Graph::from_weighted_edges(n, &weighted)
+    }
+
+    /// Builds a graph from weighted edges. Parallel edges sum their weights.
+    pub fn from_weighted_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self> {
+        let mut coo = CooMatrix::with_capacity(n, n, edges.len());
+        for &(u, v, w) in edges {
+            if u >= n {
+                return Err(Error::IndexOutOfBounds { index: u, bound: n });
+            }
+            if v >= n {
+                return Err(Error::IndexOutOfBounds { index: v, bound: n });
+            }
+            if !(w.is_finite()) || w < 0.0 {
+                return Err(Error::InvalidStructure(format!(
+                    "edge ({u}, {v}) has invalid weight {w}"
+                )));
+            }
+            coo.push(u, v, w);
+        }
+        Ok(Graph { adj: coo.to_csr() })
+    }
+
+    /// Wraps an existing square adjacency matrix.
+    pub fn from_adjacency(adj: CsrMatrix) -> Result<Self> {
+        if adj.nrows() != adj.ncols() {
+            return Err(Error::DimensionMismatch {
+                op: "graph adjacency",
+                lhs: (adj.nrows(), adj.ncols()),
+                rhs: (adj.nrows(), adj.nrows()),
+            });
+        }
+        if adj.values().iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return Err(Error::InvalidStructure(
+                "adjacency contains negative or non-finite weights".into(),
+            ));
+        }
+        Ok(Graph { adj })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.nrows()
+    }
+
+    /// Number of stored (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+
+    /// The adjacency matrix.
+    #[inline]
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adj
+    }
+
+    /// Out-neighbors of `u` with edge weights.
+    #[inline]
+    pub fn out_neighbors(&self, u: usize) -> (&[usize], &[f64]) {
+        self.adj.row(u)
+    }
+
+    /// Out-degree (count of out-edges) of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.adj.row_nnz(u)
+    }
+
+    /// Out-degrees of all nodes.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        (0..self.num_nodes()).map(|u| self.out_degree(u)).collect()
+    }
+
+    /// In-degrees of all nodes (one pass over the edges).
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.num_nodes()];
+        for &c in self.adj.indices() {
+            deg[c] += 1;
+        }
+        deg
+    }
+
+    /// Undirected degrees: number of distinct neighbors over the
+    /// symmetrized edge set. This is the degree notion SlashBurn uses.
+    pub fn undirected_degrees(&self) -> Vec<usize> {
+        let sym = self.symmetrized_pattern();
+        (0..self.num_nodes()).map(|u| sym.row_nnz(u)).collect()
+    }
+
+    /// The symmetrized, unweighted adjacency pattern `A ∪ Aᵀ` with all
+    /// weights 1 and self-loops removed — the undirected view SlashBurn
+    /// and connected-components run on.
+    pub fn symmetrized_pattern(&self) -> CsrMatrix {
+        let n = self.num_nodes();
+        let mut coo = CooMatrix::with_capacity(n, n, 2 * self.num_edges());
+        for (u, v, _) in self.adj.iter() {
+            if u != v {
+                coo.push(u, v, 1.0);
+                coo.push(v, u, 1.0);
+            }
+        }
+        // Duplicates collapse in to_csr; values may exceed 1 but only the
+        // pattern matters, so clamp for cleanliness.
+        let mut csr = coo.to_csr();
+        for v in csr.values_mut() {
+            *v = 1.0;
+        }
+        csr
+    }
+
+    /// The row-normalized adjacency matrix `Ã`: each nonzero row sums
+    /// to 1. Rows with no out-edges (dangling nodes) are left all-zero,
+    /// the standard convention for RWR.
+    pub fn row_normalized(&self) -> CsrMatrix {
+        let mut out = self.adj.clone();
+        for r in 0..out.nrows() {
+            let (lo, hi) = (out.indptr()[r], out.indptr()[r + 1]);
+            let sum: f64 = out.values()[lo..hi].iter().sum();
+            if sum > 0.0 {
+                for v in &mut out.values_mut()[lo..hi] {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// The symmetric normalization `D^{-1/2} A D^{-1/2}` used by the
+    /// normalized-graph-Laplacian RWR variant (Section 3.4), where `D` is
+    /// the diagonal of row sums of `A`. Rows/columns with zero degree stay
+    /// zero.
+    pub fn symmetric_normalized(&self) -> CsrMatrix {
+        let n = self.num_nodes();
+        let mut dsqrt_inv = vec![0.0f64; n];
+        for r in 0..n {
+            let (_, vals) = self.adj.row(r);
+            let sum: f64 = vals.iter().sum();
+            if sum > 0.0 {
+                dsqrt_inv[r] = 1.0 / sum.sqrt();
+            }
+        }
+        let mut out = self.adj.clone();
+        for r in 0..n {
+            let (lo, hi) = (out.indptr()[r], out.indptr()[r + 1]);
+            // Split borrows: copy indices range first.
+            for k in lo..hi {
+                let c = out.indices()[k];
+                let scale = dsqrt_inv[r] * dsqrt_inv[c];
+                out.values_mut()[k] *= scale;
+            }
+        }
+        out
+    }
+
+    /// Lists all edges as `(u, v, w)`.
+    pub fn edges(&self) -> Vec<(usize, usize, f64)> {
+        self.adj.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(0), 1);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let g = Graph::from_weighted_edges(2, &[(0, 1, 1.0), (0, 1, 2.0)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.adjacency().get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(Graph::from_edges(2, &[(0, 5)]).is_err());
+        assert!(Graph::from_weighted_edges(2, &[(0, 1, -1.0)]).is_err());
+        assert!(Graph::from_weighted_edges(2, &[(0, 1, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        let a = g.row_normalized();
+        let (_, vals) = a.row(0);
+        let sum: f64 = vals.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(a.get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn dangling_row_stays_zero() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let a = g.row_normalized();
+        assert_eq!(a.row_nnz(1), 0);
+        assert_eq!(a.row_nnz(2), 0);
+    }
+
+    #[test]
+    fn weighted_normalization_respects_weights() {
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 3.0), (0, 2, 1.0)]).unwrap();
+        let a = g.row_normalized();
+        assert!((a.get(0, 1) - 0.75).abs() < 1e-12);
+        assert!((a.get(0, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetrized_pattern_is_symmetric_and_loopless() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 2), (3, 1)]).unwrap();
+        let s = g.symmetrized_pattern();
+        assert_eq!(s.get(1, 0), 1.0);
+        assert_eq!(s.get(0, 1), 1.0);
+        assert_eq!(s.get(1, 3), 1.0);
+        assert_eq!(s.get(2, 2), 0.0); // self-loop removed
+    }
+
+    #[test]
+    fn undirected_degrees_count_distinct_neighbors() {
+        // 0 <-> 1 both directions should count once.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        let d = g.undirected_degrees();
+        assert_eq!(d, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn symmetric_normalized_matches_formula() {
+        // Undirected path 0 - 1 - 2 (as a symmetric directed graph).
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+        let s = g.symmetric_normalized();
+        // d = [1, 2, 1]; entry (0,1) = 1/sqrt(1*2).
+        assert!((s.get(0, 1) - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+        assert!((s.get(1, 0) - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_adjacency_requires_square() {
+        let rect = CsrMatrix::zeros(2, 3);
+        assert!(Graph::from_adjacency(rect).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the graph substrate: SlashBurn invariants,
+//! component correctness, partitioning, and normalization.
+
+use bear_graph::components::{components_in_subset, connected_components};
+use bear_graph::partition::{partition_bfs, split_by_partition};
+use bear_graph::{slashburn, Graph, SlashBurnConfig};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(n * 2))
+            .prop_map(move |edges| Graph::from_edges(n, &edges).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn components_partition_the_nodes(g in arb_graph()) {
+        let sym = g.symmetrized_pattern();
+        let comps = connected_components(&sym);
+        let mut seen = vec![false; g.num_nodes()];
+        for comp in &comps {
+            for &u in comp {
+                prop_assert!(!seen[u], "node {u} in two components");
+                seen[u] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn components_are_internally_connected_and_mutually_disconnected(g in arb_graph()) {
+        let sym = g.symmetrized_pattern();
+        let comps = connected_components(&sym);
+        // No edge may join two different components.
+        let mut comp_of = vec![usize::MAX; g.num_nodes()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &u in comp {
+                comp_of[u] = ci;
+            }
+        }
+        for (u, v, _) in sym.iter() {
+            prop_assert_eq!(comp_of[u], comp_of[v]);
+        }
+    }
+
+    #[test]
+    fn slashburn_permutation_is_a_bijection(g in arb_graph(), k in 1usize..5) {
+        let ord = slashburn(&g, &SlashBurnConfig::with_k(k)).unwrap();
+        let n = g.num_nodes();
+        prop_assert_eq!(ord.n_spokes + ord.n_hubs, n);
+        prop_assert_eq!(ord.block_sizes.iter().sum::<usize>(), ord.n_spokes);
+        let mut seen = vec![false; n];
+        for i in 0..n {
+            let old = ord.perm.old_of(i);
+            prop_assert!(!seen[old]);
+            seen[old] = true;
+        }
+    }
+
+    #[test]
+    fn slashburn_spoke_blocks_are_block_diagonal(g in arb_graph(), k in 1usize..4) {
+        let ord = slashburn(&g, &SlashBurnConfig::with_k(k)).unwrap();
+        let sym = g.symmetrized_pattern();
+        let reordered = ord.perm.permute_symmetric(&sym).unwrap();
+        let mut block_of = vec![usize::MAX; g.num_nodes()];
+        let mut pos = 0;
+        for (bid, &sz) in ord.block_sizes.iter().enumerate() {
+            for _ in 0..sz {
+                block_of[pos] = bid;
+                pos += 1;
+            }
+        }
+        for (r, c, _) in reordered.iter() {
+            if r < ord.n_spokes && c < ord.n_spokes {
+                prop_assert_eq!(block_of[r], block_of[c], "edge ({}, {}) crosses blocks", r, c);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_components_respect_the_mask(g in arb_graph(), mask_seed in 0u64..50) {
+        let n = g.num_nodes();
+        let sym = g.symmetrized_pattern();
+        let mut s = mask_seed.wrapping_add(7);
+        let active: Vec<bool> = (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 40) % 3 != 0
+            })
+            .collect();
+        let comps = components_in_subset(&sym, &active);
+        for comp in &comps {
+            for &u in comp {
+                prop_assert!(active[u], "inactive node {u} in a component");
+            }
+        }
+        let covered: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(covered, active.iter().filter(|&&a| a).count());
+    }
+
+    #[test]
+    fn partition_split_preserves_edges(g in arb_graph(), parts in 1usize..6) {
+        let labels = partition_bfs(&g, parts);
+        prop_assert_eq!(labels.len(), g.num_nodes());
+        let (within, cross) = split_by_partition(g.adjacency(), &labels);
+        let sum = bear_sparse::ops::add(&within, &cross).unwrap();
+        prop_assert_eq!(sum, g.adjacency().clone());
+        for (u, v, _) in within.iter() {
+            prop_assert_eq!(labels[u], labels[v]);
+        }
+        for (u, v, _) in cross.iter() {
+            prop_assert!(labels[u] != labels[v]);
+        }
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one_or_zero(g in arb_graph()) {
+        let a = g.row_normalized();
+        for r in 0..a.nrows() {
+            let (_, vals) = a.row(r);
+            let sum: f64 = vals.iter().sum();
+            if vals.is_empty() {
+                prop_assert_eq!(sum, 0.0);
+            } else {
+                prop_assert!((sum - 1.0).abs() < 1e-12, "row {r} sums to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrized_pattern_is_symmetric(g in arb_graph()) {
+        let sym = g.symmetrized_pattern();
+        for (u, v, _) in sym.iter() {
+            prop_assert!(sym.get(v, u) != 0.0, "({u},{v}) present but ({v},{u}) missing");
+            prop_assert!(u != v, "self-loop survived symmetrization");
+        }
+    }
+}

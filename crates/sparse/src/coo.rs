@@ -1,0 +1,220 @@
+//! Coordinate-format (triplet) sparse matrix, used as a construction
+//! staging area before conversion to CSR/CSC.
+
+use crate::error::{Error, Result};
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix in coordinate (COO / triplet) format.
+///
+/// Duplicate entries are allowed and are summed during conversion to a
+/// compressed format, matching the usual finite-element / graph-assembly
+/// convention.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an empty matrix with capacity reserved for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds a COO matrix from parallel triplet arrays.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<usize>,
+        cols: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if rows.len() != cols.len() || rows.len() != values.len() {
+            return Err(Error::InvalidStructure(format!(
+                "triplet arrays have mismatched lengths: {} rows, {} cols, {} values",
+                rows.len(),
+                cols.len(),
+                values.len()
+            )));
+        }
+        if let Some(&r) = rows.iter().find(|&&r| r >= nrows) {
+            return Err(Error::IndexOutOfBounds { index: r, bound: nrows });
+        }
+        if let Some(&c) = cols.iter().find(|&&c| c >= ncols) {
+            return Err(Error::IndexOutOfBounds { index: c, bound: ncols });
+        }
+        Ok(CooMatrix { nrows, ncols, rows, cols, values })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Appends one entry. Panics in debug builds on out-of-range indices.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.nrows, "row {row} >= {}", self.nrows);
+        debug_assert!(col < self.ncols, "col {col} >= {}", self.ncols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.values.push(value);
+    }
+
+    /// Iterates over stored triplets as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .zip(self.values.iter())
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to CSR, summing duplicate entries and dropping entries that
+    /// cancel to exactly zero.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then per-row sort by column with duplicate
+        // accumulation. O(nnz + n + per-row sort).
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_buf = vec![0usize; self.nnz()];
+        let mut val_buf = vec![0f64; self.nnz()];
+        let mut next = counts.clone();
+        for ((&r, &c), &v) in self.rows.iter().zip(&self.cols).zip(&self.values) {
+            let slot = next[r];
+            col_buf[slot] = c;
+            val_buf[slot] = v;
+            next[r] += 1;
+        }
+
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        indptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            let (lo, hi) = (counts[r], counts[r + 1]);
+            scratch.clear();
+            scratch.extend(col_buf[lo..hi].iter().copied().zip(val_buf[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut sum = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    sum += scratch[i].1;
+                    i += 1;
+                }
+                if sum != 0.0 {
+                    indices.push(c);
+                    values.push(sum);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw_unchecked(self.nrows, self.ncols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_no_entries() {
+        let m = CooMatrix::new(3, 4);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.nnz(), 0);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.nrows(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_summed_in_csr() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 1, 1.0);
+        m.push(0, 1, 2.5);
+        m.push(1, 0, -1.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), 3.5);
+        assert_eq!(csr.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let mut m = CooMatrix::new(1, 1);
+        m.push(0, 0, 2.0);
+        m.push(0, 0, -2.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn from_triplets_validates_bounds() {
+        let err = CooMatrix::from_triplets(2, 2, vec![5], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, Error::IndexOutOfBounds { index: 5, bound: 2 }));
+        let err = CooMatrix::from_triplets(2, 2, vec![0], vec![3], vec![1.0]).unwrap_err();
+        assert!(matches!(err, Error::IndexOutOfBounds { index: 3, bound: 2 }));
+        let err = CooMatrix::from_triplets(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, Error::InvalidStructure(_)));
+    }
+
+    #[test]
+    fn rows_sorted_and_columns_sorted_within_rows() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(2, 1, 1.0);
+        m.push(0, 2, 2.0);
+        m.push(0, 0, 3.0);
+        m.push(1, 1, 4.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.row(0).0, &[0, 2]);
+        assert_eq!(csr.row(1).0, &[1]);
+        assert_eq!(csr.row(2).0, &[1]);
+    }
+
+    #[test]
+    fn iter_yields_insertion_order() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(1, 1, 9.0);
+        m.push(0, 0, 8.0);
+        let triplets: Vec<_> = m.iter().collect();
+        assert_eq!(triplets, vec![(1, 1, 9.0), (0, 0, 8.0)]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Compressed sparse column matrix, used by the factorization and
+//! triangular-solve kernels (which are naturally column-oriented).
+
+use crate::csr::CsrMatrix;
+use crate::error::{Error, Result};
+
+/// A sparse matrix in compressed sparse column (CSC) format.
+///
+/// Same invariants as [`CsrMatrix`] with rows/columns swapped: `indptr` has
+/// one entry per column, `indices` are row indices strictly increasing
+/// within each column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix after validating structural invariants.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        // Validate by borrowing the CSR checker on the transposed shape.
+        let as_csr = CsrMatrix::from_raw(ncols, nrows, indptr, indices, values)?;
+        let (indptr, indices, values) = {
+            let t = as_csr;
+            (
+                t.indptr().to_vec(),
+                t.indices().to_vec(),
+                t.values().to_vec(),
+            )
+        };
+        Ok(CscMatrix { nrows, ncols, indptr, indices, values })
+    }
+
+    /// Builds a CSC matrix without validation (see
+    /// [`CsrMatrix::from_raw_unchecked`]).
+    pub fn from_raw_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), ncols + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        CscMatrix { nrows, ncols, indptr, indices, values }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        CscMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Raw column pointer array.
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Raw row index array.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Raw value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Row indices and values of column `c`.
+    #[inline]
+    pub fn col(&self, c: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.indptr[c], self.indptr[c + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(r, c)` or zero.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (rows, vals) = self.col(c);
+        match rows.binary_search(&r) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Converts to CSR (O(nnz) reshuffle).
+    pub fn to_csr(&self) -> CsrMatrix {
+        // A CSC matrix's arrays are exactly the CSR arrays of its transpose.
+        let t = CsrMatrix::from_raw_unchecked(
+            self.ncols,
+            self.nrows,
+            self.indptr.clone(),
+            self.indices.clone(),
+            self.values.clone(),
+        );
+        t.transpose()
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(Error::DimensionMismatch {
+                op: "csc matvec",
+                lhs: (self.nrows, self.ncols),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.nrows];
+        for c in 0..self.ncols {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col(c);
+            for (&r, &v) in rows.iter().zip(vals) {
+                y[r] += v * xc;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Iterates over stored entries as `(row, col, value)` in column-major
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.ncols).flat_map(move |c| {
+            let (rows, vals) = self.col(c);
+            rows.iter().zip(vals.iter()).map(move |(&r, &v)| (r, c, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample_csr() -> CsrMatrix {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 0, 1.0);
+        m.push(0, 2, 2.0);
+        m.push(1, 1, 3.0);
+        m.push(2, 0, 4.0);
+        m.push(2, 2, 5.0);
+        m.to_csr()
+    }
+
+    #[test]
+    fn csr_csc_round_trip() {
+        let csr = sample_csr();
+        let csc = csr.to_csc();
+        assert_eq!(csc.nnz(), csr.nnz());
+        assert_eq!(csc.get(2, 0), 4.0);
+        assert_eq!(csc.get(0, 2), 2.0);
+        assert_eq!(csc.to_csr(), csr);
+    }
+
+    #[test]
+    fn csc_matvec_agrees_with_csr() {
+        let csr = sample_csr();
+        let csc = csr.to_csc();
+        let x = vec![1.0, 2.0, -1.0];
+        assert_eq!(csc.matvec(&x).unwrap(), csr.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn col_access() {
+        let csc = sample_csr().to_csc();
+        let (rows, vals) = csc.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn identity_round_trips() {
+        let i = CscMatrix::identity(3);
+        assert_eq!(i.to_csr(), CsrMatrix::identity(3));
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        // Row indices out of bounds.
+        assert!(CscMatrix::from_raw(2, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Valid 2x1 column.
+        let m = CscMatrix::from_raw(2, 1, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).unwrap();
+        assert_eq!(m.get(1, 0), 2.0);
+    }
+}

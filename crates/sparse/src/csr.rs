@@ -1,0 +1,494 @@
+//! Compressed sparse row matrix: the crate's primary format.
+
+use crate::csc::CscMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{Error, Result};
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// ```
+/// use bear_sparse::{CooMatrix, CsrMatrix};
+/// let mut coo = CooMatrix::new(2, 3);
+/// coo.push(0, 0, 1.0);
+/// coo.push(1, 2, 2.0);
+/// let m: CsrMatrix = coo.to_csr();
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.get(1, 2), 2.0);
+/// assert_eq!(m.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![1.0, 2.0]);
+/// ```
+///
+/// Invariants (enforced by [`CsrMatrix::from_raw`], assumed by the unchecked
+/// constructor):
+/// * `indptr.len() == nrows + 1`, `indptr[0] == 0`, monotone non-decreasing;
+/// * `indices` within every row are strictly increasing and `< ncols`;
+/// * `indices.len() == values.len() == indptr[nrows]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix after validating all structural invariants.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != nrows + 1 {
+            return Err(Error::InvalidStructure(format!(
+                "indptr length {} != nrows + 1 = {}",
+                indptr.len(),
+                nrows + 1
+            )));
+        }
+        if indptr[0] != 0 {
+            return Err(Error::InvalidStructure("indptr[0] != 0".into()));
+        }
+        if indices.len() != values.len() {
+            return Err(Error::InvalidStructure(format!(
+                "indices length {} != values length {}",
+                indices.len(),
+                values.len()
+            )));
+        }
+        if *indptr.last().unwrap() != indices.len() {
+            return Err(Error::InvalidStructure(format!(
+                "indptr[last] {} != nnz {}",
+                indptr.last().unwrap(),
+                indices.len()
+            )));
+        }
+        for r in 0..nrows {
+            if indptr[r] > indptr[r + 1] {
+                return Err(Error::InvalidStructure(format!(
+                    "indptr decreases at row {r}"
+                )));
+            }
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(Error::InvalidStructure(format!(
+                        "columns not strictly increasing in row {r}"
+                    )));
+                }
+            }
+            if let Some(&c) = row.last() {
+                if c >= ncols {
+                    return Err(Error::IndexOutOfBounds { index: c, bound: ncols });
+                }
+            }
+        }
+        Ok(CsrMatrix { nrows, ncols, indptr, indices, values })
+    }
+
+    /// Builds a CSR matrix without validation. Caller must uphold the type's
+    /// invariants; used on hot paths where the arrays were just produced by
+    /// a kernel that guarantees them.
+    pub fn from_raw_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), nrows + 1);
+        debug_assert_eq!(indices.len(), values.len());
+        debug_assert_eq!(*indptr.last().unwrap(), indices.len());
+        CsrMatrix { nrows, ncols, indptr, indices, values }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// An all-zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of explicitly stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Raw row pointer array.
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Raw column index array.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Raw value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to values (structure is fixed; only values change).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Value at `(r, c)`, or `0.0` if not stored. Binary search within the
+    /// row; O(log nnz(row)).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&c) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals.iter()).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// `y = A x` (dense vector).
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(Error::DimensionMismatch {
+                op: "matvec",
+                lhs: (self.nrows, self.ncols),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.nrows];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+        Ok(y)
+    }
+
+    /// `y = Aᵀ x` without materializing the transpose.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.nrows {
+            return Err(Error::DimensionMismatch {
+                op: "matvec_transpose",
+                lhs: (self.ncols, self.nrows),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.ncols];
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c] += v * xr;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Materialized transpose, still in CSR.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        let mut next = counts.clone();
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = next[c];
+                indices[slot] = r;
+                values[slot] = v;
+                next[c] += 1;
+            }
+        }
+        // Row order within each output row is ascending because we scanned
+        // input rows in ascending order.
+        CsrMatrix::from_raw_unchecked(self.ncols, self.nrows, counts, indices, values)
+    }
+
+    /// Reinterprets this CSR matrix as CSC of the same logical matrix
+    /// (requires a transpose-shaped reshuffle; O(nnz)).
+    pub fn to_csc(&self) -> CscMatrix {
+        let t = self.transpose();
+        CscMatrix::from_raw_unchecked(self.nrows, self.ncols, t.indptr, t.indices, t.values)
+    }
+
+    /// Converts to a dense row-major matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            d[(r, c)] = v;
+        }
+        d
+    }
+
+    /// Returns `alpha * A` as a new matrix.
+    pub fn scale(&self, alpha: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= alpha;
+        }
+        out
+    }
+
+    /// Extracts the submatrix with rows in `[r0, r1)` and columns in
+    /// `[c0, c1)`, reindexed to start at zero. Used to partition `H` into
+    /// `H₁₁, H₁₂, H₂₁, H₂₂`.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Result<CsrMatrix> {
+        if r1 > self.nrows || c1 > self.ncols || r0 > r1 || c0 > c1 {
+            return Err(Error::InvalidStructure(format!(
+                "submatrix bounds ({r0}..{r1}, {c0}..{c1}) invalid for {}x{}",
+                self.nrows, self.ncols
+            )));
+        }
+        let mut indptr = Vec::with_capacity(r1 - r0 + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for r in r0..r1 {
+            let (cols, vals) = self.row(r);
+            // Binary search for the column window once per row.
+            let lo = cols.partition_point(|&c| c < c0);
+            let hi = cols.partition_point(|&c| c < c1);
+            for (&c, &v) in cols[lo..hi].iter().zip(&vals[lo..hi]) {
+                indices.push(c - c0);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix::from_raw_unchecked(r1 - r0, c1 - c0, indptr, indices, values))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Checks symmetric equality with another matrix within `tol`
+    /// (entry-wise on the union of patterns).
+    pub fn approx_eq(&self, other: &CsrMatrix, tol: f64) -> bool {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return false;
+        }
+        for r in 0..self.nrows {
+            let (ca, va) = self.row(r);
+            let (cb, vb) = other.row(r);
+            let (mut i, mut j) = (0, 0);
+            while i < ca.len() || j < cb.len() {
+                let (a, b) = match (ca.get(i), cb.get(j)) {
+                    (Some(&c1), Some(&c2)) if c1 == c2 => {
+                        let pair = (va[i], vb[j]);
+                        i += 1;
+                        j += 1;
+                        pair
+                    }
+                    (Some(&c1), Some(&c2)) if c1 < c2 => {
+                        let pair = (va[i], 0.0);
+                        i += 1;
+                        pair
+                    }
+                    (Some(_), Some(_)) => {
+                        let pair = (0.0, vb[j]);
+                        j += 1;
+                        pair
+                    }
+                    (Some(_), None) => {
+                        let pair = (va[i], 0.0);
+                        i += 1;
+                        pair
+                    }
+                    (None, Some(_)) => {
+                        let pair = (0.0, vb[j]);
+                        j += 1;
+                        pair
+                    }
+                    (None, None) => unreachable!(),
+                };
+                if (a - b).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 0, 1.0);
+        m.push(0, 2, 2.0);
+        m.push(1, 1, 3.0);
+        m.push(2, 0, 4.0);
+        m.push(2, 2, 5.0);
+        m.to_csr()
+    }
+
+    #[test]
+    fn get_returns_stored_and_zero() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let y = m.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_matches_explicit_transpose() {
+        let m = sample();
+        let x = vec![1.0, -1.0, 2.0];
+        let via_implicit = m.matvec_transpose(&x).unwrap();
+        let via_explicit = m.transpose().matvec(&x).unwrap();
+        assert_eq!(via_implicit, via_explicit);
+    }
+
+    #[test]
+    fn matvec_rejects_bad_length() {
+        let m = sample();
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.matvec_transpose(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i = CsrMatrix::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = sample();
+        let s = m.submatrix(0, 2, 1, 3).unwrap();
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.ncols(), 2);
+        assert_eq!(s.get(0, 1), 2.0); // originally (0,2)
+        assert_eq!(s.get(1, 0), 3.0); // originally (1,1)
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn submatrix_bounds_checked() {
+        let m = sample();
+        assert!(m.submatrix(0, 4, 0, 3).is_err());
+        assert!(m.submatrix(2, 1, 0, 3).is_err());
+    }
+
+    #[test]
+    fn from_raw_rejects_unsorted_columns() {
+        let e = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_indptr() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw(1, 2, vec![1, 1], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn scale_multiplies_values() {
+        let m = sample().scale(2.0);
+        assert_eq!(m.get(2, 2), 10.0);
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn approx_eq_detects_pattern_differences() {
+        let a = sample();
+        let b = sample().scale(1.0 + 1e-15);
+        assert!(a.approx_eq(&b, 1e-9));
+        let c = CsrMatrix::identity(3);
+        assert!(!a.approx_eq(&c, 1e-9));
+    }
+
+    #[test]
+    fn to_dense_round_trip() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d[(2, 0)], 4.0);
+        assert_eq!(d[(1, 1)], 3.0);
+        assert_eq!(d.to_csr(0.0), m);
+    }
+}

@@ -1,0 +1,175 @@
+//! Jacobi eigensolver for small symmetric matrices.
+//!
+//! The randomized SVD (used by the B_LIN / NB_LIN baselines) reduces the
+//! problem to an eigendecomposition of a small `t × t` Gram matrix, for
+//! which the cyclic Jacobi rotation method is simple, robust, and
+//! backward-stable.
+
+use crate::dense::DenseMatrix;
+use crate::error::{Error, Result};
+
+/// Result of a symmetric eigendecomposition: `A = V diag(λ) Vᵀ`, with
+/// eigenvalues sorted in descending order.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, in the order of `values`.
+    pub vectors: DenseMatrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method. `a` must be symmetric; only its lower triangle is trusted.
+pub fn symmetric_eigen(a: &DenseMatrix) -> Result<SymmetricEigen> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(Error::DimensionMismatch {
+            op: "symmetric eigen",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (n, n),
+        });
+    }
+    let mut m = a.clone();
+    // Symmetrize defensively (callers pass Gram matrices that are symmetric
+    // up to rounding).
+    for i in 0..n {
+        for j in 0..i {
+            let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+            m[(i, j)] = avg;
+            m[(j, i)] = avg;
+        }
+    }
+    let mut v = DenseMatrix::identity(n);
+
+    let max_sweeps = 64;
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + frobenius(&m)) {
+            return Ok(sorted_eigen(m, v));
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Compute the Jacobi rotation (c, s) zeroing (p, q).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Update rows/columns p and q of M.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate rotation into V.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(Error::DidNotConverge { what: "jacobi eigensolver", iterations: max_sweeps })
+}
+
+fn frobenius(m: &DenseMatrix) -> f64 {
+    m.data().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn sorted_eigen(m: DenseMatrix, v: DenseMatrix) -> SymmetricEigen {
+    let n = m.nrows();
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = DenseMatrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_col)] = v[(i, old_col)];
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut a = DenseMatrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 5.0;
+        a[(2, 2)] = 3.0;
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2_eigen() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn decomposition_reconstructs_matrix() {
+        let a = DenseMatrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        // A = V diag(λ) Vᵀ
+        let mut lam = DenseMatrix::zeros(3, 3);
+        for i in 0..3 {
+            lam[(i, i)] = e.values[i];
+        }
+        let back = e
+            .vectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 0.5, 0.0],
+            &[0.5, 1.0, 0.5],
+            &[0.0, 0.5, 1.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.max_abs_diff(&DenseMatrix::identity(3)) < 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by all sparse linear algebra operations.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and numerical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Matrix dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Short description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand.
+        lhs: (usize, usize),
+        /// Dimensions of the right operand.
+        rhs: (usize, usize),
+    },
+    /// An index (row, column, or permutation entry) is out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it violated.
+        bound: usize,
+    },
+    /// Structured storage arrays are inconsistent (e.g. indptr not
+    /// monotone, wrong lengths).
+    InvalidStructure(String),
+    /// A factorization hit a zero (or numerically negligible) pivot.
+    SingularMatrix {
+        /// Pivot position at which the factorization broke down.
+        at: usize,
+    },
+    /// The operation was aborted because it exceeded a caller-supplied
+    /// memory budget (used to reproduce the paper's out-of-memory bars).
+    OutOfBudget {
+        /// Bytes the operation needed (lower bound at abort time).
+        needed: usize,
+        /// Bytes the budget allowed.
+        budget: usize,
+    },
+    /// An iterative routine failed to converge within its iteration cap.
+    DidNotConverge {
+        /// Name of the routine.
+        what: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs {}x{}, rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound})")
+            }
+            Error::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            Error::SingularMatrix { at } => write!(f, "singular matrix: zero pivot at {at}"),
+            Error::OutOfBudget { needed, budget } => write!(
+                f,
+                "memory budget exceeded: needed >= {needed} bytes, budget {budget} bytes"
+            ),
+            Error::DidNotConverge { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

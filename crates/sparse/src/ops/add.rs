@@ -1,0 +1,127 @@
+//! Element-wise sparse matrix combination.
+
+use crate::csr::CsrMatrix;
+use crate::error::{Error, Result};
+
+/// Computes `alpha * A + beta * B` by merging sorted rows. Exact zeros
+/// produced by cancellation are dropped.
+pub fn axpby(alpha: f64, a: &CsrMatrix, beta: f64, b: &CsrMatrix) -> Result<CsrMatrix> {
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(Error::DimensionMismatch {
+            op: "axpby",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut values = Vec::with_capacity(a.nnz() + b.nnz());
+    indptr.push(0);
+    for r in 0..a.nrows() {
+        let (ca, va) = a.row(r);
+        let (cb, vb) = b.row(r);
+        let (mut i, mut j) = (0, 0);
+        while i < ca.len() || j < cb.len() {
+            let (col, val) = match (ca.get(i), cb.get(j)) {
+                (Some(&c1), Some(&c2)) if c1 == c2 => {
+                    let out = (c1, alpha * va[i] + beta * vb[j]);
+                    i += 1;
+                    j += 1;
+                    out
+                }
+                (Some(&c1), Some(&c2)) if c1 < c2 => {
+                    let out = (c1, alpha * va[i]);
+                    i += 1;
+                    out
+                }
+                (Some(_), Some(&c2)) => {
+                    let out = (c2, beta * vb[j]);
+                    j += 1;
+                    out
+                }
+                (Some(&c1), None) => {
+                    let out = (c1, alpha * va[i]);
+                    i += 1;
+                    out
+                }
+                (None, Some(&c2)) => {
+                    let out = (c2, beta * vb[j]);
+                    j += 1;
+                    out
+                }
+                (None, None) => unreachable!(),
+            };
+            if val != 0.0 {
+                indices.push(col);
+                values.push(val);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_raw_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+}
+
+/// `A + B`.
+pub fn add(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    axpby(1.0, a, 1.0, b)
+}
+
+/// `A - B`.
+pub fn sub(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    axpby(1.0, a, -1.0, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn m(entries: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut c = CooMatrix::new(3, 3);
+        for &(r, col, v) in entries {
+            c.push(r, col, v);
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn add_disjoint_patterns() {
+        let a = m(&[(0, 0, 1.0)]);
+        let b = m(&[(1, 1, 2.0)]);
+        let c = add(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn add_overlapping_patterns() {
+        let a = m(&[(0, 0, 1.0), (0, 1, 2.0)]);
+        let b = m(&[(0, 1, 3.0), (2, 2, 4.0)]);
+        let c = add(&a, &b).unwrap();
+        assert_eq!(c.get(0, 1), 5.0);
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn sub_cancels_to_empty() {
+        let a = m(&[(1, 2, 7.0)]);
+        let c = sub(&a, &a).unwrap();
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = CsrMatrix::identity(2);
+        let b = CsrMatrix::identity(3);
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn axpby_scales_both_sides() {
+        let a = m(&[(0, 0, 1.0)]);
+        let b = m(&[(0, 0, 1.0)]);
+        let c = axpby(2.0, &a, -0.5, &b).unwrap();
+        assert_eq!(c.get(0, 0), 1.5);
+    }
+}

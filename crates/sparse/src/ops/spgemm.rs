@@ -1,0 +1,128 @@
+//! Gustavson's row-wise sparse matrix–matrix multiplication.
+
+use crate::csr::CsrMatrix;
+use crate::error::{Error, Result};
+
+/// Computes `C = A B` with Gustavson's algorithm: for each row of `A`,
+/// scatter the scaled rows of `B` into a dense accumulator, then gather the
+/// touched positions. Runs in `O(Σ_{a_ik ≠ 0} nnz(B_k,:))` — the classic
+/// sparse-aware bound the paper's Lemma 3 assumes.
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    if a.ncols() != b.nrows() {
+        return Err(Error::DimensionMismatch {
+            op: "spgemm",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    let mut indices: Vec<usize> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    indptr.push(0);
+
+    // Dense accumulator + "touched" stack, reset per row by replaying the
+    // stack (never a full O(ncols) clear).
+    let mut acc = vec![0.0f64; ncols];
+    let mut mark = vec![false; ncols];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for i in 0..nrows {
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, &aik) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k);
+            for (&j, &bkj) in b_cols.iter().zip(b_vals) {
+                if !mark[j] {
+                    mark[j] = true;
+                    touched.push(j);
+                    acc[j] = aik * bkj;
+                } else {
+                    acc[j] += aik * bkj;
+                }
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            let v = acc[j];
+            mark[j] = false;
+            if v != 0.0 {
+                indices.push(j);
+                values.push(v);
+            }
+        }
+        touched.clear();
+        indptr.push(indices.len());
+    }
+    Ok(CsrMatrix::from_raw_unchecked(nrows, ncols, indptr, indices, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::dense::DenseMatrix;
+
+    fn to_dense(m: &CsrMatrix) -> DenseMatrix {
+        m.to_dense()
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 2.0);
+        coo.push(2, 0, -1.0);
+        let a = coo.to_csr();
+        let i = CsrMatrix::identity(3);
+        assert_eq!(spgemm(&a, &i).unwrap(), a);
+        assert_eq!(spgemm(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matches_dense_product() {
+        let mut ca = CooMatrix::new(2, 3);
+        ca.push(0, 0, 1.0);
+        ca.push(0, 2, 2.0);
+        ca.push(1, 1, 3.0);
+        let mut cb = CooMatrix::new(3, 2);
+        cb.push(0, 0, 4.0);
+        cb.push(1, 1, 5.0);
+        cb.push(2, 0, 6.0);
+        let a = ca.to_csr();
+        let b = cb.to_csr();
+        let c = spgemm(&a, &b).unwrap();
+        let expected = to_dense(&a).matmul(&to_dense(&b)).unwrap();
+        assert!(to_dense(&c).max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let a = CsrMatrix::identity(2);
+        let b = CsrMatrix::identity(3);
+        assert!(spgemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn cancellation_produces_no_stored_zero() {
+        // A = [1 1], B = [[1], [-1]] => C = [0] exactly.
+        let mut ca = CooMatrix::new(1, 2);
+        ca.push(0, 0, 1.0);
+        ca.push(0, 1, 1.0);
+        let mut cb = CooMatrix::new(2, 1);
+        cb.push(0, 0, 1.0);
+        cb.push(1, 0, -1.0);
+        let c = spgemm(&ca.to_csr(), &cb.to_csr()).unwrap();
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn zero_times_anything_is_zero() {
+        let z = CsrMatrix::zeros(4, 5);
+        let i = CsrMatrix::identity(5);
+        let c = spgemm(&z, &i).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.nrows(), 4);
+        assert_eq!(c.ncols(), 5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Parallel versions of the embarrassingly parallel kernels.
+//!
+//! BEAR's preprocessing is dominated by two column-independent
+//! computations — triangular-factor inversion (one sparse solve per
+//! column) and SpGEMM (one accumulator pass per row) — so both scale
+//! nearly linearly with threads via simple range splitting over
+//! crossbeam's scoped threads. Results are bit-identical to the serial
+//! kernels (each column/row is computed by exactly the same code).
+//!
+//! Thread-spawn overhead is a few hundred microseconds per call, so the
+//! parallel paths only pay off once the serial kernel takes milliseconds —
+//! i.e. on the large hub-heavy inputs where BEAR's preprocessing actually
+//! hurts; callers (e.g. `BearConfig::threads`) should keep `threads = 1`
+//! for small inputs.
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::{Error, Result};
+use crate::ops::spgemm;
+use crate::triangular::{spsolve, SpSolveWorkspace, Triangle};
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal
+/// length.
+fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Parallel triangular inversion: like
+/// [`crate::triangular::invert_triangular`] but computing column ranges on
+/// `threads` crossbeam-scoped threads.
+pub fn par_invert_triangular(
+    g: &CscMatrix,
+    triangle: Triangle,
+    unit_diag: bool,
+    threads: usize,
+) -> Result<CscMatrix> {
+    let n = g.ncols();
+    if g.nrows() != n {
+        return Err(Error::DimensionMismatch {
+            op: "par_invert_triangular",
+            lhs: (g.nrows(), g.ncols()),
+            rhs: (n, n),
+        });
+    }
+    let ranges = split_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return crate::triangular::invert_triangular(g, triangle, unit_diag);
+    }
+
+    type ColChunk = Result<(Vec<usize>, Vec<usize>, Vec<f64>)>;
+    let chunks: Vec<ColChunk> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|range| {
+                scope.spawn(move |_| -> ColChunk {
+                    let mut ws = SpSolveWorkspace::new(n);
+                    let mut col_ptr = Vec::with_capacity(range.len());
+                    let mut indices = Vec::new();
+                    let mut values = Vec::new();
+                    for j in range {
+                        let (pat, vals) = spsolve(g, triangle, &[j], &[1.0], unit_diag, &mut ws)?;
+                        indices.extend_from_slice(&pat);
+                        values.extend_from_slice(&vals);
+                        col_ptr.push(indices.len());
+                    }
+                    Ok((col_ptr, indices, values))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    })
+    .expect("crossbeam scope");
+
+    // Stitch the chunks into one CSC matrix.
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    indptr.push(0);
+    for chunk in chunks {
+        let (col_ptr, idx, val) = chunk?;
+        let offset = indices.len();
+        indptr.extend(col_ptr.iter().map(|&p| p + offset));
+        indices.extend_from_slice(&idx);
+        values.extend_from_slice(&val);
+    }
+    Ok(CscMatrix::from_raw_unchecked(n, n, indptr, indices, values))
+}
+
+/// Parallel SpGEMM: row ranges of `A` computed on `threads` threads and
+/// stitched together.
+pub fn par_spgemm(a: &CsrMatrix, b: &CsrMatrix, threads: usize) -> Result<CsrMatrix> {
+    if a.ncols() != b.nrows() {
+        return Err(Error::DimensionMismatch {
+            op: "par_spgemm",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    let ranges = split_ranges(a.nrows(), threads);
+    if ranges.len() <= 1 {
+        return spgemm(a, b);
+    }
+
+    type RowChunk = Result<CsrMatrix>;
+    let chunks: Vec<RowChunk> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|range| {
+                scope.spawn(move |_| -> RowChunk {
+                    let sub = a.submatrix(range.start, range.end, 0, a.ncols())?;
+                    spgemm(&sub, b)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    indptr.push(0);
+    for chunk in chunks {
+        let m = chunk?;
+        let offset = indices.len();
+        indptr.extend(m.indptr()[1..].iter().map(|&p| p + offset));
+        indices.extend_from_slice(m.indices());
+        values.extend_from_slice(m.values());
+    }
+    Ok(CsrMatrix::from_raw_unchecked(a.nrows(), b.ncols(), indptr, indices, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::lu::SparseLu;
+    use crate::triangular::invert_triangular;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(r: usize, c: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(r, c);
+        for i in 0..r {
+            for j in 0..c {
+                if rng.gen_bool(0.1) {
+                    coo.push(i, j, rng.gen_range(-2.0..2.0));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn random_dd(n: usize, seed: u64) -> CscMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(n, n);
+        let mut sums = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && rng.gen_bool(0.1) {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    coo.push(i, j, v);
+                    sums[j] += v.abs(); // column dominance
+                }
+            }
+        }
+        for (j, &s) in sums.iter().enumerate() {
+            coo.push(j, j, s + 1.0);
+        }
+        coo.to_csr().to_csc()
+    }
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        let ranges = split_ranges(10, 3);
+        assert_eq!(ranges.len(), 3);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 10);
+        assert_eq!(split_ranges(2, 8).len(), 2);
+        assert_eq!(split_ranges(0, 4).len(), 1);
+    }
+
+    #[test]
+    fn par_spgemm_matches_serial() {
+        let a = random_matrix(40, 30, 1);
+        let b = random_matrix(30, 25, 2);
+        let serial = spgemm(&a, &b).unwrap();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(par_spgemm(&a, &b, threads).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn par_invert_matches_serial() {
+        let a = random_dd(50, 3);
+        let lu = SparseLu::factor(&a).unwrap();
+        let serial_l = invert_triangular(lu.l(), Triangle::Lower, true).unwrap();
+        let serial_u = invert_triangular(lu.u(), Triangle::Upper, false).unwrap();
+        for threads in [2, 4] {
+            let par_l = par_invert_triangular(lu.l(), Triangle::Lower, true, threads).unwrap();
+            let par_u = par_invert_triangular(lu.u(), Triangle::Upper, false, threads).unwrap();
+            assert_eq!(par_l.to_csr(), serial_l.to_csr());
+            assert_eq!(par_u.to_csr(), serial_u.to_csr());
+        }
+    }
+
+    #[test]
+    fn par_kernels_validate_dimensions() {
+        let a = CsrMatrix::identity(3);
+        let b = CsrMatrix::identity(4);
+        assert!(par_spgemm(&a, &b, 2).is_err());
+        let rect = random_matrix(3, 4, 5).to_csc();
+        assert!(par_invert_triangular(&rect, Triangle::Lower, true, 2).is_err());
+    }
+
+    #[test]
+    fn par_invert_propagates_singularity() {
+        // Lower triangular with a zero diagonal entry.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(2, 2, 1.0);
+        coo.push(1, 0, 1.0);
+        let l = coo.to_csr().to_csc();
+        assert!(par_invert_triangular(&l, Triangle::Lower, false, 2).is_err());
+    }
+}

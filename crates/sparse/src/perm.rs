@@ -1,0 +1,326 @@
+//! Permutations of node/row/column indices.
+//!
+//! BEAR's preprocessing is built around symmetric permutations
+//! `P H Pᵀ` computed by SlashBurn; this module provides the permutation
+//! type and the permuted-matrix kernels.
+
+use crate::csr::CsrMatrix;
+use crate::error::{Error, Result};
+
+/// A permutation of `0..n`.
+///
+/// `perm[new_index] = old_index`: applying the permutation to a matrix
+/// places old row `perm[i]` at new row `i`. This is the "gather"
+/// convention, which makes composing with SlashBurn orderings natural
+/// (SlashBurn emits the new ordering as a list of old ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<usize>, // forward[new] = old
+    inverse: Vec<usize>, // inverse[old] = new
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        let forward: Vec<usize> = (0..n).collect();
+        Permutation { inverse: forward.clone(), forward }
+    }
+
+    /// Builds from a `new -> old` mapping, validating that it is a
+    /// bijection on `0..n`.
+    pub fn from_new_to_old(forward: Vec<usize>) -> Result<Self> {
+        let n = forward.len();
+        let mut inverse = vec![usize::MAX; n];
+        for (new, &old) in forward.iter().enumerate() {
+            if old >= n {
+                return Err(Error::IndexOutOfBounds { index: old, bound: n });
+            }
+            if inverse[old] != usize::MAX {
+                return Err(Error::InvalidStructure(format!(
+                    "duplicate element {old} in permutation"
+                )));
+            }
+            inverse[old] = new;
+        }
+        Ok(Permutation { forward, inverse })
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Old index sitting at new position `new`.
+    #[inline]
+    pub fn old_of(&self, new: usize) -> usize {
+        self.forward[new]
+    }
+
+    /// New position of old index `old`.
+    #[inline]
+    pub fn new_of(&self, old: usize) -> usize {
+        self.inverse[old]
+    }
+
+    /// The `new -> old` array.
+    pub fn as_new_to_old(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// The `old -> new` array.
+    pub fn as_old_to_new(&self) -> &[usize] {
+        &self.inverse
+    }
+
+    /// Returns the inverse permutation.
+    pub fn inverted(&self) -> Permutation {
+        Permutation { forward: self.inverse.clone(), inverse: self.forward.clone() }
+    }
+
+    /// Composes `self` after `first`: the result maps
+    /// `new -> first.old_of(self.old_of(new))`, i.e. applying the result
+    /// equals applying `first` then `self`.
+    pub fn compose(&self, first: &Permutation) -> Result<Permutation> {
+        if self.len() != first.len() {
+            return Err(Error::InvalidStructure(format!(
+                "cannot compose permutations of lengths {} and {}",
+                self.len(),
+                first.len()
+            )));
+        }
+        let forward = (0..self.len())
+            .map(|new| first.old_of(self.old_of(new)))
+            .collect();
+        Permutation::from_new_to_old(forward)
+    }
+
+    /// Applies the symmetric permutation `P A Pᵀ`: entry `(r, c)` of the
+    /// result equals entry `(old_of(r), old_of(c))` of `a`.
+    pub fn permute_symmetric(&self, a: &CsrMatrix) -> Result<CsrMatrix> {
+        if a.nrows() != self.len() || a.ncols() != self.len() {
+            return Err(Error::DimensionMismatch {
+                op: "permute_symmetric",
+                lhs: (self.len(), self.len()),
+                rhs: (a.nrows(), a.ncols()),
+            });
+        }
+        let mut indptr = Vec::with_capacity(a.nrows() + 1);
+        let mut indices = Vec::with_capacity(a.nnz());
+        let mut values = Vec::with_capacity(a.nnz());
+        indptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for new_r in 0..self.len() {
+            let old_r = self.forward[new_r];
+            let (cols, vals) = a.row(old_r);
+            scratch.clear();
+            scratch.extend(
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| (self.inverse[c], v)),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix::from_raw_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+    }
+
+    /// Permutes only the rows: `out.row(new) = a.row(old_of(new))`.
+    pub fn permute_rows(&self, a: &CsrMatrix) -> Result<CsrMatrix> {
+        if a.nrows() != self.len() {
+            return Err(Error::DimensionMismatch {
+                op: "permute_rows",
+                lhs: (self.len(), self.len()),
+                rhs: (a.nrows(), a.ncols()),
+            });
+        }
+        let mut indptr = Vec::with_capacity(a.nrows() + 1);
+        let mut indices = Vec::with_capacity(a.nnz());
+        let mut values = Vec::with_capacity(a.nnz());
+        indptr.push(0);
+        for new_r in 0..self.len() {
+            let (cols, vals) = a.row(self.forward[new_r]);
+            indices.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix::from_raw_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+    }
+
+    /// Permutes only the columns: old column `c` moves to `new_of(c)`.
+    pub fn permute_cols(&self, a: &CsrMatrix) -> Result<CsrMatrix> {
+        if a.ncols() != self.len() {
+            return Err(Error::DimensionMismatch {
+                op: "permute_cols",
+                lhs: (self.len(), self.len()),
+                rhs: (a.nrows(), a.ncols()),
+            });
+        }
+        let mut indptr = Vec::with_capacity(a.nrows() + 1);
+        let mut indices = Vec::with_capacity(a.nnz());
+        let mut values = Vec::with_capacity(a.nnz());
+        indptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            scratch.clear();
+            scratch.extend(cols.iter().zip(vals).map(|(&c, &v)| (self.inverse[c], v)));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix::from_raw_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+    }
+
+    /// Permutes a dense vector: `out[new] = x[old_of(new)]`.
+    pub fn permute_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.len() {
+            return Err(Error::DimensionMismatch {
+                op: "permute_vec",
+                lhs: (self.len(), 1),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok(self.forward.iter().map(|&old| x[old]).collect())
+    }
+
+    /// Undoes [`Permutation::permute_vec`]: `out[old_of(new)] = x[new]`.
+    pub fn unpermute_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.len() {
+            return Err(Error::DimensionMismatch {
+                op: "unpermute_vec",
+                lhs: (self.len(), 1),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; x.len()];
+        for (new, &old) in self.forward.iter().enumerate() {
+            out[old] = x[new];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Permutation::identity(3);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(p.permute_vec(&x).unwrap(), x);
+        let m = CsrMatrix::identity(3);
+        assert_eq!(p.permute_symmetric(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn from_new_to_old_rejects_non_bijection() {
+        assert!(Permutation::from_new_to_old(vec![0, 0, 1]).is_err());
+        assert!(Permutation::from_new_to_old(vec![0, 3]).is_err());
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+        let x = vec![10.0, 20.0, 30.0];
+        let y = p.permute_vec(&x).unwrap();
+        assert_eq!(y, vec![30.0, 10.0, 20.0]);
+        assert_eq!(p.unpermute_vec(&y).unwrap(), x);
+    }
+
+    #[test]
+    fn symmetric_permutation_moves_entries() {
+        // A = [[0, 1], [2, 0]]; swap rows/cols.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 2.0);
+        let a = coo.to_csr();
+        let p = Permutation::from_new_to_old(vec![1, 0]).unwrap();
+        let b = p.permute_symmetric(&a).unwrap();
+        assert_eq!(b.get(0, 1), 2.0);
+        assert_eq!(b.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn symmetric_permutation_is_involutive_under_inverse() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 2.0);
+        coo.push(3, 0, 3.0);
+        coo.push(2, 2, 4.0);
+        let a = coo.to_csr();
+        let p = Permutation::from_new_to_old(vec![3, 1, 0, 2]).unwrap();
+        let b = p.permute_symmetric(&a).unwrap();
+        let back = p.inverted().permute_symmetric(&b).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn compose_applies_in_sequence() {
+        let first = Permutation::from_new_to_old(vec![1, 2, 0]).unwrap();
+        let second = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+        let combined = second.compose(&first).unwrap();
+        let x = vec![10.0, 20.0, 30.0];
+        let step = first.permute_vec(&x).unwrap();
+        let two_step = second.permute_vec(&step).unwrap();
+        assert_eq!(combined.permute_vec(&x).unwrap(), two_step);
+    }
+
+    #[test]
+    fn row_and_col_permutations_compose_to_symmetric() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        let a = coo.to_csr();
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+        let via_two_steps = p.permute_cols(&p.permute_rows(&a).unwrap()).unwrap();
+        let via_symmetric = p.permute_symmetric(&a).unwrap();
+        assert_eq!(via_two_steps, via_symmetric);
+    }
+
+    #[test]
+    fn permute_rows_moves_rows() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 5.0);
+        let a = coo.to_csr();
+        let p = Permutation::from_new_to_old(vec![1, 0]).unwrap();
+        let b = p.permute_rows(&a).unwrap();
+        assert_eq!(b.get(1, 0), 5.0);
+        assert_eq!(b.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn permute_cols_moves_cols() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 5.0);
+        let a = coo.to_csr();
+        let p = Permutation::from_new_to_old(vec![1, 0]).unwrap();
+        let b = p.permute_cols(&a).unwrap();
+        assert_eq!(b.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn old_new_round_trip() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 3, 1]).unwrap();
+        for new in 0..4 {
+            assert_eq!(p.new_of(p.old_of(new)), new);
+        }
+        for old in 0..4 {
+            assert_eq!(p.old_of(p.new_of(old)), old);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Drop-tolerance sparsification (BEAR-Approx, Algorithm 1 line 9).
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+
+/// Returns a copy of `a` with every entry of magnitude `< xi` removed.
+/// `xi = 0` keeps everything (entries equal to the tolerance survive,
+/// matching the paper's "absolute value smaller than ξ" wording).
+pub fn drop_tolerance_csr(a: &CsrMatrix, xi: f64) -> CsrMatrix {
+    if xi <= 0.0 {
+        return a.clone();
+    }
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    indptr.push(0);
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            if v.abs() >= xi {
+                indices.push(c);
+                values.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    CsrMatrix::from_raw_unchecked(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+/// CSC counterpart of [`drop_tolerance_csr`].
+pub fn drop_tolerance_csc(a: &CscMatrix, xi: f64) -> CscMatrix {
+    if xi <= 0.0 {
+        return a.clone();
+    }
+    let mut indptr = Vec::with_capacity(a.ncols() + 1);
+    let mut indices = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    indptr.push(0);
+    for c in 0..a.ncols() {
+        let (rows, vals) = a.col(c);
+        for (&r, &v) in rows.iter().zip(vals) {
+            if v.abs() >= xi {
+                indices.push(r);
+                values.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    CscMatrix::from_raw_unchecked(a.nrows(), a.ncols(), indptr, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 1e-6);
+        coo.push(1, 2, -1e-3);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn zero_tolerance_keeps_everything() {
+        let a = sample();
+        assert_eq!(drop_tolerance_csr(&a, 0.0), a);
+    }
+
+    #[test]
+    fn drops_below_threshold_keeps_above() {
+        let a = sample();
+        let d = drop_tolerance_csr(&a, 1e-4);
+        assert_eq!(d.nnz(), 2);
+        assert_eq!(d.get(0, 1), 0.0);
+        assert_eq!(d.get(1, 2), -1e-3); // |.| >= xi survives
+        assert_eq!(d.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn negative_values_compared_by_magnitude() {
+        let a = sample();
+        let d = drop_tolerance_csr(&a, 1e-2);
+        assert_eq!(d.nnz(), 1);
+        assert_eq!(d.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn csc_agrees_with_csr() {
+        let a = sample();
+        let via_csr = drop_tolerance_csr(&a, 1e-4);
+        let via_csc = drop_tolerance_csc(&a.to_csc(), 1e-4).to_csr();
+        assert_eq!(via_csr, via_csc);
+    }
+}

@@ -1,0 +1,234 @@
+//! Randomized truncated SVD of a sparse matrix.
+//!
+//! Used by the B_LIN / NB_LIN baselines to build the rank-`t` approximation
+//! `A ≈ U Σ V`. The algorithm is Halko–Martinsson–Tropp randomized
+//! subspace iteration: sketch the range with a Gaussian test matrix,
+//! orthonormalize, optionally run power iterations for spectral-decay
+//! sharpening, then take an exact factorization of the small projected
+//! matrix via the Jacobi eigensolver.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::eigen::symmetric_eigen;
+use crate::error::{Error, Result};
+use crate::qr::mgs_orthonormalize;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Truncated SVD `A ≈ U diag(s) Vᵀ` with `U: n×t`, `Vᵀ: t×m`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Left singular vectors (columns).
+    pub u: DenseMatrix,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors, stored transposed (rows).
+    pub vt: DenseMatrix,
+}
+
+/// `C = A B` for sparse `A`, dense `B`.
+pub fn csr_times_dense(a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.ncols() != b.nrows() {
+        return Err(Error::DimensionMismatch {
+            op: "csr_times_dense",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    let mut out = DenseMatrix::zeros(a.nrows(), b.ncols());
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        let orow = out.row_mut(r);
+        for (&k, &v) in cols.iter().zip(vals) {
+            for (o, &bv) in orow.iter_mut().zip(b.row(k)) {
+                *o += v * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `C = Aᵀ B` for sparse `A`, dense `B`, without materializing `Aᵀ`.
+pub fn csr_transpose_times_dense(a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.nrows() != b.nrows() {
+        return Err(Error::DimensionMismatch {
+            op: "csr_transpose_times_dense",
+            lhs: (a.ncols(), a.nrows()),
+            rhs: (b.nrows(), b.ncols()),
+        });
+    }
+    let mut out = DenseMatrix::zeros(a.ncols(), b.ncols());
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        let brow = b.row(r);
+        for (&k, &v) in cols.iter().zip(vals) {
+            let orow = out.row_mut(k);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += v * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes a rank-`t` truncated SVD of `a` via randomized subspace
+/// iteration with `oversample` extra sketch columns and `power_iters`
+/// power iterations.
+pub fn randomized_svd<R: Rng>(
+    a: &CsrMatrix,
+    t: usize,
+    oversample: usize,
+    power_iters: usize,
+    rng: &mut R,
+) -> Result<TruncatedSvd> {
+    let (n, m) = (a.nrows(), a.ncols());
+    let sketch = (t + oversample).min(m).min(n);
+    if sketch == 0 {
+        return Err(Error::InvalidStructure("rank-0 SVD requested".into()));
+    }
+
+    // Gaussian sketch of the range: Y = A Ω.
+    let normal = rand::distributions::Uniform::new(-1.0f64, 1.0);
+    let mut omega = DenseMatrix::zeros(m, sketch);
+    for i in 0..m {
+        for j in 0..sketch {
+            omega[(i, j)] = normal.sample(rng);
+        }
+    }
+    let mut y = csr_times_dense(a, &omega)?;
+    mgs_orthonormalize(&mut y);
+
+    // Power iterations sharpen the spectrum: Y <- A Aᵀ Y (re-orthonormalized).
+    for _ in 0..power_iters {
+        let z = csr_transpose_times_dense(a, &y)?;
+        y = csr_times_dense(a, &z)?;
+        mgs_orthonormalize(&mut y);
+    }
+
+    // Project: B = Qᵀ A, factor the small Gram matrix B Bᵀ (sketch × sketch).
+    // Bᵀ = Aᵀ Q, so B = (Aᵀ Q)ᵀ.
+    let bt = csr_transpose_times_dense(a, &y)?; // m × sketch
+    let gram = bt.transpose().matmul(&bt)?; // sketch × sketch = B Bᵀ
+    let eig = symmetric_eigen(&gram)?;
+
+    let rank = t.min(sketch);
+    let mut s = Vec::with_capacity(rank);
+    let mut u = DenseMatrix::zeros(n, rank);
+    let mut vt = DenseMatrix::zeros(rank, m);
+    for j in 0..rank {
+        let sigma = eig.values[j].max(0.0).sqrt();
+        s.push(sigma);
+        // u_j = Q w_j
+        for i in 0..n {
+            let mut acc = 0.0;
+            for k in 0..y.ncols() {
+                acc += y[(i, k)] * eig.vectors[(k, j)];
+            }
+            u[(i, j)] = acc;
+        }
+        // vᵀ_j = (1/σ) w_jᵀ B = (1/σ) (Bᵀ w_j)ᵀ
+        if sigma > 1e-12 {
+            for i in 0..m {
+                let mut acc = 0.0;
+                for k in 0..bt.ncols() {
+                    acc += bt[(i, k)] * eig.vectors[(k, j)];
+                }
+                vt[(j, i)] = acc / sigma;
+            }
+        }
+    }
+    Ok(TruncatedSvd { u, s, vt })
+}
+
+impl TruncatedSvd {
+    /// Reconstructs the dense approximation `U diag(s) Vᵀ` (test helper;
+    /// only sensible for small matrices).
+    pub fn reconstruct(&self) -> Result<DenseMatrix> {
+        let mut us = self.u.clone();
+        for j in 0..self.s.len() {
+            for i in 0..us.nrows() {
+                us[(i, j)] *= self.s[j];
+            }
+        }
+        us.matmul(&self.vt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn csr_dense_products_match_dense_oracle() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 3, -1.0);
+        coo.push(2, 0, 0.5);
+        let a = coo.to_csr();
+        let b = DenseMatrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[2.0, 2.0],
+            &[1.0, -1.0],
+        ])
+        .unwrap();
+        let ad = a.to_dense();
+        let want = ad.matmul(&b).unwrap();
+        let got = csr_times_dense(&a, &b).unwrap();
+        assert!(got.max_abs_diff(&want) < 1e-12);
+
+        let c = DenseMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let want_t = ad.transpose().matmul(&c).unwrap();
+        let got_t = csr_transpose_times_dense(&a, &c).unwrap();
+        assert!(got_t.max_abs_diff(&want_t) < 1e-12);
+    }
+
+    #[test]
+    fn exact_recovery_of_low_rank_matrix() {
+        // Build a rank-2 matrix and recover it exactly at t = 2.
+        let u = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]])
+            .unwrap();
+        let v = DenseMatrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, 1.0]]).unwrap();
+        let dense = u.matmul(&v).unwrap();
+        let sparse = dense.to_csr(0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let svd = randomized_svd(&sparse, 2, 4, 2, &mut rng).unwrap();
+        let back = svd.reconstruct().unwrap();
+        assert!(back.max_abs_diff(&dense) < 1e-8);
+    }
+
+    #[test]
+    fn singular_values_descend() {
+        let mut coo = CooMatrix::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, (i + 1) as f64);
+        }
+        let a = coo.to_csr();
+        let mut rng = StdRng::seed_from_u64(1);
+        let svd = randomized_svd(&a, 4, 2, 2, &mut rng).unwrap();
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        // Largest singular value of the diagonal matrix is 6.
+        assert!((svd.s[0] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncation_error_bounded_by_next_singular_value() {
+        // Diagonal matrix: truncating at rank 2 leaves max error = 3rd value.
+        let mut coo = CooMatrix::new(5, 5);
+        let diag = [10.0, 8.0, 0.1, 0.05, 0.01];
+        for (i, &d) in diag.iter().enumerate() {
+            coo.push(i, i, d);
+        }
+        let a = coo.to_csr();
+        let mut rng = StdRng::seed_from_u64(3);
+        let svd = randomized_svd(&a, 2, 3, 3, &mut rng).unwrap();
+        let back = svd.reconstruct().unwrap();
+        let err = back.max_abs_diff(&a.to_dense());
+        assert!(err < 0.2, "truncation error {err} too large");
+    }
+}

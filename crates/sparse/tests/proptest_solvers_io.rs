@@ -1,0 +1,106 @@
+//! Property-based tests for the iterative solvers and Matrix Market I/O.
+
+use bear_sparse::mm_io::{parse_matrix_market, read_matrix_market, write_matrix_market};
+use bear_sparse::solvers::{bicgstab, jacobi, SolveOptions};
+use bear_sparse::{CooMatrix, CsrMatrix, DenseLu, DenseMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a random square, strictly row+column diagonally dominant
+/// matrix on which both Jacobi and BiCGSTAB are guaranteed to converge.
+fn arb_dd_system() -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
+    (2usize..25).prop_flat_map(|n| {
+        let entries = proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..n * 3);
+        let rhs = proptest::collection::vec(-5.0f64..5.0, n..=n);
+        (entries, rhs).prop_map(move |(off, b)| {
+            let mut dense = DenseMatrix::zeros(n, n);
+            for (i, j, v) in off {
+                if i != j {
+                    dense[(i, j)] = v;
+                }
+            }
+            for i in 0..n {
+                let row: f64 = (0..n).map(|j| dense[(i, j)].abs()).sum();
+                let col: f64 = (0..n).map(|j| dense[(j, i)].abs()).sum();
+                dense[(i, i)] = row.max(col) + 1.0;
+            }
+            (dense.to_csr(0.0), b)
+        })
+    })
+}
+
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((0..r, 0..c, -100.0f64..100.0), 0..(r * c).min(40)).prop_map(
+            move |triplets| {
+                let mut coo = CooMatrix::new(r, c);
+                for (i, j, v) in triplets {
+                    coo.push(i, j, v);
+                }
+                coo.to_csr()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn jacobi_solves_dd_systems((a, b) in arb_dd_system()) {
+        let x = jacobi(&a, &b, &SolveOptions::default()).unwrap();
+        let oracle = DenseLu::factor(&a.to_dense()).unwrap().solve(&b).unwrap();
+        for (p, q) in x.iter().zip(&oracle) {
+            prop_assert!((p - q).abs() < 1e-7, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn bicgstab_solves_dd_systems((a, b) in arb_dd_system()) {
+        let x = bicgstab(&a, &b, &SolveOptions::default()).unwrap();
+        let oracle = DenseLu::factor(&a.to_dense()).unwrap().solve(&b).unwrap();
+        for (p, q) in x.iter().zip(&oracle) {
+            prop_assert!((p - q).abs() < 1e-7, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn residual_actually_small((a, b) in arb_dd_system()) {
+        let x = bicgstab(&a, &b, &SolveOptions::default()).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let res: f64 = ax.iter().zip(&b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(res <= 1e-9 * bn.max(1.0), "residual {res}");
+    }
+
+    #[test]
+    fn matrix_market_file_round_trip(m in arb_matrix()) {
+        let path = std::env::temp_dir().join(format!(
+            "bear_mm_prop_{}_{}_{}.mtx",
+            m.nrows(),
+            m.ncols(),
+            m.nnz()
+        ));
+        write_matrix_market(&m, &path).unwrap();
+        let back = read_matrix_market(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back.nrows(), m.nrows());
+        prop_assert_eq!(back.ncols(), m.ncols());
+        prop_assert!(back.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn matrix_market_string_round_trip_preserves_exact_values(m in arb_matrix()) {
+        // %.17e formatting is lossless for f64.
+        let mut text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{} {} {}\n",
+            m.nrows(),
+            m.ncols(),
+            m.nnz()
+        );
+        for (r, c, v) in m.iter() {
+            text.push_str(&format!("{} {} {:.17e}\n", r + 1, c + 1, v));
+        }
+        let back = parse_matrix_market(&text).unwrap();
+        prop_assert_eq!(back, m);
+    }
+}

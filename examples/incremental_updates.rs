@@ -1,0 +1,82 @@
+//! Production workflow: persist the precomputed index to disk, reload it
+//! in a "serving" process, and keep it fresh under edge insertions with
+//! [`DynamicBear`] — the paper's stated future-work direction
+//! (Section 6: "extending BEAR to support frequently changing graphs").
+//!
+//! ```text
+//! cargo run --release --example incremental_updates
+//! ```
+
+use bear_core::{Bear, BearConfig, DynamicBear, RwrSolver, UpdateKind};
+use bear_graph::generators::{hub_and_spoke, HubSpokeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let graph = hub_and_spoke(
+        &HubSpokeConfig {
+            num_hubs: 6,
+            num_caves: 120,
+            max_cave_size: 8,
+            cave_density: 0.4,
+            hub_links: 1,
+            hub_density: 0.5,
+        },
+        &mut rng,
+    );
+    println!("graph: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+
+    // 1. Offline: preprocess once and persist the index.
+    let index_path = std::env::temp_dir().join("example_incremental.bear");
+    let bear = Bear::new(&graph, &BearConfig::exact(0.1)).expect("preprocessing");
+    bear.save(&index_path).expect("save index");
+    println!(
+        "saved index: {} bytes of precomputed matrices -> {}",
+        bear.memory_bytes(),
+        index_path.display()
+    );
+
+    // 2. Online: a serving process loads the index and answers queries
+    //    without redoing preprocessing.
+    let served = Bear::load(&index_path).expect("load index");
+    let before = served.query(42).expect("query");
+    assert_eq!(before, bear.query(42).expect("query"));
+    println!("reloaded index answers queries identically ✓");
+
+    // 3. The graph changes: hub-incident insertions take the incremental
+    //    path (Schur refresh only); spoke-incident ones rebuild.
+    let mut dynamic = DynamicBear::new(&graph, &BearConfig::exact(0.1)).expect("dynamic");
+    let hub = 0; // generator places hubs at the lowest ids
+    let kind = dynamic.insert_edge(hub, 42, 1.0).expect("insert");
+    println!("inserted hub edge ({hub} -> 42): {kind:?}");
+    assert_eq!(kind, UpdateKind::IncrementalHub);
+
+    let spoke = graph.num_nodes() - 1;
+    let kind = dynamic.insert_edge(spoke, 42, 1.0).expect("insert");
+    println!("inserted spoke edge ({spoke} -> 42): {kind:?}");
+    assert_eq!(kind, UpdateKind::FullRebuild);
+
+    // 4. The updated index agrees with from-scratch preprocessing of the
+    //    updated graph.
+    let updated_graph = dynamic.current_graph().expect("graph");
+    let oracle = Bear::new(&updated_graph, &BearConfig::exact(0.1)).expect("oracle");
+    let got = dynamic.query(42).expect("query");
+    let want = oracle.query(42).expect("query");
+    let max_diff = got
+        .iter()
+        .zip(&want)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("updated index vs fresh preprocessing: max |Δscore| = {max_diff:.2e}");
+    assert!(max_diff < 1e-9);
+    println!("incrementally maintained index is exact ✓");
+
+    // The seed's score changed because its neighborhood changed.
+    let after = dynamic.query(42).expect("query");
+    let shift = bear_core::metrics::l2_error(&before, &after);
+    println!("score shift caused by the two insertions: L2 = {shift:.3e}");
+    assert!(shift > 0.0);
+
+    std::fs::remove_file(&index_path).ok();
+}

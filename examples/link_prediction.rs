@@ -1,0 +1,96 @@
+//! Link prediction with RWR (Liben-Nowell & Kleinberg): hide a fraction
+//! of a node's edges, rank all non-neighbors by their RWR score w.r.t.
+//! the node, and check that the hidden neighbors surface near the top.
+//!
+//! The graph is a clustered social network (dense friend groups bridged
+//! by a few connectors) — the regime where proximity-based link
+//! prediction is informative.
+//!
+//! ```text
+//! cargo run --release --example link_prediction
+//! ```
+
+use bear_core::{Bear, BearConfig};
+use bear_graph::generators::{hub_and_spoke, HubSpokeConfig};
+use bear_graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // Dense friend groups (caves) tied together by a few connector hubs.
+    let full = hub_and_spoke(
+        &HubSpokeConfig {
+            num_hubs: 8,
+            num_caves: 50,
+            max_cave_size: 14,
+            cave_density: 0.6,
+            hub_links: 1,
+            hub_density: 0.4,
+        },
+        &mut rng,
+    );
+    println!("graph: {} nodes, {} edges", full.num_nodes(), full.num_edges());
+
+    // Probe: the highest-degree non-hub node (hubs occupy ids 0..8).
+    let degrees = full.undirected_degrees();
+    let probe = (8..full.num_nodes()).max_by_key(|&u| degrees[u]).unwrap();
+    let sym = full.symmetrized_pattern();
+    let mut probe_nbrs: Vec<usize> = sym.row(probe).0.to_vec();
+    probe_nbrs.shuffle(&mut rng);
+    let hidden: Vec<usize> = probe_nbrs[..probe_nbrs.len() * 3 / 10].to_vec();
+    println!(
+        "probe node {probe} with degree {}; hiding {} edges",
+        probe_nbrs.len(),
+        hidden.len()
+    );
+
+    // Train on the symmetrized graph with the hidden edges removed.
+    let mut train_edges: Vec<(usize, usize)> = Vec::new();
+    for (u, v, _) in sym.iter() {
+        if (u == probe && hidden.contains(&v)) || (v == probe && hidden.contains(&u)) {
+            continue;
+        }
+        train_edges.push((u, v));
+    }
+    let train = Graph::from_edges(full.num_nodes(), &train_edges).expect("train graph");
+
+    // Rank candidates (non-neighbors in the training graph) by RWR.
+    let bear = Bear::new(&train, &BearConfig::exact(0.15)).expect("preprocessing");
+    let scores = bear.query(probe).expect("query");
+    let train_sym = train.symmetrized_pattern();
+    let train_nbrs = train_sym.row(probe).0;
+    let mut candidates: Vec<usize> = (0..train.num_nodes())
+        .filter(|&u| u != probe && !train_nbrs.contains(&u))
+        .collect();
+    candidates.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+
+    // Where do the hidden edges land in the ranking?
+    let top_k = hidden.len().max(10);
+    let recovered = candidates[..top_k.min(candidates.len())]
+        .iter()
+        .filter(|u| hidden.contains(u))
+        .count();
+    println!(
+        "recovered {recovered}/{} hidden neighbors in the top {top_k} \
+         (random baseline would get ~{:.2})",
+        hidden.len(),
+        top_k as f64 * hidden.len() as f64 / candidates.len() as f64
+    );
+    let mean_rank: f64 = hidden
+        .iter()
+        .map(|h| candidates.iter().position(|c| c == h).unwrap() as f64)
+        .sum::<f64>()
+        / hidden.len() as f64;
+    println!(
+        "mean rank of hidden neighbors: {:.1} of {} candidates",
+        mean_rank,
+        candidates.len()
+    );
+    assert!(
+        recovered as f64 >= hidden.len() as f64 * 0.5,
+        "RWR failed to recover at least half of the hidden edges"
+    );
+    println!("at least half of the hidden edges recovered in the top {top_k} ✓");
+}

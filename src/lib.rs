@@ -1,0 +1,11 @@
+//! Umbrella crate for the BEAR reproduction workspace.
+//!
+//! This crate re-exports the member crates so examples and integration tests
+//! can use a single import root. Library users should depend on the member
+//! crates (`bear-core`, `bear-graph`, ...) directly.
+
+pub use bear_baselines as baselines;
+pub use bear_core as core;
+pub use bear_datasets as datasets;
+pub use bear_graph as graph;
+pub use bear_sparse as sparse;

@@ -1,0 +1,96 @@
+//! Integration test: every *exact* method (BEAR-Exact, inversion, LU
+//! decomposition, QR decomposition, and the iterative method at tight
+//! tolerance) computes the same RWR scores on every small-suite dataset —
+//! the paper's Theorem 1 checked end-to-end across the whole stack.
+
+use bear_baselines::{Inversion, Iterative, IterativeConfig, LuDecomp, QrDecomp};
+use bear_core::rwr::RwrConfig;
+use bear_core::{Bear, BearConfig, RwrSolver};
+use bear_datasets::small_suite;
+use bear_sparse::mem::MemBudget;
+
+fn solvers_for(
+    g: &bear_graph::Graph,
+) -> Vec<(&'static str, Box<dyn RwrSolver>)> {
+    let rwr = RwrConfig::default();
+    let budget = MemBudget::unlimited();
+    vec![
+        (
+            "bear",
+            Box::new(Bear::new(g, &BearConfig::exact(rwr.c)).unwrap()) as Box<dyn RwrSolver>,
+        ),
+        ("inversion", Box::new(Inversion::new(g, &rwr, &budget).unwrap())),
+        ("lu", Box::new(LuDecomp::new(g, &rwr, &budget).unwrap())),
+        ("qr", Box::new(QrDecomp::new(g, &rwr, &budget).unwrap())),
+        (
+            "iterative",
+            Box::new(
+                Iterative::new(g, &IterativeConfig { epsilon: 1e-12, ..Default::default() })
+                    .unwrap(),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn all_exact_methods_agree_on_every_small_dataset() {
+    for spec in small_suite() {
+        let g = spec.load();
+        let solvers = solvers_for(&g);
+        let n = g.num_nodes();
+        let seeds: Vec<usize> = (0..5).map(|i| (i * 977) % n).collect();
+        for &seed in &seeds {
+            let reference = solvers[0].1.query(seed).unwrap();
+            for (name, solver) in &solvers[1..] {
+                let r = solver.query(seed).unwrap();
+                for (i, (a, b)) in r.iter().zip(&reference).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-6,
+                        "{}: {name} disagrees with BEAR at node {i} for seed {seed}: {a} vs {b}",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_methods_agree_on_ppr_distributions() {
+    let spec = &small_suite()[0];
+    let g = spec.load();
+    let n = g.num_nodes();
+    let mut q = vec![0.0; n];
+    for i in 0..10 {
+        q[(i * 131) % n] += 0.1;
+    }
+    let solvers = solvers_for(&g);
+    let reference = solvers[0].1.query_distribution(&q).unwrap();
+    for (name, solver) in &solvers[1..] {
+        let r = solver.query_distribution(&q).unwrap();
+        for (a, b) in r.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-6, "{name} PPR disagrees: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn scores_are_nonnegative_and_bounded() {
+    for spec in small_suite() {
+        let g = spec.load();
+        let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+        let r = bear.query(0).unwrap();
+        assert!(r.iter().all(|&v| v >= -1e-12), "{}: negative score", spec.name);
+        let sum: f64 = r.iter().sum();
+        assert!(sum <= 1.0 + 1e-9, "{}: total mass {sum} > 1", spec.name);
+    }
+}
+
+#[test]
+fn bear_is_deterministic() {
+    let g = small_suite()[0].load();
+    let b1 = Bear::new(&g, &BearConfig::default()).unwrap();
+    let b2 = Bear::new(&g, &BearConfig::default()).unwrap();
+    assert_eq!(b1.query(3).unwrap(), b2.query(3).unwrap());
+    assert_eq!(b1.memory_bytes(), b2.memory_bytes());
+}

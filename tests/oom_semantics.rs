@@ -1,0 +1,83 @@
+//! Integration tests for the memory-budget ("out of memory") semantics
+//! the harness uses to reproduce the paper's omitted bars: dense methods
+//! refuse before allocating, fill-bounded methods abort mid-flight, and
+//! no-preprocessing methods are unaffected.
+
+use bear_baselines::{Inversion, Iterative, IterativeConfig, LuDecomp, QrDecomp};
+use bear_core::rwr::RwrConfig;
+use bear_core::{Bear, BearConfig, RwrSolver};
+use bear_datasets::small_suite;
+use bear_sparse::mem::MemBudget;
+use bear_sparse::Error;
+
+#[test]
+fn dense_methods_refuse_under_tiny_budget() {
+    let g = small_suite()[0].load();
+    let rwr = RwrConfig::default();
+    let tiny = MemBudget::bytes(4096);
+    assert!(matches!(
+        Inversion::new(&g, &rwr, &tiny),
+        Err(Error::OutOfBudget { .. })
+    ));
+    assert!(matches!(
+        QrDecomp::new(&g, &rwr, &tiny),
+        Err(Error::OutOfBudget { .. })
+    ));
+}
+
+#[test]
+fn lu_decomp_aborts_rather_than_filling_in() {
+    let g = small_suite()[2].load(); // hub-heavy: whole-matrix inverse fills
+    let rwr = RwrConfig::default();
+    let tiny = MemBudget::bytes(16 * 1024);
+    assert!(matches!(
+        LuDecomp::new(&g, &rwr, &tiny),
+        Err(Error::OutOfBudget { .. })
+    ));
+}
+
+#[test]
+fn bear_honours_its_budget() {
+    let g = small_suite()[0].load();
+    let config = BearConfig { budget: MemBudget::bytes(256), ..BearConfig::default() };
+    assert!(matches!(Bear::new(&g, &config), Err(Error::OutOfBudget { .. })));
+}
+
+#[test]
+fn bear_fits_where_dense_methods_do_not() {
+    // A budget sized so BEAR succeeds while inversion/QR refuse — the
+    // crossover the paper's Figure 5 shows.
+    let g = small_suite()[0].load();
+    let rwr = RwrConfig::default();
+    let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+    let budget_bytes = bear.memory_bytes() * 2;
+    let budget = MemBudget::bytes(budget_bytes);
+    let config = BearConfig { budget, ..BearConfig::default() };
+    assert!(Bear::new(&g, &config).is_ok());
+    assert!(matches!(
+        Inversion::new(&g, &rwr, &budget),
+        Err(Error::OutOfBudget { .. })
+    ));
+    assert!(matches!(
+        QrDecomp::new(&g, &rwr, &budget),
+        Err(Error::OutOfBudget { .. })
+    ));
+}
+
+#[test]
+fn iterative_method_needs_no_budget() {
+    let g = small_suite()[0].load();
+    let it = Iterative::new(&g, &IterativeConfig::default()).unwrap();
+    assert_eq!(it.memory_bytes(), 0);
+    assert!(it.query(0).is_ok());
+}
+
+#[test]
+fn unlimited_budget_never_fails_for_budget_reasons() {
+    let g = small_suite()[0].load();
+    let rwr = RwrConfig::default();
+    let unlimited = MemBudget::unlimited();
+    assert!(Inversion::new(&g, &rwr, &unlimited).is_ok());
+    assert!(QrDecomp::new(&g, &rwr, &unlimited).is_ok());
+    assert!(LuDecomp::new(&g, &rwr, &unlimited).is_ok());
+}

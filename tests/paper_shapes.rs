@@ -1,0 +1,150 @@
+//! Regression tests encoding the paper's headline *shape* claims as
+//! assertions on small datasets, so the qualitative results of
+//! EXPERIMENTS.md cannot silently rot.
+
+use bear_baselines::{Iterative, IterativeConfig, LuDecomp};
+use bear_core::rwr::RwrConfig;
+use bear_core::{Bear, BearConfig, RwrSolver};
+use bear_graph::generators::{rmat, RmatConfig};
+use bear_graph::{slashburn, Graph, SlashBurnConfig};
+use bear_sparse::mem::MemBudget;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_rmat(p_ul: f64) -> Graph {
+    rmat(
+        &RmatConfig { scale: 10, edges: 5_000, p_ul, noise: 0.0 },
+        &mut StdRng::seed_from_u64(500),
+    )
+}
+
+/// Figure 5's claim: BEAR-Exact needs less space than the LU baseline.
+#[test]
+fn bear_uses_less_space_than_lu_baseline() {
+    for spec in bear_datasets::small_suite() {
+        let g = spec.load();
+        let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+        let lu = LuDecomp::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
+        assert!(
+            bear.memory_bytes() < lu.memory_bytes(),
+            "{}: BEAR {} !< LU {}",
+            spec.name,
+            bear.memory_bytes(),
+            lu.memory_bytes()
+        );
+    }
+}
+
+/// Figure 1(b)'s claim: BEAR's query beats the iterative method, by a
+/// growing margin on spoke-heavy graphs. Wall-clock comparisons are
+/// noisy in CI, so the assertion uses a generous 1.5× requirement over
+/// the mean of several queries.
+#[test]
+fn bear_query_faster_than_iterative() {
+    let g = bear_datasets::dataset_by_name("small_routing").unwrap().load();
+    let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+    let it = Iterative::new(&g, &IterativeConfig::default()).unwrap();
+    let time = |solver: &dyn RwrSolver| {
+        let start = std::time::Instant::now();
+        for seed in 0..20 {
+            solver.query(seed * 7 % solver.num_nodes()).unwrap();
+        }
+        start.elapsed().as_secs_f64()
+    };
+    // Warm up, then measure.
+    let _ = time(&bear);
+    let bear_t = time(&bear);
+    let iter_t = time(&it);
+    assert!(
+        iter_t > 1.5 * bear_t,
+        "iterative {iter_t:.6}s not >> BEAR {bear_t:.6}s"
+    );
+}
+
+/// Figure 7's claim: stronger hub-and-spoke structure (higher p_ul)
+/// shrinks n₂, Σn₁ᵢ², and BEAR's space.
+#[test]
+fn stronger_hub_structure_shrinks_everything() {
+    let weak = small_rmat(0.55);
+    let strong = small_rmat(0.9);
+    let ow = slashburn(&weak, &SlashBurnConfig::paper_default(weak.num_nodes())).unwrap();
+    let os = slashburn(&strong, &SlashBurnConfig::paper_default(strong.num_nodes())).unwrap();
+    assert!(os.n_hubs < ow.n_hubs, "{} !< {}", os.n_hubs, ow.n_hubs);
+    assert!(os.sum_block_sq() < ow.sum_block_sq());
+    let bw = Bear::new(&weak, &BearConfig::default()).unwrap();
+    let bs = Bear::new(&strong, &BearConfig::default()).unwrap();
+    assert!(bs.memory_bytes() < bw.memory_bytes());
+}
+
+/// Table 2's claim: the precomputed matrices respect their nnz bounds.
+#[test]
+fn precomputed_nnz_respects_table2_bounds() {
+    for spec in bear_datasets::small_suite() {
+        let g = spec.load();
+        let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+        let st = bear.stats();
+        let n1 = st.n1;
+        let n2 = st.n2;
+        let m = g.num_edges();
+        // |H12| + |H21| <= min(2 n1 n2, |H|) (both blocks of H).
+        assert!(st.nnz_cross() <= (2 * n1 * n2).min(m + g.num_nodes())); // H has <= m + n entries
+        // |L1^-1| + |U1^-1| <= 2 * sum block^2 (Lemma 1 bound, both factors).
+        assert!(
+            (st.nnz_spoke_factors() as u128) <= 2 * st.sum_block_sq + 2 * n1 as u128,
+            "{}: {} > 2*{}",
+            spec.name,
+            st.nnz_spoke_factors(),
+            st.sum_block_sq
+        );
+        // |L2^-1| + |U2^-1| <= n2^2 + n2 (both triangles incl. diagonals).
+        assert!(st.nnz_hub_factors() <= n2 * n2 + n2);
+    }
+}
+
+/// Figure 6's claim: drop tolerance trades space monotonically and keeps
+/// cosine accuracy ≥ 0.999 at ξ = n⁻¹.
+#[test]
+fn drop_tolerance_keeps_paper_accuracy_at_n_inverse() {
+    for spec in bear_datasets::small_suite() {
+        let g = spec.load();
+        let exact = Bear::new(&g, &BearConfig::default()).unwrap();
+        let xi = 1.0 / g.num_nodes() as f64;
+        let approx = Bear::new(&g, &BearConfig::approx(0.05, xi)).unwrap();
+        let re = exact.query(1).unwrap();
+        let ra = approx.query(1).unwrap();
+        let cos = bear_core::metrics::cosine_similarity(&re, &ra);
+        assert!(cos > 0.999, "{}: cosine {cos} at xi=n^-1", spec.name);
+    }
+}
+
+/// Theorem 1, end to end: BEAR-Exact equals a dense solve of Equation 2.
+#[test]
+fn theorem1_exactness_on_a_weighted_digraph() {
+    // Directed, weighted, with a dangling node — the general case.
+    let g = Graph::from_weighted_edges(
+        6,
+        &[
+            (0, 1, 2.0),
+            (1, 2, 1.0),
+            (2, 0, 0.5),
+            (2, 3, 3.0),
+            (3, 4, 1.0),
+            (4, 2, 1.0),
+            (0, 5, 1.0), // 5 is dangling
+        ],
+    )
+    .unwrap();
+    let c = 0.13;
+    let bear = Bear::new(&g, &BearConfig::exact(c)).unwrap();
+    let h = bear_core::build_h(&g, &RwrConfig { c, ..RwrConfig::default() }).unwrap();
+    let lu = bear_sparse::DenseLu::factor(&h.to_dense()).unwrap();
+    for seed in 0..6 {
+        let mut rhs = vec![0.0; 6];
+        rhs[seed] = c;
+        let want = lu.solve(&rhs).unwrap();
+        let got = bear.query(seed).unwrap();
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12, "seed {seed}: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests for the RWR variants of Section 3.4: personalized
+//! PageRank, effective importance, and RWR with the normalized graph
+//! Laplacian — checked through the public API across crates.
+
+use bear_core::rwr::{Normalization, RwrConfig};
+use bear_core::{Bear, BearConfig};
+use bear_datasets::small_suite;
+use bear_graph::Graph;
+
+#[test]
+fn ppr_with_one_seed_equals_rwr() {
+    let g = small_suite()[0].load();
+    let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+    let n = g.num_nodes();
+    for seed in [0, n / 2, n - 1] {
+        let mut q = vec![0.0; n];
+        q[seed] = 1.0;
+        assert_eq!(bear.query(seed).unwrap(), bear.query_distribution(&q).unwrap());
+    }
+}
+
+#[test]
+fn ppr_is_linear_in_the_preference_vector() {
+    let g = small_suite()[1].load();
+    let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+    let n = g.num_nodes();
+    let (a, b) = (1, n - 2);
+    let ra = bear.query(a).unwrap();
+    let rb = bear.query(b).unwrap();
+    let mut q = vec![0.0; n];
+    q[a] = 0.7;
+    q[b] = 0.3;
+    let mix = bear.query_distribution(&q).unwrap();
+    for i in 0..n {
+        let want = 0.7 * ra[i] + 0.3 * rb[i];
+        assert!((mix[i] - want).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn ppr_scale_invariance_up_to_scale() {
+    // RWR is linear, so scaling q scales r. (The paper normalizes q to a
+    // distribution; any positive scale is accepted.)
+    let g = small_suite()[0].load();
+    let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+    let n = g.num_nodes();
+    let mut q = vec![0.0; n];
+    q[2] = 1.0;
+    q[5] = 1.0;
+    let r1 = bear.query_distribution(&q).unwrap();
+    let q2: Vec<f64> = q.iter().map(|v| 2.0 * v).collect();
+    let r2 = bear.query_distribution(&q2).unwrap();
+    for (a, b) in r1.iter().zip(&r2) {
+        assert!((2.0 * a - b).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn effective_importance_is_rwr_over_degree() {
+    let g = small_suite()[3].load();
+    let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+    let deg = g.undirected_degrees();
+    let seed = 10;
+    let r = bear.query(seed).unwrap();
+    let ei = bear.query_effective_importance(seed).unwrap();
+    for u in 0..g.num_nodes() {
+        let want = if deg[u] > 0 { r[u] / deg[u] as f64 } else { r[u] };
+        assert!((ei[u] - want).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn laplacian_variant_yields_symmetric_relevance_on_undirected_graphs() {
+    // Build an undirected graph explicitly.
+    let mut edges = Vec::new();
+    for spec_edge in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3), (2, 4), (0, 5), (5, 6)] {
+        edges.push(spec_edge);
+        edges.push((spec_edge.1, spec_edge.0));
+    }
+    let g = Graph::from_edges(7, &edges).unwrap();
+    let config = BearConfig {
+        rwr: RwrConfig { c: 0.1, normalization: Normalization::Symmetric },
+        ..BearConfig::default()
+    };
+    let bear = Bear::new(&g, &config).unwrap();
+    let all: Vec<Vec<f64>> = (0..7).map(|u| bear.query(u).unwrap()).collect();
+    for u in 0..7 {
+        for v in 0..7 {
+            assert!(
+                (all[u][v] - all[v][u]).abs() < 1e-10,
+                "relevance asymmetric between {u} and {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn laplacian_variant_differs_from_row_normalized_on_irregular_graphs() {
+    let g = small_suite()[0].load();
+    let row = Bear::new(&g, &BearConfig::default()).unwrap();
+    let sym = Bear::new(
+        &g,
+        &BearConfig {
+            rwr: RwrConfig { c: 0.05, normalization: Normalization::Symmetric },
+            ..BearConfig::default()
+        },
+    )
+    .unwrap();
+    let rr = row.query(0).unwrap();
+    let rs = sym.query(0).unwrap();
+    let diff: f64 = rr.iter().zip(&rs).map(|(a, b)| (a - b).abs()).sum();
+    assert!(diff > 1e-6, "variants unexpectedly identical");
+}
