@@ -20,9 +20,7 @@ use bear_graph::partition::{partition_bfs, partition_ordering, split_by_partitio
 use bear_graph::Graph;
 use bear_sparse::mem::{MemBudget, MemoryUsage, VALUE_BYTES};
 use bear_sparse::svd::{csr_times_dense, randomized_svd};
-use bear_sparse::{
-    CooMatrix, CsrMatrix, DenseLu, DenseMatrix, Error, Permutation, Result,
-};
+use bear_sparse::{CooMatrix, CsrMatrix, DenseLu, DenseMatrix, Error, Permutation, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -78,10 +76,8 @@ impl BLin {
 
         // Block-inverse footprint pre-check: the original implementation
         // densifies each diagonal block to invert it.
-        let block_footprint: usize = sizes
-            .iter()
-            .map(|&s| s.saturating_mul(s).saturating_mul(VALUE_BYTES))
-            .sum();
+        let block_footprint: usize =
+            sizes.iter().map(|&s| s.saturating_mul(s).saturating_mul(VALUE_BYTES)).sum();
         budget.check(block_footprint)?;
 
         let at = perm.permute_symmetric(&normalized_adjacency(g, &config.rwr).transpose())?;
@@ -131,14 +127,7 @@ impl BLin {
         }
         let xi = config.drop_tolerance.max(0.0);
         let m_inv = bear_sparse::sparsify::drop_tolerance_csr(&m_inv, xi);
-        Ok(BLin {
-            m_inv,
-            u: u_dense.to_csr(xi),
-            v: v_dense.to_csr(xi),
-            lambda,
-            perm,
-            c,
-        })
+        Ok(BLin { m_inv, u: u_dense.to_csr(xi), v: v_dense.to_csr(xi), lambda, perm, c })
     }
 }
 
@@ -173,9 +162,7 @@ fn invert_block_diagonal(a1: &CsrMatrix, sizes: &[usize], c: f64) -> Result<CsrM
         off += size;
     }
     if off != n {
-        return Err(Error::InvalidStructure(format!(
-            "partition sizes sum to {off}, expected {n}"
-        )));
+        return Err(Error::InvalidStructure(format!("partition sizes sum to {off}, expected {n}")));
     }
     Ok(coo.to_csr())
 }
@@ -218,10 +205,7 @@ impl RwrSolver for BLin {
     }
 
     fn precomputed_nnz(&self) -> usize {
-        self.m_inv.nnz()
-            + self.u.nnz()
-            + self.v.nnz()
-            + self.lambda.nrows() * self.lambda.ncols()
+        self.m_inv.nnz() + self.u.nnz() + self.v.nnz() + self.lambda.nrows() * self.lambda.ncols()
     }
 }
 

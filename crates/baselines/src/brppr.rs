@@ -152,11 +152,9 @@ mod tests {
         let g = undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let config = BrpprConfig { boundary_threshold: 1e-12, ..BrpprConfig::default() };
         let brppr = Brppr::new(&g, &config).unwrap();
-        let exact = crate::iterative::Iterative::new(
-            &g,
-            &crate::iterative::IterativeConfig::default(),
-        )
-        .unwrap();
+        let exact =
+            crate::iterative::Iterative::new(&g, &crate::iterative::IterativeConfig::default())
+                .unwrap();
         let ra = brppr.query(0).unwrap();
         let re = exact.query(0).unwrap();
         for (a, b) in ra.iter().zip(&re) {
@@ -168,11 +166,9 @@ mod tests {
     fn loose_threshold_is_less_accurate_than_tight() {
         let edges: Vec<(usize, usize)> = (0..29).map(|i| (i, i + 1)).collect();
         let g = undirected(30, &edges);
-        let exact = crate::iterative::Iterative::new(
-            &g,
-            &crate::iterative::IterativeConfig::default(),
-        )
-        .unwrap();
+        let exact =
+            crate::iterative::Iterative::new(&g, &crate::iterative::IterativeConfig::default())
+                .unwrap();
         let re = exact.query(0).unwrap();
         let err = |threshold: f64| {
             let config = BrpprConfig { boundary_threshold: threshold, ..BrpprConfig::default() };

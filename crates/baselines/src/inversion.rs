@@ -84,8 +84,7 @@ mod tests {
     #[test]
     fn matches_bear_exact() {
         let g = undirected(6, &[(0, 1), (0, 2), (2, 3), (3, 4), (0, 5)]);
-        let inv =
-            Inversion::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
+        let inv = Inversion::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
         let bear = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
         for seed in 0..6 {
             let ri = inv.query(seed).unwrap();
@@ -109,8 +108,7 @@ mod tests {
     #[test]
     fn memory_is_dense_n_squared() {
         let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let inv =
-            Inversion::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
+        let inv = Inversion::new(&g, &RwrConfig::default(), &MemBudget::unlimited()).unwrap();
         assert_eq!(inv.memory_bytes(), 25 * 8);
     }
 }

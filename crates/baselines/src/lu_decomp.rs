@@ -41,10 +41,8 @@ impl LuDecomp {
         let perm = Permutation::from_new_to_old(order)?;
 
         let h = perm.permute_symmetric(&build_h(g, rwr)?)?;
-        let max_nnz = budget
-            .limit()
-            .map(|bytes| bytes / (INDEX_BYTES + VALUE_BYTES))
-            .unwrap_or(usize::MAX);
+        let max_nnz =
+            budget.limit().map(|bytes| bytes / (INDEX_BYTES + VALUE_BYTES)).unwrap_or(usize::MAX);
         let lu = SparseLu::factor_with_limit(&h.to_csc(), max_nnz)?;
         let (l_inv, u_inv) = lu.invert_factors_with_limit(max_nnz)?;
         budget.check(l_inv.memory_bytes() + u_inv.memory_bytes())?;

@@ -117,13 +117,7 @@ impl NbLin {
                 v_trim[(i, j)] = vt[(i, j)];
             }
         }
-        Ok(NbLin {
-            u: u_trim.to_csr(xi),
-            v: v_trim.to_csr(xi),
-            lambda,
-            c: config.rwr.c,
-            n,
-        })
+        Ok(NbLin { u: u_trim.to_csr(xi), v: v_trim.to_csr(xi), lambda, c: config.rwr.c, n })
     }
 }
 
@@ -220,7 +214,10 @@ mod tests {
 
     #[test]
     fn drop_tolerance_reduces_memory() {
-        let g = undirected(10, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9)]);
+        let g = undirected(
+            10,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9)],
+        );
         let dense = NbLin::new(&g, &NbLinConfig { rank: 5, ..NbLinConfig::default() }).unwrap();
         let dropped = NbLin::new(
             &g,

@@ -153,11 +153,9 @@ mod tests {
         let g = undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let config = RpprConfig { expand_threshold: 1e-12, ..RpprConfig::default() };
         let rppr = Rppr::new(&g, &config).unwrap();
-        let exact = crate::iterative::Iterative::new(
-            &g,
-            &crate::iterative::IterativeConfig::default(),
-        )
-        .unwrap();
+        let exact =
+            crate::iterative::Iterative::new(&g, &crate::iterative::IterativeConfig::default())
+                .unwrap();
         let ra = rppr.query(0).unwrap();
         let re = exact.query(0).unwrap();
         for (a, b) in ra.iter().zip(&re) {

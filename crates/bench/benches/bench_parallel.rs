@@ -16,9 +16,7 @@ fn bench_parallel(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("parallel_spgemm");
     group.sample_size(10);
-    group.bench_function("serial", |b| {
-        b.iter(|| std::hint::black_box(spgemm(&h, &h).unwrap()))
-    });
+    group.bench_function("serial", |b| b.iter(|| std::hint::black_box(spgemm(&h, &h).unwrap())));
     for threads in [2usize, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| std::hint::black_box(par_spgemm(&h, &h, t).unwrap()))

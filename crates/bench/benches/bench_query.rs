@@ -2,8 +2,8 @@
 //! method and LU decomposition (the paper's Figure 1(b) comparison,
 //! reduced to its fast core).
 
-use bear_bench::{build_method, MethodSpec};
 use bear_bench::params::params_for;
+use bear_bench::{build_method, MethodSpec};
 use bear_datasets::dataset_by_name;
 use bear_sparse::mem::MemBudget;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -13,9 +13,7 @@ fn bench_kernels(c: &mut Criterion) {
     let n = h.nrows();
     let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
 
-    c.bench_function("spmv", |b| {
-        b.iter(|| std::hint::black_box(h.matvec(&x).unwrap()))
-    });
+    c.bench_function("spmv", |b| b.iter(|| std::hint::black_box(h.matvec(&x).unwrap())));
 
     c.bench_function("spgemm_h_squared", |b| {
         b.iter(|| std::hint::black_box(spgemm(&h, &h).unwrap()))

@@ -10,7 +10,7 @@
 
 use bear_bench::cli::{Args, CommonOpts};
 use bear_bench::experiments::load_dataset;
-use bear_bench::harness::{measure, mean_query_time, ExperimentResult, ResultRow};
+use bear_bench::harness::{mean_query_time, measure, ExperimentResult, ResultRow};
 use bear_core::{Bear, BearConfig, RwrSolver};
 
 fn main() {

@@ -14,7 +14,7 @@
 //! ```
 
 use bear_bench::cli::{Args, CommonOpts};
-use bear_bench::harness::{measure, mean_query_time, ExperimentResult, ResultRow};
+use bear_bench::harness::{mean_query_time, measure, ExperimentResult, ResultRow};
 use bear_core::{Bear, BearConfig, RwrSolver};
 use bear_graph::generators::{hub_and_spoke, HubSpokeConfig};
 use rand::rngs::StdRng;
@@ -41,8 +41,7 @@ fn main() {
             hub_density: 0.3,
         };
         let g = hub_and_spoke(&config, &mut StdRng::seed_from_u64(77));
-        let (bear, pre_s) =
-            measure(|| Bear::new(&g, &BearConfig::default()).expect("preprocess"));
+        let (bear, pre_s) = measure(|| Bear::new(&g, &BearConfig::default()).expect("preprocess"));
         let query_s = mean_query_time(&bear, opts.num_seeds.max(5));
         println!(
             "{:<10} {:>8} {:>9} {:>7} {:>10.3} {:>11.3} {:>10}",
@@ -76,9 +75,8 @@ fn main() {
             r.memory_bytes.unwrap_or(0) as f64 / n
         })
         .collect();
-    let (min, max) = per_node
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (min, max) =
+        per_node.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     println!("\nbytes per node across the sweep: {min:.1} .. {max:.1} (ratio {:.2})", max / min);
     if let Some(path) = &opts.json {
         out.write_json(path).expect("write json");

@@ -34,10 +34,8 @@ fn main() {
     let budget = MemBudget::bytes(opts.budget_bytes);
     let repeats = 5;
 
-    let mut out = ExperimentResult::new(
-        "figure_10",
-        "PPR query time of exact methods vs number of seeds",
-    );
+    let mut out =
+        ExperimentResult::new("figure_10", "PPR query time of exact methods vs number of seeds");
     for dataset in &opts.datasets {
         let g = load_dataset(dataset);
         let params = params_for(dataset);
@@ -55,8 +53,7 @@ fn main() {
                 let q = multi_seed_q(g.num_nodes(), k);
                 let mut total = 0.0;
                 for _ in 0..repeats {
-                    let (_, secs) =
-                        measure(|| solver.query_distribution(&q).expect("ppr query"));
+                    let (_, secs) = measure(|| solver.query_distribution(&q).expect("ppr query"));
                     total += secs;
                 }
                 let mut row = ResultRow::new(dataset, &spec.display_name());

@@ -17,26 +17,18 @@ use bear_sparse::mem::MemBudget;
 
 fn main() {
     let args = Args::from_env();
-    let default_names: Vec<String> =
-        all_datasets().iter().map(|d| d.name.to_string()).collect();
+    let default_names: Vec<String> = all_datasets().iter().map(|d| d.name.to_string()).collect();
     let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
     let opts = CommonOpts::from_args(&args, &defaults);
     let repeats = 5;
 
-    let mut out = ExperimentResult::new(
-        "figure_11",
-        "BEAR-Exact query time vs number of seeds",
-    );
+    let mut out = ExperimentResult::new("figure_11", "BEAR-Exact query time vs number of seeds");
     for dataset in &opts.datasets {
         let g = load_dataset(dataset);
         let params = params_for(dataset);
-        let solver = build_method(
-            &MethodSpec::Bear { xi: 0.0 },
-            &g,
-            &params,
-            &MemBudget::unlimited(),
-        )
-        .expect("BEAR-Exact preprocessing");
+        let solver =
+            build_method(&MethodSpec::Bear { xi: 0.0 }, &g, &params, &MemBudget::unlimited())
+                .expect("BEAR-Exact preprocessing");
         let n = g.num_nodes();
         for k in [1usize, 10, 100, 1000] {
             let k_eff = k.min(n);

@@ -18,25 +18,19 @@ use bear_sparse::mem::MemBudget;
 
 fn main() {
     let args = Args::from_env();
-    let default_names: Vec<String> =
-        all_datasets().iter().map(|d| d.name.to_string()).collect();
+    let default_names: Vec<String> = all_datasets().iter().map(|d| d.name.to_string()).collect();
     let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
     let opts = CommonOpts::from_args(&args, &defaults);
     let budget = MemBudget::bytes(opts.budget_bytes);
 
-    let mut out = ExperimentResult::new(
-        "figure_12",
-        "preprocessing time of approximate methods",
-    );
+    let mut out = ExperimentResult::new("figure_12", "preprocessing time of approximate methods");
     for dataset in &opts.datasets {
         let g = load_dataset(dataset);
         let params = params_for(dataset);
         let xi = (g.num_nodes() as f64).powf(-0.5);
-        for spec in [
-            MethodSpec::Bear { xi },
-            MethodSpec::BLin { xi: 0.0 },
-            MethodSpec::NbLin { xi: 0.0 },
-        ] {
+        for spec in
+            [MethodSpec::Bear { xi }, MethodSpec::BLin { xi: 0.0 }, MethodSpec::NbLin { xi: 0.0 }]
+        {
             let mut row = ResultRow::new(dataset, &spec.display_name());
             let (built, pre_s) = measure(|| build_method(&spec, &g, &params, &budget));
             match built {

@@ -17,8 +17,7 @@ use bear_sparse::mem::MemBudget;
 
 fn main() {
     let args = Args::from_env();
-    let default_names: Vec<String> =
-        all_datasets().iter().map(|d| d.name.to_string()).collect();
+    let default_names: Vec<String> = all_datasets().iter().map(|d| d.name.to_string()).collect();
     let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
     let opts = CommonOpts::from_args(&args, &defaults);
 

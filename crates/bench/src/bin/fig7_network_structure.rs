@@ -11,7 +11,7 @@
 
 use bear_bench::cli::{Args, CommonOpts};
 use bear_bench::experiments::load_dataset;
-use bear_bench::harness::{measure, mean_query_time, ExperimentResult, ResultRow};
+use bear_bench::harness::{mean_query_time, measure, ExperimentResult, ResultRow};
 use bear_bench::methods::{build_method, MethodSpec};
 use bear_bench::params::params_for;
 use bear_datasets::rmat_family;
@@ -19,15 +19,12 @@ use bear_sparse::mem::MemBudget;
 
 fn main() {
     let args = Args::from_env();
-    let default_names: Vec<String> =
-        rmat_family().iter().map(|d| d.name.to_string()).collect();
+    let default_names: Vec<String> = rmat_family().iter().map(|d| d.name.to_string()).collect();
     let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
     let opts = CommonOpts::from_args(&args, &defaults);
 
-    let mut out = ExperimentResult::new(
-        "figure_7",
-        "BEAR-Exact vs network structure (R-MAT p_ul sweep)",
-    );
+    let mut out =
+        ExperimentResult::new("figure_7", "BEAR-Exact vs network structure (R-MAT p_ul sweep)");
     for dataset in &opts.datasets {
         let g = load_dataset(dataset);
         let params = params_for(dataset);

@@ -30,7 +30,11 @@ fn main() {
             let p = params_for(d);
             println!(
                 "{:<16} {:>8} {:>8} {:>9} {:>10.0e} {:>10.0e}",
-                d, p.blin_partitions, p.blin_rank, p.nblin_rank, p.rppr_threshold,
+                d,
+                p.blin_partitions,
+                p.blin_rank,
+                p.nblin_rank,
+                p.rppr_threshold,
                 p.brppr_threshold
             );
         }

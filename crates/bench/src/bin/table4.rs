@@ -14,11 +14,8 @@ use bear_datasets::{all_datasets, rmat_family};
 
 fn main() {
     let args = Args::from_env();
-    let default_names: Vec<String> = all_datasets()
-        .iter()
-        .chain(rmat_family().iter())
-        .map(|d| d.name.to_string())
-        .collect();
+    let default_names: Vec<String> =
+        all_datasets().iter().chain(rmat_family().iter()).map(|d| d.name.to_string()).collect();
     let defaults: Vec<&str> = default_names.iter().map(|s| s.as_str()).collect();
     let opts = CommonOpts::from_args(&args, &defaults);
 
@@ -28,7 +25,15 @@ fn main() {
     );
     println!(
         "{:<16} {:>8} {:>9} {:>7} {:>12} {:>10} {:>12} {:>14} {:>14}",
-        "dataset", "n", "m", "n2", "sum n1i^2", "|H|", "|H12|+|H21|", "|L1-1|+|U1-1|", "|L2-1|+|U2-1|"
+        "dataset",
+        "n",
+        "m",
+        "n2",
+        "sum n1i^2",
+        "|H|",
+        "|H12|+|H21|",
+        "|L1-1|+|U1-1|",
+        "|L2-1|+|U2-1|"
     );
     for name in &opts.datasets {
         let g = load_dataset(name);

@@ -77,7 +77,8 @@ impl CommonOpts {
         CommonOpts {
             datasets,
             num_seeds: args.get_or("seeds", 20),
-            budget_bytes: args.get_or("budget-mb", crate::params::DEFAULT_BUDGET_BYTES / (1024 * 1024))
+            budget_bytes: args
+                .get_or("budget-mb", crate::params::DEFAULT_BUDGET_BYTES / (1024 * 1024))
                 * 1024
                 * 1024,
             json: args.get("json").map(|s| s.to_string()),

@@ -1,6 +1,6 @@
 //! Shared experiment drivers used by the figure binaries.
 
-use crate::harness::{measure, mean_query_time, ExperimentResult, ResultRow};
+use crate::harness::{mean_query_time, measure, ExperimentResult, ResultRow};
 use crate::methods::{build_method, exact_method_names, MethodSpec};
 use crate::params::params_for;
 use bear_core::metrics::{cosine_similarity, l2_error};
@@ -77,19 +77,11 @@ pub fn threshold_grid() -> Vec<(String, f64)> {
 /// over the harness's deterministic seed spread.
 pub fn reference_scores(g: &Graph, dataset: &str, num_seeds: usize) -> (Vec<usize>, Vec<Vec<f64>>) {
     let params = params_for(dataset);
-    let exact = build_method(
-        &MethodSpec::Bear { xi: 0.0 },
-        g,
-        &params,
-        &MemBudget::unlimited(),
-    )
-    .expect("BEAR-Exact preprocessing");
+    let exact = build_method(&MethodSpec::Bear { xi: 0.0 }, g, &params, &MemBudget::unlimited())
+        .expect("BEAR-Exact preprocessing");
     let n = g.num_nodes();
     let seeds: Vec<usize> = (0..num_seeds).map(|i| (i * 2654435761) % n).collect();
-    let scores = seeds
-        .iter()
-        .map(|&s| exact.query(s).expect("exact query"))
-        .collect();
+    let scores = seeds.iter().map(|&s| exact.query(s).expect("exact query")).collect();
     (seeds, scores)
 }
 
@@ -132,11 +124,8 @@ pub fn approx_tradeoff_suite(
         let (seeds, reference) = reference_scores(&g, dataset, num_seeds);
 
         for (label, xi) in xi_grid(g.num_nodes()) {
-            for spec in [
-                MethodSpec::Bear { xi },
-                MethodSpec::BLin { xi },
-                MethodSpec::NbLin { xi },
-            ] {
+            for spec in [MethodSpec::Bear { xi }, MethodSpec::BLin { xi }, MethodSpec::NbLin { xi }]
+            {
                 let mut row = ResultRow::new(dataset, &spec.display_name());
                 row.param = Some(label.clone());
                 let (built, pre_s) = measure(|| build_method(&spec, &g, &params, &budget));
@@ -195,13 +184,8 @@ mod tests {
 
     #[test]
     fn exact_suite_runs_on_small_dataset() {
-        let result = exact_suite(
-            "test",
-            "smoke",
-            &["small_routing".to_string()],
-            2,
-            usize::MAX / 4,
-        );
+        let result =
+            exact_suite("test", "smoke", &["small_routing".to_string()], 2, usize::MAX / 4);
         assert_eq!(result.rows.len(), exact_method_names().len());
         // BEAR must succeed.
         let bear = result.rows.iter().find(|r| r.method == "BEAR-Exact").unwrap();

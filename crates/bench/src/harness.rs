@@ -1,7 +1,7 @@
 //! Measurement and reporting helpers shared by the figure binaries.
 
 use bear_core::RwrSolver;
-use serde::Serialize;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Times a closure, returning `(result, seconds)`.
@@ -11,35 +11,66 @@ pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
-/// One measurement row of an experiment.
-#[derive(Debug, Clone, Serialize)]
+/// One measurement row of an experiment. `None` fields are omitted from
+/// the JSON output.
+#[derive(Debug, Clone)]
 pub struct ResultRow {
     /// Dataset name.
     pub dataset: String,
     /// Method display name.
     pub method: String,
     /// Free-form parameter annotation (e.g. `"xi=n^-1"`).
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub param: Option<String>,
     /// Preprocessing wall-clock seconds, if measured.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub preprocess_s: Option<f64>,
     /// Average query wall-clock seconds, if measured.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub query_s: Option<f64>,
     /// Bytes of precomputed data, if measured.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub memory_bytes: Option<usize>,
     /// Cosine similarity vs the exact scores, if measured.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub cosine: Option<f64>,
     /// L2 error vs the exact scores, if measured.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub l2: Option<f64>,
     /// Set when the method aborted (e.g. out of memory budget), with the
     /// reason. Such rows correspond to the paper's omitted bars.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub failed: Option<String>,
+}
+
+/// Escapes a string per the JSON grammar (quotes, backslashes, control
+/// characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so it round-trips as a JSON number.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a decimal point; keep one so
+        // consumers parse the field as a float.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        // JSON has no Inf/NaN literals.
+        "null".to_string()
+    }
 }
 
 impl ResultRow {
@@ -61,7 +92,7 @@ impl ResultRow {
 
 /// A full experiment: id, description, and rows. Serialized with
 /// `--json`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Paper exhibit id, e.g. `"figure_1b"`.
     pub experiment: String,
@@ -86,8 +117,8 @@ impl ExperimentResult {
     pub fn print_table(&self) {
         println!("== {} — {} ==", self.experiment, self.description);
         println!(
-            "{:<16} {:<12} {:<14} {:>12} {:>12} {:>12} {:>9} {:>10}  {}",
-            "dataset", "method", "param", "pre(s)", "query(ms)", "mem(KB)", "cosine", "L2", "note"
+            "{:<16} {:<12} {:<14} {:>12} {:>12} {:>12} {:>9} {:>10}  note",
+            "dataset", "method", "param", "pre(s)", "query(ms)", "mem(KB)", "cosine", "L2"
         );
         for r in &self.rows {
             println!(
@@ -106,10 +137,57 @@ impl ExperimentResult {
         println!();
     }
 
+    /// Renders the experiment as a JSON document (hand-rolled: the build
+    /// environment has no registry access, so no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"experiment\": \"{}\",", json_escape(&self.experiment));
+        let _ = writeln!(out, "  \"description\": \"{}\",", json_escape(&self.description));
+        out.push_str("  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let mut fields: Vec<String> = vec![
+                format!("\"dataset\": \"{}\"", json_escape(&r.dataset)),
+                format!("\"method\": \"{}\"", json_escape(&r.method)),
+            ];
+            if let Some(p) = &r.param {
+                fields.push(format!("\"param\": \"{}\"", json_escape(p)));
+            }
+            if let Some(v) = r.preprocess_s {
+                fields.push(format!("\"preprocess_s\": {}", json_f64(v)));
+            }
+            if let Some(v) = r.query_s {
+                fields.push(format!("\"query_s\": {}", json_f64(v)));
+            }
+            if let Some(v) = r.memory_bytes {
+                fields.push(format!("\"memory_bytes\": {v}"));
+            }
+            if let Some(v) = r.cosine {
+                fields.push(format!("\"cosine\": {}", json_f64(v)));
+            }
+            if let Some(v) = r.l2 {
+                fields.push(format!("\"l2\": {}", json_f64(v)));
+            }
+            if let Some(f) = &r.failed {
+                fields.push(format!("\"failed\": \"{}\"", json_escape(f)));
+            }
+            out.push_str(&fields.join(", "));
+            out.push('}');
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
     /// Writes the experiment as JSON to `path`.
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self).expect("serializable");
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json())
     }
 }
 
@@ -140,9 +218,10 @@ mod tests {
 
     #[test]
     fn result_row_serializes_without_empty_fields() {
-        let row = ResultRow::new("d", "m");
-        let json = serde_json::to_string(&row).unwrap();
-        assert!(json.contains("\"dataset\":\"d\""));
+        let mut e = ExperimentResult::new("x", "y");
+        e.rows.push(ResultRow::new("d", "m"));
+        let json = e.to_json();
+        assert!(json.contains("\"dataset\": \"d\""));
         assert!(!json.contains("preprocess_s"));
     }
 
@@ -151,9 +230,21 @@ mod tests {
         let mut e = ExperimentResult::new("figure_test", "desc");
         let mut row = ResultRow::new("d", "m");
         row.query_s = Some(0.5);
+        row.memory_bytes = Some(2048);
+        row.failed = Some("needs \"budget\"".to_string());
         e.rows.push(row);
-        let json = serde_json::to_string(&e).unwrap();
+        let json = e.to_json();
         assert!(json.contains("figure_test"));
-        assert!(json.contains("0.5"));
+        assert!(json.contains("\"query_s\": 0.5"));
+        assert!(json.contains("\"memory_bytes\": 2048"));
+        assert!(json.contains("needs \\\"budget\\\""));
+    }
+
+    #[test]
+    fn json_floats_keep_a_decimal_point() {
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(1e-9), "0.000000001");
+        assert_eq!(json_f64(f64::NAN), "null");
     }
 }

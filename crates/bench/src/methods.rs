@@ -90,12 +90,7 @@ pub fn build_method(
     Ok(match *spec {
         MethodSpec::Bear { xi } => Box::new(Bear::new(
             g,
-            &BearConfig {
-                rwr,
-                drop_tolerance: xi,
-                budget: *budget,
-                ..BearConfig::default()
-            },
+            &BearConfig { rwr, drop_tolerance: xi, budget: *budget, ..BearConfig::default() },
         )?),
         MethodSpec::Iterative => {
             Box::new(Iterative::new(g, &IterativeConfig { rwr, ..Default::default() })?)

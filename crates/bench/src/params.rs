@@ -47,7 +47,9 @@ pub fn params_for(dataset: &str) -> DatasetParams {
     let d = DatasetParams::default();
     match dataset {
         "routing_like" => DatasetParams { blin_partitions: 20, blin_rank: 50, nblin_rank: 30, ..d },
-        "coauthor_like" => DatasetParams { blin_partitions: 20, blin_rank: 60, nblin_rank: 80, ..d },
+        "coauthor_like" => {
+            DatasetParams { blin_partitions: 20, blin_rank: 60, nblin_rank: 80, ..d }
+        }
         "trust_like" => DatasetParams {
             blin_partitions: 10,
             blin_rank: 50,

@@ -4,20 +4,27 @@
 //!
 //! * `bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0]` —
 //!   read an edge list, run BEAR preprocessing, write the query index;
-//! * `bear query <index.bear> <seed> [--top 10]` — answer one RWR query
-//!   from a saved index;
+//! * `bear query <index.bear> <seed> [--top 10] [--threads 0]` — answer
+//!   one RWR query from a saved index (0 threads = all cores);
+//! * `bear batch <index.bear> <seed>... [--top 10] [--threads 0]` —
+//!   answer many queries through the persistent [`QueryEngine`] pool;
 //! * `bear stats <graph.txt>` — graph and SlashBurn structure statistics;
 //! * `bear generate <dataset> <out.txt>` — materialize a registry dataset
 //!   as an edge list.
 //!
+//! `query` and `batch` both run through [`bear_core::QueryEngine`] and
+//! finish by reporting its metrics (query count, cache hit rate, and
+//! latency percentiles).
+//!
 //! The library half exists so the command logic is unit-testable without
 //! spawning processes; `main.rs` is a thin argv adapter.
 
-use bear_core::{Bear, BearConfig};
+use bear_core::{Bear, BearConfig, EngineConfig, MetricsSnapshot, QueryEngine};
 use bear_graph::io::{read_edge_list, write_edge_list};
 use bear_graph::{slashburn, SlashBurnConfig};
 use bear_sparse::{Error, Result};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +48,19 @@ pub enum Command {
         seed: usize,
         /// How many top nodes to print.
         top: usize,
+        /// Worker threads for the query engine (0 = all cores).
+        threads: usize,
+    },
+    /// Answer a batch of queries through the persistent engine pool.
+    Batch {
+        /// Index path.
+        index: String,
+        /// Seed nodes.
+        seeds: Vec<usize>,
+        /// How many top nodes to print per seed.
+        top: usize,
+        /// Worker threads for the query engine (0 = all cores).
+        threads: usize,
     },
     /// Print graph statistics.
     Stats {
@@ -81,12 +101,7 @@ pub fn parse_command(args: &[String]) -> Result<Command> {
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| Error::InvalidStructure("preprocess needs <graph> <index>".into()))?
                 .clone();
-            Ok(Command::Preprocess {
-                graph,
-                index,
-                c: flag("--c", 0.05)?,
-                xi: flag("--xi", 0.0)?,
-            })
+            Ok(Command::Preprocess { graph, index, c: flag("--c", 0.05)?, xi: flag("--xi", 0.0)? })
         }
         Some("query") => {
             let index = args
@@ -98,7 +113,36 @@ pub fn parse_command(args: &[String]) -> Result<Command> {
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| Error::InvalidStructure("query needs a numeric seed".into()))?;
             let top = flag("--top", 10.0)? as usize;
-            Ok(Command::Query { index, seed, top })
+            let threads = flag("--threads", 0.0)? as usize;
+            Ok(Command::Query { index, seed, top, threads })
+        }
+        Some("batch") => {
+            let index = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| Error::InvalidStructure("batch needs <index> <seed>...".into()))?
+                .clone();
+            // Positional seeds: everything after the index that is not a
+            // flag or a flag's value.
+            let mut seeds = Vec::new();
+            let mut i = 2;
+            while i < args.len() {
+                if args[i].starts_with("--") {
+                    i += 2; // skip the flag and its value
+                    continue;
+                }
+                let seed: usize = args[i].parse().map_err(|_| {
+                    Error::InvalidStructure(format!("batch seed '{}' is not a node id", args[i]))
+                })?;
+                seeds.push(seed);
+                i += 1;
+            }
+            if seeds.is_empty() {
+                return Err(Error::InvalidStructure("batch needs at least one seed".into()));
+            }
+            let top = flag("--top", 10.0)? as usize;
+            let threads = flag("--threads", 0.0)? as usize;
+            Ok(Command::Batch { index, seeds, top, threads })
         }
         Some("stats") => Ok(Command::Stats {
             graph: args
@@ -127,13 +171,39 @@ bear — block elimination approach for random walk with restart
 
 USAGE:
   bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0]
-  bear query <index.bear> <seed> [--top 10]
+  bear query <index.bear> <seed> [--top 10] [--threads 0]
+  bear batch <index.bear> <seed>... [--top 10] [--threads 0]
   bear stats <graph.txt>
   bear generate <dataset> <out.txt>
 
 Graphs are whitespace edge lists: 'src dst [weight]' per line, '#'
 comments. Datasets: any name from the bear-datasets registry, e.g.
 routing_like, email_like, rmat_0.7, small_routing.";
+
+/// Builds a [`QueryEngine`] over a freshly loaded index. `threads == 0`
+/// keeps the default (all cores).
+fn load_engine(index: &str, threads: usize) -> Result<QueryEngine> {
+    let bear = Arc::new(Bear::load(Path::new(index))?);
+    let mut config = EngineConfig::default();
+    if threads > 0 {
+        config.threads = threads;
+    }
+    Ok(QueryEngine::new(bear, config))
+}
+
+/// Writes the one-line engine metrics report shared by `query` and
+/// `batch`.
+fn write_metrics(m: &MetricsSnapshot, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "metrics: queries={} cache_hit_rate={:.1}% p50={:?} p95={:?} p99={:?}",
+        m.queries,
+        m.cache_hit_rate() * 100.0,
+        m.p50,
+        m.p95,
+        m.p99
+    )
+}
 
 /// Executes a parsed command, writing human-readable output to `out`.
 pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
@@ -142,11 +212,8 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
         Command::Help => writeln!(out, "{USAGE}").map_err(io_err),
         Command::Preprocess { graph, index, c, xi } => {
             let g = read_edge_list(Path::new(graph), None)?;
-            let config = if *xi > 0.0 {
-                BearConfig::approx(*c, *xi)
-            } else {
-                BearConfig::exact(*c)
-            };
+            let config =
+                if *xi > 0.0 { BearConfig::approx(*c, *xi) } else { BearConfig::exact(*c) };
             let start = std::time::Instant::now();
             let bear = Bear::new(&g, &config)?;
             let elapsed = start.elapsed().as_secs_f64();
@@ -166,17 +233,42 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
             )
             .map_err(io_err)
         }
-        Command::Query { index, seed, top } => {
-            let bear = Bear::load(Path::new(index))?;
+        Command::Query { index, seed, top, threads } => {
+            let engine = load_engine(index, *threads)?;
             let start = std::time::Instant::now();
-            let ranked = bear.query_top_k(*seed, *top)?;
+            let ranked = engine.query_top_k(*seed, *top)?;
             let elapsed = start.elapsed().as_secs_f64();
             writeln!(out, "top {} nodes for seed {} ({elapsed:.6}s):", ranked.len(), seed)
                 .map_err(io_err)?;
-            for s in ranked {
+            for s in ranked.iter() {
                 writeln!(out, "  {}\t{:.6e}", s.node, s.score).map_err(io_err)?;
             }
-            Ok(())
+            write_metrics(&engine.metrics(), out).map_err(io_err)
+        }
+        Command::Batch { index, seeds, top, threads } => {
+            let engine = load_engine(index, *threads)?;
+            let start = std::time::Instant::now();
+            // One concurrent pass computes (and caches) every full score
+            // vector; the per-seed top-k below is then pure cache hits.
+            engine.query_batch(seeds)?;
+            let elapsed = start.elapsed().as_secs_f64();
+            writeln!(
+                out,
+                "answered {} queries in {elapsed:.6}s ({:.1} queries/s):",
+                seeds.len(),
+                seeds.len() as f64 / elapsed.max(1e-12)
+            )
+            .map_err(io_err)?;
+            for &seed in seeds {
+                let ranked = engine.query_top_k(seed, *top)?;
+                let line = ranked
+                    .iter()
+                    .map(|s| format!("{}:{:.6e}", s.node, s.score))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                writeln!(out, "  seed {seed}: {line}").map_err(io_err)?;
+            }
+            write_metrics(&engine.metrics(), out).map_err(io_err)
         }
         Command::Stats { graph } => {
             let g = read_edge_list(Path::new(graph), None)?;
@@ -197,9 +289,8 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
             .map_err(io_err)
         }
         Command::Generate { dataset, out: path } => {
-            let spec = bear_datasets::dataset_by_name(dataset).ok_or_else(|| {
-                Error::InvalidStructure(format!("unknown dataset '{dataset}'"))
-            })?;
+            let spec = bear_datasets::dataset_by_name(dataset)
+                .ok_or_else(|| Error::InvalidStructure(format!("unknown dataset '{dataset}'")))?;
             let g = spec.load();
             write_edge_list(&g, Path::new(path))?;
             writeln!(
@@ -227,25 +318,32 @@ mod tests {
         let cmd = parse(&["preprocess", "g.txt", "g.idx", "--c", "0.1", "--xi", "1e-4"]).unwrap();
         assert_eq!(
             cmd,
-            Command::Preprocess {
-                graph: "g.txt".into(),
-                index: "g.idx".into(),
-                c: 0.1,
-                xi: 1e-4
-            }
+            Command::Preprocess { graph: "g.txt".into(), index: "g.idx".into(), c: 0.1, xi: 1e-4 }
         );
     }
 
     #[test]
     fn parses_query_with_defaults() {
         let cmd = parse(&["query", "g.idx", "42"]).unwrap();
-        assert_eq!(cmd, Command::Query { index: "g.idx".into(), seed: 42, top: 10 });
+        assert_eq!(cmd, Command::Query { index: "g.idx".into(), seed: 42, top: 10, threads: 0 });
+    }
+
+    #[test]
+    fn parses_batch_with_flags_anywhere() {
+        let cmd =
+            parse(&["batch", "g.idx", "1", "2", "--top", "3", "7", "--threads", "2"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Batch { index: "g.idx".into(), seeds: vec![1, 2, 7], top: 3, threads: 2 }
+        );
     }
 
     #[test]
     fn rejects_bad_invocations() {
         assert!(parse(&["preprocess", "only-one"]).is_err());
         assert!(parse(&["query", "idx", "notanumber"]).is_err());
+        assert!(parse(&["batch", "idx"]).is_err());
+        assert!(parse(&["batch", "idx", "3", "oops"]).is_err());
         assert!(parse(&["frobnicate"]).is_err());
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
@@ -287,20 +385,38 @@ mod tests {
                 index: index_path.to_string_lossy().into_owned(),
                 seed: 0,
                 top: 5,
+                threads: 1,
             },
             &mut buf,
         )
         .unwrap();
         let text = String::from_utf8_lossy(&buf);
         assert!(text.contains("top 5 nodes for seed 0"));
-        assert_eq!(text.lines().count(), 6); // header + 5 rows
+        assert_eq!(text.lines().count(), 7); // header + 5 rows + metrics
+        assert!(text.contains("metrics: queries=1"));
 
         buf.clear();
         run(
-            &Command::Stats { graph: graph_path.to_string_lossy().into_owned() },
+            &Command::Batch {
+                index: index_path.to_string_lossy().into_owned(),
+                seeds: vec![0, 3, 0],
+                top: 4,
+                threads: 2,
+            },
             &mut buf,
         )
         .unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.contains("answered 3 queries"));
+        assert!(text.contains("seed 0:"));
+        assert!(text.contains("seed 3:"));
+        // Duplicate seed 0 plus the top-k pass must register cache hits.
+        assert!(text.contains("cache_hit_rate="));
+        assert!(!text.contains("cache_hit_rate=0.0%"), "batch should hit the cache: {text}");
+
+        buf.clear();
+        run(&Command::Stats { graph: graph_path.to_string_lossy().into_owned() }, &mut buf)
+            .unwrap();
         assert!(String::from_utf8_lossy(&buf).contains("slashburn:"));
 
         std::fs::remove_file(&graph_path).ok();
@@ -321,7 +437,7 @@ mod tests {
     fn query_rejects_missing_index() {
         let mut buf = Vec::new();
         assert!(run(
-            &Command::Query { index: "/nonexistent/path.idx".into(), seed: 0, top: 5 },
+            &Command::Query { index: "/nonexistent/path.idx".into(), seed: 0, top: 5, threads: 0 },
             &mut buf
         )
         .is_err());

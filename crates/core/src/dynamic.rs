@@ -30,6 +30,9 @@ pub enum UpdateKind {
     FullRebuild,
 }
 
+/// Per-column `(row, value)` pairs of a sparse block.
+type SparseColumns = Vec<Vec<(usize, f64)>>;
+
 /// A BEAR index that supports edge insertions.
 #[derive(Debug, Clone)]
 pub struct DynamicBear {
@@ -39,8 +42,8 @@ pub struct DynamicBear {
     out_edges: Vec<Vec<(usize, f64)>>,
     /// Shadow copies of the hub-column blocks of the reordered `H`,
     /// stored column-wise: `(reordered row, value)` pairs.
-    h12_cols: Vec<Vec<(usize, f64)>>,
-    h22_cols: Vec<Vec<(usize, f64)>>,
+    h12_cols: SparseColumns,
+    h22_cols: SparseColumns,
 }
 
 impl DynamicBear {
@@ -64,7 +67,7 @@ impl DynamicBear {
         g: &Graph,
         bear: &Bear,
         config: &BearConfig,
-    ) -> Result<(Vec<Vec<(usize, f64)>>, Vec<Vec<(usize, f64)>>)> {
+    ) -> Result<(SparseColumns, SparseColumns)> {
         let n = bear.num_nodes();
         let (n1, n2) = (bear.n1, bear.n2);
         let h = bear.perm.permute_symmetric(&build_h(g, &config.rwr)?)?;

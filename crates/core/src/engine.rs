@@ -1,0 +1,740 @@
+//! Concurrent query serving engine.
+//!
+//! BEAR's preprocessing is paid once so that each query is a handful of
+//! sparse matrix–vector products (Algorithm 2). This module turns that
+//! per-query cost into a serving path fit for sustained traffic:
+//!
+//! * [`QueryWorkspace`] preallocates every intermediate buffer the block
+//!   elimination sweeps need (`q`, `q_perm`, `t1..t4`, `r`), sized from
+//!   the [`Bear`] partition, so the steady-state compute path performs no
+//!   heap allocation — the only allocation per answered query is the
+//!   result vector handed to the caller, and a cache hit avoids even that
+//!   by sharing an `Arc`.
+//! * [`QueryEngine`] owns a persistent worker pool: threads are spawned
+//!   once at construction and fed seeds over a shared job queue,
+//!   replacing the scoped-thread fan-out that previously re-spawned
+//!   workers on every `query_batch` call. Each worker keeps its own
+//!   workspace for its whole lifetime. The submitting thread *assists*:
+//!   while waiting for replies it drains the same queue with the
+//!   engine's spare workspace, so a small pool (or a single-core host)
+//!   answers a batch inline instead of ping-ponging between threads.
+//! * An optional bounded LRU cache memoizes full score vectors and top-k
+//!   answers keyed by seed, motivated by the skew of real query traffic
+//!   (a few hub seeds dominate).
+//! * [`Metrics`] tracks query count, cache hit rate, and latency
+//!   percentiles via a fixed-bucket log₂ histogram — no dependencies.
+//!
+//! Results are bit-identical to sequential [`Bear::query`]: workers run
+//! the exact same floating-point operations in the exact same order
+//! (`Bear::query_into` is the single implementation behind both paths).
+
+use crate::precompute::Bear;
+use crate::topk::{top_k_excluding_seed, ScoredNode};
+use bear_sparse::{Error, Result};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Preallocated buffers for one query's block-elimination sweeps.
+///
+/// Sized once from a [`Bear`] partition (`n1` spokes, `n2` hubs); after
+/// construction, answering a query through [`Bear::query_into`] touches
+/// only these buffers and the caller's output slice.
+pub struct QueryWorkspace {
+    /// One-hot query vector in original node ids (kept zeroed between
+    /// queries; `query_into` sets and clears the seed entry).
+    pub(crate) q: Vec<f64>,
+    /// `q` moved to the SlashBurn ordering (length `n`).
+    pub(crate) q_perm: Vec<f64>,
+    /// Spoke-block scratch (length `n1`).
+    pub(crate) t1: Vec<f64>,
+    /// Spoke-block scratch (length `n1`).
+    pub(crate) t2: Vec<f64>,
+    /// Hub-block scratch (length `n2`).
+    pub(crate) t3: Vec<f64>,
+    /// Hub-block scratch (length `n2`).
+    pub(crate) t4: Vec<f64>,
+    /// Assembled result in the reordered index space (length `n`).
+    pub(crate) r: Vec<f64>,
+}
+
+impl QueryWorkspace {
+    /// Buffers sized for `bear`'s partition.
+    pub fn for_bear(bear: &Bear) -> Self {
+        let n = bear.num_nodes();
+        QueryWorkspace {
+            q: vec![0.0; n],
+            q_perm: vec![0.0; n],
+            t1: vec![0.0; bear.n1],
+            t2: vec![0.0; bear.n1],
+            t3: vec![0.0; bear.n2],
+            t4: vec![0.0; bear.n2],
+            r: vec![0.0; n],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded LRU cache
+// ---------------------------------------------------------------------------
+
+/// Minimal bounded LRU: a `HashMap` with a monotonically increasing use
+/// stamp per entry. Eviction scans for the stale entry — O(capacity), which
+/// is fine for the small bounded capacities the engine uses and keeps the
+/// implementation dependency-free.
+struct LruCache<K, V> {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruCache { capacity, stamp: 0, map: HashMap::with_capacity(capacity) }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.map.get_mut(key).map(|(s, v)| {
+            *s = stamp;
+            v.clone()
+        })
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        self.stamp += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (s, _))| *s).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.stamp, value));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Number of log₂ latency buckets (covers 1ns .. ~584 years).
+const LATENCY_BUCKETS: usize = 64;
+
+/// Lock-free serving metrics: query count, cache hit/miss counts, and a
+/// fixed-bucket log₂ latency histogram for percentile estimates. All
+/// counters are atomics, so recording never blocks the query path.
+pub struct Metrics {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    /// `histogram[i]` counts queries with latency in `[2^i, 2^(i+1))` ns.
+    histogram: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Metrics {
+    fn new() -> Self {
+        Metrics {
+            queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, cache_hit: bool, elapsed: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let nanos = (elapsed.as_nanos() as u64).max(1);
+        let bucket = (63 - nanos.leading_zeros()) as usize;
+        self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let histogram: Vec<u64> =
+            self.histogram.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            p50: percentile_from(&histogram, 0.50),
+            p95: percentile_from(&histogram, 0.95),
+            p99: percentile_from(&histogram, 0.99),
+        }
+    }
+}
+
+/// Percentile estimate from a log₂ histogram: the upper bound of the
+/// bucket containing the percentile rank (an overestimate by at most 2×,
+/// the bucket resolution).
+fn percentile_from(histogram: &[u64], p: f64) -> Duration {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((total as f64 * p).ceil() as u64).clamp(1, total);
+    let mut seen = 0;
+    for (i, &count) in histogram.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            return Duration::from_nanos(upper);
+        }
+    }
+    Duration::from_nanos(u64::MAX)
+}
+
+/// Frozen view of [`Metrics`] counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Total queries answered (cache hits included).
+    pub queries: u64,
+    /// Queries answered from a cache.
+    pub cache_hits: u64,
+    /// Queries that required computation.
+    pub cache_misses: u64,
+    /// Median latency (upper bound of the histogram bucket).
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of queries served from cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`QueryEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads in the persistent pool (clamped to at least 1).
+    pub threads: usize,
+    /// Capacity of each result cache (full-score and top-k); `0` disables
+    /// caching entirely.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// One unit of work for the pool: answer `seed`, reply with `tag` so the
+/// submitter can reassemble batch order.
+struct Job {
+    seed: usize,
+    tag: usize,
+    reply: Sender<(usize, Result<Arc<Vec<f64>>>)>,
+}
+
+/// Shared job queue: a `Condvar`-signalled deque instead of an mpsc
+/// channel, so the *submitting* thread can opportunistically pop work too
+/// ([`JobQueue::try_pop`]) while pool workers block in [`JobQueue::pop`].
+/// The lock is held only for queue surgery, never while waiting for or
+/// executing a job.
+struct JobQueue {
+    state: Mutex<JobQueueState>,
+    ready: Condvar,
+}
+
+struct JobQueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(JobQueueState { jobs: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job and wakes one worker; fails once the queue closed.
+    fn push(&self, job: Job) -> Result<()> {
+        let mut state = self
+            .state
+            .lock()
+            .map_err(|_| Error::InvalidStructure("query engine queue is poisoned".into()))?;
+        if state.closed {
+            return Err(Error::InvalidStructure("query engine pool is shut down".into()));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().ok()?;
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).ok()?;
+        }
+    }
+
+    /// Non-blocking pop, used by submitting threads to assist the pool.
+    fn try_pop(&self) -> Option<Job> {
+        self.state.lock().ok()?.jobs.pop_front()
+    }
+
+    /// Closes the queue and wakes every blocked worker.
+    fn close(&self) {
+        if let Ok(mut state) = self.state.lock() {
+            state.closed = true;
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// Persistent concurrent query server over a preprocessed [`Bear`] index.
+///
+/// Workers are spawned once at construction and fed over a channel; each
+/// owns a [`QueryWorkspace`], so steady-state queries allocate only their
+/// result vector. Dropping the engine shuts the pool down cleanly.
+///
+/// ```
+/// use std::sync::Arc;
+/// use bear_core::{Bear, BearConfig};
+/// use bear_core::engine::{EngineConfig, QueryEngine};
+/// use bear_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]).unwrap();
+/// let bear = Arc::new(Bear::new(&g, &BearConfig::default()).unwrap());
+/// let engine = QueryEngine::new(Arc::clone(&bear), EngineConfig::default());
+/// let scores = engine.query(0).unwrap();
+/// assert_eq!(*scores, bear.query(0).unwrap()); // bit-identical
+/// ```
+pub struct QueryEngine {
+    bear: Arc<Bear>,
+    queue: Arc<JobQueue>,
+    workers: Vec<JoinHandle<()>>,
+    /// Spare workspace for caller-assist: the thread submitting a batch
+    /// borrows this to drain the job queue itself while waiting.
+    caller_ws: Mutex<QueryWorkspace>,
+    full_cache: Option<Mutex<FullScoreCache>>,
+    topk_cache: Option<Mutex<TopKCache>>,
+    metrics: Metrics,
+}
+
+/// Full score vectors keyed by seed.
+type FullScoreCache = LruCache<usize, Arc<Vec<f64>>>;
+/// Top-k answers keyed by `(seed, k)`.
+type TopKCache = LruCache<(usize, usize), Arc<Vec<ScoredNode>>>;
+
+impl QueryEngine {
+    /// Spawns the worker pool and returns a ready-to-serve engine.
+    pub fn new(bear: Arc<Bear>, config: EngineConfig) -> Self {
+        let threads = config.threads.max(1);
+        let queue = Arc::new(JobQueue::new());
+        let workers = (0..threads)
+            .map(|i| {
+                let bear = Arc::clone(&bear);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("bear-query-{i}"))
+                    .spawn(move || worker_loop(&bear, &queue))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        let caches_on = config.cache_capacity > 0;
+        QueryEngine {
+            caller_ws: Mutex::new(QueryWorkspace::for_bear(&bear)),
+            bear,
+            queue,
+            workers,
+            full_cache: caches_on.then(|| Mutex::new(LruCache::new(config.cache_capacity))),
+            topk_cache: caches_on.then(|| Mutex::new(LruCache::new(config.cache_capacity))),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The index this engine serves.
+    pub fn bear(&self) -> &Bear {
+        &self.bear
+    }
+
+    /// Point-in-time serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Entries currently held in the full-score cache.
+    pub fn cached_results(&self) -> usize {
+        self.full_cache.as_ref().map_or(0, |c| c.lock().map_or(0, |c| c.len()))
+    }
+
+    fn check_seed(&self, seed: usize) -> Result<()> {
+        let n = self.bear.num_nodes();
+        if seed >= n {
+            return Err(Error::IndexOutOfBounds { index: seed, bound: n });
+        }
+        Ok(())
+    }
+
+    /// Computes (or fetches) the full score vector for `seed`, without
+    /// touching metrics. Returns `(scores, was_cache_hit)`.
+    fn fetch_full(&self, seed: usize) -> Result<(Arc<Vec<f64>>, bool)> {
+        if let Some(cache) = &self.full_cache {
+            if let Some(hit) = cache.lock().ok().and_then(|mut c| c.get(&seed)) {
+                return Ok((hit, true));
+            }
+        }
+        let (reply_tx, reply_rx) = channel();
+        self.queue.push(Job { seed, tag: 0, reply: reply_tx })?;
+        // Caller-assist: if the spare workspace is free, answer a pending
+        // job (usually the one just pushed) on this thread instead of
+        // round-tripping through a worker.
+        if let Ok(mut ws) = self.caller_ws.try_lock() {
+            if let Some(job) = self.queue.try_pop() {
+                run_job(&self.bear, &mut ws, job);
+            }
+        }
+        let scores = recv_result(&reply_rx)?.1?;
+        if let Some(cache) = &self.full_cache {
+            if let Ok(mut c) = cache.lock() {
+                c.insert(seed, Arc::clone(&scores));
+            }
+        }
+        Ok((scores, false))
+    }
+
+    /// RWR scores of every node w.r.t. `seed` — bit-identical to
+    /// [`Bear::query`], shared via `Arc` so cache hits allocate nothing.
+    pub fn query(&self, seed: usize) -> Result<Arc<Vec<f64>>> {
+        let start = Instant::now();
+        self.check_seed(seed)?;
+        let (scores, hit) = self.fetch_full(seed)?;
+        self.metrics.record(hit, start.elapsed());
+        Ok(scores)
+    }
+
+    /// The `k` most relevant nodes w.r.t. `seed` (seed excluded),
+    /// identical to [`Bear::query_top_k`].
+    pub fn query_top_k(&self, seed: usize, k: usize) -> Result<Arc<Vec<ScoredNode>>> {
+        let start = Instant::now();
+        self.check_seed(seed)?;
+        if let Some(cache) = &self.topk_cache {
+            if let Some(hit) = cache.lock().ok().and_then(|mut c| c.get(&(seed, k))) {
+                self.metrics.record(true, start.elapsed());
+                return Ok(hit);
+            }
+        }
+        let (scores, hit) = self.fetch_full(seed)?;
+        let top = Arc::new(top_k_excluding_seed(&scores, seed, k));
+        if let Some(cache) = &self.topk_cache {
+            if let Ok(mut c) = cache.lock() {
+                c.insert((seed, k), Arc::clone(&top));
+            }
+        }
+        self.metrics.record(hit, start.elapsed());
+        Ok(top)
+    }
+
+    /// Answers many single-seed queries on the persistent pool. Results
+    /// are in seed order and bit-identical to sequential [`Bear::query`].
+    ///
+    /// All seeds are validated before any work is dispatched, so an
+    /// invalid seed fails fast and names the offender; a worker panic
+    /// surfaces as an error on the affected seed instead of aborting the
+    /// process.
+    pub fn query_batch(&self, seeds: &[usize]) -> Result<Vec<Arc<Vec<f64>>>> {
+        for &seed in seeds {
+            self.check_seed(seed)?;
+        }
+        let start = Instant::now();
+        let mut slots: Vec<Option<Arc<Vec<f64>>>> = vec![None; seeds.len()];
+        let (reply_tx, reply_rx) = channel();
+        let mut outstanding = 0usize;
+        for (tag, &seed) in seeds.iter().enumerate() {
+            let cached = self
+                .full_cache
+                .as_ref()
+                .and_then(|cache| cache.lock().ok().and_then(|mut c| c.get(&seed)));
+            match cached {
+                Some(hit) => {
+                    slots[tag] = Some(hit);
+                    self.metrics.record(true, start.elapsed());
+                }
+                None => {
+                    self.queue.push(Job { seed, tag, reply: reply_tx.clone() })?;
+                    outstanding += 1;
+                }
+            }
+        }
+        drop(reply_tx);
+        // Caller-assist: while replies are pending, this thread drains the
+        // job queue with the engine's spare workspace instead of blocking.
+        // On a small pool (or single core) the whole batch runs inline
+        // with no thread ping-pong; on a big pool it adds one worker.
+        let mut caller_ws = self.caller_ws.try_lock().ok();
+        let mut collected = 0usize;
+        while collected < outstanding {
+            match reply_rx.try_recv() {
+                Ok((tag, result)) => {
+                    self.store_batch_result(seeds, &mut slots, tag, result, start)?;
+                    collected += 1;
+                    continue;
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    return Err(Error::InvalidStructure(
+                        "query worker disconnected before replying".into(),
+                    ));
+                }
+            }
+            if let Some(ws) = caller_ws.as_deref_mut() {
+                if let Some(job) = self.queue.try_pop() {
+                    run_job(&self.bear, ws, job);
+                    continue;
+                }
+            }
+            // Nothing left to steal: block until a worker finishes.
+            let (tag, result) = recv_result(&reply_rx)?;
+            self.store_batch_result(seeds, &mut slots, tag, result, start)?;
+            collected += 1;
+        }
+        Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+    }
+
+    /// Caches, stores, and accounts one computed batch result.
+    fn store_batch_result(
+        &self,
+        seeds: &[usize],
+        slots: &mut [Option<Arc<Vec<f64>>>],
+        tag: usize,
+        result: Result<Arc<Vec<f64>>>,
+        start: Instant,
+    ) -> Result<()> {
+        let scores = result?;
+        if let Some(cache) = &self.full_cache {
+            if let Ok(mut c) = cache.lock() {
+                c.insert(seeds[tag], Arc::clone(&scores));
+            }
+        }
+        slots[tag] = Some(scores);
+        self.metrics.record(false, start.elapsed());
+        Ok(())
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        // Closing the queue ends every worker's pop loop.
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn recv_result(
+    rx: &Receiver<(usize, Result<Arc<Vec<f64>>>)>,
+) -> Result<(usize, Result<Arc<Vec<f64>>>)> {
+    rx.recv()
+        .map_err(|_| Error::InvalidStructure("query worker disconnected before replying".into()))
+}
+
+/// Worker body: pull jobs until the queue closes.
+fn worker_loop(bear: &Bear, queue: &JobQueue) {
+    let mut ws = QueryWorkspace::for_bear(bear);
+    while let Some(job) = queue.pop() {
+        run_job(bear, &mut ws, job);
+    }
+}
+
+/// Answers one job with the given workspace — the freshly allocated
+/// result vector is the single allocation per query — converting panics
+/// into errors so the pool (and assisting callers) survive poisoned
+/// inputs. Shared by pool workers and caller-assist.
+fn run_job(bear: &Bear, ws: &mut QueryWorkspace, job: Job) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut result = vec![0.0; bear.num_nodes()];
+        bear.query_into(job.seed, ws, &mut result)?;
+        Ok(Arc::new(result))
+    }))
+    .unwrap_or_else(|_| {
+        Err(Error::InvalidStructure(format!("query worker panicked answering seed {}", job.seed)))
+    });
+    // A receiver that hung up no longer wants the answer; ignore.
+    let _ = job.reply.send((job.tag, outcome));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precompute::BearConfig;
+    use bear_graph::Graph;
+
+    fn test_bear(n: usize) -> Arc<Bear> {
+        // Hub-spoke graph with a little extra structure.
+        let mut edges = Vec::new();
+        for v in 1..n {
+            edges.push((0, v));
+            edges.push((v, 0));
+        }
+        for v in (1..n.saturating_sub(1)).step_by(3) {
+            edges.push((v, v + 1));
+            edges.push((v + 1, v));
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        Arc::new(Bear::new(&g, &BearConfig::exact(0.15)).unwrap())
+    }
+
+    #[test]
+    fn engine_matches_sequential_query_bitwise() {
+        let bear = test_bear(30);
+        let engine =
+            QueryEngine::new(Arc::clone(&bear), EngineConfig { threads: 4, cache_capacity: 0 });
+        for seed in 0..30 {
+            let want = bear.query(seed).unwrap();
+            let got = engine.query(seed).unwrap();
+            assert_eq!(*got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn engine_batch_matches_sequential_in_order() {
+        let bear = test_bear(25);
+        let engine =
+            QueryEngine::new(Arc::clone(&bear), EngineConfig { threads: 3, cache_capacity: 32 });
+        let seeds: Vec<usize> = (0..25).rev().collect();
+        let want: Vec<Vec<f64>> = seeds.iter().map(|&s| bear.query(s).unwrap()).collect();
+        let got = engine.query_batch(&seeds).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(**g, *w);
+        }
+        // Second pass is served from cache and stays bit-identical.
+        let again = engine.query_batch(&seeds).unwrap();
+        for (g, w) in again.iter().zip(&want) {
+            assert_eq!(**g, *w);
+        }
+        assert!(engine.metrics().cache_hits >= seeds.len() as u64);
+    }
+
+    #[test]
+    fn engine_validates_batch_seeds_upfront() {
+        let bear = test_bear(10);
+        let engine = QueryEngine::new(bear, EngineConfig { threads: 2, cache_capacity: 4 });
+        let before = engine.metrics().queries;
+        let err = engine.query_batch(&[0, 3, 99, 5]).unwrap_err();
+        assert_eq!(err, Error::IndexOutOfBounds { index: 99, bound: 10 });
+        // Nothing was dispatched: no query was counted.
+        assert_eq!(engine.metrics().queries, before);
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_scores_and_counts() {
+        let bear = test_bear(12);
+        let engine =
+            QueryEngine::new(Arc::clone(&bear), EngineConfig { threads: 2, cache_capacity: 16 });
+        let first = engine.query(3).unwrap();
+        let second = engine.query(3).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hit shares the cached Arc");
+        assert_eq!(*first, bear.query(3).unwrap());
+        let m = engine.metrics();
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert!((m.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_matches_bear_and_caches() {
+        let bear = test_bear(15);
+        let engine =
+            QueryEngine::new(Arc::clone(&bear), EngineConfig { threads: 2, cache_capacity: 16 });
+        let want = bear.query_top_k(2, 5).unwrap();
+        let got = engine.query_top_k(2, 5).unwrap();
+        assert_eq!(*got, want);
+        let again = engine.query_top_k(2, 5).unwrap();
+        assert!(Arc::ptr_eq(&got, &again));
+    }
+
+    #[test]
+    fn metrics_percentiles_populate() {
+        let bear = test_bear(10);
+        let engine = QueryEngine::new(bear, EngineConfig { threads: 2, cache_capacity: 0 });
+        for seed in 0..10 {
+            engine.query(seed).unwrap();
+        }
+        let m = engine.metrics();
+        assert_eq!(m.queries, 10);
+        assert_eq!(m.cache_misses, 10);
+        assert!(m.p50 > Duration::ZERO);
+        assert!(m.p95 >= m.p50);
+        assert!(m.p99 >= m.p95);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let bear = test_bear(8);
+        let engine = QueryEngine::new(bear, EngineConfig { threads: 1, cache_capacity: 0 });
+        engine.query(1).unwrap();
+        engine.query(1).unwrap();
+        assert_eq!(engine.metrics().cache_hits, 0);
+        assert_eq!(engine.cached_results(), 0);
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recently_used() {
+        let mut cache: LruCache<usize, usize> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.get(&1), Some(10)); // refresh 1
+        cache.insert(3, 30); // evicts 2
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn percentile_math_on_known_histogram() {
+        let mut histogram = vec![0u64; LATENCY_BUCKETS];
+        histogram[4] = 50; // 16..31 ns
+        histogram[10] = 50; // 1024..2047 ns
+        assert_eq!(percentile_from(&histogram, 0.50), Duration::from_nanos(31));
+        assert_eq!(percentile_from(&histogram, 0.95), Duration::from_nanos(2047));
+        assert_eq!(percentile_from(&histogram, 0.0), Duration::from_nanos(31));
+        assert_eq!(percentile_from(&[0; LATENCY_BUCKETS], 0.5), Duration::ZERO);
+    }
+}

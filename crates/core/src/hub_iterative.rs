@@ -91,20 +91,12 @@ impl RwrSolver for BearHubIterative {
         let t1 = self.l1_inv.matvec(q1)?;
         let t2 = self.u1_inv.matvec(&t1)?;
         let t3 = self.h21.matvec(&t2)?;
-        let rhs: Vec<f64> = q2
-            .iter()
-            .zip(&t3)
-            .map(|(a, b)| self.c * (a - b))
-            .collect();
+        let rhs: Vec<f64> = q2.iter().zip(&t3).map(|(a, b)| self.c * (a - b)).collect();
         let r2 = bicgstab(&self.s, &rhs, &self.solve_opts)?;
 
         // r₁ = U₁⁻¹ L₁⁻¹ (c q₁ − H₁₂ r₂)
         let h12_r2 = self.h12.matvec(&r2)?;
-        let inner: Vec<f64> = q1
-            .iter()
-            .zip(&h12_r2)
-            .map(|(a, b)| self.c * a - b)
-            .collect();
+        let inner: Vec<f64> = q1.iter().zip(&h12_r2).map(|(a, b)| self.c * a - b).collect();
         let t4 = self.l1_inv.matvec(&inner)?;
         let r1 = self.u1_inv.matvec(&t4)?;
 

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod dynamic;
+pub mod engine;
 pub mod hub_iterative;
 pub mod metrics;
 pub mod persist;
@@ -46,6 +47,7 @@ pub mod topk;
 pub mod variants;
 
 pub use dynamic::{DynamicBear, UpdateKind};
+pub use engine::{EngineConfig, MetricsSnapshot, QueryEngine, QueryWorkspace};
 pub use hub_iterative::BearHubIterative;
 pub use precompute::{Bear, BearConfig};
 pub use rwr::{build_h, Normalization, RwrConfig};

@@ -24,11 +24,7 @@ pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
 /// L2 norm of the error `‖r̂ − r‖`.
 pub fn l2_error(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "vector length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
 }
 
 /// L1 norm of the difference (used as the iterative method's convergence

@@ -33,27 +33,72 @@ fn write_f64_slice<W: Write>(w: &mut W, data: &[f64]) -> Result<()> {
     Ok(())
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+/// A reader that knows how many payload bytes can still legally follow,
+/// so length prefixes read from untrusted files are validated *before*
+/// any allocation. A corrupt or truncated index therefore fails with a
+/// structured error instead of attempting a huge `Vec::with_capacity`.
+struct BoundedReader<R> {
+    inner: R,
+    remaining: u64,
+}
+
+impl<R: Read> BoundedReader<R> {
+    fn new(inner: R, remaining: u64) -> Self {
+        BoundedReader { inner, remaining }
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() as u64 > self.remaining {
+            return Err(Error::InvalidStructure(format!(
+                "truncated index: needed {} bytes, {} remain",
+                buf.len(),
+                self.remaining
+            )));
+        }
+        self.inner.read_exact(buf).map_err(io_err)?;
+        self.remaining -= buf.len() as u64;
+        Ok(())
+    }
+
+    /// Validates that a length prefix of `len` elements (8 bytes each)
+    /// fits in the remaining input.
+    fn check_len(&self, len: u64) -> Result<()> {
+        let bytes = len
+            .checked_mul(8)
+            .ok_or_else(|| Error::InvalidStructure(format!("corrupt length prefix {len}")))?;
+        if bytes > self.remaining {
+            return Err(Error::InvalidStructure(format!(
+                "corrupt length prefix {len}: needs {bytes} bytes but only {} remain",
+                self.remaining
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn read_u64<R: Read>(r: &mut BoundedReader<R>) -> Result<u64> {
     let mut buf = [0u8; 8];
-    r.read_exact(&mut buf).map_err(io_err)?;
+    r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
 }
 
-fn read_usize_slice<R: Read>(r: &mut R) -> Result<Vec<usize>> {
-    let len = read_u64(r)? as usize;
-    let mut out = Vec::with_capacity(len);
+fn read_usize_slice<R: Read>(r: &mut BoundedReader<R>) -> Result<Vec<usize>> {
+    let len = read_u64(r)?;
+    r.check_len(len)?;
+    let mut out = Vec::with_capacity(len as usize);
     for _ in 0..len {
         out.push(read_u64(r)? as usize);
     }
     Ok(out)
 }
 
-fn read_f64_slice<R: Read>(r: &mut R) -> Result<Vec<f64>> {
-    let len = read_u64(r)? as usize;
-    let mut out = Vec::with_capacity(len);
+fn read_f64_slice<R: Read>(r: &mut BoundedReader<R>) -> Result<Vec<f64>> {
+    let len = read_u64(r)?;
+    r.check_len(len)?;
+    let mut out = Vec::with_capacity(len as usize);
     let mut buf = [0u8; 8];
     for _ in 0..len {
-        r.read_exact(&mut buf).map_err(io_err)?;
+        r.read_exact(&mut buf)?;
         out.push(f64::from_le_bytes(buf));
     }
     Ok(out)
@@ -67,7 +112,7 @@ fn write_csc<W: Write>(w: &mut W, m: &CscMatrix) -> Result<()> {
     write_f64_slice(w, m.values())
 }
 
-fn read_csc<R: Read>(r: &mut R) -> Result<CscMatrix> {
+fn read_csc<R: Read>(r: &mut BoundedReader<R>) -> Result<CscMatrix> {
     let nrows = read_u64(r)? as usize;
     let ncols = read_u64(r)? as usize;
     let indptr = read_usize_slice(r)?;
@@ -84,7 +129,7 @@ fn write_csr<W: Write>(w: &mut W, m: &CsrMatrix) -> Result<()> {
     write_f64_slice(w, m.values())
 }
 
-fn read_csr<R: Read>(r: &mut R) -> Result<CsrMatrix> {
+fn read_csr<R: Read>(r: &mut BoundedReader<R>) -> Result<CsrMatrix> {
     let nrows = read_u64(r)? as usize;
     let ncols = read_u64(r)? as usize;
     let indptr = read_usize_slice(r)?;
@@ -118,9 +163,10 @@ impl Bear {
     /// All structural invariants are re-validated on load.
     pub fn load(path: &Path) -> Result<Self> {
         let file = std::fs::File::open(path).map_err(io_err)?;
-        let mut r = BufReader::new(file);
+        let file_size = file.metadata().map_err(io_err)?.len();
+        let mut r = BoundedReader::new(BufReader::new(file), file_size);
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic).map_err(io_err)?;
+        r.read_exact(&mut magic)?;
         if &magic != MAGIC {
             return Err(Error::InvalidStructure(format!(
                 "not a BEAR index file (magic {magic:?})"
@@ -129,7 +175,7 @@ impl Bear {
         let n1 = read_u64(&mut r)? as usize;
         let n2 = read_u64(&mut r)? as usize;
         let mut cbuf = [0u8; 8];
-        r.read_exact(&mut cbuf).map_err(io_err)?;
+        r.read_exact(&mut cbuf)?;
         let c = f64::from_le_bytes(cbuf);
         if !(c > 0.0 && c < 1.0) {
             return Err(Error::InvalidStructure(format!("corrupt restart probability {c}")));
@@ -160,20 +206,7 @@ impl Bear {
         {
             return Err(Error::InvalidStructure("inconsistent index dimensions".into()));
         }
-        Ok(Bear {
-            l1_inv,
-            u1_inv,
-            l2_inv,
-            u2_inv,
-            h12,
-            h21,
-            perm,
-            n1,
-            n2,
-            c,
-            block_sizes,
-            degrees,
-        })
+        Ok(Bear { l1_inv, u1_inv, l2_inv, u2_inv, h12, h21, perm, n1, n2, c, block_sizes, degrees })
     }
 }
 
@@ -221,6 +254,39 @@ mod tests {
         let path = std::env::temp_dir().join("bear_persist_magic.idx");
         std::fs::write(&path, b"WRONGMAGICxxxxxxxxxxxxxxxxxxx").unwrap();
         assert!(Bear::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_truncated_file_without_huge_allocation() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let path = std::env::temp_dir().join("bear_persist_truncated.idx");
+        bear.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Truncation anywhere in the file must produce a clean error.
+        for keep in [full.len() / 4, full.len() / 2, full.len() - 3] {
+            std::fs::write(&path, &full[..keep]).unwrap();
+            assert!(Bear::load(&path).is_err(), "truncated to {keep} bytes");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_length_prefix() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let path = std::env::temp_dir().join("bear_persist_corrupt_len.idx");
+        bear.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The first length prefix (the permutation's) sits right after
+        // magic + n1 + n2 + c = 32 bytes. Blow it up to u64::MAX: a naive
+        // `Vec::with_capacity` on it would abort the process, while the
+        // bounded reader must reject it against the remaining file size.
+        bytes[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Bear::load(&path).unwrap_err();
+        assert!(format!("{err}").contains("length prefix"), "unexpected error: {err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -139,11 +139,8 @@ pub(crate) fn preprocess_to_schur(g: &Graph, config: &BearConfig) -> Result<Prep
     let mut s = ops::sub(&h22, &r3)?;
 
     // Line 7: reorder hubs ascending by degree within S.
-    let hub_perm = if config.reorder_hubs {
-        hub_degree_ordering(&s)
-    } else {
-        Permutation::identity(n2)
-    };
+    let hub_perm =
+        if config.reorder_hubs { hub_degree_ordering(&s) } else { Permutation::identity(n2) };
     s = hub_perm.permute_symmetric(&s)?;
     h12 = hub_perm.permute_cols(&h12)?;
     h21 = hub_perm.permute_rows(&h21)?;
@@ -297,11 +294,7 @@ impl Bear {
             n1: self.n1,
             n2: self.n2,
             num_blocks: self.block_sizes.len(),
-            sum_block_sq: self
-                .block_sizes
-                .iter()
-                .map(|&b| (b as u128) * (b as u128))
-                .sum(),
+            sum_block_sq: self.block_sizes.iter().map(|&b| (b as u128) * (b as u128)).sum(),
             nnz_l1_inv: self.l1_inv.nnz(),
             nnz_u1_inv: self.u1_inv.nnz(),
             nnz_l2_inv: self.l2_inv.nnz(),
@@ -377,10 +370,7 @@ mod tests {
             budget: MemBudget::bytes(8), // absurdly small
             ..BearConfig::default()
         };
-        assert!(matches!(
-            Bear::new(&g, &config),
-            Err(bear_sparse::Error::OutOfBudget { .. })
-        ));
+        assert!(matches!(Bear::new(&g, &config), Err(bear_sparse::Error::OutOfBudget { .. })));
     }
 
     #[test]
@@ -428,8 +418,7 @@ mod tests {
             &mut rand_rng(8),
         );
         let serial = Bear::new(&g, &BearConfig::default()).unwrap();
-        let parallel =
-            Bear::new(&g, &BearConfig { threads: 4, ..BearConfig::default() }).unwrap();
+        let parallel = Bear::new(&g, &BearConfig { threads: 4, ..BearConfig::default() }).unwrap();
         assert_eq!(serial.stats(), parallel.stats());
         for seed in [0, 7, 42] {
             assert_eq!(serial.query(seed).unwrap(), parallel.query(seed).unwrap());

@@ -11,6 +11,7 @@
 //! with every product a sparse matrix–vector multiplication, giving the
 //! paper's query complexity `O(Σ n₁ᵢ² + n₂² + min(n₁n₂, m))` (Theorem 3).
 
+use crate::engine::QueryWorkspace;
 use crate::precompute::Bear;
 use crate::rwr::validate_distribution;
 use crate::solver::RwrSolver;
@@ -20,80 +21,146 @@ use bear_sparse::{Error, Result};
 impl Bear {
     /// RWR scores of every node w.r.t. `seed` (Algorithm 2).
     pub fn query(&self, seed: usize) -> Result<Vec<f64>> {
+        let mut ws = QueryWorkspace::for_bear(self);
+        let mut out = vec![0.0; self.num_nodes()];
+        self.query_into(seed, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Bear::query`] into caller-owned buffers: the allocation-free form
+    /// used by the serving engine. `ws` must have been built for this
+    /// index ([`QueryWorkspace::for_bear`]); `out` must have length `n`.
+    pub fn query_into(&self, seed: usize, ws: &mut QueryWorkspace, out: &mut [f64]) -> Result<()> {
         let n = self.num_nodes();
         if seed >= n {
             return Err(Error::IndexOutOfBounds { index: seed, bound: n });
         }
-        let mut q = vec![0.0; n];
+        // Borrow the one-hot buffer out of the workspace so the workspace
+        // itself can be passed down (`mem::take` swaps in an empty Vec —
+        // no allocation).
+        let mut q = std::mem::take(&mut ws.q);
         q[seed] = 1.0;
-        self.query_distribution(&q)
+        let result = self.query_distribution_into(&q, ws, out);
+        q[seed] = 0.0;
+        ws.q = q;
+        result
     }
 
     /// Personalized PageRank for an arbitrary preference distribution
     /// (Section 3.4): the same block elimination with a general `q`.
     pub fn query_distribution(&self, q: &[f64]) -> Result<Vec<f64>> {
+        let mut ws = QueryWorkspace::for_bear(self);
+        let mut out = vec![0.0; self.num_nodes()];
+        self.query_distribution_into(q, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Bear::query_distribution`] into caller-owned buffers. This is the
+    /// single implementation of Algorithm 2's two block-elimination
+    /// sweeps; the allocating wrappers and the engine both call it, so
+    /// every path produces bit-identical floating-point results.
+    pub fn query_distribution_into(
+        &self,
+        q: &[f64],
+        ws: &mut QueryWorkspace,
+        out: &mut [f64],
+    ) -> Result<()> {
         let n = self.num_nodes();
-        if q.len() != n {
+        if q.len() != n || out.len() != n {
             return Err(Error::DimensionMismatch {
                 op: "bear query",
                 lhs: (n, 1),
-                rhs: (q.len(), 1),
+                rhs: (q.len(), out.len()),
             });
         }
         validate_distribution(q)?;
         // Move q into the reordered index space and split.
-        let q_perm = self.perm.permute_vec(q)?;
-        let (q1, q2) = q_perm.split_at(self.n1);
+        self.perm.permute_vec_into(q, &mut ws.q_perm)?;
+        let (q1, q2) = ws.q_perm.split_at(self.n1);
 
         // r₂ = c U₂⁻¹ L₂⁻¹ (q₂ − H₂₁ U₁⁻¹ L₁⁻¹ q₁)
-        let t1 = self.l1_inv.matvec(q1)?;
-        let t2 = self.u1_inv.matvec(&t1)?;
-        let t3 = self.h21.matvec(&t2)?;
-        let mut inner: Vec<f64> = q2.iter().zip(&t3).map(|(a, b)| a - b).collect();
-        inner = self.l2_inv.matvec(&inner)?;
-        inner = self.u2_inv.matvec(&inner)?;
-        let r2: Vec<f64> = inner.iter().map(|v| self.c * v).collect();
+        self.l1_inv.matvec_into(q1, &mut ws.t1)?;
+        self.u1_inv.matvec_into(&ws.t1, &mut ws.t2)?;
+        self.h21.matvec_into(&ws.t2, &mut ws.t3)?;
+        for (t, &qv) in ws.t3.iter_mut().zip(q2) {
+            *t = qv - *t;
+        }
+        self.l2_inv.matvec_into(&ws.t3, &mut ws.t4)?;
+        self.u2_inv.matvec_into(&ws.t4, &mut ws.t3)?;
+        let (r1, r2) = ws.r.split_at_mut(self.n1);
+        for (r, &v) in r2.iter_mut().zip(&ws.t3) {
+            *r = self.c * v;
+        }
 
         // r₁ = U₁⁻¹ L₁⁻¹ (c q₁ − H₁₂ r₂)
-        let h12_r2 = self.h12.matvec(&r2)?;
-        let rhs: Vec<f64> = q1
-            .iter()
-            .zip(&h12_r2)
-            .map(|(a, b)| self.c * a - b)
-            .collect();
-        let t4 = self.l1_inv.matvec(&rhs)?;
-        let r1 = self.u1_inv.matvec(&t4)?;
+        self.h12.matvec_into(r2, &mut ws.t1)?;
+        for (t, &qv) in ws.t1.iter_mut().zip(q1) {
+            *t = self.c * qv - *t;
+        }
+        self.l1_inv.matvec_into(&ws.t1, &mut ws.t2)?;
+        self.u1_inv.matvec_into(&ws.t2, r1)?;
 
-        // Concatenate and map back to the original node ids.
-        let mut r_perm = r1;
-        r_perm.extend_from_slice(&r2);
-        self.perm.unpermute_vec(&r_perm)
+        // Map back to the original node ids.
+        self.perm.unpermute_vec_into(&ws.r, out)
     }
 }
 
 impl Bear {
-    /// Answers many single-seed queries, fanning out over `threads`
-    /// crossbeam-scoped workers (queries are independent and `Bear` is
-    /// immutable after preprocessing). Results are in seed order and
-    /// bit-identical to sequential [`Bear::query`] calls.
+    /// Answers many single-seed queries, fanning out over `threads` scoped
+    /// workers (queries are independent and `Bear` is immutable after
+    /// preprocessing). Results are in seed order and bit-identical to
+    /// sequential [`Bear::query`] calls.
+    ///
+    /// All seeds are validated before any work starts, so an out-of-range
+    /// seed fails fast with an error naming it; a panicking worker
+    /// surfaces as an error instead of aborting the process. Long-lived
+    /// callers should prefer [`crate::engine::QueryEngine`], which keeps
+    /// its pool and per-worker buffers alive across calls instead of
+    /// re-spawning threads here.
     pub fn query_batch(&self, seeds: &[usize], threads: usize) -> Result<Vec<Vec<f64>>> {
+        let n = self.num_nodes();
+        if let Some(&bad) = seeds.iter().find(|&&s| s >= n) {
+            return Err(Error::IndexOutOfBounds { index: bad, bound: n });
+        }
         let threads = threads.max(1).min(seeds.len().max(1));
         if threads <= 1 {
-            return seeds.iter().map(|&s| self.query(s)).collect();
+            let mut ws = QueryWorkspace::for_bear(self);
+            return seeds
+                .iter()
+                .map(|&s| {
+                    let mut out = vec![0.0; n];
+                    self.query_into(s, &mut ws, &mut out)?;
+                    Ok(out)
+                })
+                .collect();
         }
         let chunk = seeds.len().div_ceil(threads);
-        let results: Vec<Result<Vec<Vec<f64>>>> = crossbeam::scope(|scope| {
+        let results: Vec<Result<Vec<Vec<f64>>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = seeds
                 .chunks(chunk)
                 .map(|chunk_seeds| {
-                    scope.spawn(move |_| {
-                        chunk_seeds.iter().map(|&s| self.query(s)).collect()
+                    scope.spawn(move || -> Result<Vec<Vec<f64>>> {
+                        let mut ws = QueryWorkspace::for_bear(self);
+                        chunk_seeds
+                            .iter()
+                            .map(|&s| {
+                                let mut out = vec![0.0; n];
+                                self.query_into(s, &mut ws, &mut out)?;
+                                Ok(out)
+                            })
+                            .collect()
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-        })
-        .expect("crossbeam scope");
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(Error::InvalidStructure("query_batch worker panicked".into()))
+                    })
+                })
+                .collect()
+        });
         let mut out = Vec::with_capacity(seeds.len());
         for r in results {
             out.extend(r?);
@@ -235,26 +302,21 @@ mod tests {
 
     #[test]
     fn approx_close_to_exact_for_small_tolerance() {
-        let g = undirected(
-            8,
-            &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (0, 6), (6, 7), (1, 2)],
-        );
+        let g = undirected(8, &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (0, 6), (6, 7), (1, 2)]);
         let exact = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
         let approx = Bear::new(&g, &BearConfig::approx(0.05, 1e-4)).unwrap();
         let re = exact.query(1).unwrap();
         let ra = approx.query(1).unwrap();
-        let err: f64 = re
-            .iter()
-            .zip(&ra)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
+        let err: f64 = re.iter().zip(&ra).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         assert!(err < 1e-2, "L2 error {err}");
     }
 
     #[test]
     fn batch_query_matches_sequential() {
-        let g = undirected(10, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (0, 7), (7, 8), (8, 9)]);
+        let g = undirected(
+            10,
+            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (0, 7), (7, 8), (8, 9)],
+        );
         let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
         let seeds: Vec<usize> = (0..10).collect();
         let sequential: Vec<Vec<f64>> = seeds.iter().map(|&s| bear.query(s).unwrap()).collect();

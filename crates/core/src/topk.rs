@@ -17,42 +17,53 @@ pub struct ScoredNode {
     pub score: f64,
 }
 
+/// Descending by score, ties broken by ascending node id. Uses
+/// [`f64::total_cmp`] so NaN scores order deterministically (at the ends
+/// of the IEEE total order) instead of depending on pivot order, which
+/// the old `partial_cmp().unwrap_or(Equal)` comparator did.
+fn score_desc(a: &ScoredNode, b: &ScoredNode) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then(a.node.cmp(&b.node))
+}
+
 /// Extracts the `k` best-scoring nodes (descending; ties by node id) from
 /// a full score vector using a partial selection — O(n + k log k), not a
 /// full sort.
 pub fn top_k_of(scores: &[f64], k: usize) -> Vec<ScoredNode> {
-    let k = k.min(scores.len());
+    let items =
+        scores.iter().enumerate().map(|(node, &score)| ScoredNode { node, score }).collect();
+    select_top_k(items, k)
+}
+
+/// Like [`top_k_of`] but with `seed` removed from the candidates before
+/// selection, so asking for `k >= n` returns all `n − 1` non-seed nodes
+/// (not `k − 1` as the old sentinel-score approach silently did).
+pub fn top_k_excluding_seed(scores: &[f64], seed: usize, k: usize) -> Vec<ScoredNode> {
+    let items = scores
+        .iter()
+        .enumerate()
+        .filter(|&(node, _)| node != seed)
+        .map(|(node, &score)| ScoredNode { node, score })
+        .collect();
+    select_top_k(items, k)
+}
+
+fn select_top_k(mut items: Vec<ScoredNode>, k: usize) -> Vec<ScoredNode> {
+    let k = k.min(items.len());
     if k == 0 {
         return Vec::new();
     }
-    let mut items: Vec<ScoredNode> = scores
-        .iter()
-        .enumerate()
-        .map(|(node, &score)| ScoredNode { node, score })
-        .collect();
-    let cmp = |a: &ScoredNode, b: &ScoredNode| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.node.cmp(&b.node))
-    };
-    items.select_nth_unstable_by(k - 1, cmp);
+    items.select_nth_unstable_by(k - 1, score_desc);
     items.truncate(k);
-    items.sort_by(cmp);
+    items.sort_by(score_desc);
     items
 }
 
 impl Bear {
     /// The `k` most relevant nodes w.r.t. `seed`, excluding the seed
-    /// itself, in descending score order.
+    /// itself, in descending score order. Returns `min(k, n − 1)` nodes.
     pub fn query_top_k(&self, seed: usize, k: usize) -> Result<Vec<ScoredNode>> {
-        let mut scores = self.query(seed)?;
-        // Exclude the seed by zeroing it out before selection (its score
-        // is by construction among the largest and rarely wanted).
-        scores[seed] = f64::NEG_INFINITY;
-        let mut out = top_k_of(&scores, k);
-        out.retain(|s| s.score.is_finite());
-        Ok(out)
+        let scores = self.query(seed)?;
+        Ok(top_k_excluding_seed(&scores, seed, k))
     }
 }
 
@@ -80,6 +91,38 @@ mod tests {
     }
 
     #[test]
+    fn top_k_orders_nan_deterministically() {
+        let scores = vec![0.3, f64::NAN, 0.7, f64::NAN, 0.1];
+        // total_cmp puts positive NaN above +inf, so NaNs lead — but
+        // always in the same order, with ties broken by node id.
+        let a = top_k_of(&scores, 4);
+        let b = top_k_of(&scores, 4);
+        // Compare by id and bit pattern (NaN != NaN under PartialEq).
+        let key = |v: &[ScoredNode]| -> Vec<(usize, u64)> {
+            v.iter().map(|s| (s.node, s.score.to_bits())).collect()
+        };
+        assert_eq!(key(&a), key(&b));
+        let ids: Vec<usize> = a.iter().map(|s| s.node).collect();
+        assert_eq!(ids, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn query_top_k_returns_full_count_when_k_exceeds_n() {
+        // Undirected path on 4 nodes.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]).unwrap();
+        let bear = Bear::new(&g, &BearConfig::exact(0.2)).unwrap();
+        // The old NEG_INFINITY-sentinel path returned k−1 = 3 results for
+        // k = n and silently dropped a node for every k >= n.
+        for k in [4, 5, 100] {
+            let top = bear.query_top_k(1, k).unwrap();
+            assert_eq!(top.len(), 3, "k = {k} must return all non-seed nodes");
+            assert!(top.iter().all(|s| s.node != 1));
+            assert!(top.iter().all(|s| s.score.is_finite()));
+        }
+        assert_eq!(bear.query_top_k(1, 2).unwrap().len(), 2);
+    }
+
+    #[test]
     fn query_top_k_matches_full_sort() {
         let mut edges = Vec::new();
         for v in 1..8 {
@@ -95,9 +138,7 @@ mod tests {
         // Oracle: full sort of the query result.
         let scores = bear.query(seed).unwrap();
         let mut oracle: Vec<usize> = (0..8).filter(|&u| u != seed).collect();
-        oracle.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
-        });
+        oracle.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
         let got: Vec<usize> = top.iter().map(|s| s.node).collect();
         assert_eq!(got, oracle[..3].to_vec());
         assert!(!got.contains(&seed));

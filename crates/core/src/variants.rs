@@ -77,12 +77,12 @@ mod tests {
         let bear = Bear::new(&g, &config).unwrap();
         for u in 0..5 {
             let ru = bear.query(u).unwrap();
-            for v in 0..5 {
+            for (v, &ruv) in ru.iter().enumerate() {
                 let rv = bear.query(v).unwrap();
                 assert!(
-                    (ru[v] - rv[u]).abs() < 1e-10,
+                    (ruv - rv[u]).abs() < 1e-10,
                     "asymmetry between {u} and {v}: {} vs {}",
-                    ru[v],
+                    ruv,
                     rv[u]
                 );
             }

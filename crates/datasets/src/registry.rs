@@ -81,7 +81,10 @@ pub fn all_datasets() -> Vec<DatasetSpec> {
         DatasetSpec {
             name: "trust_like",
             mimics: "Trust (Epinions)",
-            recipe: Recipe::Rmat(RmatConfig { scale: 13, edges: 60_000, p_ul: 0.62, noise: 0.1 }, 103),
+            recipe: Recipe::Rmat(
+                RmatConfig { scale: 13, edges: 60_000, p_ul: 0.62, noise: 0.1 },
+                103,
+            ),
         },
         DatasetSpec {
             name: "email_like",
@@ -161,7 +164,10 @@ pub fn all_datasets() -> Vec<DatasetSpec> {
         DatasetSpec {
             name: "citation_like",
             mimics: "Citation (US patents)",
-            recipe: Recipe::Rmat(RmatConfig { scale: 13, edges: 40_000, p_ul: 0.5, noise: 0.1 }, 109),
+            recipe: Recipe::Rmat(
+                RmatConfig { scale: 13, edges: 40_000, p_ul: 0.5, noise: 0.1 },
+                109,
+            ),
         },
     ]
 }
@@ -243,11 +249,7 @@ pub fn small_suite() -> Vec<DatasetSpec> {
 
 /// Looks a dataset up by name across all registries.
 pub fn dataset_by_name(name: &str) -> Option<DatasetSpec> {
-    all_datasets()
-        .into_iter()
-        .chain(rmat_family())
-        .chain(small_suite())
-        .find(|d| d.name == name)
+    all_datasets().into_iter().chain(rmat_family()).chain(small_suite()).find(|d| d.name == name)
 }
 
 #[cfg(test)]

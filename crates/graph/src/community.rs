@@ -82,15 +82,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn two_cliques_bridged() -> Graph {
-        let edges = vec![
-            (0, 1),
-            (1, 2),
-            (0, 2),
-            (3, 4),
-            (4, 5),
-            (3, 5),
-            (2, 3),
-        ];
+        let edges = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
         Graph::from_edges(6, &edges).unwrap()
     }
 
@@ -130,7 +122,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let labels = label_propagation(&g, 50, &mut rng);
         let order = community_degree_ordering(&g, &labels);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for &u in &order {
             seen[u] = true;
         }

@@ -116,11 +116,8 @@ mod tests {
     fn higher_forward_p_densifies() {
         let edges_at = |p: f64| {
             let mut rng = StdRng::seed_from_u64(2);
-            forest_fire(
-                &ForestFireConfig { n: 400, forward_p: p, ..Default::default() },
-                &mut rng,
-            )
-            .num_edges()
+            forest_fire(&ForestFireConfig { n: 400, forward_p: p, ..Default::default() }, &mut rng)
+                .num_edges()
         };
         let sparse = edges_at(0.1);
         let dense = edges_at(0.5);
@@ -140,8 +137,14 @@ mod tests {
     #[test]
     fn degenerate_sizes() {
         let mut rng = StdRng::seed_from_u64(4);
-        assert_eq!(forest_fire(&ForestFireConfig { n: 0, ..Default::default() }, &mut rng).num_nodes(), 0);
-        assert_eq!(forest_fire(&ForestFireConfig { n: 1, ..Default::default() }, &mut rng).num_nodes(), 1);
+        assert_eq!(
+            forest_fire(&ForestFireConfig { n: 0, ..Default::default() }, &mut rng).num_nodes(),
+            0
+        );
+        assert_eq!(
+            forest_fire(&ForestFireConfig { n: 1, ..Default::default() }, &mut rng).num_nodes(),
+            1
+        );
     }
 
     #[test]

@@ -104,12 +104,7 @@ mod tests {
         let ord = slashburn(&g, &SlashBurnConfig::with_k(2)).unwrap();
         // Removing the 5 planted hubs should shatter the graph, so the hub
         // region stays small relative to n.
-        assert!(
-            ord.n_hubs <= 12,
-            "hub region too large: {} of {}",
-            ord.n_hubs,
-            g.num_nodes()
-        );
+        assert!(ord.n_hubs <= 12, "hub region too large: {} of {}", ord.n_hubs, g.num_nodes());
         assert!(ord.block_sizes.iter().all(|&b| b <= 6));
     }
 

@@ -102,11 +102,7 @@ mod tests {
         // With p_ul = 0.9, the top-left quadrant (ids < n/2 both endpoints)
         // should hold the large majority of edges.
         let n_half = g.num_nodes() / 2;
-        let in_ul = g
-            .edges()
-            .iter()
-            .filter(|&&(u, v, _)| u < n_half && v < n_half)
-            .count();
+        let in_ul = g.edges().iter().filter(|&&(u, v, _)| u < n_half && v < n_half).count();
         assert!(
             in_ul as f64 > 0.7 * g.num_edges() as f64,
             "only {in_ul}/{} edges in upper-left",

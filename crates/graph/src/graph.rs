@@ -24,8 +24,7 @@ pub struct Graph {
 impl Graph {
     /// Builds a graph from unweighted edges (each of weight 1).
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self> {
-        let weighted: Vec<(usize, usize, f64)> =
-            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let weighted: Vec<(usize, usize, f64)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
         Graph::from_weighted_edges(n, &weighted)
     }
 
@@ -162,11 +161,11 @@ impl Graph {
     pub fn symmetric_normalized(&self) -> CsrMatrix {
         let n = self.num_nodes();
         let mut dsqrt_inv = vec![0.0f64; n];
-        for r in 0..n {
+        for (r, d) in dsqrt_inv.iter_mut().enumerate() {
             let (_, vals) = self.adj.row(r);
             let sum: f64 = vals.iter().sum();
             if sum > 0.0 {
-                dsqrt_inv[r] = 1.0 / sum.sqrt();
+                *d = 1.0 / sum.sqrt();
             }
         }
         let mut out = self.adj.clone();

@@ -26,9 +26,9 @@ pub fn parse_edge_list(text: &str, n: Option<usize>) -> Result<Graph> {
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| Error::InvalidStructure(format!("line {}: bad target", lineno + 1)))?;
         let w: f64 = match parts.next() {
-            Some(t) => t.parse().map_err(|_| {
-                Error::InvalidStructure(format!("line {}: bad weight", lineno + 1))
-            })?,
+            Some(t) => t
+                .parse()
+                .map_err(|_| Error::InvalidStructure(format!("line {}: bad weight", lineno + 1)))?,
             None => 1.0,
         };
         max_id = max_id.max(u).max(v);
@@ -44,8 +44,7 @@ pub fn read_edge_list(path: &Path, n: Option<usize>) -> Result<Graph> {
         .map_err(|e| Error::InvalidStructure(format!("cannot open {}: {e}", path.display())))?;
     let mut text = String::new();
     for line in std::io::BufReader::new(file).lines() {
-        let line =
-            line.map_err(|e| Error::InvalidStructure(format!("read error: {e}")))?;
+        let line = line.map_err(|e| Error::InvalidStructure(format!("read error: {e}")))?;
         text.push_str(&line);
         text.push('\n');
     }

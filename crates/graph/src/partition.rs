@@ -105,15 +105,7 @@ mod tests {
 
     fn two_cliques() -> Graph {
         // Clique {0,1,2}, clique {3,4,5}, one bridge 2-3.
-        let edges = vec![
-            (0, 1),
-            (1, 2),
-            (0, 2),
-            (3, 4),
-            (4, 5),
-            (3, 5),
-            (2, 3),
-        ];
+        let edges = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
         Graph::from_edges(6, &edges).unwrap()
     }
 

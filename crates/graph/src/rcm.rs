@@ -83,7 +83,7 @@ mod tests {
     fn order_is_a_permutation() {
         let g = path(10);
         let order = reverse_cuthill_mckee(&g);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for &u in &order {
             assert!(!seen[u]);
             seen[u] = true;
@@ -102,7 +102,8 @@ mod tests {
     fn rcm_improves_bandwidth_over_shuffled_order() {
         // A path relabelled badly: identity order on shuffled labels has
         // large bandwidth; RCM must recover bandwidth 1.
-        let edges: Vec<(usize, usize)> = vec![(0, 7), (7, 3), (3, 9), (9, 1), (1, 5), (5, 8), (8, 2), (2, 6), (6, 4)];
+        let edges: Vec<(usize, usize)> =
+            vec![(0, 7), (7, 3), (3, 9), (9, 1), (1, 5), (5, 8), (8, 2), (2, 6), (6, 4)];
         let g = Graph::from_edges(10, &edges).unwrap();
         let identity: Vec<usize> = (0..10).collect();
         let rcm = reverse_cuthill_mckee(&g);
@@ -115,7 +116,7 @@ mod tests {
         let g = Graph::from_edges(6, &[(0, 1), (3, 4)]).unwrap();
         let order = reverse_cuthill_mckee(&g);
         assert_eq!(order.len(), 6);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for &u in &order {
             seen[u] = true;
         }

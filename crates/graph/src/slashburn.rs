@@ -231,7 +231,7 @@ mod tests {
     fn permutation_is_complete() {
         let g = star(7);
         let ord = slashburn(&g, &SlashBurnConfig::with_k(2)).unwrap();
-        let mut seen = vec![false; 7];
+        let mut seen = [false; 7];
         for i in 0..7 {
             seen[ord.perm.old_of(i)] = true;
         }
@@ -283,7 +283,7 @@ mod tests {
         let sym = g.symmetrized_pattern();
         let reordered = ord.perm.permute_symmetric(&sym).unwrap();
         // Block id per new position, usize::MAX for hubs.
-        let mut block_of = vec![usize::MAX; 8];
+        let mut block_of = [usize::MAX; 8];
         let mut pos = 0;
         for (bid, &sz) in ord.block_sizes.iter().enumerate() {
             for _ in 0..sz {
@@ -314,8 +314,7 @@ mod tests {
         let mut pos = 0;
         for &sz in &ord.block_sizes {
             if sz == 3 {
-                let members: Vec<usize> =
-                    (pos..pos + 3).map(|i| ord.perm.old_of(i)).collect();
+                let members: Vec<usize> = (pos..pos + 3).map(|i| ord.perm.old_of(i)).collect();
                 assert_eq!(*members.last().unwrap(), 2);
             }
             pos += sz;

@@ -1,8 +1,8 @@
 //! Coordinate-format (triplet) sparse matrix, used as a construction
 //! staging area before conversion to CSR/CSC.
 
-use crate::error::{Error, Result};
 use crate::csr::CsrMatrix;
+use crate::error::{Error, Result};
 
 /// A sparse matrix in coordinate (COO / triplet) format.
 ///
@@ -21,13 +21,7 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty matrix of the given shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooMatrix {
-            nrows,
-            ncols,
-            rows: Vec::new(),
-            cols: Vec::new(),
-            values: Vec::new(),
-        }
+        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), values: Vec::new() }
     }
 
     /// Creates an empty matrix with capacity reserved for `cap` entries.

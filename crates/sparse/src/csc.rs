@@ -31,11 +31,7 @@ impl CscMatrix {
         let as_csr = CsrMatrix::from_raw(ncols, nrows, indptr, indices, values)?;
         let (indptr, indices, values) = {
             let t = as_csr;
-            (
-                t.indptr().to_vec(),
-                t.indices().to_vec(),
-                t.values().to_vec(),
-            )
+            (t.indptr().to_vec(), t.indices().to_vec(), t.values().to_vec())
         };
         Ok(CscMatrix { nrows, ncols, indptr, indices, values })
     }
@@ -140,8 +136,35 @@ impl CscMatrix {
             });
         }
         let mut y = vec![0.0; self.nrows];
-        for c in 0..self.ncols {
-            let xc = x[c];
+        self.matvec_acc(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// `y = A x` written into a caller-owned buffer: the allocation-free
+    /// form of [`CscMatrix::matvec`], bit-identical to it (same scatter
+    /// order). `y` must not alias `x`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.ncols || y.len() != self.nrows {
+            return Err(Error::DimensionMismatch {
+                op: "csc matvec_into",
+                lhs: (self.nrows, self.ncols),
+                rhs: (y.len(), x.len()),
+            });
+        }
+        y.fill(0.0);
+        self.matvec_acc(x, y)
+    }
+
+    /// `y += A x` accumulated into a caller-owned buffer (no allocation).
+    pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.ncols || y.len() != self.nrows {
+            return Err(Error::DimensionMismatch {
+                op: "csc matvec_acc",
+                lhs: (self.nrows, self.ncols),
+                rhs: (y.len(), x.len()),
+            });
+        }
+        for (c, &xc) in x.iter().enumerate() {
             if xc == 0.0 {
                 continue;
             }
@@ -150,7 +173,7 @@ impl CscMatrix {
                 y[r] += v * xc;
             }
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Iterates over stored entries as `(row, col, value)` in column-major
@@ -217,5 +240,26 @@ mod tests {
         // Valid 2x1 column.
         let m = CscMatrix::from_raw(2, 1, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).unwrap();
         assert_eq!(m.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_bitwise() {
+        let mut coo = CooMatrix::new(3, 3);
+        for &(r, c, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+            coo.push(r, c, v);
+        }
+        let csc = coo.to_csr().to_csc();
+        let x = [0.5, -2.5, 1.5];
+        let allocated = csc.matvec(&x).unwrap();
+        let mut buf = vec![7.7; 3]; // stale contents must be zeroed first
+        csc.matvec_into(&x, &mut buf).unwrap();
+        assert_eq!(buf, allocated);
+        // And the accumulating form adds on top.
+        let mut acc = allocated.clone();
+        csc.matvec_acc(&x, &mut acc).unwrap();
+        for (a, b) in acc.iter().zip(&allocated) {
+            assert_eq!(*a, 2.0 * b);
+        }
+        assert!(csc.matvec_into(&x, &mut [0.0; 2]).is_err());
     }
 }

@@ -66,9 +66,7 @@ impl CsrMatrix {
         }
         for r in 0..nrows {
             if indptr[r] > indptr[r + 1] {
-                return Err(Error::InvalidStructure(format!(
-                    "indptr decreases at row {r}"
-                )));
+                return Err(Error::InvalidStructure(format!("indptr decreases at row {r}")));
             }
             let row = &indices[indptr[r]..indptr[r + 1]];
             for w in row.windows(2) {
@@ -208,15 +206,50 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0; self.nrows];
-        for r in 0..self.nrows {
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// `y = A x` written into a caller-owned buffer: the allocation-free
+    /// form of [`CsrMatrix::matvec`], bit-identical to it (same loop and
+    /// accumulation order).
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.ncols || y.len() != self.nrows {
+            return Err(Error::DimensionMismatch {
+                op: "matvec_into",
+                lhs: (self.nrows, self.ncols),
+                rhs: (y.len(), x.len()),
+            });
+        }
+        for (r, yr) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut acc = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c];
             }
-            y[r] = acc;
+            *yr = acc;
         }
-        Ok(y)
+        Ok(())
+    }
+
+    /// `y += A x` accumulated into a caller-owned buffer (no allocation).
+    pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.ncols || y.len() != self.nrows {
+            return Err(Error::DimensionMismatch {
+                op: "matvec_acc",
+                lhs: (self.nrows, self.ncols),
+                rhs: (y.len(), x.len()),
+            });
+        }
+        for (r, yr) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            *yr += acc;
+        }
+        Ok(())
     }
 
     /// `y = Aᵀ x` without materializing the transpose.
@@ -229,8 +262,7 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0; self.ncols];
-        for r in 0..self.nrows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -490,5 +522,35 @@ mod tests {
         assert_eq!(d[(2, 0)], 4.0);
         assert_eq!(d[(1, 1)], 3.0);
         assert_eq!(d.to_csr(0.0), m);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_bitwise() {
+        let m = sample();
+        let x = [0.3, -1.7, 2.9];
+        let allocated = m.matvec(&x).unwrap();
+        let mut buf = vec![9.9; 3]; // stale contents must be overwritten
+        m.matvec_into(&x, &mut buf).unwrap();
+        assert_eq!(buf, allocated);
+    }
+
+    #[test]
+    fn matvec_acc_accumulates() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let base = m.matvec(&x).unwrap();
+        let mut buf = vec![10.0; 3];
+        m.matvec_acc(&x, &mut buf).unwrap();
+        for (got, b) in buf.iter().zip(&base) {
+            assert_eq!(*got, 10.0 + b);
+        }
+    }
+
+    #[test]
+    fn matvec_into_rejects_bad_buffer_sizes() {
+        let m = sample();
+        assert!(m.matvec_into(&[1.0; 3], &mut [0.0; 2]).is_err());
+        assert!(m.matvec_into(&[1.0; 2], &mut [0.0; 3]).is_err());
+        assert!(m.matvec_acc(&[1.0; 3], &mut [0.0; 4]).is_err());
     }
 }

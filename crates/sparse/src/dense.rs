@@ -89,9 +89,7 @@ impl DenseMatrix {
                 rhs: (x.len(), 1),
             });
         }
-        Ok((0..self.nrows)
-            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.nrows).map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// `C = A B` (naive triple loop with row-major friendly ordering).
@@ -153,11 +151,7 @@ impl DenseMatrix {
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
         assert_eq!(self.nrows, other.nrows);
         assert_eq!(self.ncols, other.ncols);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 

@@ -139,35 +139,22 @@ mod tests {
 
     #[test]
     fn decomposition_reconstructs_matrix() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]])
+            .unwrap();
         let e = symmetric_eigen(&a).unwrap();
         // A = V diag(λ) Vᵀ
         let mut lam = DenseMatrix::zeros(3, 3);
         for i in 0..3 {
             lam[(i, i)] = e.values[i];
         }
-        let back = e
-            .vectors
-            .matmul(&lam)
-            .unwrap()
-            .matmul(&e.vectors.transpose())
-            .unwrap();
+        let back = e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap();
         assert!(back.max_abs_diff(&a) < 1e-9);
     }
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 0.5, 0.0],
-            &[0.5, 1.0, 0.5],
-            &[0.0, 0.5, 1.0],
-        ])
-        .unwrap();
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.5, 0.0], &[0.5, 1.0, 0.5], &[0.0, 0.5, 1.0]])
+            .unwrap();
         let e = symmetric_eigen(&a).unwrap();
         let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
         assert!(vtv.max_abs_diff(&DenseMatrix::identity(3)) < 1e-9);

@@ -59,10 +59,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
             Error::SingularMatrix { at } => write!(f, "singular matrix: zero pivot at {at}"),
-            Error::OutOfBudget { needed, budget } => write!(
-                f,
-                "memory budget exceeded: needed >= {needed} bytes, budget {budget} bytes"
-            ),
+            Error::OutOfBudget { needed, budget } => {
+                write!(f, "memory budget exceeded: needed >= {needed} bytes, budget {budget} bytes")
+            }
             Error::DidNotConverge { what, iterations } => {
                 write!(f, "{what} did not converge after {iterations} iterations")
             }

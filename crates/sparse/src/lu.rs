@@ -461,9 +461,7 @@ impl BlockDiagLu {
         let mut off = 0;
         for (bid, &sz) in block_sizes.iter().enumerate() {
             offsets.push(off);
-            for i in off..off + sz {
-                block_of[i] = bid;
-            }
+            block_of[off..off + sz].fill(bid);
             off += sz;
         }
         for (r, c, _) in a.iter() {
@@ -664,10 +662,7 @@ mod tests {
         coo.push(1, 0, 1.0);
         // Column 1 empty -> singular at pivot 1.
         let a = coo.to_csr().to_csc();
-        assert!(matches!(
-            SparseLu::factor(&a),
-            Err(Error::SingularMatrix { at: 1 })
-        ));
+        assert!(matches!(SparseLu::factor(&a), Err(Error::SingularMatrix { at: 1 })));
     }
 
     #[test]
@@ -736,10 +731,7 @@ mod tests {
     #[test]
     fn factor_with_limit_aborts_on_fill() {
         let a = dd_matrix();
-        assert!(matches!(
-            SparseLu::factor_with_limit(&a, 3),
-            Err(Error::OutOfBudget { .. })
-        ));
+        assert!(matches!(SparseLu::factor_with_limit(&a, 3), Err(Error::OutOfBudget { .. })));
         // A generous limit succeeds.
         assert!(SparseLu::factor_with_limit(&a, 1_000).is_ok());
     }
@@ -748,10 +740,7 @@ mod tests {
     fn invert_factors_with_limit_aborts_on_fill() {
         let a = dd_matrix();
         let lu = SparseLu::factor(&a).unwrap();
-        assert!(matches!(
-            lu.invert_factors_with_limit(2),
-            Err(Error::OutOfBudget { .. })
-        ));
+        assert!(matches!(lu.invert_factors_with_limit(2), Err(Error::OutOfBudget { .. })));
         let (l, u) = lu.invert_factors_with_limit(1_000).unwrap();
         let (l2, u2) = lu.invert_factors().unwrap();
         assert_eq!(l.to_csr(), l2.to_csr());

@@ -118,10 +118,7 @@ mod tests {
     fn budget_enforced() {
         let b = MemBudget::bytes(100);
         assert!(b.check(100).is_ok());
-        assert!(matches!(
-            b.check(101),
-            Err(Error::OutOfBudget { needed: 101, budget: 100 })
-        ));
+        assert!(matches!(b.check(101), Err(Error::OutOfBudget { needed: 101, budget: 100 })));
         assert!(MemBudget::unlimited().check(usize::MAX).is_ok());
     }
 }

@@ -14,18 +14,15 @@ use std::path::Path;
 /// Parses a Matrix Market coordinate-format string.
 pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix> {
     let mut lines = text.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| Error::InvalidStructure("empty MatrixMarket input".into()))?;
+    let header =
+        lines.next().ok_or_else(|| Error::InvalidStructure("empty MatrixMarket input".into()))?;
     let header_lc = header.to_ascii_lowercase();
     if !header_lc.starts_with("%%matrixmarket") {
         return Err(Error::InvalidStructure("missing %%MatrixMarket header".into()));
     }
     let tokens: Vec<&str> = header_lc.split_whitespace().collect();
     if tokens.len() < 5 || tokens[1] != "matrix" || tokens[2] != "coordinate" {
-        return Err(Error::InvalidStructure(format!(
-            "unsupported MatrixMarket header: {header}"
-        )));
+        return Err(Error::InvalidStructure(format!("unsupported MatrixMarket header: {header}")));
     }
     if tokens[3] != "real" && tokens[3] != "integer" {
         return Err(Error::InvalidStructure(format!(
@@ -53,11 +50,12 @@ pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix> {
         size_line = Some(t.to_string());
         break;
     }
-    let size_line =
-        size_line.ok_or_else(|| Error::InvalidStructure("missing size line".into()))?;
+    let size_line = size_line.ok_or_else(|| Error::InvalidStructure("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| Error::InvalidStructure(format!("bad size line: {size_line}"))))
+        .map(|t| {
+            t.parse().map_err(|_| Error::InvalidStructure(format!("bad size line: {size_line}")))
+        })
         .collect::<Result<_>>()?;
     if dims.len() != 3 {
         return Err(Error::InvalidStructure(format!("bad size line: {size_line}")));
@@ -81,9 +79,9 @@ pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix> {
             .and_then(|x| x.parse().ok())
             .ok_or_else(|| Error::InvalidStructure(format!("bad entry: {t}")))?;
         let v: f64 = match parts.next() {
-            Some(x) => x
-                .parse()
-                .map_err(|_| Error::InvalidStructure(format!("bad value in: {t}")))?,
+            Some(x) => {
+                x.parse().map_err(|_| Error::InvalidStructure(format!("bad value in: {t}")))?
+            }
             None => 1.0, // pattern-ish files
         };
         if r == 0 || c == 0 || r > nrows || c > ncols {
@@ -96,9 +94,7 @@ pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix> {
         read += 1;
     }
     if read != nnz {
-        return Err(Error::InvalidStructure(format!(
-            "expected {nnz} entries, found {read}"
-        )));
+        return Err(Error::InvalidStructure(format!("expected {nnz} entries, found {read}")));
     }
     Ok(coo.to_csr())
 }

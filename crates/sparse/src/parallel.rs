@@ -4,7 +4,7 @@
 //! computations — triangular-factor inversion (one sparse solve per
 //! column) and SpGEMM (one accumulator pass per row) — so both scale
 //! nearly linearly with threads via simple range splitting over
-//! crossbeam's scoped threads. Results are bit-identical to the serial
+//! `std::thread::scope`. Results are bit-identical to the serial
 //! kernels (each column/row is computed by exactly the same code).
 //!
 //! Thread-spawn overhead is a few hundred microseconds per call, so the
@@ -37,7 +37,7 @@ fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
 
 /// Parallel triangular inversion: like
 /// [`crate::triangular::invert_triangular`] but computing column ranges on
-/// `threads` crossbeam-scoped threads.
+/// `threads` scoped threads.
 pub fn par_invert_triangular(
     g: &CscMatrix,
     triangle: Triangle,
@@ -58,12 +58,12 @@ pub fn par_invert_triangular(
     }
 
     type ColChunk = Result<(Vec<usize>, Vec<usize>, Vec<f64>)>;
-    let chunks: Vec<ColChunk> = crossbeam::scope(|scope| {
+    let chunks: Vec<ColChunk> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .cloned()
             .map(|range| {
-                scope.spawn(move |_| -> ColChunk {
+                scope.spawn(move || -> ColChunk {
                     let mut ws = SpSolveWorkspace::new(n);
                     let mut col_ptr = Vec::with_capacity(range.len());
                     let mut indices = Vec::new();
@@ -79,8 +79,7 @@ pub fn par_invert_triangular(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     // Stitch the chunks into one CSC matrix.
     let mut indptr = Vec::with_capacity(n + 1);
@@ -113,20 +112,19 @@ pub fn par_spgemm(a: &CsrMatrix, b: &CsrMatrix, threads: usize) -> Result<CsrMat
     }
 
     type RowChunk = Result<CsrMatrix>;
-    let chunks: Vec<RowChunk> = crossbeam::scope(|scope| {
+    let chunks: Vec<RowChunk> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .cloned()
             .map(|range| {
-                scope.spawn(move |_| -> RowChunk {
+                scope.spawn(move || -> RowChunk {
                     let sub = a.submatrix(range.start, range.end, 0, a.ncols())?;
                     spgemm(&sub, b)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
     let mut indices = Vec::new();
@@ -169,11 +167,11 @@ mod tests {
         let mut coo = CooMatrix::new(n, n);
         let mut sums = vec![0.0; n];
         for i in 0..n {
-            for j in 0..n {
+            for (j, sj) in sums.iter_mut().enumerate() {
                 if i != j && rng.gen_bool(0.1) {
                     let v: f64 = rng.gen_range(-1.0..1.0);
                     coo.push(i, j, v);
-                    sums[j] += v.abs(); // column dominance
+                    *sj += v.abs(); // column dominance
                 }
             }
         }

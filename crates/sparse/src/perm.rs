@@ -93,9 +93,7 @@ impl Permutation {
                 first.len()
             )));
         }
-        let forward = (0..self.len())
-            .map(|new| first.old_of(self.old_of(new)))
-            .collect();
+        let forward = (0..self.len()).map(|new| first.old_of(self.old_of(new))).collect();
         Permutation::from_new_to_old(forward)
     }
 
@@ -118,11 +116,7 @@ impl Permutation {
             let old_r = self.forward[new_r];
             let (cols, vals) = a.row(old_r);
             scratch.clear();
-            scratch.extend(
-                cols.iter()
-                    .zip(vals)
-                    .map(|(&c, &v)| (self.inverse[c], v)),
-            );
+            scratch.extend(cols.iter().zip(vals).map(|(&c, &v)| (self.inverse[c], v)));
             scratch.sort_unstable_by_key(|&(c, _)| c);
             for &(c, v) in &scratch {
                 indices.push(c);
@@ -195,6 +189,22 @@ impl Permutation {
         Ok(self.forward.iter().map(|&old| x[old]).collect())
     }
 
+    /// [`Permutation::permute_vec`] into a caller-owned buffer (no
+    /// allocation): `out[new] = x[old_of(new)]`.
+    pub fn permute_vec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.len() || out.len() != self.len() {
+            return Err(Error::DimensionMismatch {
+                op: "permute_vec_into",
+                lhs: (self.len(), 1),
+                rhs: (x.len(), out.len()),
+            });
+        }
+        for (o, &old) in out.iter_mut().zip(&self.forward) {
+            *o = x[old];
+        }
+        Ok(())
+    }
+
     /// Undoes [`Permutation::permute_vec`]: `out[old_of(new)] = x[new]`.
     pub fn unpermute_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.len() {
@@ -205,10 +215,24 @@ impl Permutation {
             });
         }
         let mut out = vec![0.0; x.len()];
+        self.unpermute_vec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Permutation::unpermute_vec`] into a caller-owned buffer (no
+    /// allocation): `out[old_of(new)] = x[new]`.
+    pub fn unpermute_vec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.len() || out.len() != self.len() {
+            return Err(Error::DimensionMismatch {
+                op: "unpermute_vec_into",
+                lhs: (self.len(), 1),
+                rhs: (x.len(), out.len()),
+            });
+        }
         for (new, &old) in self.forward.iter().enumerate() {
             out[old] = x[new];
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -322,5 +346,20 @@ mod tests {
         for old in 0..4 {
             assert_eq!(p.old_of(p.new_of(old)), old);
         }
+    }
+
+    #[test]
+    fn vec_into_forms_match_allocating_forms() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 3, 1]).unwrap();
+        let x = [10.0, 11.0, 12.0, 13.0];
+        let permuted = p.permute_vec(&x).unwrap();
+        let mut buf = [0.0; 4];
+        p.permute_vec_into(&x, &mut buf).unwrap();
+        assert_eq!(buf, permuted[..]);
+        let mut back = [0.0; 4];
+        p.unpermute_vec_into(&permuted, &mut back).unwrap();
+        assert_eq!(back, x);
+        assert!(p.permute_vec_into(&x, &mut [0.0; 3]).is_err());
+        assert!(p.unpermute_vec_into(&x[..3], &mut [0.0; 4]).is_err());
     }
 }

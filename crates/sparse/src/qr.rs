@@ -57,8 +57,7 @@ impl DenseQr {
             // slice: w = vᵀ R, then R -= (2/vᵀv) v wᵀ.
             let coef = 2.0 / vnorm2;
             let mut w = vec![0.0f64; n - k];
-            for i in k..n {
-                let vi = v[i];
+            for (i, &vi) in v.iter().enumerate().skip(k) {
                 if vi == 0.0 {
                     continue;
                 }
@@ -66,8 +65,8 @@ impl DenseQr {
                     *wc += vi * rc;
                 }
             }
-            for i in k..n {
-                let s = coef * v[i];
+            for (i, &vi) in v.iter().enumerate().skip(k) {
+                let s = coef * vi;
                 if s == 0.0 {
                     continue;
                 }
@@ -106,12 +105,12 @@ impl DenseQr {
         }
         // y = Qᵀ b
         let mut y = vec![0.0; n];
-        for i in 0..n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for j in 0..n {
-                acc += self.q[(j, i)] * b[j];
+            for (j, &bj) in b.iter().enumerate() {
+                acc += self.q[(j, i)] * bj;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         // Back substitution with R.
         for i in (0..n).rev() {
@@ -120,8 +119,8 @@ impl DenseQr {
                 return Err(Error::SingularMatrix { at: i });
             }
             let mut acc = y[i];
-            for j in i + 1..n {
-                acc -= self.r[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().skip(i + 1) {
+                acc -= self.r[(i, j)] * yj;
             }
             y[i] = acc / d;
         }
@@ -202,12 +201,7 @@ mod tests {
     use super::*;
 
     fn test_matrix() -> DenseMatrix {
-        DenseMatrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[1.0, 3.0, -2.0],
-            &[0.0, 1.0, 4.0],
-        ])
-        .unwrap()
+        DenseMatrix::from_rows(&[&[2.0, -1.0, 0.0], &[1.0, 3.0, -2.0], &[0.0, 1.0, 4.0]]).unwrap()
     }
 
     #[test]
@@ -261,12 +255,7 @@ mod tests {
 
     #[test]
     fn mgs_produces_orthonormal_columns() {
-        let mut a = DenseMatrix::from_rows(&[
-            &[1.0, 1.0],
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-        ])
-        .unwrap();
+        let mut a = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
         let kept = mgs_orthonormalize(&mut a);
         assert_eq!(kept, 2);
         let gram = a.transpose().matmul(&a).unwrap();
@@ -275,11 +264,7 @@ mod tests {
 
     #[test]
     fn mgs_drops_dependent_columns() {
-        let mut a = DenseMatrix::from_rows(&[
-            &[1.0, 2.0],
-            &[1.0, 2.0],
-        ])
-        .unwrap();
+        let mut a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap();
         let kept = mgs_orthonormalize(&mut a);
         assert_eq!(kept, 1);
     }

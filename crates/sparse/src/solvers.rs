@@ -230,12 +230,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut coo = CooMatrix::new(n, n);
         let mut row_sums = vec![0.0f64; n];
-        for i in 0..n {
+        for (i, ri) in row_sums.iter_mut().enumerate() {
             for j in 0..n {
                 if i != j && rng.gen_bool(0.15) {
                     let v: f64 = rng.gen_range(-1.0..1.0);
                     coo.push(i, j, v);
-                    row_sums[i] += v.abs();
+                    *ri += v.abs();
                 }
             }
         }
@@ -305,16 +305,13 @@ mod tests {
         coo.push(1, 1, 1.0);
         let a = coo.to_csr();
         let opts = SolveOptions { max_iterations: 50, ..SolveOptions::default() };
-        assert!(matches!(
-            jacobi(&a, &[1.0, 1.0], &opts),
-            Err(Error::DidNotConverge { .. })
-        ));
+        assert!(matches!(jacobi(&a, &[1.0, 1.0], &opts), Err(Error::DidNotConverge { .. })));
     }
 
     #[test]
     fn zero_rhs_yields_zero_solution() {
         let a = random_dd(10, 9);
-        let x = bicgstab(&a, &vec![0.0; 10], &SolveOptions::default()).unwrap();
+        let x = bicgstab(&a, &[0.0; 10], &SolveOptions::default()).unwrap();
         assert!(x.iter().all(|&v| v == 0.0));
     }
 }

@@ -141,9 +141,7 @@ impl SparseQr {
         let mut values = Vec::new();
         indptr.push(0);
         for (k, row) in r_rows.iter().enumerate() {
-            let row = row
-                .as_ref()
-                .ok_or(Error::SingularMatrix { at: k })?;
+            let row = row.as_ref().ok_or(Error::SingularMatrix { at: k })?;
             if row.first().map(|&(c, v)| c != k || v.abs() < 1e-12).unwrap_or(true) {
                 return Err(Error::SingularMatrix { at: k });
             }
@@ -223,12 +221,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut coo = CooMatrix::new(n, n);
         let mut sums = vec![0.0; n];
-        for i in 0..n {
+        for (i, si) in sums.iter_mut().enumerate() {
             for j in 0..n {
                 if i != j && rng.gen_bool(0.15) {
                     let v: f64 = rng.gen_range(-1.0..1.0);
                     coo.push(i, j, v);
-                    sums[i] += v.abs();
+                    *si += v.abs();
                 }
             }
         }

@@ -168,13 +168,8 @@ mod tests {
         coo.push(1, 3, -1.0);
         coo.push(2, 0, 0.5);
         let a = coo.to_csr();
-        let b = DenseMatrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[2.0, 2.0],
-            &[1.0, -1.0],
-        ])
-        .unwrap();
+        let b =
+            DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0], &[1.0, -1.0]]).unwrap();
         let ad = a.to_dense();
         let want = ad.matmul(&b).unwrap();
         let got = csr_times_dense(&a, &b).unwrap();
@@ -189,8 +184,8 @@ mod tests {
     #[test]
     fn exact_recovery_of_low_rank_matrix() {
         // Build a rank-2 matrix and recover it exactly at t = 2.
-        let u = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]])
-            .unwrap();
+        let u =
+            DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]]).unwrap();
         let v = DenseMatrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, 1.0]]).unwrap();
         let dense = u.matmul(&v).unwrap();
         let sparse = dense.to_csr(0.0);

@@ -304,8 +304,8 @@ pub fn invert_triangular_with_limit(
 mod tests {
     use super::*;
     use crate::coo::CooMatrix;
-    use crate::ops::spgemm;
     use crate::csr::CsrMatrix;
+    use crate::ops::spgemm;
 
     /// Lower triangular test matrix:
     /// [2 0 0]
@@ -366,10 +366,7 @@ mod tests {
         coo.push(1, 0, 1.0);
         let l = coo.to_csr().to_csc();
         let mut b = vec![1.0, 1.0];
-        assert!(matches!(
-            solve_lower(&l, &mut b, false),
-            Err(Error::SingularMatrix { at: 1 })
-        ));
+        assert!(matches!(solve_lower(&l, &mut b, false), Err(Error::SingularMatrix { at: 1 })));
     }
 
     #[test]
@@ -377,7 +374,7 @@ mod tests {
         let l = lower();
         let mut ws = SpSolveWorkspace::new(3);
         let (pat, vals) = spsolve(&l, Triangle::Lower, &[0], &[2.0], false, &mut ws).unwrap();
-        let mut dense = vec![0.0; 3];
+        let mut dense = [0.0; 3];
         for (&i, &v) in pat.iter().zip(&vals) {
             dense[i] = v;
         }
@@ -394,7 +391,7 @@ mod tests {
         let mut ws = SpSolveWorkspace::new(3);
         // RHS e_2 reaches rows 1 and 0 through the upper structure.
         let (pat, vals) = spsolve(&u, Triangle::Upper, &[2], &[5.0], false, &mut ws).unwrap();
-        let mut dense = vec![0.0; 3];
+        let mut dense = [0.0; 3];
         for (&i, &v) in pat.iter().zip(&vals) {
             dense[i] = v;
         }

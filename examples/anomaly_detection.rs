@@ -19,12 +19,8 @@ use rand::SeedableRng;
 /// ten best-ranked nodes other than the seed. High = normal (tight
 /// neighborhood), low = anomalous (scattered neighborhood).
 fn concentration(scores: &[f64], seed: usize) -> f64 {
-    let mut others: Vec<f64> = scores
-        .iter()
-        .enumerate()
-        .filter(|&(u, _)| u != seed)
-        .map(|(_, &s)| s)
-        .collect();
+    let mut others: Vec<f64> =
+        scores.iter().enumerate().filter(|&(u, _)| u != seed).map(|(_, &s)| s).collect();
     others.sort_by(|a, b| b.partial_cmp(a).unwrap());
     let total: f64 = others.iter().sum();
     if total == 0.0 {
@@ -70,10 +66,8 @@ fn main() {
     // Score the anomaly and a sample of normal cave nodes.
     let mut sample: Vec<usize> = (5..n).step_by(17).take(40).collect();
     sample.push(anomaly);
-    let mut scored: Vec<(usize, f64)> = sample
-        .iter()
-        .map(|&u| (u, concentration(&bear.query(u).expect("query"), u)))
-        .collect();
+    let mut scored: Vec<(usize, f64)> =
+        sample.iter().map(|&u| (u, concentration(&bear.query(u).expect("query"), u))).collect();
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
     println!("\nmost anomalous (lowest neighborhood concentration) first:");

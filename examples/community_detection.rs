@@ -36,15 +36,10 @@ fn main() {
     // Ground truth: the caves are exactly the connected components left
     // when the hubs (ids 0..6) are removed. Seed inside a large cave.
     let mut active = vec![true; graph.num_nodes()];
-    for hub in 0..6 {
-        active[hub] = false;
-    }
+    active[..6].fill(false);
     let caves = bear_graph::components::components_in_subset(&sym, &active);
-    let cave = caves
-        .iter()
-        .filter(|c| c.len() >= 8)
-        .max_by_key(|c| c.len())
-        .expect("a large cave exists");
+    let cave =
+        caves.iter().filter(|c| c.len() >= 8).max_by_key(|c| c.len()).expect("a large cave exists");
     let seed = cave[0];
     println!("ground-truth cave of seed {seed}: {} nodes", cave.len());
 

@@ -63,11 +63,7 @@ fn main() {
     let oracle = Bear::new(&updated_graph, &BearConfig::exact(0.1)).expect("oracle");
     let got = dynamic.query(42).expect("query");
     let want = oracle.query(42).expect("query");
-    let max_diff = got
-        .iter()
-        .zip(&want)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_diff = got.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("updated index vs fresh preprocessing: max |Δscore| = {max_diff:.2e}");
     assert!(max_diff < 1e-9);
     println!("incrementally maintained index is exact ✓");

@@ -40,11 +40,7 @@ fn main() {
     let mut probe_nbrs: Vec<usize> = sym.row(probe).0.to_vec();
     probe_nbrs.shuffle(&mut rng);
     let hidden: Vec<usize> = probe_nbrs[..probe_nbrs.len() * 3 / 10].to_vec();
-    println!(
-        "probe node {probe} with degree {}; hiding {} edges",
-        probe_nbrs.len(),
-        hidden.len()
-    );
+    println!("probe node {probe} with degree {}; hiding {} edges", probe_nbrs.len(), hidden.len());
 
     // Train on the symmetrized graph with the hidden edges removed.
     let mut train_edges: Vec<(usize, usize)> = Vec::new();
@@ -61,33 +57,24 @@ fn main() {
     let scores = bear.query(probe).expect("query");
     let train_sym = train.symmetrized_pattern();
     let train_nbrs = train_sym.row(probe).0;
-    let mut candidates: Vec<usize> = (0..train.num_nodes())
-        .filter(|&u| u != probe && !train_nbrs.contains(&u))
-        .collect();
+    let mut candidates: Vec<usize> =
+        (0..train.num_nodes()).filter(|&u| u != probe && !train_nbrs.contains(&u)).collect();
     candidates.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
 
     // Where do the hidden edges land in the ranking?
     let top_k = hidden.len().max(10);
-    let recovered = candidates[..top_k.min(candidates.len())]
-        .iter()
-        .filter(|u| hidden.contains(u))
-        .count();
+    let recovered =
+        candidates[..top_k.min(candidates.len())].iter().filter(|u| hidden.contains(u)).count();
     println!(
         "recovered {recovered}/{} hidden neighbors in the top {top_k} \
          (random baseline would get ~{:.2})",
         hidden.len(),
         top_k as f64 * hidden.len() as f64 / candidates.len() as f64
     );
-    let mean_rank: f64 = hidden
-        .iter()
-        .map(|h| candidates.iter().position(|c| c == h).unwrap() as f64)
-        .sum::<f64>()
-        / hidden.len() as f64;
-    println!(
-        "mean rank of hidden neighbors: {:.1} of {} candidates",
-        mean_rank,
-        candidates.len()
-    );
+    let mean_rank: f64 =
+        hidden.iter().map(|h| candidates.iter().position(|c| c == h).unwrap() as f64).sum::<f64>()
+            / hidden.len() as f64;
+    println!("mean rank of hidden neighbors: {:.1} of {} candidates", mean_rank, candidates.len());
     assert!(
         recovered as f64 >= hidden.len() as f64 * 0.5,
         "RWR failed to recover at least half of the hidden edges"

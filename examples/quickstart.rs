@@ -17,11 +17,7 @@ fn main() {
         3 4\n4 3\n
         4 5\n5 4\n5 6\n6 5\n4 6\n6 4\n6 7\n7 6\n5 7\n7 5\n";
     let graph = parse_edge_list(edges, None).expect("valid edge list");
-    println!(
-        "graph: {} nodes, {} directed edges",
-        graph.num_nodes(),
-        graph.num_edges()
-    );
+    println!("graph: {} nodes, {} directed edges", graph.num_nodes(), graph.num_edges());
 
     // Preprocessing phase (Algorithm 1). BEAR-Exact: drop tolerance 0.
     let bear = Bear::new(&graph, &BearConfig::exact(0.15)).expect("preprocessing");

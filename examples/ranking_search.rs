@@ -13,9 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn top_k(scores: &[f64], k: usize, exclude: &[usize]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..scores.len())
-        .filter(|u| !exclude.contains(u))
-        .collect();
+    let mut order: Vec<usize> = (0..scores.len()).filter(|u| !exclude.contains(u)).collect();
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
     order.truncate(k);
     order
@@ -45,16 +43,10 @@ fn main() {
     println!("PPR top-10 for interests {interests:?}: {:?}", top_k(&ppr, 10, &exclude));
 
     // PPR is the q-weighted superposition of single-seed queries.
-    let parts: Vec<Vec<f64>> = interests
-        .iter()
-        .map(|&(u, _)| bear.query(u).expect("query"))
-        .collect();
+    let parts: Vec<Vec<f64>> =
+        interests.iter().map(|&(u, _)| bear.query(u).expect("query")).collect();
     for u in (0..n).step_by(97) {
-        let mix: f64 = interests
-            .iter()
-            .zip(&parts)
-            .map(|(&(_, w), part)| w * part[u])
-            .sum();
+        let mix: f64 = interests.iter().zip(&parts).map(|(&(_, w), part)| w * part[u]).sum();
         assert!((ppr[u] - mix).abs() < 1e-10);
     }
     println!("PPR equals the weighted mixture of per-seed RWR ✓");
@@ -66,17 +58,13 @@ fn main() {
     let ei_top = top_k(&ei, 10, &[seed]);
     println!("\neffective-importance top-10 for seed {seed}: {ei_top:?}");
     let degrees = graph.undirected_degrees();
-    let mean_deg = |list: &[usize]| {
-        list.iter().map(|&u| degrees[u] as f64).sum::<f64>() / list.len() as f64
-    };
+    let mean_deg =
+        |list: &[usize]| list.iter().map(|&u| degrees[u] as f64).sum::<f64>() / list.len() as f64;
     println!(
         "mean degree of RWR top-10: {:.1}; of EI top-10: {:.1}",
         mean_deg(&rwr_top),
         mean_deg(&ei_top)
     );
-    assert!(
-        mean_deg(&ei_top) < mean_deg(&rwr_top),
-        "EI failed to de-bias toward low-degree nodes"
-    );
+    assert!(mean_deg(&ei_top) < mean_deg(&rwr_top), "EI failed to de-bias toward low-degree nodes");
     println!("EI de-biases the ranking away from high-degree hubs ✓");
 }

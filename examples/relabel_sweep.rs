@@ -1,0 +1,93 @@
+//! Scratch sweep (not part of the test suite): exhaustively check
+//! relabelling invariance on all tiny weighted graphs with self-loops.
+use bear_core::{Bear, BearConfig};
+use bear_graph::Graph;
+use bear_sparse::Permutation;
+
+fn perms(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let mut out = Vec::new();
+    for p in perms(n - 1) {
+        for i in 0..n {
+            let mut q = p.clone();
+            q.insert(i, n - 1);
+            out.push(q);
+        }
+    }
+    out
+}
+
+fn main() {
+    let weights = [1.0, 2.0, 0.5];
+    let mut checked = 0usize;
+    let mut worst: f64 = 0.0;
+    for n in 2..=3usize {
+        let pairs: Vec<(usize, usize)> = (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect();
+        let m = pairs.len();
+        // Every subset of possible directed edges (incl. self-loops), each with a weight pattern.
+        for mask in 1u32..(1 << m) {
+            for wpat in 0..weights.len() {
+                let edges: Vec<(usize, usize, f64)> = pairs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(i, &(u, v))| (u, v, weights[(i + wpat) % weights.len()]))
+                    .collect();
+                // Every node needs out-degree >= 1 for a well-posed RWR? (dangling allowed per tests)
+                let g = match Graph::from_weighted_edges(n, &edges) {
+                    Ok(g) => g,
+                    Err(_) => continue,
+                };
+                let b1 = match Bear::new(&g, &BearConfig::exact(0.15)) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        println!("PREP FAIL n={n} mask={mask} wpat={wpat}: {e} edges={edges:?}");
+                        continue;
+                    }
+                };
+                for order in perms(n) {
+                    let p = Permutation::from_new_to_old(order.clone()).unwrap();
+                    let rel: Vec<(usize, usize, f64)> =
+                        g.edges().iter().map(|&(u, v, w)| (p.new_of(u), p.new_of(v), w)).collect();
+                    let g2 = Graph::from_weighted_edges(n, &rel).unwrap();
+                    let b2 = match Bear::new(&g2, &BearConfig::exact(0.15)) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            println!("PREP FAIL relabelled n={n} mask={mask} order={order:?}: {e}");
+                            continue;
+                        }
+                    };
+                    for seed in 0..n {
+                        let r1 = match b1.query(seed) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                println!("QUERY FAIL n={n} mask={mask} seed={seed}: {e}");
+                                continue;
+                            }
+                        };
+                        let r2 = match b2.query(p.new_of(seed)) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                println!(
+                                    "QUERY FAIL relabelled n={n} mask={mask} seed={seed}: {e}"
+                                );
+                                continue;
+                            }
+                        };
+                        for u in 0..n {
+                            let d = (r1[u] - r2[p.new_of(u)]).abs();
+                            worst = worst.max(d);
+                            if d >= 1e-9 {
+                                println!("MISMATCH n={n} mask={mask} wpat={wpat} order={order:?} seed={seed} node={u}: {} vs {} (d={d:e}) edges={edges:?}", r1[u], r2[p.new_of(u)]);
+                            }
+                        }
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!("checked {checked} (graph, perm, seed) triples; worst diff = {worst:e}");
+}

@@ -3,9 +3,9 @@
 //! tolerances stay near-exact, and the space footprint is monotone
 //! non-increasing in the tolerance.
 
+use bear_baselines::{Brppr, BrpprConfig, NbLin, NbLinConfig, Rppr, RpprConfig};
 use bear_core::metrics::{cosine_similarity, l2_error};
 use bear_core::{Bear, BearConfig, RwrSolver};
-use bear_baselines::{Brppr, BrpprConfig, NbLin, NbLinConfig, Rppr, RpprConfig};
 use bear_datasets::small_suite;
 
 fn xi_grid(n: usize) -> Vec<f64> {
@@ -21,11 +21,7 @@ fn bear_approx_memory_monotone_in_drop_tolerance() {
         for xi in xi_grid(g.num_nodes()) {
             let bear = Bear::new(&g, &BearConfig::approx(0.05, xi)).unwrap();
             let bytes = bear.memory_bytes();
-            assert!(
-                bytes <= last,
-                "{}: memory grew from {last} to {bytes} at xi={xi}",
-                spec.name
-            );
+            assert!(bytes <= last, "{}: memory grew from {last} to {bytes} at xi={xi}", spec.name);
             last = bytes;
         }
     }
@@ -82,11 +78,9 @@ fn rppr_tightens_with_threshold() {
     let exact = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
     let re = exact.query(20).unwrap();
     let err_at = |threshold: f64| {
-        let solver = Rppr::new(
-            &g,
-            &RpprConfig { expand_threshold: threshold, ..RpprConfig::default() },
-        )
-        .unwrap();
+        let solver =
+            Rppr::new(&g, &RpprConfig { expand_threshold: threshold, ..RpprConfig::default() })
+                .unwrap();
         l2_error(&solver.query(20).unwrap(), &re)
     };
     let tight = err_at(1e-9);
@@ -142,10 +136,7 @@ fn bear_approx_beats_nblin_space_at_comparable_accuracy() {
     let nb = NbLin::new(&g, &NbLinConfig { rank: 50, ..NbLinConfig::default() }).unwrap();
     let bear_cos = cosine_similarity(&bear.query(3).unwrap(), &re);
     let nb_cos = cosine_similarity(&nb.query(3).unwrap(), &re);
-    assert!(
-        bear_cos >= nb_cos - 0.02,
-        "BEAR-Approx cosine {bear_cos} vs NB_LIN {nb_cos}"
-    );
+    assert!(bear_cos >= nb_cos - 0.02, "BEAR-Approx cosine {bear_cos} vs NB_LIN {nb_cos}");
     assert!(
         bear.memory_bytes() < nb.memory_bytes(),
         "BEAR-Approx {} bytes vs NB_LIN {} bytes",

@@ -9,16 +9,11 @@ use bear_core::{Bear, BearConfig, RwrSolver};
 use bear_datasets::small_suite;
 use bear_sparse::mem::MemBudget;
 
-fn solvers_for(
-    g: &bear_graph::Graph,
-) -> Vec<(&'static str, Box<dyn RwrSolver>)> {
+fn solvers_for(g: &bear_graph::Graph) -> Vec<(&'static str, Box<dyn RwrSolver>)> {
     let rwr = RwrConfig::default();
     let budget = MemBudget::unlimited();
     vec![
-        (
-            "bear",
-            Box::new(Bear::new(g, &BearConfig::exact(rwr.c)).unwrap()) as Box<dyn RwrSolver>,
-        ),
+        ("bear", Box::new(Bear::new(g, &BearConfig::exact(rwr.c)).unwrap()) as Box<dyn RwrSolver>),
         ("inversion", Box::new(Inversion::new(g, &rwr, &budget).unwrap())),
         ("lu", Box::new(LuDecomp::new(g, &rwr, &budget).unwrap())),
         ("qr", Box::new(QrDecomp::new(g, &rwr, &budget).unwrap())),

@@ -102,9 +102,7 @@ fn top_k_is_consistent_with_full_query() {
     }
     // Nothing outside the top-k scores higher than its last member.
     let cutoff = top.last().unwrap().score;
-    let better = (0..g.num_nodes())
-        .filter(|&u| u != seed && scores[u] > cutoff)
-        .count();
+    let better = (0..g.num_nodes()).filter(|&u| u != seed && scores[u] > cutoff).count();
     assert!(better <= 15);
 }
 
@@ -113,8 +111,7 @@ fn threaded_preprocessing_equals_serial_on_every_dataset() {
     for spec in small_suite() {
         let g = spec.load();
         let serial = Bear::new(&g, &BearConfig::default()).unwrap();
-        let threaded =
-            Bear::new(&g, &BearConfig { threads: 3, ..BearConfig::default() }).unwrap();
+        let threaded = Bear::new(&g, &BearConfig { threads: 3, ..BearConfig::default() }).unwrap();
         assert_eq!(serial.stats(), threaded.stats(), "{}", spec.name);
         assert_eq!(serial.query(2).unwrap(), threaded.query(2).unwrap(), "{}", spec.name);
     }

@@ -15,14 +15,8 @@ fn dense_methods_refuse_under_tiny_budget() {
     let g = small_suite()[0].load();
     let rwr = RwrConfig::default();
     let tiny = MemBudget::bytes(4096);
-    assert!(matches!(
-        Inversion::new(&g, &rwr, &tiny),
-        Err(Error::OutOfBudget { .. })
-    ));
-    assert!(matches!(
-        QrDecomp::new(&g, &rwr, &tiny),
-        Err(Error::OutOfBudget { .. })
-    ));
+    assert!(matches!(Inversion::new(&g, &rwr, &tiny), Err(Error::OutOfBudget { .. })));
+    assert!(matches!(QrDecomp::new(&g, &rwr, &tiny), Err(Error::OutOfBudget { .. })));
 }
 
 #[test]
@@ -30,10 +24,7 @@ fn lu_decomp_aborts_rather_than_filling_in() {
     let g = small_suite()[2].load(); // hub-heavy: whole-matrix inverse fills
     let rwr = RwrConfig::default();
     let tiny = MemBudget::bytes(16 * 1024);
-    assert!(matches!(
-        LuDecomp::new(&g, &rwr, &tiny),
-        Err(Error::OutOfBudget { .. })
-    ));
+    assert!(matches!(LuDecomp::new(&g, &rwr, &tiny), Err(Error::OutOfBudget { .. })));
 }
 
 #[test]
@@ -54,14 +45,8 @@ fn bear_fits_where_dense_methods_do_not() {
     let budget = MemBudget::bytes(budget_bytes);
     let config = BearConfig { budget, ..BearConfig::default() };
     assert!(Bear::new(&g, &config).is_ok());
-    assert!(matches!(
-        Inversion::new(&g, &rwr, &budget),
-        Err(Error::OutOfBudget { .. })
-    ));
-    assert!(matches!(
-        QrDecomp::new(&g, &rwr, &budget),
-        Err(Error::OutOfBudget { .. })
-    ));
+    assert!(matches!(Inversion::new(&g, &rwr, &budget), Err(Error::OutOfBudget { .. })));
+    assert!(matches!(QrDecomp::new(&g, &rwr, &budget), Err(Error::OutOfBudget { .. })));
 }
 
 #[test]

@@ -12,10 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn small_rmat(p_ul: f64) -> Graph {
-    rmat(
-        &RmatConfig { scale: 10, edges: 5_000, p_ul, noise: 0.0 },
-        &mut StdRng::seed_from_u64(500),
-    )
+    rmat(&RmatConfig { scale: 10, edges: 5_000, p_ul, noise: 0.0 }, &mut StdRng::seed_from_u64(500))
 }
 
 /// Figure 5's claim: BEAR-Exact needs less space than the LU baseline.
@@ -55,10 +52,7 @@ fn bear_query_faster_than_iterative() {
     let _ = time(&bear);
     let bear_t = time(&bear);
     let iter_t = time(&it);
-    assert!(
-        iter_t > 1.5 * bear_t,
-        "iterative {iter_t:.6}s not >> BEAR {bear_t:.6}s"
-    );
+    assert!(iter_t > 1.5 * bear_t, "iterative {iter_t:.6}s not >> BEAR {bear_t:.6}s");
 }
 
 /// Figure 7's claim: stronger hub-and-spoke structure (higher p_ul)
@@ -88,7 +82,7 @@ fn precomputed_nnz_respects_table2_bounds() {
         let m = g.num_edges();
         // |H12| + |H21| <= min(2 n1 n2, |H|) (both blocks of H).
         assert!(st.nnz_cross() <= (2 * n1 * n2).min(m + g.num_nodes())); // H has <= m + n entries
-        // |L1^-1| + |U1^-1| <= 2 * sum block^2 (Lemma 1 bound, both factors).
+                                                                         // |L1^-1| + |U1^-1| <= 2 * sum block^2 (Lemma 1 bound, both factors).
         assert!(
             (st.nnz_spoke_factors() as u128) <= 2 * st.sum_block_sq + 2 * n1 as u128,
             "{}: {} > 2*{}",

@@ -84,12 +84,9 @@ fn laplacian_variant_yields_symmetric_relevance_on_undirected_graphs() {
     };
     let bear = Bear::new(&g, &config).unwrap();
     let all: Vec<Vec<f64>> = (0..7).map(|u| bear.query(u).unwrap()).collect();
-    for u in 0..7 {
-        for v in 0..7 {
-            assert!(
-                (all[u][v] - all[v][u]).abs() < 1e-10,
-                "relevance asymmetric between {u} and {v}"
-            );
+    for (u, row) in all.iter().enumerate() {
+        for (v, &ruv) in row.iter().enumerate() {
+            assert!((ruv - all[v][u]).abs() < 1e-10, "relevance asymmetric between {u} and {v}");
         }
     }
 }
