@@ -1,0 +1,145 @@
+//! Lock-free serving metrics.
+//!
+//! All counters are atomics imported through the `crate::sync` shim, so
+//! recording never blocks the query path and the counter protocol is
+//! model-checked by the loom suite (`metrics_are_consistent` in
+//! `crates/core/tests/loom_engine.rs`).
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets (covers 1ns .. ~584 years).
+pub(crate) const LATENCY_BUCKETS: usize = 64;
+
+/// Lock-free serving metrics: query count, cache hit/miss counts, and a
+/// fixed-bucket log₂ latency histogram for percentile estimates. All
+/// counters are atomics, so recording never blocks the query path.
+pub struct Metrics {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    /// `histogram[i]` counts queries with latency in `[2^i, 2^(i+1))` ns.
+    histogram: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Metrics {
+    /// All counters zeroed.
+    pub fn new() -> Self {
+        Metrics {
+            queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Accounts one answered query.
+    pub fn record(&self, cache_hit: bool, elapsed: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let nanos = (elapsed.as_nanos() as u64).max(1);
+        let bucket = (63 - nanos.leading_zeros()) as usize;
+        self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let histogram: Vec<u64> =
+            self.histogram.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            p50: percentile_from(&histogram, 0.50),
+            p95: percentile_from(&histogram, 0.95),
+            p99: percentile_from(&histogram, 0.99),
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Percentile estimate from a log₂ histogram: the upper bound of the
+/// bucket containing the percentile rank (an overestimate by at most 2×,
+/// the bucket resolution).
+pub(crate) fn percentile_from(histogram: &[u64], p: f64) -> Duration {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((total as f64 * p).ceil() as u64).clamp(1, total);
+    let mut seen = 0;
+    for (i, &count) in histogram.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            return Duration::from_nanos(upper);
+        }
+    }
+    Duration::from_nanos(u64::MAX)
+}
+
+/// Frozen view of [`Metrics`] counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Total queries answered (cache hits included).
+    pub queries: u64,
+    /// Queries answered from a cache.
+    pub cache_hits: u64,
+    /// Queries that required computation.
+    pub cache_misses: u64,
+    /// Median latency (upper bound of the histogram bucket).
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of queries served from cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_math_on_known_histogram() {
+        let mut histogram = vec![0u64; LATENCY_BUCKETS];
+        histogram[4] = 50; // 16..31 ns
+        histogram[10] = 50; // 1024..2047 ns
+        assert_eq!(percentile_from(&histogram, 0.50), Duration::from_nanos(31));
+        assert_eq!(percentile_from(&histogram, 0.95), Duration::from_nanos(2047));
+        assert_eq!(percentile_from(&histogram, 0.0), Duration::from_nanos(31));
+        assert_eq!(percentile_from(&[0; LATENCY_BUCKETS], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn record_fills_expected_bucket() {
+        let m = Metrics::new();
+        m.record(false, Duration::from_nanos(20)); // bucket 4: 16..31
+        m.record(true, Duration::from_nanos(1500)); // bucket 10: 1024..2047
+        let s = m.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.p50, Duration::from_nanos(31));
+        assert_eq!(s.p99, Duration::from_nanos(2047));
+    }
+}

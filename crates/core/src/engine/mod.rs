@@ -1,0 +1,89 @@
+//! Concurrent query serving engine.
+//!
+//! BEAR's preprocessing is paid once so that each query is a handful of
+//! sparse matrix–vector products (Algorithm 2). This module turns that
+//! per-query cost into a serving path fit for sustained traffic:
+//!
+//! * [`QueryWorkspace`] preallocates every intermediate buffer the block
+//!   elimination sweeps need (`q`, `q_perm`, `t1..t4`, `r`), sized from
+//!   the [`Bear`] partition, so the steady-state compute path performs no
+//!   heap allocation — the only allocation per answered query is the
+//!   result vector handed to the caller, and a cache hit avoids even that
+//!   by sharing an `Arc`.
+//! * [`QueryEngine`] owns a persistent worker pool: threads are spawned
+//!   once at construction and fed seeds over a shared job queue,
+//!   replacing the scoped-thread fan-out that previously re-spawned
+//!   workers on every `query_batch` call. Each worker keeps its own
+//!   workspace for its whole lifetime. The submitting thread *assists*:
+//!   while waiting for replies it drains the same queue with the
+//!   engine's spare workspace, so a small pool (or a single-core host)
+//!   answers a batch inline instead of ping-ponging between threads.
+//! * An optional bounded LRU cache memoizes full score vectors and top-k
+//!   answers keyed by seed, motivated by the skew of real query traffic
+//!   (a few hub seeds dominate).
+//! * [`Metrics`] tracks query count, cache hit rate, and latency
+//!   percentiles via a fixed-bucket log₂ histogram — no dependencies.
+//!
+//! Results are bit-identical to sequential [`Bear::query`]: workers run
+//! the exact same floating-point operations in the exact same order
+//! (`Bear::query_into` is the single implementation behind both paths).
+//!
+//! # Concurrency audit
+//!
+//! The synchronization skeleton — [`queue::JobQueue`] and [`Metrics`] —
+//! imports its primitives through the `crate::sync` shim, so building
+//! with `RUSTFLAGS="--cfg loom"` model-checks it against every relevant
+//! thread interleaving (`cargo xtask analyze loom`, or directly:
+//! `RUSTFLAGS="--cfg loom" cargo test -p bear-core --test loom_engine
+//! --release`). The serving layer itself ([`QueryEngine`]) is compiled
+//! out under `cfg(loom)` because it drives real OS worker threads.
+
+use crate::precompute::Bear;
+
+pub mod metrics;
+pub mod queue;
+#[cfg(not(loom))]
+mod serving;
+
+pub use metrics::{Metrics, MetricsSnapshot};
+#[cfg(not(loom))]
+pub use serving::{EngineConfig, QueryEngine};
+
+/// Preallocated buffers for one query's block-elimination sweeps.
+///
+/// Sized once from a [`Bear`] partition (`n1` spokes, `n2` hubs); after
+/// construction, answering a query through [`Bear::query_into`] touches
+/// only these buffers and the caller's output slice.
+pub struct QueryWorkspace {
+    /// One-hot query vector in original node ids (kept zeroed between
+    /// queries; `query_into` sets and clears the seed entry).
+    pub(crate) q: Vec<f64>,
+    /// `q` moved to the SlashBurn ordering (length `n`).
+    pub(crate) q_perm: Vec<f64>,
+    /// Spoke-block scratch (length `n1`).
+    pub(crate) t1: Vec<f64>,
+    /// Spoke-block scratch (length `n1`).
+    pub(crate) t2: Vec<f64>,
+    /// Hub-block scratch (length `n2`).
+    pub(crate) t3: Vec<f64>,
+    /// Hub-block scratch (length `n2`).
+    pub(crate) t4: Vec<f64>,
+    /// Assembled result in the reordered index space (length `n`).
+    pub(crate) r: Vec<f64>,
+}
+
+impl QueryWorkspace {
+    /// Buffers sized for `bear`'s partition.
+    pub fn for_bear(bear: &Bear) -> Self {
+        let n = bear.num_nodes();
+        QueryWorkspace {
+            q: vec![0.0; n],
+            q_perm: vec![0.0; n],
+            t1: vec![0.0; bear.n1],
+            t2: vec![0.0; bear.n1],
+            t3: vec![0.0; bear.n2],
+            t4: vec![0.0; bear.n2],
+            r: vec![0.0; n],
+        }
+    }
+}

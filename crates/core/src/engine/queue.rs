@@ -1,0 +1,113 @@
+//! Shared job queue feeding the worker pool.
+//!
+//! A `Condvar`-signalled deque instead of an mpsc channel, so the
+//! *submitting* thread can opportunistically pop work too
+//! ([`JobQueue::try_pop`]) while pool workers block in [`JobQueue::pop`].
+//! The lock is held only for queue surgery, never while waiting for or
+//! executing a job.
+//!
+//! The queue is generic over the job type and built exclusively on the
+//! `crate::sync` shim, so the loom suite
+//! (`crates/core/tests/loom_engine.rs`) model-checks exactly the code
+//! that runs in production: submit vs. steal, concurrent shutdown, and
+//! the wakeup protocol are all explored exhaustively under
+//! `--cfg loom`.
+
+use crate::sync::{Condvar, Mutex};
+use bear_sparse::{Error, Result};
+use std::collections::VecDeque;
+
+/// Shared multi-producer multi-consumer job queue with explicit
+/// shutdown.
+///
+/// Invariants maintained across all interleavings (loom-checked):
+///
+/// * every job accepted by [`JobQueue::push`] is handed to exactly one
+///   popper;
+/// * after [`JobQueue::close`], `push` fails and blocked poppers drain
+///   the backlog then observe `None`;
+/// * a successful `push` wakes at least one blocked popper (the
+///   lost-wakeup regression is demonstrated caught by the loom suite
+///   via `JobQueue::push_without_notify`, compiled only under
+///   `cfg(any(test, loom))`).
+pub struct JobQueue<T> {
+    state: Mutex<JobQueueState<T>>,
+    ready: Condvar,
+}
+
+struct JobQueueState<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> JobQueue<T> {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(JobQueueState { jobs: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job and wakes one worker; fails once the queue closed.
+    pub fn push(&self, job: T) -> Result<()> {
+        self.enqueue(job)?;
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// [`JobQueue::push`] without the worker wakeup — a deliberately
+    /// reintroduced lost-notification bug, kept compiled only for the
+    /// model-checking suite, which demonstrates that the loom models
+    /// catch the resulting deadlock (`lost_notify_is_caught` in
+    /// `crates/core/tests/loom_engine.rs`).
+    #[cfg(any(test, loom))]
+    pub fn push_without_notify(&self, job: T) -> Result<()> {
+        self.enqueue(job)
+    }
+
+    fn enqueue(&self, job: T) -> Result<()> {
+        let mut state = self
+            .state
+            .lock()
+            .map_err(|_| Error::InvalidStructure("query engine queue is poisoned".into()))?;
+        if state.closed {
+            return Err(Error::InvalidStructure("query engine pool is shut down".into()));
+        }
+        state.jobs.push_back(job);
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` once closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().ok()?;
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).ok()?;
+        }
+    }
+
+    /// Non-blocking pop, used by submitting threads to assist the pool.
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().ok()?.jobs.pop_front()
+    }
+
+    /// Closes the queue and wakes every blocked worker.
+    pub fn close(&self) {
+        if let Ok(mut state) = self.state.lock() {
+            state.closed = true;
+        }
+        self.ready.notify_all();
+    }
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,83 +1,23 @@
-//! Concurrent query serving engine.
+//! The serving layer: persistent worker pool, result caches, and the
+//! public [`QueryEngine`] API.
 //!
-//! BEAR's preprocessing is paid once so that each query is a handful of
-//! sparse matrix–vector products (Algorithm 2). This module turns that
-//! per-query cost into a serving path fit for sustained traffic:
-//!
-//! * [`QueryWorkspace`] preallocates every intermediate buffer the block
-//!   elimination sweeps need (`q`, `q_perm`, `t1..t4`, `r`), sized from
-//!   the [`Bear`] partition, so the steady-state compute path performs no
-//!   heap allocation — the only allocation per answered query is the
-//!   result vector handed to the caller, and a cache hit avoids even that
-//!   by sharing an `Arc`.
-//! * [`QueryEngine`] owns a persistent worker pool: threads are spawned
-//!   once at construction and fed seeds over a shared job queue,
-//!   replacing the scoped-thread fan-out that previously re-spawned
-//!   workers on every `query_batch` call. Each worker keeps its own
-//!   workspace for its whole lifetime. The submitting thread *assists*:
-//!   while waiting for replies it drains the same queue with the
-//!   engine's spare workspace, so a small pool (or a single-core host)
-//!   answers a batch inline instead of ping-ponging between threads.
-//! * An optional bounded LRU cache memoizes full score vectors and top-k
-//!   answers keyed by seed, motivated by the skew of real query traffic
-//!   (a few hub seeds dominate).
-//! * [`Metrics`] tracks query count, cache hit rate, and latency
-//!   percentiles via a fixed-bucket log₂ histogram — no dependencies.
-//!
-//! Results are bit-identical to sequential [`Bear::query`]: workers run
-//! the exact same floating-point operations in the exact same order
-//! (`Bear::query_into` is the single implementation behind both paths).
+//! Everything here drives real OS threads and wall-clock timers, so the
+//! whole module is compiled out under `cfg(loom)`; the synchronization
+//! skeleton it is built on ([`JobQueue`], [`Metrics`]) lives in sibling
+//! modules and *is* model-checked.
 
+use super::metrics::Metrics;
+use super::queue::JobQueue;
+use super::{MetricsSnapshot, QueryWorkspace};
 use crate::precompute::Bear;
 use crate::topk::{top_k_excluding_seed, ScoredNode};
 use bear_sparse::{Error, Result};
 use std::collections::HashMap;
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-/// Preallocated buffers for one query's block-elimination sweeps.
-///
-/// Sized once from a [`Bear`] partition (`n1` spokes, `n2` hubs); after
-/// construction, answering a query through [`Bear::query_into`] touches
-/// only these buffers and the caller's output slice.
-pub struct QueryWorkspace {
-    /// One-hot query vector in original node ids (kept zeroed between
-    /// queries; `query_into` sets and clears the seed entry).
-    pub(crate) q: Vec<f64>,
-    /// `q` moved to the SlashBurn ordering (length `n`).
-    pub(crate) q_perm: Vec<f64>,
-    /// Spoke-block scratch (length `n1`).
-    pub(crate) t1: Vec<f64>,
-    /// Spoke-block scratch (length `n1`).
-    pub(crate) t2: Vec<f64>,
-    /// Hub-block scratch (length `n2`).
-    pub(crate) t3: Vec<f64>,
-    /// Hub-block scratch (length `n2`).
-    pub(crate) t4: Vec<f64>,
-    /// Assembled result in the reordered index space (length `n`).
-    pub(crate) r: Vec<f64>,
-}
-
-impl QueryWorkspace {
-    /// Buffers sized for `bear`'s partition.
-    pub fn for_bear(bear: &Bear) -> Self {
-        let n = bear.num_nodes();
-        QueryWorkspace {
-            q: vec![0.0; n],
-            q_perm: vec![0.0; n],
-            t1: vec![0.0; bear.n1],
-            t2: vec![0.0; bear.n1],
-            t3: vec![0.0; bear.n2],
-            t4: vec![0.0; bear.n2],
-            r: vec![0.0; n],
-        }
-    }
-}
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Bounded LRU cache
@@ -125,109 +65,6 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
 }
 
 // ---------------------------------------------------------------------------
-// Metrics
-// ---------------------------------------------------------------------------
-
-/// Number of log₂ latency buckets (covers 1ns .. ~584 years).
-const LATENCY_BUCKETS: usize = 64;
-
-/// Lock-free serving metrics: query count, cache hit/miss counts, and a
-/// fixed-bucket log₂ latency histogram for percentile estimates. All
-/// counters are atomics, so recording never blocks the query path.
-pub struct Metrics {
-    queries: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    /// `histogram[i]` counts queries with latency in `[2^i, 2^(i+1))` ns.
-    histogram: [AtomicU64; LATENCY_BUCKETS],
-}
-
-impl Metrics {
-    fn new() -> Self {
-        Metrics {
-            queries: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            histogram: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-
-    fn record(&self, cache_hit: bool, elapsed: Duration) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        if cache_hit {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        }
-        let nanos = (elapsed.as_nanos() as u64).max(1);
-        let bucket = (63 - nanos.leading_zeros()) as usize;
-        self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy of all counters.
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        let histogram: Vec<u64> =
-            self.histogram.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        MetricsSnapshot {
-            queries: self.queries.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            p50: percentile_from(&histogram, 0.50),
-            p95: percentile_from(&histogram, 0.95),
-            p99: percentile_from(&histogram, 0.99),
-        }
-    }
-}
-
-/// Percentile estimate from a log₂ histogram: the upper bound of the
-/// bucket containing the percentile rank (an overestimate by at most 2×,
-/// the bucket resolution).
-fn percentile_from(histogram: &[u64], p: f64) -> Duration {
-    let total: u64 = histogram.iter().sum();
-    if total == 0 {
-        return Duration::ZERO;
-    }
-    let rank = ((total as f64 * p).ceil() as u64).clamp(1, total);
-    let mut seen = 0;
-    for (i, &count) in histogram.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
-            return Duration::from_nanos(upper);
-        }
-    }
-    Duration::from_nanos(u64::MAX)
-}
-
-/// Frozen view of [`Metrics`] counters.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MetricsSnapshot {
-    /// Total queries answered (cache hits included).
-    pub queries: u64,
-    /// Queries answered from a cache.
-    pub cache_hits: u64,
-    /// Queries that required computation.
-    pub cache_misses: u64,
-    /// Median latency (upper bound of the histogram bucket).
-    pub p50: Duration,
-    /// 95th-percentile latency.
-    pub p95: Duration,
-    /// 99th-percentile latency.
-    pub p99: Duration,
-}
-
-impl MetricsSnapshot {
-    /// Fraction of queries served from cache, in `[0, 1]`.
-    pub fn cache_hit_rate(&self) -> f64 {
-        if self.queries == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / self.queries as f64
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
@@ -258,72 +95,6 @@ struct Job {
     reply: Sender<(usize, Result<Arc<Vec<f64>>>)>,
 }
 
-/// Shared job queue: a `Condvar`-signalled deque instead of an mpsc
-/// channel, so the *submitting* thread can opportunistically pop work too
-/// ([`JobQueue::try_pop`]) while pool workers block in [`JobQueue::pop`].
-/// The lock is held only for queue surgery, never while waiting for or
-/// executing a job.
-struct JobQueue {
-    state: Mutex<JobQueueState>,
-    ready: Condvar,
-}
-
-struct JobQueueState {
-    jobs: VecDeque<Job>,
-    closed: bool,
-}
-
-impl JobQueue {
-    fn new() -> Self {
-        JobQueue {
-            state: Mutex::new(JobQueueState { jobs: VecDeque::new(), closed: false }),
-            ready: Condvar::new(),
-        }
-    }
-
-    /// Enqueues a job and wakes one worker; fails once the queue closed.
-    fn push(&self, job: Job) -> Result<()> {
-        let mut state = self
-            .state
-            .lock()
-            .map_err(|_| Error::InvalidStructure("query engine queue is poisoned".into()))?;
-        if state.closed {
-            return Err(Error::InvalidStructure("query engine pool is shut down".into()));
-        }
-        state.jobs.push_back(job);
-        drop(state);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Blocks until a job is available; `None` once closed and drained.
-    fn pop(&self) -> Option<Job> {
-        let mut state = self.state.lock().ok()?;
-        loop {
-            if let Some(job) = state.jobs.pop_front() {
-                return Some(job);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self.ready.wait(state).ok()?;
-        }
-    }
-
-    /// Non-blocking pop, used by submitting threads to assist the pool.
-    fn try_pop(&self) -> Option<Job> {
-        self.state.lock().ok()?.jobs.pop_front()
-    }
-
-    /// Closes the queue and wakes every blocked worker.
-    fn close(&self) {
-        if let Ok(mut state) = self.state.lock() {
-            state.closed = true;
-        }
-        self.ready.notify_all();
-    }
-}
-
 /// Persistent concurrent query server over a preprocessed [`Bear`] index.
 ///
 /// Workers are spawned once at construction and fed over a channel; each
@@ -344,7 +115,7 @@ impl JobQueue {
 /// ```
 pub struct QueryEngine {
     bear: Arc<Bear>,
-    queue: Arc<JobQueue>,
+    queue: Arc<JobQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
     /// Spare workspace for caller-assist: the thread submitting a batch
     /// borrows this to drain the job queue itself while waiting.
@@ -573,7 +344,7 @@ fn recv_result(
 }
 
 /// Worker body: pull jobs until the queue closes.
-fn worker_loop(bear: &Bear, queue: &JobQueue) {
+fn worker_loop(bear: &Bear, queue: &JobQueue<Job>) {
     let mut ws = QueryWorkspace::for_bear(bear);
     while let Some(job) = queue.pop() {
         run_job(bear, &mut ws, job);
@@ -602,6 +373,7 @@ mod tests {
     use super::*;
     use crate::precompute::BearConfig;
     use bear_graph::Graph;
+    use std::time::Duration;
 
     fn test_bear(n: usize) -> Arc<Bear> {
         // Hub-spoke graph with a little extra structure.
@@ -725,16 +497,5 @@ mod tests {
         assert_eq!(cache.get(&1), Some(10));
         assert_eq!(cache.get(&3), Some(30));
         assert_eq!(cache.len(), 2);
-    }
-
-    #[test]
-    fn percentile_math_on_known_histogram() {
-        let mut histogram = vec![0u64; LATENCY_BUCKETS];
-        histogram[4] = 50; // 16..31 ns
-        histogram[10] = 50; // 1024..2047 ns
-        assert_eq!(percentile_from(&histogram, 0.50), Duration::from_nanos(31));
-        assert_eq!(percentile_from(&histogram, 0.95), Duration::from_nanos(2047));
-        assert_eq!(percentile_from(&histogram, 0.0), Duration::from_nanos(31));
-        assert_eq!(percentile_from(&[0; LATENCY_BUCKETS], 0.5), Duration::ZERO);
     }
 }

@@ -43,11 +43,14 @@ pub mod query;
 pub mod rwr;
 pub mod solver;
 pub mod stats;
+pub(crate) mod sync;
 pub mod topk;
 pub mod variants;
 
 pub use dynamic::{DynamicBear, UpdateKind};
-pub use engine::{EngineConfig, MetricsSnapshot, QueryEngine, QueryWorkspace};
+#[cfg(not(loom))]
+pub use engine::{EngineConfig, QueryEngine};
+pub use engine::{MetricsSnapshot, QueryWorkspace};
 pub use hub_iterative::BearHubIterative;
 pub use precompute::{Bear, BearConfig};
 pub use rwr::{build_h, Normalization, RwrConfig};

@@ -118,7 +118,10 @@ fn read_csc<R: Read>(r: &mut BoundedReader<R>) -> Result<CscMatrix> {
     let indptr = read_usize_slice(r)?;
     let indices = read_usize_slice(r)?;
     let values = read_f64_slice(r)?;
-    CscMatrix::from_raw(nrows, ncols, indptr, indices, values)
+    // Trust boundary: run the full invariant audit (structure and
+    // finiteness), not just the structural `from_raw` checks — a
+    // length-valid payload can still smuggle NaN/∞ into the index.
+    CscMatrix::try_from_parts(nrows, ncols, indptr, indices, values)
 }
 
 fn write_csr<W: Write>(w: &mut W, m: &CsrMatrix) -> Result<()> {
@@ -135,7 +138,8 @@ fn read_csr<R: Read>(r: &mut BoundedReader<R>) -> Result<CsrMatrix> {
     let indptr = read_usize_slice(r)?;
     let indices = read_usize_slice(r)?;
     let values = read_f64_slice(r)?;
-    CsrMatrix::from_raw(nrows, ncols, indptr, indices, values)
+    // Trust boundary: full audit, as in `read_csc`.
+    CsrMatrix::try_from_parts(nrows, ncols, indptr, indices, values)
 }
 
 impl Bear {
@@ -160,7 +164,15 @@ impl Bear {
     }
 
     /// Reads a precomputed index previously written with [`Bear::save`].
-    /// All structural invariants are re-validated on load.
+    ///
+    /// The file is a trust boundary: every matrix and the node ordering
+    /// are re-validated on load via the `try_from_parts` constructors
+    /// (sorted, in-bounds, duplicate-free indices; monotone `indptr`;
+    /// bijective permutation; finite values), and the partition
+    /// dimensions are cross-checked. A corrupt-but-length-valid payload
+    /// therefore returns a typed error instead of producing an index
+    /// that answers queries with garbage (see
+    /// `crates/core/tests/persist_corruption.rs`).
     pub fn load(path: &Path) -> Result<Self> {
         let file = std::fs::File::open(path).map_err(io_err)?;
         let file_size = file.metadata().map_err(io_err)?.len();
@@ -180,7 +192,7 @@ impl Bear {
         if !(c > 0.0 && c < 1.0) {
             return Err(Error::InvalidStructure(format!("corrupt restart probability {c}")));
         }
-        let perm = Permutation::from_new_to_old(read_usize_slice(&mut r)?)?;
+        let perm = Permutation::try_from_parts(read_usize_slice(&mut r)?)?;
         let block_sizes = read_usize_slice(&mut r)?;
         let degrees = read_usize_slice(&mut r)?;
         let l1_inv = read_csc(&mut r)?;

@@ -1,0 +1,30 @@
+//! Synchronization shim: `std::sync` in production, `loom` under model
+//! checking.
+//!
+//! The engine's concurrency machinery ([`crate::engine::queue`] and
+//! [`crate::engine::Metrics`]) imports its primitives from this module
+//! instead of `std::sync`. A normal build re-exports the real `std`
+//! types, so there is zero runtime cost. Building with
+//! `RUSTFLAGS="--cfg loom"` swaps in the [`loom`] model checker's
+//! instrumented equivalents, which explore every relevant interleaving
+//! of the code under test (see `crates/core/tests/loom_engine.rs`).
+//!
+//! Only the primitives the engine actually uses are re-exported; add to
+//! this list rather than importing `std::sync` directly from engine
+//! code.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Condvar, Mutex};
+
+/// Atomic integers and memory orderings (std or loom, matching the
+/// parent module).
+pub(crate) mod atomic {
+    #[cfg(loom)]
+    pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+
+    #[cfg(not(loom))]
+    pub(crate) use std::sync::atomic::{AtomicU64, Ordering};
+}

@@ -1,0 +1,239 @@
+//! Round-trip corruption tests for the persisted index.
+//!
+//! Each test saves a valid index, performs targeted byte surgery on one
+//! payload field — producing a file that is *length-valid* (every length
+//! prefix still consistent) but violates a structural or numerical
+//! invariant — and asserts that [`Bear::load`] rejects it with a typed
+//! error under **default features**. This pins the trust boundary: the
+//! loader must route every array through the `try_from_parts`
+//! constructors rather than trusting bytes that merely parse.
+//!
+//! The byte walker below mirrors the `BEARIDX1` layout written by
+//! `Bear::save`: magic(8) n1(8) n2(8) c(8), then length-prefixed
+//! u64/f64 arrays in order `perm`, `block_sizes`, `degrees`, followed by
+//! seven matrices (`l1_inv`, `u1_inv`, `l2_inv`, `u2_inv` as CSC;
+//! `h12`, `h21` as CSR), each serialized as nrows(8) ncols(8) +
+//! indptr/indices/values arrays.
+
+use bear_core::{Bear, BearConfig};
+use bear_graph::Graph;
+use bear_sparse::Error;
+use std::path::PathBuf;
+
+/// Byte span of one length-prefixed array in the index file.
+#[derive(Debug, Clone, Copy)]
+struct ArraySpan {
+    /// Offset of the first element (just past the 8-byte length).
+    data: usize,
+    /// Element count.
+    len: usize,
+}
+
+impl ArraySpan {
+    /// Byte offset of element `i`.
+    fn elem(&self, i: usize) -> usize {
+        assert!(i < self.len, "element {i} out of {}", self.len);
+        self.data + 8 * i
+    }
+}
+
+/// Byte spans of one serialized matrix.
+#[derive(Debug, Clone, Copy)]
+struct MatrixSpan {
+    ncols: usize,
+    indptr: ArraySpan,
+    indices: ArraySpan,
+    values: ArraySpan,
+}
+
+/// Parsed layout of a saved index file.
+struct Layout {
+    perm: ArraySpan,
+    block_sizes: ArraySpan,
+    /// `l1_inv, u1_inv, l2_inv, u2_inv, h12, h21` in file order.
+    matrices: [MatrixSpan; 6],
+}
+
+fn read_u64_at(bytes: &[u8], pos: usize) -> u64 {
+    u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap())
+}
+
+fn write_u64_at(bytes: &mut [u8], pos: usize, v: u64) {
+    bytes[pos..pos + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn walk_array(bytes: &[u8], pos: &mut usize) -> ArraySpan {
+    let len = read_u64_at(bytes, *pos) as usize;
+    let span = ArraySpan { data: *pos + 8, len };
+    *pos += 8 + 8 * len;
+    span
+}
+
+fn walk_matrix(bytes: &[u8], pos: &mut usize) -> MatrixSpan {
+    let ncols = read_u64_at(bytes, *pos + 8) as usize;
+    *pos += 16; // nrows + ncols
+    let indptr = walk_array(bytes, pos);
+    let indices = walk_array(bytes, pos);
+    let values = walk_array(bytes, pos);
+    MatrixSpan { ncols, indptr, indices, values }
+}
+
+fn walk(bytes: &[u8]) -> Layout {
+    assert_eq!(&bytes[..8], b"BEARIDX1");
+    let mut pos = 32; // magic + n1 + n2 + c
+    let perm = walk_array(bytes, &mut pos);
+    let block_sizes = walk_array(bytes, &mut pos);
+    let _degrees = walk_array(bytes, &mut pos);
+    let matrices = std::array::from_fn(|_| walk_matrix(bytes, &mut pos));
+    assert_eq!(pos, bytes.len(), "walker must consume the whole file");
+    Layout { perm, block_sizes, matrices }
+}
+
+/// A star graph (hub 0) plus a chord: `h21` (hubs × spokes) gets a row
+/// with many entries, so index-ordering corruptions have room to land.
+fn saved_index(tag: &str) -> (Vec<u8>, PathBuf) {
+    let mut edges = Vec::new();
+    for v in 1..12 {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    edges.push((5, 6));
+    edges.push((6, 5));
+    let g = Graph::from_edges(12, &edges).unwrap();
+    let bear = Bear::new(&g, &BearConfig::exact(0.15)).unwrap();
+    let path = std::env::temp_dir().join(format!("bear_corrupt_{tag}.idx"));
+    bear.save(&path).unwrap();
+    (std::fs::read(&path).unwrap(), path)
+}
+
+/// Writes the corrupted bytes and asserts `Bear::load` rejects them.
+fn assert_rejected(bytes: &[u8], path: &PathBuf, what: &str) -> Error {
+    std::fs::write(path, bytes).unwrap();
+    let result = Bear::load(path);
+    std::fs::remove_file(path).ok();
+    match result {
+        Ok(_) => panic!("corrupt index ({what}) was accepted"),
+        Err(e) => e,
+    }
+}
+
+/// The first matrix (in file order) with a multi-entry first compressed
+/// segment whose leading indices are strictly increasing — guaranteed to
+/// exist here because `h21`'s hub row spans every spoke.
+fn multi_entry_matrix(bytes: &[u8], layout: &Layout) -> MatrixSpan {
+    *layout
+        .matrices
+        .iter()
+        .find(|m| {
+            m.indices.len >= 2
+                && read_u64_at(bytes, m.indptr.elem(1)) >= 2
+                && read_u64_at(bytes, m.indices.elem(0)) < read_u64_at(bytes, m.indices.elem(1))
+        })
+        .expect("test graph yields a matrix with a sorted multi-entry segment")
+}
+
+#[test]
+fn unsorted_indices_are_rejected() {
+    let (mut bytes, path) = saved_index("unsorted");
+    let layout = walk(&bytes);
+    let m = multi_entry_matrix(&bytes, &layout);
+    let (a, b) = (read_u64_at(&bytes, m.indices.elem(0)), read_u64_at(&bytes, m.indices.elem(1)));
+    write_u64_at(&mut bytes, m.indices.elem(0), b);
+    write_u64_at(&mut bytes, m.indices.elem(1), a);
+    assert_rejected(&bytes, &path, "unsorted column indices");
+}
+
+#[test]
+fn duplicate_indices_are_rejected() {
+    let (mut bytes, path) = saved_index("duplicate");
+    let layout = walk(&bytes);
+    let m = multi_entry_matrix(&bytes, &layout);
+    let first = read_u64_at(&bytes, m.indices.elem(0));
+    write_u64_at(&mut bytes, m.indices.elem(1), first);
+    assert_rejected(&bytes, &path, "duplicate indices in one segment");
+}
+
+#[test]
+fn out_of_bounds_index_is_rejected() {
+    let (mut bytes, path) = saved_index("oob_index");
+    let layout = walk(&bytes);
+    // h21 is CSR (last matrix): its indices are column ids < ncols.
+    let m = layout.matrices[5];
+    assert!(m.indices.len >= 1);
+    write_u64_at(&mut bytes, m.indices.elem(0), m.ncols as u64);
+    assert_rejected(&bytes, &path, "index beyond the inner dimension");
+}
+
+#[test]
+fn broken_indptr_is_rejected() {
+    let (mut bytes, path) = saved_index("indptr");
+    let layout = walk(&bytes);
+    let m = layout.matrices[4]; // h12
+    let last = m.indptr.elem(m.indptr.len - 1);
+    let v = read_u64_at(&bytes, last);
+    write_u64_at(&mut bytes, last, v + 1);
+    assert_rejected(&bytes, &path, "indptr not matching nnz");
+}
+
+#[test]
+fn nan_value_is_rejected_with_typed_error() {
+    let (mut bytes, path) = saved_index("nan");
+    let layout = walk(&bytes);
+    let m = layout.matrices[0]; // l1_inv: unit-diagonal inverse, nonempty
+    assert!(m.values.len >= 1);
+    bytes[m.values.elem(0)..m.values.elem(0) + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+    let err = assert_rejected(&bytes, &path, "NaN value payload");
+    assert!(matches!(err, Error::NonFiniteValue { .. }), "want NonFiniteValue, got: {err:?}");
+}
+
+#[test]
+fn infinite_value_is_rejected() {
+    let (mut bytes, path) = saved_index("inf");
+    let layout = walk(&bytes);
+    let m = layout.matrices[2]; // l2_inv
+    assert!(m.values.len >= 1);
+    bytes[m.values.elem(0)..m.values.elem(0) + 8].copy_from_slice(&f64::INFINITY.to_le_bytes());
+    let err = assert_rejected(&bytes, &path, "infinite value payload");
+    assert!(matches!(err, Error::NonFiniteValue { .. }));
+}
+
+#[test]
+fn non_bijective_permutation_is_rejected() {
+    let (mut bytes, path) = saved_index("perm_dup");
+    let layout = walk(&bytes);
+    assert!(layout.perm.len >= 2);
+    let first = read_u64_at(&bytes, layout.perm.elem(0));
+    write_u64_at(&mut bytes, layout.perm.elem(1), first);
+    assert_rejected(&bytes, &path, "duplicate permutation entry");
+}
+
+#[test]
+fn out_of_bounds_permutation_is_rejected() {
+    let (mut bytes, path) = saved_index("perm_oob");
+    let layout = walk(&bytes);
+    write_u64_at(&mut bytes, layout.perm.elem(0), layout.perm.len as u64);
+    assert_rejected(&bytes, &path, "permutation entry beyond n");
+}
+
+#[test]
+fn block_size_sum_mismatch_is_rejected() {
+    let (mut bytes, path) = saved_index("blocks");
+    let layout = walk(&bytes);
+    assert!(layout.block_sizes.len >= 1, "partition has at least one block");
+    let pos = layout.block_sizes.elem(0);
+    let v = read_u64_at(&bytes, pos);
+    write_u64_at(&mut bytes, pos, v + 1);
+    let err = assert_rejected(&bytes, &path, "block sizes not summing to n1");
+    assert!(format!("{err}").contains("dimensions"), "unexpected error: {err}");
+}
+
+#[test]
+fn untouched_round_trip_still_loads() {
+    // Control: the walker itself proves the layout assumption, and an
+    // unmodified file still loads after all the hardening.
+    let (bytes, path) = saved_index("control");
+    std::fs::write(&path, &bytes).unwrap();
+    let loaded = Bear::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.num_nodes(), 12);
+}

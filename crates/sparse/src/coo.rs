@@ -3,6 +3,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::{Error, Result};
+use crate::validate::{check_finite, Invariant};
 
 /// A sparse matrix in coordinate (COO / triplet) format.
 ///
@@ -58,6 +59,21 @@ impl CooMatrix {
             return Err(Error::IndexOutOfBounds { index: c, bound: ncols });
         }
         Ok(CooMatrix { nrows, ncols, rows, cols, values })
+    }
+
+    /// Builds a COO matrix after running the full [`Invariant`] audit:
+    /// everything [`CooMatrix::from_triplets`] checks, plus finiteness of
+    /// every stored value.
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<usize>,
+        cols: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let m = Self::from_triplets(nrows, ncols, rows, cols, values)?;
+        check_finite(&m.values)?;
+        Ok(m)
     }
 
     /// Number of rows.
@@ -141,6 +157,26 @@ impl CooMatrix {
             indptr.push(indices.len());
         }
         CsrMatrix::from_raw_unchecked(self.nrows, self.ncols, indptr, indices, values)
+    }
+}
+
+impl Invariant for CooMatrix {
+    fn validate(&self) -> Result<()> {
+        if self.rows.len() != self.cols.len() || self.rows.len() != self.values.len() {
+            return Err(Error::InvalidStructure(format!(
+                "triplet arrays have mismatched lengths: {} rows, {} cols, {} values",
+                self.rows.len(),
+                self.cols.len(),
+                self.values.len()
+            )));
+        }
+        if let Some(&r) = self.rows.iter().find(|&&r| r >= self.nrows) {
+            return Err(Error::IndexOutOfBounds { index: r, bound: self.nrows });
+        }
+        if let Some(&c) = self.cols.iter().find(|&&c| c >= self.ncols) {
+            return Err(Error::IndexOutOfBounds { index: c, bound: self.ncols });
+        }
+        check_finite(&self.values)
     }
 }
 

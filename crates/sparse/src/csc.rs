@@ -3,6 +3,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::{Error, Result};
+use crate::validate::{check_compressed, check_finite, Invariant, Mutation};
 
 /// A sparse matrix in compressed sparse column (CSC) format.
 ///
@@ -36,8 +37,25 @@ impl CscMatrix {
         Ok(CscMatrix { nrows, ncols, indptr, indices, values })
     }
 
+    /// Builds a CSC matrix after running the full [`Invariant`] audit:
+    /// everything [`CscMatrix::from_raw`] checks, plus finiteness of every
+    /// stored value. This is the constructor for trust boundaries
+    /// (deserialization, file ingestion).
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let m = Self::from_raw(nrows, ncols, indptr, indices, values)?;
+        check_finite(m.values())?;
+        Ok(m)
+    }
+
     /// Builds a CSC matrix without validation (see
-    /// [`CsrMatrix::from_raw_unchecked`]).
+    /// [`CsrMatrix::from_raw_unchecked`]). With the `strict-invariants`
+    /// feature the full audit runs anyway and panics on violation.
     pub fn from_raw_unchecked(
         nrows: usize,
         ncols: usize,
@@ -47,7 +65,10 @@ impl CscMatrix {
     ) -> Self {
         debug_assert_eq!(indptr.len(), ncols + 1);
         debug_assert_eq!(indices.len(), values.len());
-        CscMatrix { nrows, ncols, indptr, indices, values }
+        let m = CscMatrix { nrows, ncols, indptr, indices, values };
+        #[cfg(feature = "strict-invariants")]
+        crate::validate::assert_strict(&m, "CscMatrix::from_raw_unchecked");
+        m
     }
 
     /// The `n × n` identity.
@@ -183,6 +204,38 @@ impl CscMatrix {
             let (rows, vals) = self.col(c);
             rows.iter().zip(vals.iter()).map(move |(&r, &v)| (r, c, v))
         })
+    }
+}
+
+impl Invariant for CscMatrix {
+    fn validate(&self) -> Result<()> {
+        // A CSC matrix is structurally a CSR matrix of its transpose:
+        // columns are the outer axis, row indices the inner.
+        check_compressed(
+            "column",
+            self.ncols,
+            self.nrows,
+            &self.indptr,
+            &self.indices,
+            &self.values,
+        )?;
+        check_finite(&self.values)
+    }
+}
+
+impl CscMatrix {
+    /// Test support: breaks exactly one invariant in place, bypassing every
+    /// constructor check. Returns whether the mutation was applicable.
+    /// See [`crate::validate`].
+    #[doc(hidden)]
+    pub fn apply_mutation(&mut self, mutation: Mutation) -> bool {
+        crate::csr::apply_compressed_mutation(
+            mutation,
+            self.nrows,
+            &mut self.indptr,
+            &mut self.indices,
+            &mut self.values,
+        )
     }
 }
 

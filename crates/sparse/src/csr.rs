@@ -3,6 +3,7 @@
 use crate::csc::CscMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{Error, Result};
+use crate::validate::{check_compressed, check_finite, Invariant, Mutation};
 
 /// A sparse matrix in compressed sparse row (CSR) format.
 ///
@@ -32,7 +33,9 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
-    /// Builds a CSR matrix after validating all structural invariants.
+    /// Builds a CSR matrix after validating all structural invariants
+    /// (value finiteness is *not* checked; see
+    /// [`CsrMatrix::try_from_parts`]).
     pub fn from_raw(
         nrows: usize,
         ncols: usize,
@@ -40,54 +43,30 @@ impl CsrMatrix {
         indices: Vec<usize>,
         values: Vec<f64>,
     ) -> Result<Self> {
-        if indptr.len() != nrows + 1 {
-            return Err(Error::InvalidStructure(format!(
-                "indptr length {} != nrows + 1 = {}",
-                indptr.len(),
-                nrows + 1
-            )));
-        }
-        if indptr[0] != 0 {
-            return Err(Error::InvalidStructure("indptr[0] != 0".into()));
-        }
-        if indices.len() != values.len() {
-            return Err(Error::InvalidStructure(format!(
-                "indices length {} != values length {}",
-                indices.len(),
-                values.len()
-            )));
-        }
-        if *indptr.last().unwrap() != indices.len() {
-            return Err(Error::InvalidStructure(format!(
-                "indptr[last] {} != nnz {}",
-                indptr.last().unwrap(),
-                indices.len()
-            )));
-        }
-        for r in 0..nrows {
-            if indptr[r] > indptr[r + 1] {
-                return Err(Error::InvalidStructure(format!("indptr decreases at row {r}")));
-            }
-            let row = &indices[indptr[r]..indptr[r + 1]];
-            for w in row.windows(2) {
-                if w[0] >= w[1] {
-                    return Err(Error::InvalidStructure(format!(
-                        "columns not strictly increasing in row {r}"
-                    )));
-                }
-            }
-            if let Some(&c) = row.last() {
-                if c >= ncols {
-                    return Err(Error::IndexOutOfBounds { index: c, bound: ncols });
-                }
-            }
-        }
+        check_compressed("row", nrows, ncols, &indptr, &indices, &values)?;
         Ok(CsrMatrix { nrows, ncols, indptr, indices, values })
+    }
+
+    /// Builds a CSR matrix after running the full [`Invariant`] audit:
+    /// everything [`CsrMatrix::from_raw`] checks, plus finiteness of every
+    /// stored value. This is the constructor for trust boundaries
+    /// (deserialization, file ingestion).
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let m = Self::from_raw(nrows, ncols, indptr, indices, values)?;
+        check_finite(m.values())?;
+        Ok(m)
     }
 
     /// Builds a CSR matrix without validation. Caller must uphold the type's
     /// invariants; used on hot paths where the arrays were just produced by
-    /// a kernel that guarantees them.
+    /// a kernel that guarantees them. With the `strict-invariants` feature
+    /// the full audit runs anyway and panics on violation.
     pub fn from_raw_unchecked(
         nrows: usize,
         ncols: usize,
@@ -98,7 +77,10 @@ impl CsrMatrix {
         debug_assert_eq!(indptr.len(), nrows + 1);
         debug_assert_eq!(indices.len(), values.len());
         debug_assert_eq!(*indptr.last().unwrap(), indices.len());
-        CsrMatrix { nrows, ncols, indptr, indices, values }
+        let m = CsrMatrix { nrows, ncols, indptr, indices, values };
+        #[cfg(feature = "strict-invariants")]
+        crate::validate::assert_strict(&m, "CsrMatrix::from_raw_unchecked");
+        m
     }
 
     /// The `n × n` identity matrix.
@@ -404,6 +386,81 @@ impl CsrMatrix {
             }
         }
         true
+    }
+}
+
+impl Invariant for CsrMatrix {
+    fn validate(&self) -> Result<()> {
+        check_compressed("row", self.nrows, self.ncols, &self.indptr, &self.indices, &self.values)?;
+        check_finite(&self.values)
+    }
+}
+
+impl CsrMatrix {
+    /// Test support: breaks exactly one invariant in place, bypassing every
+    /// constructor check. Returns whether the mutation was applicable (e.g.
+    /// [`Mutation::SwapAdjacentIndices`] needs a row with two entries).
+    /// See [`crate::validate`].
+    #[doc(hidden)]
+    pub fn apply_mutation(&mut self, mutation: Mutation) -> bool {
+        apply_compressed_mutation(
+            mutation,
+            self.ncols,
+            &mut self.indptr,
+            &mut self.indices,
+            &mut self.values,
+        )
+    }
+}
+
+/// Shared implementation of [`Mutation`] for the two compressed formats;
+/// operates on the raw arrays so CSR and CSC behave identically.
+pub(crate) fn apply_compressed_mutation(
+    mutation: Mutation,
+    inner: usize,
+    indptr: &mut [usize],
+    indices: &mut [usize],
+    values: &mut [f64],
+) -> bool {
+    // First segment holding at least two entries, for the order-sensitive
+    // mutations.
+    let wide_segment = indptr.windows(2).find(|w| w[1] - w[0] >= 2).map(|w| w[0]);
+    match mutation {
+        Mutation::SwapAdjacentIndices => match wide_segment {
+            Some(lo) => {
+                indices.swap(lo, lo + 1);
+                true
+            }
+            None => false,
+        },
+        Mutation::DuplicateIndex => match wide_segment {
+            Some(lo) => {
+                indices[lo + 1] = indices[lo];
+                true
+            }
+            None => false,
+        },
+        Mutation::OutOfBoundsIndex => match indices.first_mut() {
+            Some(i) => {
+                *i = inner;
+                true
+            }
+            None => false,
+        },
+        Mutation::BreakIndptr => match indptr.last_mut() {
+            Some(p) => {
+                *p += 1;
+                true
+            }
+            None => false,
+        },
+        Mutation::InjectNan => match values.first_mut() {
+            Some(v) => {
+                *v = f64::NAN;
+                true
+            }
+            None => false,
+        },
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::{Error, Result};
+use crate::validate::{check_finite, Invariant};
 use std::ops::{Index, IndexMut};
 
 /// A dense row-major `f64` matrix.
@@ -37,6 +38,15 @@ impl DenseMatrix {
             )));
         }
         Ok(DenseMatrix { nrows, ncols, data })
+    }
+
+    /// Builds from a row-major data vector after running the full
+    /// [`Invariant`] audit: the length check of [`DenseMatrix::from_vec`],
+    /// plus finiteness of every entry.
+    pub fn try_from_parts(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self> {
+        let m = Self::from_vec(nrows, ncols, data)?;
+        m.validate()?;
+        Ok(m)
     }
 
     /// Builds from nested rows (test convenience).
@@ -152,6 +162,20 @@ impl DenseMatrix {
         assert_eq!(self.nrows, other.nrows);
         assert_eq!(self.ncols, other.ncols);
         self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    }
+}
+
+impl Invariant for DenseMatrix {
+    fn validate(&self) -> Result<()> {
+        if self.data.len() != self.nrows * self.ncols {
+            return Err(Error::InvalidStructure(format!(
+                "dense data length {} != {} * {}",
+                self.data.len(),
+                self.nrows,
+                self.ncols
+            )));
+        }
+        check_finite(&self.data)
     }
 }
 

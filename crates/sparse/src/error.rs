@@ -44,6 +44,12 @@ pub enum Error {
         /// Iterations performed.
         iterations: usize,
     },
+    /// A stored value is NaN or infinite where a finite value is required
+    /// (reported by [`crate::validate::Invariant::validate`]).
+    NonFiniteValue {
+        /// Flat position of the offending entry in the owning value array.
+        at: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -64,6 +70,9 @@ impl fmt::Display for Error {
             }
             Error::DidNotConverge { what, iterations } => {
                 write!(f, "{what} did not converge after {iterations} iterations")
+            }
+            Error::NonFiniteValue { at } => {
+                write!(f, "non-finite value (NaN or infinity) at position {at}")
             }
         }
     }

@@ -40,6 +40,7 @@ pub mod sparse_qr;
 pub mod sparsify;
 pub mod svd;
 pub mod triangular;
+pub mod validate;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
@@ -49,6 +50,7 @@ pub use error::{Error, Result};
 pub use lu::{BlockDiagLu, DenseLu, SparseLu};
 pub use mem::MemoryUsage;
 pub use perm::Permutation;
+pub use validate::Invariant;
 
 /// Relative tolerance used by tests and internal sanity checks when
 /// comparing floating point results.

@@ -6,6 +6,7 @@ use crate::csc::CscMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{Error, Result};
 use crate::triangular::{invert_triangular, Triangle};
+use crate::validate::Invariant;
 
 /// Pivot magnitudes below this threshold are treated as exact zeros and
 /// reported as singularity.
@@ -522,6 +523,67 @@ impl BlockDiagLu {
             uinvs.push(ui);
         }
         Ok((block_diag_concat(&linvs, self.dim), block_diag_concat(&uinvs, self.dim)))
+    }
+}
+
+impl Invariant for SparseLu {
+    fn validate(&self) -> Result<()> {
+        let n = self.l.ncols();
+        if self.l.nrows() != n || self.u.nrows() != n || self.u.ncols() != n {
+            return Err(Error::InvalidStructure(format!(
+                "LU factors are not square matrices of one dimension: L is {}x{}, U is {}x{}",
+                self.l.nrows(),
+                self.l.ncols(),
+                self.u.nrows(),
+                self.u.ncols()
+            )));
+        }
+        self.l.validate()?;
+        self.u.validate()?;
+        for j in 0..n {
+            // L: unit lower triangular with the diagonal stored explicitly.
+            let (rows, vals) = self.l.col(j);
+            match (rows.first(), vals.first()) {
+                (Some(&r), Some(&v)) if r == j && v == 1.0 => {}
+                _ => {
+                    return Err(Error::InvalidStructure(format!(
+                        "L column {j} does not start with an explicit unit diagonal"
+                    )))
+                }
+            }
+            // U: upper triangular, so row indices in column j end at j.
+            let (rows, _) = self.u.col(j);
+            if let Some(&r) = rows.last() {
+                if r > j {
+                    return Err(Error::InvalidStructure(format!(
+                        "U has a sub-diagonal entry ({r}, {j})"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Invariant for BlockDiagLu {
+    fn validate(&self) -> Result<()> {
+        let mut expected_off = 0;
+        for (off, lu) in &self.blocks {
+            if *off != expected_off {
+                return Err(Error::InvalidStructure(format!(
+                    "block offset {off} != running width sum {expected_off}"
+                )));
+            }
+            lu.validate()?;
+            expected_off += lu.dim();
+        }
+        if expected_off != self.dim {
+            return Err(Error::InvalidStructure(format!(
+                "block widths sum to {expected_off}, expected partition dimension {}",
+                self.dim
+            )));
+        }
+        Ok(())
     }
 }
 

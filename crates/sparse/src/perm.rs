@@ -6,6 +6,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::{Error, Result};
+use crate::validate::{Invariant, PermMutation};
 
 /// A permutation of `0..n`.
 ///
@@ -43,6 +44,14 @@ impl Permutation {
             inverse[old] = new;
         }
         Ok(Permutation { forward, inverse })
+    }
+
+    /// Alias of [`Permutation::from_new_to_old`] matching the
+    /// `try_from_parts` naming of the matrix types: the fallible
+    /// constructor for trust boundaries. (Permutations store no floats, so
+    /// there is no additional finiteness check to run.)
+    pub fn try_from_parts(forward: Vec<usize>) -> Result<Self> {
+        Self::from_new_to_old(forward)
     }
 
     /// Length of the permutation.
@@ -231,6 +240,72 @@ impl Permutation {
         }
         for (new, &old) in self.forward.iter().enumerate() {
             out[old] = x[new];
+        }
+        Ok(())
+    }
+
+    /// Test support: breaks exactly one invariant in place, bypassing the
+    /// validating constructor. Returns whether the mutation was applicable.
+    /// See [`crate::validate`].
+    #[doc(hidden)]
+    pub fn apply_mutation(&mut self, mutation: PermMutation) -> bool {
+        match mutation {
+            PermMutation::DuplicateEntry => {
+                if self.forward.len() < 2 {
+                    return false;
+                }
+                self.forward[1] = self.forward[0];
+                true
+            }
+            PermMutation::OutOfBoundsEntry => {
+                let n = self.forward.len();
+                match self.forward.first_mut() {
+                    Some(f) => {
+                        *f = n;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            PermMutation::InconsistentInverse => {
+                if self.inverse.len() < 2 {
+                    return false;
+                }
+                self.inverse.swap(0, 1);
+                true
+            }
+        }
+    }
+}
+
+impl Invariant for Permutation {
+    fn validate(&self) -> Result<()> {
+        let n = self.forward.len();
+        if self.inverse.len() != n {
+            return Err(Error::InvalidStructure(format!(
+                "permutation arrays have mismatched lengths: {} forward, {} inverse",
+                n,
+                self.inverse.len()
+            )));
+        }
+        let mut seen = vec![false; n];
+        for (new, &old) in self.forward.iter().enumerate() {
+            if old >= n {
+                return Err(Error::IndexOutOfBounds { index: old, bound: n });
+            }
+            if seen[old] {
+                return Err(Error::InvalidStructure(format!(
+                    "duplicate element {old} in permutation"
+                )));
+            }
+            seen[old] = true;
+            if self.inverse[old] != new {
+                return Err(Error::InvalidStructure(format!(
+                    "cached inverse is inconsistent at element {old}: \
+                     inverse[{old}] = {}, expected {new}",
+                    self.inverse[old]
+                )));
+            }
         }
         Ok(())
     }

@@ -1,0 +1,162 @@
+//! Property-based tests of the structural validators.
+//!
+//! Two directions, per the invariant-audit contract (DESIGN.md §10):
+//!
+//! * **soundness** — randomly generated *valid* CSR/CSC/permutation
+//!   instances pass `validate()` and are accepted by `try_from_parts`;
+//! * **sensitivity** — every mutation class in
+//!   [`bear_sparse::validate::Mutation`] / [`PermMutation`], applied to
+//!   a valid instance through the test-only `apply_mutation` helpers
+//!   (which bypass even `strict-invariants`), makes `validate()` fail.
+
+use bear_sparse::validate::{Mutation, PermMutation};
+use bear_sparse::{CooMatrix, CscMatrix, CsrMatrix, Invariant, Permutation};
+use proptest::prelude::*;
+
+const MATRIX_MUTATIONS: [Mutation; 5] = [
+    Mutation::SwapAdjacentIndices,
+    Mutation::DuplicateIndex,
+    Mutation::OutOfBoundsIndex,
+    Mutation::BreakIndptr,
+    Mutation::InjectNan,
+];
+
+const PERM_MUTATIONS: [PermMutation; 3] = [
+    PermMutation::DuplicateEntry,
+    PermMutation::OutOfBoundsEntry,
+    PermMutation::InconsistentInverse,
+];
+
+/// Strategy: a random valid CSR matrix (duplicate triplets collapse in
+/// the COO → CSR conversion, so the result is always canonical).
+fn arb_csr(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((0..r, 0..c, -10.0f64..10.0), 0..(r * c).min(60)).prop_map(
+            move |triplets| {
+                let mut coo = CooMatrix::new(r, c);
+                for (i, j, v) in triplets {
+                    coo.push(i, j, v);
+                }
+                coo.to_csr()
+            },
+        )
+    })
+}
+
+/// Strategy: a random valid permutation of `1..=max_len` elements,
+/// built with a seeded Fisher–Yates shuffle.
+fn arb_permutation(max_len: usize) -> impl Strategy<Value = Permutation> {
+    (1..=max_len, 0u64..u64::MAX).prop_map(|(n, seed)| {
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        Permutation::from_new_to_old(order).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn generated_csr_passes_validation(m in arb_csr(8)) {
+        prop_assert!(m.validate().is_ok());
+        // Round-tripping the raw parts through the audited constructor
+        // accepts the same data.
+        let rebuilt = CsrMatrix::try_from_parts(
+            m.nrows(),
+            m.ncols(),
+            m.indptr().to_vec(),
+            m.indices().to_vec(),
+            m.values().to_vec(),
+        );
+        prop_assert!(rebuilt.is_ok());
+    }
+
+    #[test]
+    fn generated_csc_passes_validation(m in arb_csr(8)) {
+        let csc = m.to_csc();
+        prop_assert!(csc.validate().is_ok());
+        let rebuilt = CscMatrix::try_from_parts(
+            csc.nrows(),
+            csc.ncols(),
+            csc.indptr().to_vec(),
+            csc.indices().to_vec(),
+            csc.values().to_vec(),
+        );
+        prop_assert!(rebuilt.is_ok());
+    }
+
+    #[test]
+    fn generated_permutation_passes_validation(p in arb_permutation(24)) {
+        prop_assert!(p.validate().is_ok());
+        prop_assert!(Permutation::try_from_parts(p.as_new_to_old().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn every_applied_csr_mutation_is_rejected(m in arb_csr(8)) {
+        for mutation in MATRIX_MUTATIONS {
+            let mut corrupted = m.clone();
+            // `apply_mutation` reports whether the instance had room for
+            // this corruption (e.g. swapping needs a 2-entry segment).
+            if corrupted.apply_mutation(mutation) {
+                prop_assert!(
+                    corrupted.validate().is_err(),
+                    "CSR mutation {mutation:?} survived validation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_applied_csc_mutation_is_rejected(m in arb_csr(8)) {
+        for mutation in MATRIX_MUTATIONS {
+            let mut corrupted = m.to_csc();
+            if corrupted.apply_mutation(mutation) {
+                prop_assert!(
+                    corrupted.validate().is_err(),
+                    "CSC mutation {mutation:?} survived validation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_applied_perm_mutation_is_rejected(p in arb_permutation(24)) {
+        for mutation in PERM_MUTATIONS {
+            let mut corrupted = p.clone();
+            if corrupted.apply_mutation(mutation) {
+                prop_assert!(
+                    corrupted.validate().is_err(),
+                    "permutation mutation {mutation:?} survived validation"
+                );
+            }
+        }
+    }
+}
+
+/// The mutation helpers must be *effective* often enough to mean
+/// something: on a dense-ish fixture every matrix mutation applies, and
+/// every permutation mutation applies for `n >= 2`.
+#[test]
+fn mutations_apply_on_a_dense_fixture() {
+    let mut coo = CooMatrix::new(3, 3);
+    for i in 0..3 {
+        for j in 0..3 {
+            coo.push(i, j, 1.0 + (i * 3 + j) as f64);
+        }
+    }
+    let csr = coo.to_csr();
+    for mutation in MATRIX_MUTATIONS {
+        let mut m = csr.clone();
+        assert!(m.apply_mutation(mutation), "{mutation:?} must apply to a dense 3x3");
+        assert!(m.validate().is_err());
+    }
+    let perm = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+    for mutation in PERM_MUTATIONS {
+        let mut p = perm.clone();
+        assert!(p.apply_mutation(mutation), "{mutation:?} must apply to a 3-permutation");
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,761 @@
+//! Offline vendored stand-in for the [`loom`](https://crates.io/crates/loom)
+//! model checker.
+//!
+//! The container this workspace builds in has no crates.io access, so this
+//! crate reimplements the subset of loom's API that `bear-core`'s engine
+//! models need: `loom::model`, `loom::thread::{spawn, JoinHandle, yield_now}`,
+//! `loom::sync::{Arc, Mutex, Condvar}` and `loom::sync::atomic`.
+//!
+//! # How it works
+//!
+//! Each call to [`model`] runs the closure many times. Within one run,
+//! every loom thread is a real OS thread, but a cooperative scheduler hands
+//! out a single "run token": exactly one thread executes at a time, and it
+//! yields the token at every *decision point* (mutex acquire, condvar
+//! wait/notify, atomic access, spawn/join/yield). At each decision point the
+//! scheduler records which threads were runnable and which one it chose;
+//! after the run finishes, the checker backtracks depth-first over those
+//! choices and replays the prefix to explore a different interleaving, until
+//! the whole tree is exhausted (or [`model::Builder::max_iterations`] is hit).
+//!
+//! Differences from real loom, chosen to keep the state space small:
+//!
+//! - Atomics are modelled as sequentially consistent regardless of the
+//!   `Ordering` argument (loom explores weaker orderings).
+//! - Condvars never wake spuriously; `notify_one` wakes waiters in FIFO
+//!   order. A waiter that is never notified stays blocked, which is exactly
+//!   what makes lost-wakeup bugs show up as deadlocks.
+//! - No partial-order reduction: equivalent interleavings are re-explored.
+//!   Models should therefore stay small (2–3 threads, a handful of
+//!   operations); [`model::Builder::preemption_bound`] prunes further.
+//!
+//! A run in which no thread can be scheduled while some thread is still
+//! blocked is reported by panicking with a message starting with
+//! `"loom: deadlock"`. A panic inside a model thread (a failed assertion)
+//! aborts the run and is re-raised from [`model`] with its original payload.
+//!
+//! All loom objects ([`sync::Mutex`], [`sync::Condvar`], …) must be created
+//! *inside* the model closure, so each exploration starts from fresh state.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Panic payload used internally to unwind threads of an aborted run.
+/// Never surfaces to the user: the original failure is re-raised instead.
+const ABORT_PANIC: &str = "__loom_execution_aborted__";
+
+#[derive(Clone, Debug, PartialEq)]
+enum ThreadState {
+    /// Can run whenever the scheduler picks it.
+    Runnable,
+    /// Waiting to acquire the mutex with this id; enabled once it is free.
+    BlockedMutex(usize),
+    /// Parked on a condvar; never enabled until a notify moves it to
+    /// [`ThreadState::BlockedMutex`] on the mutex it must reacquire.
+    BlockedCondvar {
+        cv: usize,
+        mutex: usize,
+    },
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Decision {
+    /// Threads that were schedulable at this point (after preemption
+    /// bounding) — the DFS branches over this list.
+    enabled: Vec<usize>,
+    /// Index into `enabled` chosen on the current run.
+    index: usize,
+}
+
+enum Abort {
+    Deadlock(String),
+    Panic,
+}
+
+struct SchedState {
+    threads: Vec<ThreadState>,
+    /// Locked flag per registered mutex.
+    mutexes: Vec<bool>,
+    /// FIFO waiter queue per registered condvar.
+    cv_waiters: Vec<VecDeque<usize>>,
+    /// The thread currently holding the run token.
+    active: usize,
+    /// Decision trail: a replay prefix at the start of a run, extended as
+    /// the run goes past it.
+    trail: Vec<Decision>,
+    /// Next position in `trail`.
+    cursor: usize,
+    /// Times the scheduler switched away from a still-runnable thread.
+    preemptions: usize,
+    abort: Option<Abort>,
+    /// Original payload of the first real panic, re-raised by `model`.
+    payload: Option<Box<dyn std::any::Any + Send>>,
+    /// Threads not yet finished; the model waits for this to reach zero.
+    live: usize,
+}
+
+struct Shared {
+    state: StdMutex<SchedState>,
+    turn: StdCondvar,
+    preemption_bound: Option<usize>,
+}
+
+#[derive(Clone)]
+struct Ctx {
+    sched: StdArc<Shared>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Ctx {
+    CTX.with(|c| c.borrow().clone()).expect("loom primitives may only be used inside loom::model")
+}
+
+impl Shared {
+    fn enabled_raw(s: &SchedState) -> Vec<usize> {
+        s.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                ThreadState::Runnable => true,
+                ThreadState::BlockedMutex(m) => !s.mutexes[*m],
+                ThreadState::BlockedJoin(j) => matches!(s.threads[*j], ThreadState::Finished),
+                ThreadState::BlockedCondvar { .. } | ThreadState::Finished => false,
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A scheduling decision point: pick the next thread to run, hand it
+    /// the token, and (unless `exiting`) block until this thread is
+    /// scheduled again. Panics with [`ABORT_PANIC`] if the run was aborted.
+    fn reschedule(&self, me: usize, exiting: bool) {
+        let mut s = self.state.lock().unwrap();
+        if s.abort.is_some() {
+            self.turn.notify_all();
+            drop(s);
+            if exiting {
+                return;
+            }
+            panic!("{ABORT_PANIC}");
+        }
+        let raw = Self::enabled_raw(&s);
+        if raw.is_empty() {
+            if !s.threads.iter().all(|t| matches!(t, ThreadState::Finished)) {
+                s.abort = Some(Abort::Deadlock(format!(
+                    "no schedulable thread; thread states: {:?}",
+                    s.threads
+                )));
+            }
+            self.turn.notify_all();
+            drop(s);
+            if exiting {
+                return;
+            }
+            // `me` is blocked and nothing can ever unblock it.
+            panic!("{ABORT_PANIC}");
+        }
+        // Bounded preemption: once the budget is spent, a thread that can
+        // keep running does keep running (classic CHESS-style pruning).
+        let me_enabled = raw.contains(&me);
+        let effective = match self.preemption_bound {
+            Some(bound) if me_enabled && s.preemptions >= bound => vec![me],
+            _ => raw.clone(),
+        };
+        let index = if s.cursor < s.trail.len() {
+            let d = &s.trail[s.cursor];
+            if d.enabled != effective {
+                drop(s);
+                panic!(
+                    "loom: nondeterministic replay — the model closure must be \
+                     deterministic apart from scheduling"
+                );
+            }
+            d.index
+        } else {
+            s.trail.push(Decision { enabled: effective.clone(), index: 0 });
+            0
+        };
+        let chosen = effective[index];
+        s.cursor += 1;
+        if me_enabled && chosen != me {
+            s.preemptions += 1;
+        }
+        s.active = chosen;
+        self.turn.notify_all();
+        if exiting || chosen == me {
+            return;
+        }
+        while s.active != me && s.abort.is_none() {
+            s = self.turn.wait(s).unwrap();
+        }
+        if s.abort.is_some() {
+            drop(s);
+            panic!("{ABORT_PANIC}");
+        }
+    }
+
+    /// Blocks a freshly spawned thread until its first turn. Returns false
+    /// if the run aborted before the thread ever ran.
+    fn wait_for_turn(&self, me: usize) -> bool {
+        let mut s = self.state.lock().unwrap();
+        while s.active != me && s.abort.is_none() {
+            s = self.turn.wait(s).unwrap();
+        }
+        s.abort.is_none()
+    }
+
+    /// Marks `me` finished, records a real panic (anything that is not the
+    /// internal abort payload) and hands the token to the next thread.
+    fn finish_thread(&self, me: usize, outcome: Result<(), Box<dyn std::any::Any + Send>>) {
+        {
+            let mut s = self.state.lock().unwrap();
+            s.threads[me] = ThreadState::Finished;
+            s.live -= 1;
+            if let Err(payload) = outcome {
+                let is_abort = payload.downcast_ref::<String>().map_or(false, |m| m == ABORT_PANIC)
+                    || payload.downcast_ref::<&str>().map_or(false, |m| *m == ABORT_PANIC);
+                if !is_abort && s.abort.is_none() {
+                    s.abort = Some(Abort::Panic);
+                    s.payload = Some(payload);
+                }
+            }
+        }
+        self.reschedule(me, true);
+    }
+}
+
+/// Registers and starts one loom thread on a real OS thread. The closure
+/// does not run until the scheduler grants the thread its first turn.
+fn spawn_thread<F, T>(
+    sched: &StdArc<Shared>,
+    f: F,
+) -> (usize, StdArc<StdMutex<Option<T>>>, std::thread::JoinHandle<()>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = {
+        let mut s = sched.state.lock().unwrap();
+        s.threads.push(ThreadState::Runnable);
+        s.live += 1;
+        s.threads.len() - 1
+    };
+    let slot = StdArc::new(StdMutex::new(None));
+    let slot2 = StdArc::clone(&slot);
+    let sched2 = StdArc::clone(sched);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some(Ctx { sched: StdArc::clone(&sched2), tid }));
+            if !sched2.wait_for_turn(tid) {
+                sched2.finish_thread(tid, Ok(()));
+                return;
+            }
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => {
+                    *slot2.lock().unwrap() = Some(v);
+                    sched2.finish_thread(tid, Ok(()));
+                }
+                Err(p) => sched2.finish_thread(tid, Err(p)),
+            }
+        })
+        .expect("failed to spawn loom thread");
+    (tid, slot, os)
+}
+
+pub mod model {
+    //! Exploration configuration ([`Builder`]), mirroring loom's.
+
+    use super::{resume_unwind, Abort, Decision, SchedState, Shared, StdArc, StdMutex};
+
+    /// Configures and runs an exploration; [`crate::model`] is shorthand
+    /// for `Builder::new().check(f)`.
+    #[derive(Debug, Clone)]
+    pub struct Builder {
+        /// Maximum number of times the scheduler may switch away from a
+        /// thread that could have kept running. `None` explores every
+        /// interleaving. Seeded from `LOOM_MAX_PREEMPTIONS` if set.
+        pub preemption_bound: Option<usize>,
+        /// Hard cap on explored interleavings; exceeding it panics so a
+        /// model that blows up is an error, not a silent truncation.
+        /// Seeded from `LOOM_MAX_ITERATIONS` if set (default 250 000).
+        pub max_iterations: usize,
+    }
+
+    impl Builder {
+        /// A builder seeded from the `LOOM_MAX_PREEMPTIONS` /
+        /// `LOOM_MAX_ITERATIONS` environment variables.
+        pub fn new() -> Self {
+            let env_usize = |k: &str| std::env::var(k).ok().and_then(|v| v.parse().ok());
+            Builder {
+                preemption_bound: env_usize("LOOM_MAX_PREEMPTIONS"),
+                max_iterations: env_usize("LOOM_MAX_ITERATIONS").unwrap_or(250_000),
+            }
+        }
+
+        /// Exhaustively explores interleavings of `f`. Panics on the first
+        /// failing execution: assertion panics are re-raised with their
+        /// original payload, deadlocks panic with `"loom: deadlock"`.
+        pub fn check<F>(&self, f: F)
+        where
+            F: Fn() + Send + Sync + 'static,
+        {
+            let f: StdArc<dyn Fn() + Send + Sync> = StdArc::new(f);
+            let mut prefix: Vec<Decision> = Vec::new();
+            let mut iterations = 0usize;
+            loop {
+                iterations += 1;
+                assert!(
+                    iterations <= self.max_iterations,
+                    "loom: exceeded max_iterations ({}); shrink the model or set a preemption bound",
+                    self.max_iterations
+                );
+                let sched = StdArc::new(Shared {
+                    state: StdMutex::new(SchedState {
+                        threads: Vec::new(),
+                        mutexes: Vec::new(),
+                        cv_waiters: Vec::new(),
+                        active: 0,
+                        trail: prefix.clone(),
+                        cursor: 0,
+                        preemptions: 0,
+                        abort: None,
+                        payload: None,
+                        live: 0,
+                    }),
+                    turn: super::StdCondvar::new(),
+                    preemption_bound: self.preemption_bound,
+                });
+                let f2 = StdArc::clone(&f);
+                let (_tid, _slot, os) = super::spawn_thread(&sched, move || f2());
+                let trail = {
+                    let mut s = sched.state.lock().unwrap();
+                    while s.live > 0 {
+                        s = sched.turn.wait(s).unwrap();
+                    }
+                    match s.abort.take() {
+                        Some(Abort::Panic) => {
+                            let p = s.payload.take().expect("panic abort without payload");
+                            drop(s);
+                            let _ = os.join();
+                            resume_unwind(p);
+                        }
+                        Some(Abort::Deadlock(msg)) => {
+                            drop(s);
+                            let _ = os.join();
+                            panic!("loom: deadlock after {iterations} iteration(s): {msg}");
+                        }
+                        None => {}
+                    }
+                    std::mem::take(&mut s.trail)
+                };
+                let _ = os.join();
+                // Depth-first backtrack: advance the deepest decision that
+                // still has an untried alternative; drop everything after it.
+                let mut trail = trail;
+                loop {
+                    match trail.last_mut() {
+                        None => return, // fully explored
+                        Some(d) if d.index + 1 < d.enabled.len() => {
+                            d.index += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            trail.pop();
+                        }
+                    }
+                }
+                prefix = trail;
+            }
+        }
+    }
+
+    impl Default for Builder {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+/// Explores every interleaving of `f` with the default [`model::Builder`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model::Builder::new().check(f)
+}
+
+pub mod thread {
+    //! Model-checked replacement for `std::thread`.
+
+    use super::{ctx, ThreadState};
+
+    /// Handle to a loom thread; mirrors `std::thread::JoinHandle`.
+    #[derive(Debug)]
+    pub struct JoinHandle<T> {
+        tid: usize,
+        slot: super::StdArc<super::StdMutex<Option<T>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+    }
+
+    /// Spawns a loom thread. A decision point: the child may or may not run
+    /// before the spawner's next operation.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let c = ctx();
+        let (tid, slot, os) = super::spawn_thread(&c.sched, f);
+        c.sched.reschedule(c.tid, false);
+        JoinHandle { tid, slot, os: Some(os) }
+    }
+
+    /// Yields the run token: a pure decision point.
+    pub fn yield_now() {
+        let c = ctx();
+        c.sched.reschedule(c.tid, false);
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks until the thread finishes, returning its result. If the
+        /// thread panicked, the whole model run has already been aborted,
+        /// so the `Err` arm mirrors `std` only in type.
+        pub fn join(mut self) -> std::thread::Result<T> {
+            let c = ctx();
+            loop {
+                c.sched.reschedule(c.tid, false);
+                let mut s = c.sched.state.lock().unwrap();
+                if matches!(s.threads[self.tid], ThreadState::Finished) {
+                    s.threads[c.tid] = ThreadState::Runnable;
+                    break;
+                }
+                s.threads[c.tid] = ThreadState::BlockedJoin(self.tid);
+            }
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            match self.slot.lock().unwrap().take() {
+                Some(v) => Ok(v),
+                None => Err(Box::new("loom: joined thread panicked")),
+            }
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-checked replacements for `std::sync` primitives.
+
+    use std::cell::UnsafeCell;
+    use std::ops::{Deref, DerefMut};
+    pub use std::sync::Arc;
+    use std::sync::LockResult;
+
+    use super::{ctx, ThreadState};
+
+    /// Model-checked mutex with the `std::sync::Mutex` API (never poisons).
+    #[derive(Debug)]
+    pub struct Mutex<T> {
+        id: usize,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: the scheduler guarantees at most one thread holds the run
+    // token at a time, and `lock` only hands out a guard to the token
+    // holder after marking the mutex held — so `data` is never aliased
+    // mutably across threads.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    impl<T> Mutex<T> {
+        /// Registers a mutex with the current model run. Must be called
+        /// inside `loom::model`.
+        pub fn new(data: T) -> Self {
+            let c = ctx();
+            let id = {
+                let mut s = c.sched.state.lock().unwrap();
+                s.mutexes.push(false);
+                s.mutexes.len() - 1
+            };
+            Mutex { id, data: UnsafeCell::new(data) }
+        }
+
+        /// Acquires the mutex; a decision point, blocking while held
+        /// elsewhere. Never returns `Err`: model mutexes do not poison.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let c = ctx();
+            loop {
+                c.sched.reschedule(c.tid, false);
+                let mut s = c.sched.state.lock().unwrap();
+                if !s.mutexes[self.id] {
+                    s.mutexes[self.id] = true;
+                    s.threads[c.tid] = ThreadState::Runnable;
+                    return Ok(MutexGuard { mutex: self, defused: false });
+                }
+                s.threads[c.tid] = ThreadState::BlockedMutex(self.id);
+            }
+        }
+    }
+
+    /// RAII guard returned by [`Mutex::lock`].
+    #[derive(Debug)]
+    pub struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+        /// Set by `Condvar::wait`, which releases the mutex by hand.
+        defused: bool,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: guard existence implies this thread holds the mutex.
+            unsafe { &*self.mutex.data.get() }
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as for `Deref`, plus `&mut self` prevents aliasing.
+            unsafe { &mut *self.mutex.data.get() }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.defused {
+                return;
+            }
+            let c = ctx();
+            let mut s = c.sched.state.lock().unwrap();
+            s.mutexes[self.mutex.id] = false;
+        }
+    }
+
+    /// Model-checked condition variable. No spurious wakeups; FIFO notify
+    /// order. A waiter that is never notified deadlocks the model — which
+    /// is how lost-wakeup bugs are caught.
+    #[derive(Debug)]
+    pub struct Condvar {
+        id: usize,
+    }
+
+    impl Condvar {
+        /// Registers a condvar with the current model run.
+        pub fn new() -> Self {
+            let c = ctx();
+            let id = {
+                let mut s = c.sched.state.lock().unwrap();
+                s.cv_waiters.push(std::collections::VecDeque::new());
+                s.cv_waiters.len() - 1
+            };
+            Condvar { id }
+        }
+
+        /// Atomically releases the guard's mutex and parks until notified,
+        /// then reacquires. Never returns `Err`.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let c = ctx();
+            let mutex = guard.mutex;
+            {
+                let mut s = c.sched.state.lock().unwrap();
+                s.mutexes[mutex.id] = false;
+                s.cv_waiters[self.id].push_back(c.tid);
+                s.threads[c.tid] = ThreadState::BlockedCondvar { cv: self.id, mutex: mutex.id };
+            }
+            let mut guard = guard;
+            guard.defused = true;
+            drop(guard);
+            // Parked until a notify moves this thread to BlockedMutex and
+            // the scheduler picks it with the mutex free; then reacquire.
+            loop {
+                c.sched.reschedule(c.tid, false);
+                let mut s = c.sched.state.lock().unwrap();
+                let parked = matches!(s.threads[c.tid], ThreadState::BlockedCondvar { .. });
+                if !parked && !s.mutexes[mutex.id] {
+                    s.mutexes[mutex.id] = true;
+                    s.threads[c.tid] = ThreadState::Runnable;
+                    return Ok(MutexGuard { mutex, defused: false });
+                }
+            }
+        }
+
+        /// Wakes the longest-parked waiter, if any. A decision point.
+        pub fn notify_one(&self) {
+            let c = ctx();
+            c.sched.reschedule(c.tid, false);
+            let mut s = c.sched.state.lock().unwrap();
+            if let Some(t) = s.cv_waiters[self.id].pop_front() {
+                if let ThreadState::BlockedCondvar { mutex, .. } = s.threads[t] {
+                    s.threads[t] = ThreadState::BlockedMutex(mutex);
+                }
+            }
+        }
+
+        /// Wakes every parked waiter. A decision point.
+        pub fn notify_all(&self) {
+            let c = ctx();
+            c.sched.reschedule(c.tid, false);
+            let mut s = c.sched.state.lock().unwrap();
+            while let Some(t) = s.cv_waiters[self.id].pop_front() {
+                if let ThreadState::BlockedCondvar { mutex, .. } = s.threads[t] {
+                    s.threads[t] = ThreadState::BlockedMutex(mutex);
+                }
+            }
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    pub mod atomic {
+        //! Model-checked atomics. Every access is a decision point; all
+        //! orderings are strengthened to sequential consistency.
+
+        pub use std::sync::atomic::Ordering;
+        use std::sync::atomic::Ordering::SeqCst;
+
+        use crate::ctx;
+
+        fn decision_point() {
+            let c = ctx();
+            c.sched.reschedule(c.tid, false);
+        }
+
+        macro_rules! atomic_int {
+            ($(#[$meta:meta])* $name:ident, $std:ty, $int:ty) => {
+                $(#[$meta])*
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates a new atomic (no decision point).
+                    pub const fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Sequentially consistent load; a decision point.
+                    pub fn load(&self, _order: Ordering) -> $int {
+                        decision_point();
+                        self.0.load(SeqCst)
+                    }
+
+                    /// Sequentially consistent store; a decision point.
+                    pub fn store(&self, v: $int, _order: Ordering) {
+                        decision_point();
+                        self.0.store(v, SeqCst)
+                    }
+
+                    /// Sequentially consistent swap; a decision point.
+                    pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                        decision_point();
+                        self.0.swap(v, SeqCst)
+                    }
+
+                    /// Sequentially consistent add; a decision point.
+                    pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                        decision_point();
+                        self.0.fetch_add(v, SeqCst)
+                    }
+
+                    /// Sequentially consistent max; a decision point.
+                    pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
+                        decision_point();
+                        self.0.fetch_max(v, SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic_int!(
+            /// Model-checked `AtomicU64`.
+            AtomicU64,
+            std::sync::atomic::AtomicU64,
+            u64
+        );
+        atomic_int!(
+            /// Model-checked `AtomicUsize`.
+            AtomicUsize,
+            std::sync::atomic::AtomicUsize,
+            usize
+        );
+
+        /// Model-checked `AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic (no decision point).
+            pub const fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Sequentially consistent load; a decision point.
+            pub fn load(&self, _order: Ordering) -> bool {
+                decision_point();
+                self.0.load(SeqCst)
+            }
+
+            /// Sequentially consistent store; a decision point.
+            pub fn store(&self, v: bool, _order: Ordering) {
+                decision_point();
+                self.0.store(v, SeqCst)
+            }
+
+            /// Sequentially consistent swap; a decision point.
+            pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+                decision_point();
+                self.0.swap(v, SeqCst)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Condvar, Mutex};
+    use super::thread;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn mutex_counter_is_consistent() {
+        super::model(|| {
+            let m = std::sync::Arc::new(Mutex::new(0u32));
+            let m2 = std::sync::Arc::clone(&m);
+            let h = thread::spawn(move || {
+                *m2.lock().unwrap() += 1;
+            });
+            *m.lock().unwrap() += 1;
+            h.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn unnotified_condvar_wait_is_reported_as_deadlock() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let m = Mutex::new(());
+                let cv = Condvar::new();
+                let g = m.lock().unwrap();
+                let _g = cv.wait(g).unwrap(); // nobody will ever notify
+            });
+        }));
+        let msg = match r {
+            Err(p) => *p.downcast::<String>().unwrap(),
+            Ok(()) => panic!("model unexpectedly succeeded"),
+        };
+        assert!(msg.contains("deadlock"), "unexpected panic: {msg}");
+    }
+}

@@ -11,9 +11,10 @@
 //! * **No shrinking.** A failing case reports the generated inputs
 //!   verbatim (they are `Debug`-printed before the body runs).
 //! * **No regression-file replay.** `.proptest-regressions` files are
-//!   kept in the tree as documentation of past failures; each pinned
-//!   case must also exist as a concrete `#[test]` so it keeps running
-//!   (see `tests/proptest_end_to_end.rs` for the pattern).
+//!   not read (and are not kept in the tree); every recorded failure
+//!   case is pinned as a concrete `#[test]` instead so it keeps running
+//!   (see `tests/proptest_end_to_end.rs` for the pattern). Case counts
+//!   scale with the upstream `PROPTEST_CASES` environment override.
 //! * **Deterministic.** Case `i` of test `t` is generated from a seed
 //!   derived from `(module_path, test name, i)`, so failures reproduce
 //!   across runs without any persisted state.
@@ -76,6 +77,13 @@ impl ProptestConfig {
     /// Config running `cases` cases.
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` environment
+    /// override, mirroring upstream proptest: `PROPTEST_CASES=1000
+    /// cargo test` scales every property test without touching source.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
     }
 }
 
@@ -227,6 +235,9 @@ macro_rules! tuple_strategy {
     ($(($($name:ident),+))+) => {$(
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
+            // The macro reuses the generic parameter names (A, B, ...)
+            // as local bindings, the standard trick for variadic tuple
+            // impls; the allow is scoped to just this generated fn.
             #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;
@@ -395,8 +406,9 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
+            let cases = config.resolved_cases();
             let test_id = concat!(module_path!(), "::", stringify!($name));
-            for case in 0..config.cases as u64 {
+            for case in 0..cases as u64 {
                 let mut rng = $crate::TestRng::for_case(test_id, case);
                 // One tuple strategy so generation order is left to right.
                 let strategy = ($($strat,)+);
@@ -411,7 +423,7 @@ macro_rules! __proptest_fns {
                         "[proptest] {} failed at case {}/{} with inputs ({}) = {}",
                         stringify!($name),
                         case + 1,
-                        config.cases,
+                        cases,
                         stringify!($($arg),+),
                         rendered
                     );
