@@ -74,15 +74,22 @@ fn bench_engine(c: &mut Criterion) {
 
     // Engine with the cache disabled: every iteration recomputes, so this
     // isolates the pool + preallocated-workspace win.
-    let engine = QueryEngine::new(Arc::clone(&bear), EngineConfig { threads, cache_capacity: 0 });
+    let engine = QueryEngine::new(
+        Arc::clone(&bear),
+        EngineConfig { threads, cache_capacity: 0, ..EngineConfig::default() },
+    )
+    .unwrap();
     group.bench_with_input(BenchmarkId::new("engine_uncached", threads), &threads, |b, _| {
         b.iter(|| black_box(engine.query_batch(&batch).unwrap()))
     });
 
     // Engine with the cache on: steady-state serving, where repeats are
     // answered from the LRU without touching the pool.
-    let cached =
-        QueryEngine::new(Arc::clone(&bear), EngineConfig { threads, cache_capacity: 1024 });
+    let cached = QueryEngine::new(
+        Arc::clone(&bear),
+        EngineConfig { threads, cache_capacity: 1024, ..EngineConfig::default() },
+    )
+    .unwrap();
     group.bench_with_input(BenchmarkId::new("engine_cached", threads), &threads, |b, _| {
         b.iter(|| black_box(cached.query_batch(&batch).unwrap()))
     });

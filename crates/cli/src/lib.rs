@@ -13,18 +13,28 @@
 //!   as an edge list.
 //!
 //! `query` and `batch` both run through [`bear_core::QueryEngine`] and
-//! finish by reporting its metrics (query count, cache hit rate, and
-//! latency percentiles).
+//! finish by reporting its metrics (query count, cache hit rate, latency
+//! percentiles, and fault counters). Both accept the fault-tolerance
+//! flags in [`ServeFlags`] (`--queue-cap`, `--deadline-ms`,
+//! `--fallback-graph`, `--c`); deadline and overload failures exit with
+//! dedicated codes (see [`USAGE`] and [`exit_code`]), and with
+//! `--fallback-graph` they degrade to a bounded power-method answer
+//! instead of failing — including when the index itself cannot load.
 //!
 //! The library half exists so the command logic is unit-testable without
 //! spawning processes; `main.rs` is a thin argv adapter.
 
-use bear_core::{Bear, BearConfig, EngineConfig, MetricsSnapshot, QueryEngine};
+use bear_core::topk::top_k_excluding_seed;
+use bear_core::{
+    Bear, BearConfig, EngineConfig, FallbackSolver, MetricsSnapshot, QueryEngine, QueryOptions,
+    RwrConfig, Served, DEFAULT_FALLBACK_ITERATIONS,
+};
 use bear_graph::io::{read_edge_list, write_edge_list};
 use bear_graph::{slashburn, SlashBurnConfig};
 use bear_sparse::{Error, Result};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +60,8 @@ pub enum Command {
         top: usize,
         /// Worker threads for the query engine (0 = all cores).
         threads: usize,
+        /// Serving options shared by `query` and `batch`.
+        serve: ServeFlags,
     },
     /// Answer a batch of queries through the persistent engine pool.
     Batch {
@@ -61,6 +73,8 @@ pub enum Command {
         top: usize,
         /// Worker threads for the query engine (0 = all cores).
         threads: usize,
+        /// Serving options shared by `query` and `batch`.
+        serve: ServeFlags,
     },
     /// Print graph statistics.
     Stats {
@@ -76,6 +90,53 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// Fault-tolerance flags shared by `query` and `batch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeFlags {
+    /// Admission-control bound on queued jobs (`--queue-cap`; 0 keeps
+    /// the engine default).
+    pub queue_cap: usize,
+    /// Per-query deadline budget in milliseconds (`--deadline-ms`; 0
+    /// means no deadline).
+    pub deadline_ms: u64,
+    /// Edge-list path for the degraded fallback path
+    /// (`--fallback-graph`). With it, deadline/overload/panic faults
+    /// degrade to a bounded power-method answer, and a failed index load
+    /// serves degraded-only instead of exiting.
+    pub fallback_graph: Option<String>,
+    /// Restart probability for the fallback solver when the index (and
+    /// its stored `c`) could not be loaded (`--c`).
+    pub c: f64,
+}
+
+impl Default for ServeFlags {
+    fn default() -> Self {
+        ServeFlags { queue_cap: 0, deadline_ms: 0, fallback_graph: None, c: 0.05 }
+    }
+}
+
+fn parse_serve_flags(args: &[String]) -> Result<ServeFlags> {
+    let flag = |name: &str, default: f64| -> Result<f64> {
+        match args.iter().position(|a| a == name) {
+            Some(i) => args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| Error::InvalidStructure(format!("{name} needs a numeric value"))),
+            None => Ok(default),
+        }
+    };
+    Ok(ServeFlags {
+        queue_cap: flag("--queue-cap", 0.0)? as usize,
+        deadline_ms: flag("--deadline-ms", 0.0)? as u64,
+        fallback_graph: args
+            .iter()
+            .position(|a| a == "--fallback-graph")
+            .and_then(|i| args.get(i + 1))
+            .cloned(),
+        c: flag("--c", 0.05)?,
+    })
 }
 
 /// Parses an argv-style token list (without the binary name).
@@ -114,7 +175,7 @@ pub fn parse_command(args: &[String]) -> Result<Command> {
                 .ok_or_else(|| Error::InvalidStructure("query needs a numeric seed".into()))?;
             let top = flag("--top", 10.0)? as usize;
             let threads = flag("--threads", 0.0)? as usize;
-            Ok(Command::Query { index, seed, top, threads })
+            Ok(Command::Query { index, seed, top, threads, serve: parse_serve_flags(args)? })
         }
         Some("batch") => {
             let index = args
@@ -142,7 +203,7 @@ pub fn parse_command(args: &[String]) -> Result<Command> {
             }
             let top = flag("--top", 10.0)? as usize;
             let threads = flag("--threads", 0.0)? as usize;
-            Ok(Command::Batch { index, seeds, top, threads })
+            Ok(Command::Batch { index, seeds, top, threads, serve: parse_serve_flags(args)? })
         }
         Some("stats") => Ok(Command::Stats {
             graph: args
@@ -171,24 +232,128 @@ bear — block elimination approach for random walk with restart
 
 USAGE:
   bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0]
-  bear query <index.bear> <seed> [--top 10] [--threads 0]
-  bear batch <index.bear> <seed>... [--top 10] [--threads 0]
+  bear query <index.bear> <seed> [--top 10] [--threads 0] [serving flags]
+  bear batch <index.bear> <seed>... [--top 10] [--threads 0] [serving flags]
   bear stats <graph.txt>
   bear generate <dataset> <out.txt>
+
+SERVING FLAGS (query/batch):
+  --queue-cap N        admission-control bound on queued jobs (0 = default)
+  --deadline-ms N      per-query deadline budget; 0 = none
+  --fallback-graph P   edge list enabling graceful degradation: faults are
+                       answered by a bounded power method, and a failed
+                       index load serves degraded-only instead of exiting
+  --c F                restart probability for the fallback when the index
+                       (and its stored c) could not be loaded (default 0.05)
+
+EXIT CODES:
+  0 success (possibly with degraded answers, reported in the output)
+  1 error (load/compute failure with no fallback available)
+  2 usage error
+  3 deadline exceeded (typed timeout, no fallback available)
+  4 overload (admission control rejected the query, no fallback available)
 
 Graphs are whitespace edge lists: 'src dst [weight]' per line, '#'
 comments. Datasets: any name from the bear-datasets registry, e.g.
 routing_like, email_like, rmat_0.7, small_routing.";
 
-/// Builds a [`QueryEngine`] over a freshly loaded index. `threads == 0`
-/// keeps the default (all cores).
-fn load_engine(index: &str, threads: usize) -> Result<QueryEngine> {
-    let bear = Arc::new(Bear::load(Path::new(index))?);
-    let mut config = EngineConfig::default();
-    if threads > 0 {
-        config.threads = threads;
+/// Maps an error to the exit code documented in [`USAGE`]: deadline and
+/// overload faults get dedicated codes so callers can script retry
+/// policies without parsing stderr.
+pub fn exit_code(e: &Error) -> i32 {
+    match e {
+        Error::Timeout { .. } => 3,
+        Error::QueueFull { .. } => 4,
+        _ => 1,
     }
-    Ok(QueryEngine::new(bear, config))
+}
+
+/// A loaded serving stack: the full engine (optionally with a fallback
+/// attached), or — when the index failed to load but `--fallback-graph`
+/// was given — the degraded-only iterative solver.
+enum Service {
+    /// Healthy path: the BEAR index answered the load.
+    Full(Box<QueryEngine>),
+    /// The index could not be loaded; every answer is degraded.
+    DegradedOnly(FallbackSolver),
+}
+
+/// Builds the serving stack for `query`/`batch`. `threads == 0` keeps
+/// the default (all cores). Returns the service plus an optional notice
+/// line to print (degraded-only mode names the load failure).
+fn load_service(
+    index: &str,
+    threads: usize,
+    serve: &ServeFlags,
+) -> Result<(Service, Option<String>)> {
+    let mut builder = EngineConfig::builder();
+    if threads > 0 {
+        builder = builder.threads(threads);
+    }
+    if serve.queue_cap > 0 {
+        builder = builder.queue_capacity(serve.queue_cap);
+    }
+    if serve.deadline_ms > 0 {
+        builder = builder.default_deadline(Some(Duration::from_millis(serve.deadline_ms)));
+    }
+    let config = builder.build()?;
+    let fallback_for = |g_path: &str, c: f64| -> Result<FallbackSolver> {
+        let g = read_edge_list(Path::new(g_path), None)?;
+        FallbackSolver::new(
+            &g,
+            &RwrConfig { c, ..RwrConfig::default() },
+            DEFAULT_FALLBACK_ITERATIONS,
+        )
+    };
+    match Bear::load(Path::new(index)) {
+        Ok(bear) => {
+            let bear = Arc::new(bear);
+            let engine = match &serve.fallback_graph {
+                Some(g_path) => {
+                    let fb = fallback_for(g_path, bear.restart_probability())?;
+                    QueryEngine::with_fallback(bear, config, Arc::new(fb))?
+                }
+                None => QueryEngine::new(bear, config)?,
+            };
+            Ok((Service::Full(Box::new(engine)), None))
+        }
+        Err(load_err) => match &serve.fallback_graph {
+            Some(g_path) => {
+                let fb = fallback_for(g_path, serve.c)?;
+                let notice = format!(
+                    "WARNING: index unavailable ({load_err}); serving DEGRADED answers \
+                     from the iterative fallback ({} iterations max)",
+                    fb.max_iterations()
+                );
+                Ok((Service::DegradedOnly(fb), Some(notice)))
+            }
+            None => Err(load_err),
+        },
+    }
+}
+
+/// Answers one seed in degraded-only mode, shaped like an engine answer
+/// so both paths print identically.
+fn degraded_only_answer(fb: &FallbackSolver, seed: usize) -> Result<Served> {
+    let ans = fb.solve(seed)?;
+    let info = bear_core::DegradedInfo {
+        reason: bear_core::DegradedReason::IndexUnavailable,
+        residual: ans.residual,
+        error_bound: ans.error_bound(),
+        iterations: ans.iterations,
+    };
+    Ok(Served { scores: Arc::new(ans.scores), degraded: Some(info) })
+}
+
+/// One-line degradation tag appended to a served answer's header.
+fn degraded_tag(served: &Served) -> String {
+    match &served.degraded {
+        None => String::new(),
+        Some(info) => format!(
+            " [DEGRADED: {} — {} iterations, error bound {:.3e}]",
+            info.reason, info.iterations, info.error_bound
+        ),
+    }
 }
 
 /// Writes the one-line engine metrics report shared by `query` and
@@ -196,12 +361,18 @@ fn load_engine(index: &str, threads: usize) -> Result<QueryEngine> {
 fn write_metrics(m: &MetricsSnapshot, out: &mut dyn std::io::Write) -> std::io::Result<()> {
     writeln!(
         out,
-        "metrics: queries={} cache_hit_rate={:.1}% p50={:?} p95={:?} p99={:?}",
+        "metrics: queries={} cache_hit_rate={:.1}% p50={:?} p95={:?} p99={:?} \
+         timeouts={} rejected={} shed={} panics={} degraded={}",
         m.queries,
         m.cache_hit_rate() * 100.0,
         m.p50,
         m.p95,
-        m.p99
+        m.p99,
+        m.timeouts,
+        m.queue_rejections,
+        m.shed_jobs,
+        m.worker_panics,
+        m.degraded
     )
 }
 
@@ -233,42 +404,76 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
             )
             .map_err(io_err)
         }
-        Command::Query { index, seed, top, threads } => {
-            let engine = load_engine(index, *threads)?;
-            let start = std::time::Instant::now();
-            let ranked = engine.query_top_k(*seed, *top)?;
-            let elapsed = start.elapsed().as_secs_f64();
-            writeln!(out, "top {} nodes for seed {} ({elapsed:.6}s):", ranked.len(), seed)
-                .map_err(io_err)?;
-            for s in ranked.iter() {
-                writeln!(out, "  {}\t{:.6e}", s.node, s.score).map_err(io_err)?;
+        Command::Query { index, seed, top, threads, serve } => {
+            let (service, notice) = load_service(index, *threads, serve)?;
+            if let Some(notice) = notice {
+                writeln!(out, "{notice}").map_err(io_err)?;
             }
-            write_metrics(&engine.metrics(), out).map_err(io_err)
-        }
-        Command::Batch { index, seeds, top, threads } => {
-            let engine = load_engine(index, *threads)?;
             let start = std::time::Instant::now();
-            // One concurrent pass computes (and caches) every full score
-            // vector; the per-seed top-k below is then pure cache hits.
-            engine.query_batch(seeds)?;
+            let (served, metrics) = match &service {
+                Service::Full(engine) => {
+                    (engine.serve(*seed, &QueryOptions::default())?, Some(engine.metrics()))
+                }
+                Service::DegradedOnly(fb) => (degraded_only_answer(fb, *seed)?, None),
+            };
             let elapsed = start.elapsed().as_secs_f64();
+            let ranked = top_k_excluding_seed(&served.scores, *seed, *top);
             writeln!(
                 out,
-                "answered {} queries in {elapsed:.6}s ({:.1} queries/s):",
+                "top {} nodes for seed {} ({elapsed:.6}s){}:",
+                ranked.len(),
+                seed,
+                degraded_tag(&served)
+            )
+            .map_err(io_err)?;
+            for s in &ranked {
+                writeln!(out, "  {}\t{:.6e}", s.node, s.score).map_err(io_err)?;
+            }
+            match metrics {
+                Some(m) => write_metrics(&m, out).map_err(io_err),
+                None => Ok(()),
+            }
+        }
+        Command::Batch { index, seeds, top, threads, serve } => {
+            let (service, notice) = load_service(index, *threads, serve)?;
+            if let Some(notice) = notice {
+                writeln!(out, "{notice}").map_err(io_err)?;
+            }
+            let start = std::time::Instant::now();
+            let (answers, metrics) = match &service {
+                Service::Full(engine) => {
+                    (engine.serve_batch(seeds, &QueryOptions::default())?, Some(engine.metrics()))
+                }
+                Service::DegradedOnly(fb) => {
+                    let answers = seeds
+                        .iter()
+                        .map(|&seed| degraded_only_answer(fb, seed))
+                        .collect::<Result<Vec<_>>>()?;
+                    (answers, None)
+                }
+            };
+            let elapsed = start.elapsed().as_secs_f64();
+            let degraded = answers.iter().filter(|s| !s.is_exact()).count();
+            writeln!(
+                out,
+                "answered {} queries in {elapsed:.6}s ({:.1} queries/s, {degraded} degraded):",
                 seeds.len(),
                 seeds.len() as f64 / elapsed.max(1e-12)
             )
             .map_err(io_err)?;
-            for &seed in seeds {
-                let ranked = engine.query_top_k(seed, *top)?;
+            for (&seed, served) in seeds.iter().zip(&answers) {
+                let ranked = top_k_excluding_seed(&served.scores, seed, *top);
                 let line = ranked
                     .iter()
                     .map(|s| format!("{}:{:.6e}", s.node, s.score))
                     .collect::<Vec<_>>()
                     .join(" ");
-                writeln!(out, "  seed {seed}: {line}").map_err(io_err)?;
+                writeln!(out, "  seed {seed}{}: {line}", degraded_tag(served)).map_err(io_err)?;
             }
-            write_metrics(&engine.metrics(), out).map_err(io_err)
+            match metrics {
+                Some(m) => write_metrics(&m, out).map_err(io_err),
+                None => Ok(()),
+            }
         }
         Command::Stats { graph } => {
             let g = read_edge_list(Path::new(graph), None)?;
@@ -325,7 +530,16 @@ mod tests {
     #[test]
     fn parses_query_with_defaults() {
         let cmd = parse(&["query", "g.idx", "42"]).unwrap();
-        assert_eq!(cmd, Command::Query { index: "g.idx".into(), seed: 42, top: 10, threads: 0 });
+        assert_eq!(
+            cmd,
+            Command::Query {
+                index: "g.idx".into(),
+                seed: 42,
+                top: 10,
+                threads: 0,
+                serve: ServeFlags::default(),
+            }
+        );
     }
 
     #[test]
@@ -334,8 +548,58 @@ mod tests {
             parse(&["batch", "g.idx", "1", "2", "--top", "3", "7", "--threads", "2"]).unwrap();
         assert_eq!(
             cmd,
-            Command::Batch { index: "g.idx".into(), seeds: vec![1, 2, 7], top: 3, threads: 2 }
+            Command::Batch {
+                index: "g.idx".into(),
+                seeds: vec![1, 2, 7],
+                top: 3,
+                threads: 2,
+                serve: ServeFlags::default(),
+            }
         );
+    }
+
+    #[test]
+    fn parses_serving_flags() {
+        let cmd = parse(&[
+            "query",
+            "g.idx",
+            "3",
+            "--queue-cap",
+            "64",
+            "--deadline-ms",
+            "250",
+            "--fallback-graph",
+            "g.txt",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                index: "g.idx".into(),
+                seed: 3,
+                top: 10,
+                threads: 0,
+                serve: ServeFlags {
+                    queue_cap: 64,
+                    deadline_ms: 250,
+                    fallback_graph: Some("g.txt".into()),
+                    c: 0.05,
+                },
+            }
+        );
+        // Batch's positional-seed scan must skip the string flag too.
+        let cmd = parse(&["batch", "g.idx", "1", "--fallback-graph", "g.txt", "2"]).unwrap();
+        assert!(matches!(&cmd, Command::Batch { seeds, serve, .. }
+                if *seeds == vec![1, 2] && serve.fallback_graph.as_deref() == Some("g.txt")));
+    }
+
+    #[test]
+    fn exit_codes_distinguish_fault_classes() {
+        use std::time::Duration;
+        assert_eq!(exit_code(&Error::Timeout { budget: Duration::from_millis(5) }), 3);
+        assert_eq!(exit_code(&Error::QueueFull { capacity: 8 }), 4);
+        assert_eq!(exit_code(&Error::PoolShutDown), 1);
+        assert_eq!(exit_code(&Error::InvalidStructure("x".into())), 1);
     }
 
     #[test]
@@ -386,12 +650,14 @@ mod tests {
                 seed: 0,
                 top: 5,
                 threads: 1,
+                serve: ServeFlags::default(),
             },
             &mut buf,
         )
         .unwrap();
         let text = String::from_utf8_lossy(&buf);
         assert!(text.contains("top 5 nodes for seed 0"));
+        assert!(!text.contains("DEGRADED"), "healthy index must serve exact: {text}");
         assert_eq!(text.lines().count(), 7); // header + 5 rows + metrics
         assert!(text.contains("metrics: queries=1"));
 
@@ -402,15 +668,17 @@ mod tests {
                 seeds: vec![0, 3, 0],
                 top: 4,
                 threads: 2,
+                serve: ServeFlags::default(),
             },
             &mut buf,
         )
         .unwrap();
         let text = String::from_utf8_lossy(&buf);
         assert!(text.contains("answered 3 queries"));
+        assert!(text.contains("0 degraded"));
         assert!(text.contains("seed 0:"));
         assert!(text.contains("seed 3:"));
-        // Duplicate seed 0 plus the top-k pass must register cache hits.
+        // Duplicate seed 0 must register cache hits.
         assert!(text.contains("cache_hit_rate="));
         assert!(!text.contains("cache_hit_rate=0.0%"), "batch should hit the cache: {text}");
 
@@ -437,9 +705,71 @@ mod tests {
     fn query_rejects_missing_index() {
         let mut buf = Vec::new();
         assert!(run(
-            &Command::Query { index: "/nonexistent/path.idx".into(), seed: 0, top: 5, threads: 0 },
+            &Command::Query {
+                index: "/nonexistent/path.idx".into(),
+                seed: 0,
+                top: 5,
+                threads: 0,
+                serve: ServeFlags::default(),
+            },
             &mut buf
         )
         .is_err());
+    }
+
+    /// With `--fallback-graph`, a missing/corrupt index serves degraded
+    /// answers instead of exiting: the whole graceful-degradation ladder
+    /// from the CLI's point of view.
+    #[test]
+    fn degraded_only_mode_serves_when_index_is_unavailable() {
+        let dir = std::env::temp_dir();
+        let graph_path = dir.join("bear_cli_degraded.txt");
+        let mut buf = Vec::new();
+        run(
+            &Command::Generate {
+                dataset: "small_routing".into(),
+                out: graph_path.to_string_lossy().into_owned(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+
+        let serve = ServeFlags {
+            fallback_graph: Some(graph_path.to_string_lossy().into_owned()),
+            ..ServeFlags::default()
+        };
+        buf.clear();
+        run(
+            &Command::Query {
+                index: "/nonexistent/path.idx".into(),
+                seed: 0,
+                top: 5,
+                threads: 0,
+                serve: serve.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.contains("WARNING: index unavailable"));
+        assert!(text.contains("DEGRADED: index unavailable"));
+        assert!(text.contains("error bound"));
+
+        buf.clear();
+        run(
+            &Command::Batch {
+                index: "/nonexistent/path.idx".into(),
+                seeds: vec![0, 1],
+                top: 3,
+                threads: 0,
+                serve,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.contains("2 degraded"));
+
+        std::fs::remove_file(&graph_path).ok();
     }
 }

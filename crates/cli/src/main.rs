@@ -12,6 +12,6 @@ fn main() {
     let mut stdout = std::io::stdout();
     if let Err(e) = bear_cli::run(&cmd, &mut stdout) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(bear_cli::exit_code(&e));
     }
 }

@@ -11,15 +11,28 @@ use std::time::Duration;
 /// Number of log₂ latency buckets (covers 1ns .. ~584 years).
 pub(crate) const LATENCY_BUCKETS: usize = 64;
 
-/// Lock-free serving metrics: query count, cache hit/miss counts, and a
-/// fixed-bucket log₂ latency histogram for percentile estimates. All
-/// counters are atomics, so recording never blocks the query path.
+/// Lock-free serving metrics: query count, cache hit/miss counts, fault
+/// counters, and per-class (hit vs. miss) fixed-bucket log₂ latency
+/// histograms for percentile estimates. All counters are atomics, so
+/// recording never blocks the query path.
 pub struct Metrics {
     queries: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
-    /// `histogram[i]` counts queries with latency in `[2^i, 2^(i+1))` ns.
-    histogram: [AtomicU64; LATENCY_BUCKETS],
+    /// Worker panics converted to typed errors (the pool survived).
+    worker_panics: AtomicU64,
+    /// Queries that exhausted their deadline budget.
+    timeouts: AtomicU64,
+    /// Jobs rejected at admission because the queue was full.
+    queue_rejections: AtomicU64,
+    /// Jobs shed at dequeue because their deadline had already passed.
+    shed_jobs: AtomicU64,
+    /// Queries answered by the degraded (iterative fallback) path.
+    degraded: AtomicU64,
+    /// `hit_histogram[i]` counts cache-hit queries with latency in
+    /// `[2^i, 2^(i+1))` ns; `miss_histogram` likewise for computed ones.
+    hit_histogram: [AtomicU64; LATENCY_BUCKETS],
+    miss_histogram: [AtomicU64; LATENCY_BUCKETS],
 }
 
 impl Metrics {
@@ -29,34 +42,77 @@ impl Metrics {
             queries: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
-            histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+            worker_panics: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            queue_rejections: AtomicU64::new(0),
+            shed_jobs: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            hit_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+            miss_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
     /// Accounts one answered query.
     pub fn record(&self, cache_hit: bool, elapsed: Duration) {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        if cache_hit {
+        let histogram = if cache_hit {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            &self.hit_histogram
         } else {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        }
+            &self.miss_histogram
+        };
         let nanos = (elapsed.as_nanos() as u64).max(1);
         let bucket = (63 - nanos.leading_zeros()) as usize;
-        self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
+        histogram[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts a worker panic (converted into a typed error).
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts a query that ran out of deadline budget.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts an admission-control rejection (queue full).
+    pub fn record_queue_rejection(&self) {
+        self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts a job shed at dequeue (deadline already passed, or its
+    /// caller cancelled it).
+    pub fn record_shed(&self) {
+        self.shed_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts a query answered by the degraded fallback path.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let histogram: Vec<u64> =
-            self.histogram.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let hit: Vec<u64> = self.hit_histogram.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let miss: Vec<u64> =
+            self.miss_histogram.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let combined: Vec<u64> = hit.iter().zip(&miss).map(|(a, b)| a + b).collect();
         MetricsSnapshot {
             queries: self.queries.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            p50: percentile_from(&histogram, 0.50),
-            p95: percentile_from(&histogram, 0.95),
-            p99: percentile_from(&histogram, 0.99),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            shed_jobs: self.shed_jobs.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            p50: percentile_from(&combined, 0.50),
+            p95: percentile_from(&combined, 0.95),
+            p99: percentile_from(&combined, 0.99),
+            p50_hit: percentile_from(&hit, 0.50),
+            p50_miss: percentile_from(&miss, 0.50),
         }
     }
 }
@@ -96,12 +152,26 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Queries that required computation.
     pub cache_misses: u64,
-    /// Median latency (upper bound of the histogram bucket).
+    /// Worker panics converted to typed errors (the pool survived).
+    pub worker_panics: u64,
+    /// Queries that exhausted their deadline budget.
+    pub timeouts: u64,
+    /// Jobs rejected at admission because the queue was full.
+    pub queue_rejections: u64,
+    /// Jobs shed at dequeue (expired deadline or cancelled caller).
+    pub shed_jobs: u64,
+    /// Queries answered by the degraded fallback path.
+    pub degraded: u64,
+    /// Median latency over all queries (upper bound of the bucket).
     pub p50: Duration,
-    /// 95th-percentile latency.
+    /// 95th-percentile latency over all queries.
     pub p95: Duration,
-    /// 99th-percentile latency.
+    /// 99th-percentile latency over all queries.
     pub p99: Duration,
+    /// Median latency of cache hits only.
+    pub p50_hit: Duration,
+    /// Median latency of computed (cache-miss) queries only.
+    pub p50_miss: Duration,
 }
 
 impl MetricsSnapshot {
@@ -141,5 +211,37 @@ mod tests {
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.p50, Duration::from_nanos(31));
         assert_eq!(s.p99, Duration::from_nanos(2047));
+    }
+
+    #[test]
+    fn per_class_percentiles_are_attributed() {
+        let m = Metrics::new();
+        // Hits are fast, misses are slow; the combined histogram must
+        // not bleed one class into the other's percentile.
+        for _ in 0..10 {
+            m.record(true, Duration::from_nanos(20));
+            m.record(false, Duration::from_micros(100));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.p50_hit, Duration::from_nanos(31));
+        assert!(s.p50_miss >= Duration::from_micros(64));
+        assert!(s.p50_hit < s.p50_miss);
+    }
+
+    #[test]
+    fn fault_counters_record() {
+        let m = Metrics::new();
+        m.record_worker_panic();
+        m.record_timeout();
+        m.record_timeout();
+        m.record_queue_rejection();
+        m.record_shed();
+        m.record_degraded();
+        let s = m.snapshot();
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.timeouts, 2);
+        assert_eq!(s.queue_rejections, 1);
+        assert_eq!(s.shed_jobs, 1);
+        assert_eq!(s.degraded, 1);
     }
 }

@@ -47,7 +47,10 @@ mod serving;
 
 pub use metrics::{Metrics, MetricsSnapshot};
 #[cfg(not(loom))]
-pub use serving::{EngineConfig, QueryEngine};
+pub use serving::{
+    CancelToken, DegradedInfo, EngineConfig, EngineConfigBuilder, OverloadPolicy, QueryEngine,
+    QueryOptions, Served,
+};
 
 /// Preallocated buffers for one query's block-elimination sweeps.
 ///

@@ -1,23 +1,48 @@
-//! The serving layer: persistent worker pool, result caches, and the
-//! public [`QueryEngine`] API.
+//! The serving layer: persistent worker pool, result caches, admission
+//! control, deadlines, and the public [`QueryEngine`] API.
 //!
 //! Everything here drives real OS threads and wall-clock timers, so the
 //! whole module is compiled out under `cfg(loom)`; the synchronization
 //! skeleton it is built on ([`JobQueue`], [`Metrics`]) lives in sibling
 //! modules and *is* model-checked.
+//!
+//! # Fault tolerance
+//!
+//! The engine can say "no" and "slower" instead of hanging or growing
+//! without bound (see DESIGN.md §11):
+//!
+//! * **Admission control** — the job queue is bounded
+//!   ([`EngineConfig::queue_capacity`]); overload either sheds load with
+//!   [`Error::QueueFull`] ([`OverloadPolicy::Reject`]) or backpressures
+//!   the caller up to its deadline budget ([`OverloadPolicy::Block`]).
+//! * **Deadlines** — a per-query budget ([`QueryOptions::deadline`], or
+//!   the engine-wide [`EngineConfig::default_deadline`]) is enforced on
+//!   the caller's wait *and* at dequeue: a worker popping a job whose
+//!   deadline already passed shed it unanswered-by-computation, replying
+//!   [`Error::Timeout`] instead of wasting pool time.
+//! * **Cancellation** — every dispatched job carries a [`CancelToken`];
+//!   a caller that gives up (or times out) cancels it so abandoned work
+//!   stops consuming workers.
+//! * **Degradation** — with a [`FallbackSolver`] attached
+//!   ([`QueryEngine::with_fallback`]), [`QueryEngine::serve`] turns
+//!   timeouts, overload rejections, and worker panics into a
+//!   bounded-iteration power-method answer tagged with a
+//!   [`DegradedReason`] and residual, instead of an error.
 
 use super::metrics::Metrics;
 use super::queue::JobQueue;
 use super::{MetricsSnapshot, QueryWorkspace};
+use crate::fallback::{DegradedReason, FallbackSolver};
 use crate::precompute::Bear;
 use crate::topk::{top_k_excluding_seed, ScoredNode};
 use bear_sparse::{Error, Result};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Bounded LRU cache
@@ -48,6 +73,12 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     }
 
     fn insert(&mut self, key: K, value: V) {
+        // A zero-capacity cache stores nothing. Without this guard the
+        // eviction scan below finds no victim on the empty map and the
+        // insert proceeds anyway — growing the map without bound.
+        if self.capacity == 0 {
+            return;
+        }
         self.stamp += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             if let Some(oldest) =
@@ -65,17 +96,42 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
 }
 
 // ---------------------------------------------------------------------------
-// Engine
+// Configuration
 // ---------------------------------------------------------------------------
 
-/// Configuration for [`QueryEngine`].
+/// What [`QueryEngine`] does when a query arrives and the job queue is
+/// already at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Shed load: fail the query immediately with [`Error::QueueFull`]
+    /// (or degrade it, when a fallback is attached).
+    #[default]
+    Reject,
+    /// Backpressure: block the submitting caller until space frees up or
+    /// its deadline budget runs out ([`Error::Timeout`]).
+    Block,
+}
+
+/// Configuration for [`QueryEngine`]. Validated at engine construction
+/// ([`EngineConfig::validate`]); build one with [`EngineConfig::builder`]
+/// to validate eagerly.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads in the persistent pool (clamped to at least 1).
+    /// Worker threads in the persistent pool. Must be ≥ 1; rejected with
+    /// [`Error::InvalidConfig`] otherwise (no silent clamping).
     pub threads: usize,
     /// Capacity of each result cache (full-score and top-k); `0` disables
     /// caching entirely.
     pub cache_capacity: usize,
+    /// Admission-control bound on queued jobs. Must be ≥ 1. Queue memory
+    /// is proportional to this bound no matter how overloaded the engine
+    /// gets.
+    pub queue_capacity: usize,
+    /// What to do when the queue is full; see [`OverloadPolicy`].
+    pub overload: OverloadPolicy,
+    /// Deadline budget applied to queries that do not carry their own
+    /// ([`QueryOptions::deadline`]). `None` means no deadline.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -83,9 +139,155 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache_capacity: 1024,
+            queue_capacity: 1024,
+            overload: OverloadPolicy::Reject,
+            default_deadline: None,
         }
     }
 }
+
+impl EngineConfig {
+    /// A builder starting from the defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder { config: EngineConfig::default() }
+    }
+
+    /// Rejects configurations the engine cannot honor.
+    pub fn validate(&self) -> Result<()> {
+        if self.threads == 0 {
+            return Err(Error::InvalidConfig {
+                param: "threads",
+                reason: "worker pool needs at least one thread".into(),
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(Error::InvalidConfig {
+                param: "queue_capacity",
+                reason: "a queue that admits nothing deadlocks every query".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`EngineConfig`]; [`EngineConfigBuilder::build`] validates.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Worker threads in the persistent pool (must be ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Result-cache capacity (`0` disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Admission-control bound on queued jobs (must be ≥ 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Overload policy when the queue is full.
+    pub fn overload(mut self, policy: OverloadPolicy) -> Self {
+        self.config.overload = policy;
+        self
+    }
+
+    /// Default per-query deadline budget.
+    pub fn default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.config.default_deadline = deadline;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<EngineConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-query options, cancellation, degradation tags
+// ---------------------------------------------------------------------------
+
+/// Cooperative cancellation handle shared between a caller and its
+/// dispatched jobs. Cloning shares the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; every job holding a clone observes it at
+    /// dequeue and is shed instead of computed.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-call options for [`QueryEngine::serve`] / [`QueryEngine::serve_batch`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Deadline budget for this call; `None` falls back to
+    /// [`EngineConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+    /// Cancellation token observed by the dispatched jobs. The engine
+    /// creates an internal one when absent, so abandoning a timed-out
+    /// query always stops its queued work.
+    pub cancel: Option<CancelToken>,
+}
+
+/// How and why an answer was produced by the degraded path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedInfo {
+    /// Which fault triggered the fallback.
+    pub reason: DegradedReason,
+    /// L1 change of the fallback's final power iteration.
+    pub residual: f64,
+    /// Upper bound on the L1 distance to the exact answer.
+    pub error_bound: f64,
+    /// Power iterations the fallback performed.
+    pub iterations: usize,
+}
+
+/// One served answer: exact (from the BEAR index) when `degraded` is
+/// `None`, otherwise a bounded-iteration approximation tagged with why.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// RWR scores of every node w.r.t. the queried seed.
+    pub scores: Arc<Vec<f64>>,
+    /// Present iff the answer came from the degraded fallback path.
+    pub degraded: Option<DegradedInfo>,
+}
+
+impl Served {
+    /// Whether this is the exact BEAR answer.
+    pub fn is_exact(&self) -> bool {
+        self.degraded.is_none()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
 
 /// One unit of work for the pool: answer `seed`, reply with `tag` so the
 /// submitter can reassemble batch order.
@@ -93,13 +295,20 @@ struct Job {
     seed: usize,
     tag: usize,
     reply: Sender<(usize, Result<Arc<Vec<f64>>>)>,
+    /// Deadline after which the job is shed at dequeue.
+    deadline: Option<Instant>,
+    /// Original budget, for [`Error::Timeout`] reporting.
+    budget: Option<Duration>,
+    /// Cooperative cancellation; checked at dequeue.
+    cancel: Option<CancelToken>,
 }
 
 /// Persistent concurrent query server over a preprocessed [`Bear`] index.
 ///
-/// Workers are spawned once at construction and fed over a channel; each
-/// owns a [`QueryWorkspace`], so steady-state queries allocate only their
-/// result vector. Dropping the engine shuts the pool down cleanly.
+/// Workers are spawned once at construction and fed over a bounded job
+/// queue; each owns a [`QueryWorkspace`], so steady-state queries
+/// allocate only their result vector. Dropping the engine shuts the pool
+/// down cleanly.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -109,7 +318,7 @@ struct Job {
 ///
 /// let g = Graph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]).unwrap();
 /// let bear = Arc::new(Bear::new(&g, &BearConfig::default()).unwrap());
-/// let engine = QueryEngine::new(Arc::clone(&bear), EngineConfig::default());
+/// let engine = QueryEngine::new(Arc::clone(&bear), EngineConfig::default()).unwrap();
 /// let scores = engine.query(0).unwrap();
 /// assert_eq!(*scores, bear.query(0).unwrap()); // bit-identical
 /// ```
@@ -122,7 +331,10 @@ pub struct QueryEngine {
     caller_ws: Mutex<QueryWorkspace>,
     full_cache: Option<Mutex<FullScoreCache>>,
     topk_cache: Option<Mutex<TopKCache>>,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
+    fallback: Option<Arc<FallbackSolver>>,
+    overload: OverloadPolicy,
+    default_deadline: Option<Duration>,
 }
 
 /// Full score vectors keyed by seed.
@@ -131,30 +343,65 @@ type FullScoreCache = LruCache<usize, Arc<Vec<f64>>>;
 type TopKCache = LruCache<(usize, usize), Arc<Vec<ScoredNode>>>;
 
 impl QueryEngine {
-    /// Spawns the worker pool and returns a ready-to-serve engine.
-    pub fn new(bear: Arc<Bear>, config: EngineConfig) -> Self {
-        let threads = config.threads.max(1);
-        let queue = Arc::new(JobQueue::new());
-        let workers = (0..threads)
+    /// Validates `config`, spawns the worker pool, and returns a
+    /// ready-to-serve engine.
+    pub fn new(bear: Arc<Bear>, config: EngineConfig) -> Result<Self> {
+        Self::build(bear, config, None)
+    }
+
+    /// Like [`QueryEngine::new`], with a degraded-mode solver attached:
+    /// [`QueryEngine::serve`] answers timeouts, overload rejections, and
+    /// worker panics from `fallback` instead of failing.
+    pub fn with_fallback(
+        bear: Arc<Bear>,
+        config: EngineConfig,
+        fallback: Arc<FallbackSolver>,
+    ) -> Result<Self> {
+        if fallback.num_nodes() != bear.num_nodes() {
+            return Err(Error::InvalidConfig {
+                param: "fallback",
+                reason: format!(
+                    "fallback solver serves {} nodes but the index has {}",
+                    fallback.num_nodes(),
+                    bear.num_nodes()
+                ),
+            });
+        }
+        Self::build(bear, config, Some(fallback))
+    }
+
+    fn build(
+        bear: Arc<Bear>,
+        config: EngineConfig,
+        fallback: Option<Arc<FallbackSolver>>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let queue = Arc::new(JobQueue::bounded(config.queue_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let workers = (0..config.threads)
             .map(|i| {
                 let bear = Arc::clone(&bear);
                 let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("bear-query-{i}"))
-                    .spawn(move || worker_loop(&bear, &queue))
+                    .spawn(move || worker_loop(&bear, &queue, &metrics))
                     .expect("spawn query worker")
             })
             .collect();
         let caches_on = config.cache_capacity > 0;
-        QueryEngine {
+        Ok(QueryEngine {
             caller_ws: Mutex::new(QueryWorkspace::for_bear(&bear)),
             bear,
             queue,
             workers,
             full_cache: caches_on.then(|| Mutex::new(LruCache::new(config.cache_capacity))),
             topk_cache: caches_on.then(|| Mutex::new(LruCache::new(config.cache_capacity))),
-            metrics: Metrics::new(),
-        }
+            metrics,
+            fallback,
+            overload: config.overload,
+            default_deadline: config.default_deadline,
+        })
     }
 
     /// The index this engine serves.
@@ -172,6 +419,11 @@ impl QueryEngine {
         self.full_cache.as_ref().map_or(0, |c| c.lock().map_or(0, |c| c.len()))
     }
 
+    /// Jobs currently waiting in the (bounded) queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
     fn check_seed(&self, seed: usize) -> Result<()> {
         let n = self.bear.num_nodes();
         if seed >= n {
@@ -180,25 +432,65 @@ impl QueryEngine {
         Ok(())
     }
 
+    /// Admits one job to the pool under the configured overload policy,
+    /// accounting rejections and admission timeouts.
+    fn admit(&self, job: Job, deadline: Option<Instant>) -> Result<()> {
+        crate::fail_point!("queue::push");
+        match self.overload {
+            OverloadPolicy::Reject => self.queue.push(job).inspect_err(|e| {
+                if matches!(e, Error::QueueFull { .. }) {
+                    self.metrics.record_queue_rejection();
+                }
+            }),
+            OverloadPolicy::Block => {
+                let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                self.queue.push_blocking(job, remaining).inspect_err(|e| {
+                    if matches!(e, Error::Timeout { .. }) {
+                        self.metrics.record_timeout();
+                    }
+                })
+            }
+        }
+    }
+
     /// Computes (or fetches) the full score vector for `seed`, without
-    /// touching metrics. Returns `(scores, was_cache_hit)`.
-    fn fetch_full(&self, seed: usize) -> Result<(Arc<Vec<f64>>, bool)> {
+    /// touching the query/hit metrics. Returns `(scores, was_cache_hit)`.
+    ///
+    /// `deadline`/`budget` bound the wait; `cancel` (or an internal
+    /// token) stops the queued job if the caller gives up.
+    fn fetch_full(
+        &self,
+        seed: usize,
+        deadline: Option<Instant>,
+        budget: Option<Duration>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Arc<Vec<f64>>, bool)> {
         if let Some(cache) = &self.full_cache {
             if let Some(hit) = cache.lock().ok().and_then(|mut c| c.get(&seed)) {
                 return Ok((hit, true));
             }
         }
+        // The token lets a timed-out caller stop the job it abandoned;
+        // create one internally when the caller didn't supply any.
+        let token = cancel.cloned().unwrap_or_default();
         let (reply_tx, reply_rx) = channel();
-        self.queue.push(Job { seed, tag: 0, reply: reply_tx })?;
+        self.admit(
+            Job { seed, tag: 0, reply: reply_tx, deadline, budget, cancel: Some(token.clone()) },
+            deadline,
+        )?;
         // Caller-assist: if the spare workspace is free, answer a pending
         // job (usually the one just pushed) on this thread instead of
-        // round-tripping through a worker.
-        if let Ok(mut ws) = self.caller_ws.try_lock() {
-            if let Some(job) = self.queue.try_pop() {
-                run_job(&self.bear, &mut ws, job);
+        // round-tripping through a worker. Skipped when a deadline is
+        // set — inline work cannot be abandoned mid-compute, so it would
+        // silently run the caller past its own budget.
+        if deadline.is_none() {
+            if let Ok(mut ws) = self.caller_ws.try_lock() {
+                if let Some(job) = self.queue.try_pop() {
+                    run_job(&self.bear, &mut ws, job, &self.metrics);
+                }
             }
         }
-        let scores = recv_result(&reply_rx)?.1?;
+        let scores = self.wait_reply(&reply_rx, deadline, budget, &token)?;
         if let Some(cache) = &self.full_cache {
             if let Ok(mut c) = cache.lock() {
                 c.insert(seed, Arc::clone(&scores));
@@ -207,12 +499,45 @@ impl QueryEngine {
         Ok((scores, false))
     }
 
+    /// Waits for one reply, bounded by `deadline`. On timeout the job is
+    /// cancelled (so it stops consuming the pool) and [`Error::Timeout`]
+    /// is returned.
+    fn wait_reply(
+        &self,
+        rx: &Receiver<(usize, Result<Arc<Vec<f64>>>)>,
+        deadline: Option<Instant>,
+        budget: Option<Duration>,
+        token: &CancelToken,
+    ) -> Result<Arc<Vec<f64>>> {
+        let reply = match deadline {
+            None => rx.recv().map_err(|_| Error::PoolShutDown)?,
+            Some(at) => {
+                let remaining = at.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(remaining) {
+                    Ok(reply) => reply,
+                    Err(RecvTimeoutError::Disconnected) => return Err(Error::PoolShutDown),
+                    Err(RecvTimeoutError::Timeout) => {
+                        token.cancel();
+                        self.metrics.record_timeout();
+                        return Err(Error::Timeout { budget: budget.unwrap_or_default() });
+                    }
+                }
+            }
+        };
+        reply.1
+    }
+
     /// RWR scores of every node w.r.t. `seed` — bit-identical to
     /// [`Bear::query`], shared via `Arc` so cache hits allocate nothing.
+    ///
+    /// Always exact: deadline and overload faults surface as typed
+    /// errors. Use [`QueryEngine::serve`] for the degrading path.
     pub fn query(&self, seed: usize) -> Result<Arc<Vec<f64>>> {
         let start = Instant::now();
         self.check_seed(seed)?;
-        let (scores, hit) = self.fetch_full(seed)?;
+        let budget = self.default_deadline;
+        let deadline = budget.map(|b| start + b);
+        let (scores, hit) = self.fetch_full(seed, deadline, budget, None)?;
         self.metrics.record(hit, start.elapsed());
         Ok(scores)
     }
@@ -228,7 +553,9 @@ impl QueryEngine {
                 return Ok(hit);
             }
         }
-        let (scores, hit) = self.fetch_full(seed)?;
+        let budget = self.default_deadline;
+        let deadline = budget.map(|b| start + b);
+        let (scores, hit) = self.fetch_full(seed, deadline, budget, None)?;
         let top = Arc::new(top_k_excluding_seed(&scores, seed, k));
         if let Some(cache) = &self.topk_cache {
             if let Ok(mut c) = cache.lock() {
@@ -239,22 +566,103 @@ impl QueryEngine {
         Ok(top)
     }
 
+    /// Answers `seed` through the full fault-tolerance ladder: exact
+    /// answer within the deadline budget when possible, otherwise — with
+    /// a fallback attached — a bounded-iteration degraded answer tagged
+    /// with the triggering fault. Without a fallback this behaves like
+    /// [`QueryEngine::query`] plus per-call options.
+    pub fn serve(&self, seed: usize, opts: &QueryOptions) -> Result<Served> {
+        let start = Instant::now();
+        self.check_seed(seed)?;
+        let budget = opts.deadline.or(self.default_deadline);
+        let deadline = budget.map(|b| start + b);
+        match self.fetch_full(seed, deadline, budget, opts.cancel.as_ref()) {
+            Ok((scores, hit)) => {
+                self.metrics.record(hit, start.elapsed());
+                Ok(Served { scores, degraded: None })
+            }
+            Err(e) => match degraded_reason(&e) {
+                Some(reason) if self.fallback.is_some() => {
+                    let served = self.degrade(seed, reason)?;
+                    self.metrics.record(false, start.elapsed());
+                    Ok(served)
+                }
+                _ => Err(e),
+            },
+        }
+    }
+
+    /// [`QueryEngine::serve`] over many seeds, in seed order. Seeds are
+    /// validated upfront; the deadline budget covers the whole batch and
+    /// expired or abandoned jobs are shed at dequeue, so one slow seed
+    /// degrades (or fails) without dragging the others past the budget.
+    pub fn serve_batch(&self, seeds: &[usize], opts: &QueryOptions) -> Result<Vec<Served>> {
+        for &seed in seeds {
+            self.check_seed(seed)?;
+        }
+        let budget = opts.deadline.or(self.default_deadline);
+        let deadline = budget.map(|b| Instant::now() + b);
+        let token = opts.cancel.clone().unwrap_or_default();
+        let mut out = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let start = Instant::now();
+            let result = self.fetch_full(seed, deadline, budget, Some(&token));
+            match result {
+                Ok((scores, hit)) => {
+                    self.metrics.record(hit, start.elapsed());
+                    out.push(Served { scores, degraded: None });
+                }
+                Err(e) => match degraded_reason(&e) {
+                    Some(reason) if self.fallback.is_some() => {
+                        let served = self.degrade(seed, reason)?;
+                        self.metrics.record(false, start.elapsed());
+                        out.push(served);
+                    }
+                    _ => return Err(e),
+                },
+            }
+        }
+        Ok(out)
+    }
+
+    /// Answers one seed from the fallback solver, tagged with `reason`.
+    fn degrade(&self, seed: usize, reason: DegradedReason) -> Result<Served> {
+        let fallback = self.fallback.as_ref().expect("degrade requires a fallback");
+        let answer = fallback.solve(seed)?;
+        self.metrics.record_degraded();
+        let info = DegradedInfo {
+            reason,
+            residual: answer.residual,
+            error_bound: answer.error_bound(),
+            iterations: answer.iterations,
+        };
+        Ok(Served { scores: Arc::new(answer.scores), degraded: Some(info) })
+    }
+
     /// Answers many single-seed queries on the persistent pool. Results
     /// are in seed order and bit-identical to sequential [`Bear::query`].
     ///
     /// All seeds are validated before any work is dispatched, so an
     /// invalid seed fails fast and names the offender; a worker panic
-    /// surfaces as an error on the affected seed instead of aborting the
-    /// process.
+    /// surfaces as [`Error::WorkerPanicked`] on the affected seed instead
+    /// of aborting the process. Always exact — see
+    /// [`QueryEngine::serve_batch`] for the degrading variant.
     pub fn query_batch(&self, seeds: &[usize]) -> Result<Vec<Arc<Vec<f64>>>> {
         for &seed in seeds {
             self.check_seed(seed)?;
         }
-        let start = Instant::now();
+        let budget = self.default_deadline;
+        let deadline = budget.map(|b| Instant::now() + b);
+        let token = CancelToken::new();
         let mut slots: Vec<Option<Arc<Vec<f64>>>> = vec![None; seeds.len()];
+        // Dispatch timestamps, so each computed result's latency is
+        // attributed from its own dispatch — not from the start of the
+        // whole loop, which inflated cache-hit latencies before.
+        let mut dispatched: Vec<Option<Instant>> = vec![None; seeds.len()];
         let (reply_tx, reply_rx) = channel();
         let mut outstanding = 0usize;
         for (tag, &seed) in seeds.iter().enumerate() {
+            let probe_start = Instant::now();
             let cached = self
                 .full_cache
                 .as_ref()
@@ -262,10 +670,21 @@ impl QueryEngine {
             match cached {
                 Some(hit) => {
                     slots[tag] = Some(hit);
-                    self.metrics.record(true, start.elapsed());
+                    self.metrics.record(true, probe_start.elapsed());
                 }
                 None => {
-                    self.queue.push(Job { seed, tag, reply: reply_tx.clone() })?;
+                    dispatched[tag] = Some(probe_start);
+                    self.admit(
+                        Job {
+                            seed,
+                            tag,
+                            reply: reply_tx.clone(),
+                            deadline,
+                            budget,
+                            cancel: Some(token.clone()),
+                        },
+                        deadline,
+                    )?;
                     outstanding += 1;
                 }
             }
@@ -275,54 +694,84 @@ impl QueryEngine {
         // job queue with the engine's spare workspace instead of blocking.
         // On a small pool (or single core) the whole batch runs inline
         // with no thread ping-pong; on a big pool it adds one worker.
-        let mut caller_ws = self.caller_ws.try_lock().ok();
+        // Skipped under a deadline: inline work cannot be abandoned
+        // mid-compute, so it would run the caller past its own budget.
+        let mut caller_ws = if deadline.is_none() { self.caller_ws.try_lock().ok() } else { None };
         let mut collected = 0usize;
+        let finish = |engine: &Self,
+                      slots: &mut [Option<Arc<Vec<f64>>>],
+                      dispatched: &[Option<Instant>],
+                      seeds: &[usize],
+                      tag: usize,
+                      result: Result<Arc<Vec<f64>>>|
+         -> Result<()> {
+            let scores = result.inspect_err(|_| token.cancel())?;
+            if let Some(cache) = &engine.full_cache {
+                if let Ok(mut c) = cache.lock() {
+                    c.insert(seeds[tag], Arc::clone(&scores));
+                }
+            }
+            slots[tag] = Some(scores);
+            let elapsed = dispatched[tag].map_or(Duration::ZERO, |d| d.elapsed());
+            engine.metrics.record(false, elapsed);
+            Ok(())
+        };
         while collected < outstanding {
             match reply_rx.try_recv() {
                 Ok((tag, result)) => {
-                    self.store_batch_result(seeds, &mut slots, tag, result, start)?;
+                    finish(self, &mut slots, &dispatched, seeds, tag, result)?;
                     collected += 1;
                     continue;
                 }
                 Err(TryRecvError::Empty) => {}
-                Err(TryRecvError::Disconnected) => {
-                    return Err(Error::InvalidStructure(
-                        "query worker disconnected before replying".into(),
-                    ));
-                }
+                Err(TryRecvError::Disconnected) => return Err(Error::PoolShutDown),
             }
             if let Some(ws) = caller_ws.as_deref_mut() {
                 if let Some(job) = self.queue.try_pop() {
-                    run_job(&self.bear, ws, job);
+                    run_job(&self.bear, ws, job, &self.metrics);
                     continue;
                 }
             }
-            // Nothing left to steal: block until a worker finishes.
-            let (tag, result) = recv_result(&reply_rx)?;
-            self.store_batch_result(seeds, &mut slots, tag, result, start)?;
-            collected += 1;
+            // Nothing left to steal: block until a worker finishes (the
+            // deadline is enforced per job at dequeue, so a bounded wait
+            // here would only duplicate that check).
+            match deadline {
+                None => {
+                    let (tag, result) = reply_rx.recv().map_err(|_| Error::PoolShutDown)?;
+                    finish(self, &mut slots, &dispatched, seeds, tag, result)?;
+                    collected += 1;
+                }
+                Some(at) => {
+                    let remaining = at.saturating_duration_since(Instant::now());
+                    match reply_rx.recv_timeout(remaining) {
+                        Ok((tag, result)) => {
+                            finish(self, &mut slots, &dispatched, seeds, tag, result)?;
+                            collected += 1;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => return Err(Error::PoolShutDown),
+                        Err(RecvTimeoutError::Timeout) => {
+                            token.cancel();
+                            self.metrics.record_timeout();
+                            return Err(Error::Timeout { budget: budget.unwrap_or_default() });
+                        }
+                    }
+                }
+            }
         }
         Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
     }
+}
 
-    /// Caches, stores, and accounts one computed batch result.
-    fn store_batch_result(
-        &self,
-        seeds: &[usize],
-        slots: &mut [Option<Arc<Vec<f64>>>],
-        tag: usize,
-        result: Result<Arc<Vec<f64>>>,
-        start: Instant,
-    ) -> Result<()> {
-        let scores = result?;
-        if let Some(cache) = &self.full_cache {
-            if let Ok(mut c) = cache.lock() {
-                c.insert(seeds[tag], Arc::clone(&scores));
-            }
-        }
-        slots[tag] = Some(scores);
-        self.metrics.record(false, start.elapsed());
-        Ok(())
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("nodes", &self.bear.num_nodes())
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.queue.capacity())
+            .field("overload", &self.overload)
+            .field("default_deadline", &self.default_deadline)
+            .field("has_fallback", &self.fallback.is_some())
+            .finish_non_exhaustive()
     }
 }
 
@@ -336,33 +785,65 @@ impl Drop for QueryEngine {
     }
 }
 
-fn recv_result(
-    rx: &Receiver<(usize, Result<Arc<Vec<f64>>>)>,
-) -> Result<(usize, Result<Arc<Vec<f64>>>)> {
-    rx.recv()
-        .map_err(|_| Error::InvalidStructure("query worker disconnected before replying".into()))
+/// Which degraded-mode reason (if any) corresponds to a serving fault.
+/// `None` means the error is not degradable (e.g. an invalid seed, or a
+/// caller-requested cancellation).
+fn degraded_reason(e: &Error) -> Option<DegradedReason> {
+    match e {
+        Error::Timeout { .. } => Some(DegradedReason::DeadlineExceeded),
+        Error::QueueFull { .. } => Some(DegradedReason::QueueFull),
+        Error::WorkerPanicked { .. } => Some(DegradedReason::WorkerPanicked),
+        Error::PoolShutDown => Some(DegradedReason::IndexUnavailable),
+        _ => None,
+    }
 }
 
 /// Worker body: pull jobs until the queue closes.
-fn worker_loop(bear: &Bear, queue: &JobQueue<Job>) {
+fn worker_loop(bear: &Bear, queue: &JobQueue<Job>, metrics: &Metrics) {
     let mut ws = QueryWorkspace::for_bear(bear);
     while let Some(job) = queue.pop() {
-        run_job(bear, &mut ws, job);
+        run_job(bear, &mut ws, job, metrics);
     }
 }
 
 /// Answers one job with the given workspace — the freshly allocated
 /// result vector is the single allocation per query — converting panics
-/// into errors so the pool (and assisting callers) survive poisoned
-/// inputs. Shared by pool workers and caller-assist.
-fn run_job(bear: &Bear, ws: &mut QueryWorkspace, job: Job) {
+/// into [`Error::WorkerPanicked`] so the pool (and assisting callers)
+/// survive poisoned inputs. Jobs whose deadline already passed, or whose
+/// caller cancelled, are shed without computing. Shared by pool workers
+/// and caller-assist.
+fn run_job(bear: &Bear, ws: &mut QueryWorkspace, job: Job, metrics: &Metrics) {
+    // Failpoint `queue::pop`: simulate a slow dequeue path so jobs age
+    // past their deadline. Only the Delay action makes sense here — pop
+    // has no error channel — so that's all this site honors.
+    #[cfg(feature = "failpoints")]
+    if let Some(crate::failpoints::FailAction::Delay(d)) = crate::failpoints::armed("queue::pop") {
+        std::thread::sleep(d);
+    }
+    // Deadline shedding at dequeue: computing an answer nobody can use
+    // anymore only starves the queries still inside their budget.
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        metrics.record_shed();
+        metrics.record_timeout();
+        let _ = job
+            .reply
+            .send((job.tag, Err(Error::Timeout { budget: job.budget.unwrap_or_default() })));
+        return;
+    }
+    if job.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+        metrics.record_shed();
+        let _ = job.reply.send((job.tag, Err(Error::Cancelled)));
+        return;
+    }
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        crate::fail_point!("engine::run_job");
         let mut result = vec![0.0; bear.num_nodes()];
         bear.query_into(job.seed, ws, &mut result)?;
         Ok(Arc::new(result))
     }))
     .unwrap_or_else(|_| {
-        Err(Error::InvalidStructure(format!("query worker panicked answering seed {}", job.seed)))
+        metrics.record_worker_panic();
+        Err(Error::WorkerPanicked { seed: job.seed })
     });
     // A receiver that hung up no longer wants the answer; ignore.
     let _ = job.reply.send((job.tag, outcome));
@@ -372,10 +853,10 @@ fn run_job(bear: &Bear, ws: &mut QueryWorkspace, job: Job) {
 mod tests {
     use super::*;
     use crate::precompute::BearConfig;
+    use crate::rwr::RwrConfig;
     use bear_graph::Graph;
-    use std::time::Duration;
 
-    fn test_bear(n: usize) -> Arc<Bear> {
+    fn test_graph(n: usize) -> Graph {
         // Hub-spoke graph with a little extra structure.
         let mut edges = Vec::new();
         for v in 1..n {
@@ -386,15 +867,21 @@ mod tests {
             edges.push((v, v + 1));
             edges.push((v + 1, v));
         }
-        let g = Graph::from_edges(n, &edges).unwrap();
-        Arc::new(Bear::new(&g, &BearConfig::exact(0.15)).unwrap())
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    fn test_bear(n: usize) -> Arc<Bear> {
+        Arc::new(Bear::new(&test_graph(n), &BearConfig::exact(0.15)).unwrap())
+    }
+
+    fn config(threads: usize, cache_capacity: usize) -> EngineConfig {
+        EngineConfig { threads, cache_capacity, ..EngineConfig::default() }
     }
 
     #[test]
     fn engine_matches_sequential_query_bitwise() {
         let bear = test_bear(30);
-        let engine =
-            QueryEngine::new(Arc::clone(&bear), EngineConfig { threads: 4, cache_capacity: 0 });
+        let engine = QueryEngine::new(Arc::clone(&bear), config(4, 0)).unwrap();
         for seed in 0..30 {
             let want = bear.query(seed).unwrap();
             let got = engine.query(seed).unwrap();
@@ -405,8 +892,7 @@ mod tests {
     #[test]
     fn engine_batch_matches_sequential_in_order() {
         let bear = test_bear(25);
-        let engine =
-            QueryEngine::new(Arc::clone(&bear), EngineConfig { threads: 3, cache_capacity: 32 });
+        let engine = QueryEngine::new(Arc::clone(&bear), config(3, 32)).unwrap();
         let seeds: Vec<usize> = (0..25).rev().collect();
         let want: Vec<Vec<f64>> = seeds.iter().map(|&s| bear.query(s).unwrap()).collect();
         let got = engine.query_batch(&seeds).unwrap();
@@ -425,7 +911,7 @@ mod tests {
     #[test]
     fn engine_validates_batch_seeds_upfront() {
         let bear = test_bear(10);
-        let engine = QueryEngine::new(bear, EngineConfig { threads: 2, cache_capacity: 4 });
+        let engine = QueryEngine::new(bear, config(2, 4)).unwrap();
         let before = engine.metrics().queries;
         let err = engine.query_batch(&[0, 3, 99, 5]).unwrap_err();
         assert_eq!(err, Error::IndexOutOfBounds { index: 99, bound: 10 });
@@ -436,8 +922,7 @@ mod tests {
     #[test]
     fn cache_hit_returns_identical_scores_and_counts() {
         let bear = test_bear(12);
-        let engine =
-            QueryEngine::new(Arc::clone(&bear), EngineConfig { threads: 2, cache_capacity: 16 });
+        let engine = QueryEngine::new(Arc::clone(&bear), config(2, 16)).unwrap();
         let first = engine.query(3).unwrap();
         let second = engine.query(3).unwrap();
         assert!(Arc::ptr_eq(&first, &second), "hit shares the cached Arc");
@@ -452,8 +937,7 @@ mod tests {
     #[test]
     fn top_k_matches_bear_and_caches() {
         let bear = test_bear(15);
-        let engine =
-            QueryEngine::new(Arc::clone(&bear), EngineConfig { threads: 2, cache_capacity: 16 });
+        let engine = QueryEngine::new(Arc::clone(&bear), config(2, 16)).unwrap();
         let want = bear.query_top_k(2, 5).unwrap();
         let got = engine.query_top_k(2, 5).unwrap();
         assert_eq!(*got, want);
@@ -464,7 +948,7 @@ mod tests {
     #[test]
     fn metrics_percentiles_populate() {
         let bear = test_bear(10);
-        let engine = QueryEngine::new(bear, EngineConfig { threads: 2, cache_capacity: 0 });
+        let engine = QueryEngine::new(bear, config(2, 0)).unwrap();
         for seed in 0..10 {
             engine.query(seed).unwrap();
         }
@@ -479,7 +963,7 @@ mod tests {
     #[test]
     fn disabled_cache_never_hits() {
         let bear = test_bear(8);
-        let engine = QueryEngine::new(bear, EngineConfig { threads: 1, cache_capacity: 0 });
+        let engine = QueryEngine::new(bear, config(1, 0)).unwrap();
         engine.query(1).unwrap();
         engine.query(1).unwrap();
         assert_eq!(engine.metrics().cache_hits, 0);
@@ -497,5 +981,154 @@ mod tests {
         assert_eq!(cache.get(&1), Some(10));
         assert_eq!(cache.get(&3), Some(30));
         assert_eq!(cache.len(), 2);
+    }
+
+    /// Satellite regression: a zero-capacity cache must store nothing.
+    /// Before the guard, the eviction scan found no victim on the empty
+    /// map and inserts grew it without bound.
+    #[test]
+    fn lru_cache_zero_capacity_is_a_hard_noop() {
+        let mut cache: LruCache<usize, usize> = LruCache::new(0);
+        for i in 0..1000 {
+            cache.insert(i, i);
+        }
+        assert_eq!(cache.len(), 0, "zero-capacity cache must stay empty");
+        assert_eq!(cache.get(&0), None);
+        assert_eq!(cache.get(&999), None);
+    }
+
+    /// Satellite regression: cache hits must be attributed their own
+    /// (tiny) latency, not the whole batch dispatch loop's.
+    #[test]
+    fn batch_metrics_attribute_hit_latency_per_result() {
+        let bear = test_bear(20);
+        let engine = QueryEngine::new(bear, config(2, 64)).unwrap();
+        let seeds: Vec<usize> = (0..20).collect();
+        engine.query_batch(&seeds).unwrap(); // all misses
+        engine.query_batch(&seeds).unwrap(); // all cache hits
+        let m = engine.metrics();
+        assert_eq!(m.cache_hits, 20);
+        assert_eq!(m.cache_misses, 20);
+        assert!(
+            m.p50_hit <= m.p50_miss,
+            "hit p50 {:?} must not exceed miss p50 {:?}",
+            m.p50_hit,
+            m.p50_miss
+        );
+    }
+
+    #[test]
+    fn config_rejects_zero_threads_and_zero_queue() {
+        let bear = test_bear(6);
+        let err = QueryEngine::new(
+            Arc::clone(&bear),
+            EngineConfig { threads: 0, ..EngineConfig::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { param: "threads", .. }), "{err}");
+        let err =
+            QueryEngine::new(bear, EngineConfig { queue_capacity: 0, ..EngineConfig::default() })
+                .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { param: "queue_capacity", .. }), "{err}");
+    }
+
+    #[test]
+    fn config_builder_validates() {
+        let cfg = EngineConfig::builder()
+            .threads(2)
+            .cache_capacity(8)
+            .queue_capacity(16)
+            .overload(OverloadPolicy::Block)
+            .default_deadline(Some(Duration::from_millis(500)))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.queue_capacity, 16);
+        assert_eq!(cfg.overload, OverloadPolicy::Block);
+        assert_eq!(cfg.default_deadline, Some(Duration::from_millis(500)));
+        assert!(EngineConfig::builder().threads(0).build().is_err());
+        assert!(EngineConfig::builder().queue_capacity(0).build().is_err());
+    }
+
+    #[test]
+    fn serve_returns_exact_answers_when_healthy() {
+        let bear = test_bear(12);
+        let engine = QueryEngine::new(Arc::clone(&bear), config(2, 8)).unwrap();
+        let served = engine.serve(3, &QueryOptions::default()).unwrap();
+        assert!(served.is_exact());
+        assert_eq!(*served.scores, bear.query(3).unwrap());
+        let batch = engine.serve_batch(&[1, 2, 3], &QueryOptions::default()).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(Served::is_exact));
+    }
+
+    #[test]
+    fn serve_degrades_on_pool_shutdown() {
+        let g = test_graph(16);
+        let bear = Arc::new(Bear::new(&g, &BearConfig::exact(0.15)).unwrap());
+        let fallback = Arc::new(
+            FallbackSolver::new(&g, &RwrConfig { c: 0.15, ..RwrConfig::default() }, 200).unwrap(),
+        );
+        let engine = QueryEngine::with_fallback(Arc::clone(&bear), config(1, 0), fallback).unwrap();
+        // Sabotage: close the queue out from under the engine, as if the
+        // pool died. Every exact path now fails...
+        engine.queue.close();
+        assert_eq!(engine.query(2).unwrap_err(), Error::PoolShutDown);
+        // ...but serve() still answers, tagged degraded.
+        let served = engine.serve(2, &QueryOptions::default()).unwrap();
+        let info = served.degraded.expect("must be degraded");
+        assert_eq!(info.reason, DegradedReason::IndexUnavailable);
+        assert!(info.residual >= 0.0);
+        assert!(info.error_bound >= info.residual);
+        let exact = bear.query(2).unwrap();
+        let l1: f64 = exact.iter().zip(served.scores.iter()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 < 1e-6, "degraded answer far from exact: {l1}");
+        assert_eq!(engine.metrics().degraded, 1);
+    }
+
+    #[test]
+    fn with_fallback_rejects_mismatched_solver() {
+        let bear = test_bear(10);
+        let other = test_graph(11);
+        let fallback = Arc::new(FallbackSolver::new(&other, &RwrConfig::default(), 10).unwrap());
+        let err = QueryEngine::with_fallback(bear, config(1, 0), fallback).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { param: "fallback", .. }));
+    }
+
+    #[test]
+    fn cancelled_query_is_shed_not_computed() {
+        let bear = test_bear(10);
+        let engine = QueryEngine::new(bear, config(1, 0)).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = QueryOptions { deadline: None, cancel: Some(token) };
+        // The job is dequeued already-cancelled: shed with Error::Cancelled.
+        // (Caller-assist may also shed it inline; either way, no compute.)
+        let err = engine.serve(1, &opts).unwrap_err();
+        assert_eq!(err, Error::Cancelled);
+        assert!(engine.metrics().shed_jobs >= 1);
+    }
+
+    #[test]
+    fn already_expired_deadline_times_out_with_typed_error() {
+        let bear = test_bear(10);
+        let engine = QueryEngine::new(bear, config(1, 0)).unwrap();
+        let opts = QueryOptions { deadline: Some(Duration::ZERO), cancel: None };
+        let err = engine.serve(2, &opts).unwrap_err();
+        assert!(matches!(err, Error::Timeout { .. }), "{err}");
+        assert!(engine.metrics().timeouts >= 1);
+    }
+
+    #[test]
+    fn queue_depth_is_bounded_and_observable() {
+        let bear = test_bear(8);
+        let engine = QueryEngine::new(
+            bear,
+            EngineConfig { threads: 1, cache_capacity: 0, queue_capacity: 2, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(engine.queue_depth(), 0);
+        engine.query(1).unwrap();
+        assert_eq!(engine.queue_depth(), 0, "drained after answering");
     }
 }

@@ -1,0 +1,109 @@
+//! Deterministic fault-injection sites (the `failpoints` feature).
+//!
+//! The fault-tolerance layer claims that every fault class — corrupt
+//! index, queue overload, worker panic, slow worker — maps to a typed
+//! error or a degraded answer, never a hang or abort. Those paths only
+//! fire when something actually breaks, so this module makes breakage
+//! *injectable*: named sites in the serving path consult a global
+//! registry and, when armed, panic, sleep, or fail on command. The
+//! deterministic suite in `crates/core/tests/fault_injection.rs` drives
+//! them.
+//!
+//! With the `failpoints` cargo feature disabled (the default), every
+//! site compiles to nothing — the registry, the sites, and this module's
+//! locking are all absent from production builds.
+//!
+//! Sites currently wired:
+//!
+//! * `persist::load` — start of [`crate::Bear::load`];
+//! * `queue::push` — engine job admission ([`crate::engine::QueryEngine`]);
+//! * `queue::pop` — worker dequeue, before deadline shedding;
+//! * `engine::run_job` — inside the worker's `catch_unwind`, before the
+//!   query computation.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when its site is reached.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailAction {
+    /// Panic with a recognizable message (exercises `catch_unwind`
+    /// containment and the `worker_panics` accounting).
+    Panic,
+    /// Sleep for the given duration (simulates a slow worker or a slow
+    /// I/O path, exercising deadline enforcement).
+    Delay(Duration),
+    /// Return an injected `Error::InvalidStructure` from the site
+    /// (simulates e.g. a corrupt payload detected mid-operation).
+    Fail,
+    /// First sleep, then fail — a slow path that ultimately errors.
+    DelayThenFail(Duration),
+}
+
+fn registry() -> &'static Mutex<HashMap<&'static str, FailAction>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, FailAction>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms `site` with `action`. Replaces any previous arming.
+pub fn configure(site: &'static str, action: FailAction) {
+    registry().lock().expect("failpoint registry poisoned").insert(site, action);
+}
+
+/// Disarms `site`.
+pub fn clear(site: &str) {
+    registry().lock().expect("failpoint registry poisoned").remove(site);
+}
+
+/// Disarms every site. Test suites call this between cases.
+pub fn clear_all() {
+    registry().lock().expect("failpoint registry poisoned").clear();
+}
+
+/// The action currently armed at `site`, if any.
+pub fn armed(site: &str) -> Option<FailAction> {
+    registry().lock().expect("failpoint registry poisoned").get(site).cloned()
+}
+
+/// Evaluates the site: sleeps on `Delay`, panics on `Panic`, and returns
+/// the injected error on `Fail`. Call via [`crate::fail_point!`] so the
+/// site disappears entirely when the feature is off.
+pub fn eval(site: &'static str) -> bear_sparse::Result<()> {
+    let Some(action) = armed(site) else { return Ok(()) };
+    let fail = || {
+        Err(bear_sparse::Error::InvalidStructure(format!("failpoint '{site}' injected failure")))
+    };
+    match action {
+        FailAction::Panic => panic!("failpoint '{site}' injected panic"),
+        FailAction::Delay(d) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        FailAction::Fail => fail(),
+        FailAction::DelayThenFail(d) => {
+            std::thread::sleep(d);
+            fail()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        configure("test::site", FailAction::Fail);
+        assert_eq!(armed("test::site"), Some(FailAction::Fail));
+        assert!(eval("test::site").is_err());
+        clear("test::site");
+        assert_eq!(armed("test::site"), None);
+        assert!(eval("test::site").is_ok());
+        configure("test::site", FailAction::Delay(Duration::from_millis(1)));
+        configure("test::other", FailAction::Panic);
+        clear_all();
+        assert_eq!(armed("test::site"), None);
+        assert_eq!(armed("test::other"), None);
+    }
+}

@@ -35,6 +35,10 @@
 
 pub mod dynamic;
 pub mod engine;
+#[cfg(feature = "failpoints")]
+pub mod failpoints;
+#[cfg(not(loom))]
+pub mod fallback;
 pub mod hub_iterative;
 pub mod metrics;
 pub mod persist;
@@ -47,10 +51,28 @@ pub(crate) mod sync;
 pub mod topk;
 pub mod variants;
 
+/// Evaluates a named failpoint site (see the `failpoints` module, gated
+/// behind the cargo feature of the same name); expands to nothing when
+/// the `failpoints` feature is off, so production builds
+/// carry no fault-injection code. Use `?`-compatible positions only —
+/// the site returns the injected error to its caller.
+#[macro_export]
+macro_rules! fail_point {
+    ($site:literal) => {
+        #[cfg(feature = "failpoints")]
+        $crate::failpoints::eval($site)?;
+    };
+}
+
 pub use dynamic::{DynamicBear, UpdateKind};
 #[cfg(not(loom))]
-pub use engine::{EngineConfig, QueryEngine};
+pub use engine::{
+    CancelToken, DegradedInfo, EngineConfig, EngineConfigBuilder, OverloadPolicy, QueryEngine,
+    QueryOptions, Served,
+};
 pub use engine::{MetricsSnapshot, QueryWorkspace};
+#[cfg(not(loom))]
+pub use fallback::{DegradedReason, FallbackAnswer, FallbackSolver, DEFAULT_FALLBACK_ITERATIONS};
 pub use hub_iterative::BearHubIterative;
 pub use precompute::{Bear, BearConfig};
 pub use rwr::{build_h, Normalization, RwrConfig};

@@ -174,6 +174,7 @@ impl Bear {
     /// that answers queries with garbage (see
     /// `crates/core/tests/persist_corruption.rs`).
     pub fn load(path: &Path) -> Result<Self> {
+        crate::fail_point!("persist::load");
         let file = std::fs::File::open(path).map_err(io_err)?;
         let file_size = file.metadata().map_err(io_err)?.len();
         let mut r = BoundedReader::new(BufReader::new(file), file_size);

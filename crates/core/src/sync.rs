@@ -13,11 +13,42 @@
 //! this list rather than importing `std::sync` directly from engine
 //! code.
 
+use std::time::Duration;
+
 #[cfg(loom)]
-pub(crate) use loom::sync::{Condvar, Mutex};
+pub(crate) use loom::sync::{Condvar, Mutex, MutexGuard};
 
 #[cfg(not(loom))]
-pub(crate) use std::sync::{Condvar, Mutex};
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Waits on `cv` for at most `timeout`, releasing and reacquiring the
+/// guard; returns `None` if the lock was poisoned. The timed-out flag is
+/// deliberately not surfaced: callers re-check their predicate and their
+/// deadline against the wall clock after every wakeup, which also covers
+/// spurious wakeups.
+///
+/// Under `cfg(loom)` this degrades to an *untimed* wait. That is the
+/// stronger model: a timeout can only mask a lost wakeup, so the loom
+/// suite proves every blocked waiter is eventually notified even if no
+/// timer ever fires.
+#[cfg(not(loom))]
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> Option<MutexGuard<'a, T>> {
+    cv.wait_timeout(guard, timeout).ok().map(|(guard, _)| guard)
+}
+
+/// Loom variant of [`wait_timeout`]: an untimed wait (see above).
+#[cfg(loom)]
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    _timeout: Duration,
+) -> Option<MutexGuard<'a, T>> {
+    cv.wait(guard).ok()
+}
 
 /// Atomic integers and memory orderings (std or loom, matching the
 /// parent module).

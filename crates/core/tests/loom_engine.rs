@@ -26,6 +26,7 @@
 
 use bear_core::engine::queue::JobQueue;
 use bear_core::engine::Metrics;
+use bear_sparse::Error;
 use loom::sync::Arc;
 use loom::thread;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -129,6 +130,87 @@ fn metrics_are_consistent() {
         assert_eq!(s.queries, s.cache_hits + s.cache_misses);
         assert!((s.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     });
+}
+
+/// Admission control under every schedule: a full bounded queue never
+/// exceeds its capacity, a racing `push` is rejected with a typed
+/// error, and a blocked `push_blocking` completes once a `pop` frees a
+/// slot (the `space` wakeup protocol).
+#[test]
+fn bounded_queue_capacity_never_exceeded() {
+    loom::model(|| {
+        let q = Arc::new(JobQueue::bounded(1));
+        q.push(1usize).unwrap();
+        assert!(matches!(q.push(99), Err(Error::QueueFull { capacity: 1 })));
+
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push_blocking(2usize, None))
+        };
+
+        assert!(q.len() <= 1, "capacity bound holds while a pusher waits");
+        assert_eq!(q.pop(), Some(1)); // frees the slot, must wake the pusher
+        producer.join().unwrap().unwrap();
+        assert!(q.len() <= 1);
+        assert_eq!(q.pop(), Some(2), "blocked push lands exactly once");
+        q.close();
+        assert_eq!(q.pop(), None);
+    });
+}
+
+/// A producer blocked in `push_blocking` on a full queue always wakes
+/// when the queue closes, failing with the typed shutdown error instead
+/// of parking forever.
+#[test]
+fn close_wakes_blocked_pusher() {
+    loom::model(|| {
+        let q = Arc::new(JobQueue::bounded(1));
+        q.push(1usize).unwrap();
+
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push_blocking(2usize, None))
+        };
+
+        q.close();
+        assert!(matches!(producer.join().unwrap(), Err(Error::PoolShutDown)));
+        // The accepted backlog is still drainable after close.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    });
+}
+
+/// Seeded-bug demonstration for the bounded-queue wakeup protocol:
+/// popping WITHOUT the `space` notification (the test-only
+/// `pop_without_notify`) admits a schedule where a producer blocked on a
+/// full queue is never woken when its slot frees — loom must report the
+/// deadlock. This is the regression the real `pop` is one dropped line
+/// away from.
+#[test]
+fn lost_space_notify_is_caught() {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let q = Arc::new(JobQueue::bounded(1));
+            q.push(1usize).unwrap();
+
+            let producer = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.push_blocking(2usize, None))
+            };
+
+            assert_eq!(q.pop_without_notify(), Some(1));
+            producer.join().unwrap().unwrap();
+            assert_eq!(q.pop(), Some(2));
+        });
+    }));
+
+    let payload = outcome.expect_err("loom must catch the lost space wakeup");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("deadlock"), "expected a deadlock report, got: {msg}");
 }
 
 /// Seeded-bug demonstration: enqueueing WITHOUT the `notify_one` (the

@@ -1,6 +1,8 @@
-//! Error type shared by all sparse linear algebra operations.
+//! Error type shared by all sparse linear algebra operations and the
+//! serving stack built on top of them.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors produced by matrix construction and numerical routines.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +52,36 @@ pub enum Error {
         /// Flat position of the offending entry in the owning value array.
         at: usize,
     },
+    /// A query (or the wait for queue admission) exceeded its deadline
+    /// budget.
+    Timeout {
+        /// The deadline budget that was exhausted.
+        budget: Duration,
+    },
+    /// Admission control rejected new work: the serving job queue is at
+    /// capacity and the overload policy is to shed load.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The worker pool has shut down (or its queue is unusable) and
+    /// accepts no more work.
+    PoolShutDown,
+    /// A worker thread panicked while answering a query; the pool itself
+    /// survives and subsequent queries are unaffected.
+    WorkerPanicked {
+        /// Seed node being answered when the panic fired.
+        seed: usize,
+    },
+    /// The operation was cancelled by its caller before completion.
+    Cancelled,
+    /// A configuration parameter was rejected at construction time.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -73,6 +105,20 @@ impl fmt::Display for Error {
             }
             Error::NonFiniteValue { at } => {
                 write!(f, "non-finite value (NaN or infinity) at position {at}")
+            }
+            Error::Timeout { budget } => {
+                write!(f, "deadline exceeded: budget {budget:?} exhausted")
+            }
+            Error::QueueFull { capacity } => {
+                write!(f, "queue full: admission control rejected work at capacity {capacity}")
+            }
+            Error::PoolShutDown => write!(f, "worker pool is shut down"),
+            Error::WorkerPanicked { seed } => {
+                write!(f, "query worker panicked answering seed {seed}")
+            }
+            Error::Cancelled => write!(f, "operation cancelled by caller"),
+            Error::InvalidConfig { param, reason } => {
+                write!(f, "invalid configuration: {param}: {reason}")
             }
         }
     }

@@ -82,6 +82,18 @@ pub(crate) fn check_compressed(
         if indptr[seg] > indptr[seg + 1] {
             return Err(Error::InvalidStructure(format!("indptr decreases at {axis} {seg}")));
         }
+        // Must hold before slicing: only the *final* entry was checked
+        // against nnz above, so a corrupt intermediate entry (monotone so
+        // far, out of bounds) would otherwise panic here instead of
+        // returning a typed error.
+        if indptr[seg + 1] > indices.len() {
+            return Err(Error::InvalidStructure(format!(
+                "indptr[{}] = {} exceeds nnz {} at {axis} {seg}",
+                seg + 1,
+                indptr[seg + 1],
+                indices.len()
+            )));
+        }
         let segment = &indices[indptr[seg]..indptr[seg + 1]];
         for w in segment.windows(2) {
             if w[0] >= w[1] {
@@ -229,6 +241,22 @@ mod tests {
             assert!(p.apply_mutation(mutation), "mutation {mutation:?} not applicable");
             assert!(p.validate().is_err(), "mutation {mutation:?} not rejected");
         }
+    }
+
+    /// Regression: an intermediate `indptr` entry past `nnz` (monotone
+    /// so far, so earlier checks pass) must be a typed error, not a
+    /// slice-bounds panic during the segment scan.
+    #[test]
+    fn out_of_range_intermediate_indptr_is_typed_error() {
+        let m = sample();
+        let mut indptr = m.indptr().to_vec();
+        indptr[1] = m.nnz() + 200; // monotone w.r.t. indptr[0], way past nnz
+        let err = check_compressed("row", m.nrows(), m.ncols(), &indptr, m.indices(), m.values())
+            .unwrap_err();
+        assert!(
+            matches!(&err, Error::InvalidStructure(msg) if msg.contains("exceeds nnz")),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! * `features` — build check of the feature matrix (default,
 //!   `strict-invariants`, no-default-features);
 //! * `loom` — the model-checking suite under `RUSTFLAGS="--cfg loom"`;
+//! * `faults` — the deterministic fault-injection suite under
+//!   `--features failpoints` (typed errors / degraded answers for every
+//!   injected fault class);
 //! * `miri` — the sparse kernel unit tests under Miri (nightly),
 //!   skipped with a notice when `cargo +nightly miri` is unavailable
 //!   (e.g. offline dev containers);
@@ -51,6 +54,11 @@ const STEPS: &[Step] = &[
         run: run_features,
     },
     Step { name: "loom", description: "loom model checking (--cfg loom)", run: run_loom },
+    Step {
+        name: "faults",
+        description: "fault-injection suite (--features failpoints)",
+        run: run_faults,
+    },
     Step { name: "miri", description: "Miri on bear-sparse kernel unit tests", run: run_miri },
 ];
 
@@ -176,6 +184,25 @@ fn run_loom(root: &Path) -> Outcome {
         &["test", "-p", "bear-core", "--test", "loom_engine", "--release"],
         &[("RUSTFLAGS", "--cfg loom"), ("LOOM_MAX_PREEMPTIONS", &preemptions)],
     )
+}
+
+fn run_faults(root: &Path) -> Outcome {
+    // Deterministic fault injection: every named failpoint class (corrupt
+    // load, overload, worker panic, slow worker, expired deadline) must
+    // map to a typed error or a degraded answer — never a hang or abort.
+    // The `failpoints` feature also alters the compiled serving path, so
+    // the regular engine suites are re-run under it to prove the sites
+    // are behavior-neutral when disarmed.
+    let cells: &[&[&str]] = &[
+        &["test", "-p", "bear-core", "--test", "fault_injection", "--features", "failpoints"],
+        &["test", "-p", "bear-core", "--lib", "--features", "failpoints", "engine::"],
+    ];
+    for cell in cells {
+        if cargo(root, cell, &[]) == Outcome::Failed {
+            return Outcome::Failed;
+        }
+    }
+    Outcome::Passed
 }
 
 fn run_miri(root: &Path) -> Outcome {

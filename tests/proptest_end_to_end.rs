@@ -169,8 +169,9 @@ proptest! {
         let bear = Arc::new(Bear::new(&g, &BearConfig::exact(0.15)).unwrap());
         let engine = QueryEngine::new(
             Arc::clone(&bear),
-            EngineConfig { threads, cache_capacity: 8 },
-        );
+            EngineConfig { threads, cache_capacity: 8, ..EngineConfig::default() },
+        )
+        .unwrap();
         let seeds: Vec<usize> = (0..n.min(6)).collect();
         let batch = engine.query_batch(&seeds).unwrap();
         for (&seed, scores) in seeds.iter().zip(&batch) {
