@@ -1,0 +1,101 @@
+//! Serial-vs-parallel preprocessing speedup: the recordable counterpart
+//! of the `bench_precompute` Criterion benchmark. Measures `Bear::new`
+//! at `threads ∈ {1, 2, 4}` (best of `--reps`, default 3) on a
+//! SlashBurn-friendly hub-and-spoke graph, asserts the parallel results
+//! are identical to serial, and reports the speedup per thread count.
+//!
+//! The speedup is bounded by the cores the host actually grants
+//! (`std::thread::available_parallelism`); on a single-core container
+//! every thread count degenerates to ~1× and the recorded JSON says so
+//! via the `host_cores` annotation.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin precompute_speedup \
+//!     [--reps 3] [--json results/BENCH_precompute.json]
+//! ```
+
+use bear_bench::cli::Args;
+use bear_bench::harness::{measure, ExperimentResult, ResultRow};
+use bear_core::{Bear, BearConfig};
+use bear_graph::generators::{hub_and_spoke, HubSpokeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let reps: usize = args.get_or("--reps", 3usize).max(1);
+    let json_path = args.get("--json").unwrap_or("results/BENCH_precompute.json").to_string();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Same shape as the Criterion bench: many moderate caves so the
+    // block LU stage has parallel work worth balancing.
+    let g = hub_and_spoke(
+        &HubSpokeConfig {
+            num_hubs: 12,
+            num_caves: 120,
+            max_cave_size: 24,
+            cave_density: 0.3,
+            hub_links: 2,
+            hub_density: 0.4,
+        },
+        &mut StdRng::seed_from_u64(42),
+    );
+
+    let mut out = ExperimentResult::new(
+        "precompute_speedup",
+        &format!(
+            "serial vs multi-threaded Bear::new wall-clock (best of {reps}); \
+             host grants {host_cores} core(s), which bounds any speedup"
+        ),
+    );
+    println!(
+        "graph: n={} m={} | host cores: {host_cores} | best of {reps} runs",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    println!("{:<8} {:>8} {:>12} {:>9}", "xi", "threads", "pre(s)", "speedup");
+    for xi in [0.0, 1e-4] {
+        let mut serial_s = f64::INFINITY;
+        let mut serial_bear: Option<Bear> = None;
+        for &threads in &[1usize, 2, 4] {
+            let config = BearConfig { threads, drop_tolerance: xi, ..BearConfig::default() };
+            let mut best = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..reps {
+                let (bear, secs) = measure(|| Bear::new(&g, &config).expect("preprocess"));
+                best = best.min(secs);
+                last = Some(bear);
+            }
+            let bear = last.expect("reps >= 1");
+            match &serial_bear {
+                None => {
+                    serial_s = best;
+                    serial_bear = Some(bear);
+                }
+                Some(serial) => {
+                    // The determinism guarantee the speedup rides on.
+                    assert_eq!(serial.stats(), bear.stats(), "parallel result diverged");
+                }
+            }
+            let speedup = serial_s / best;
+            println!("{:<8} {:>8} {:>12.4} {:>8.2}x", xi, threads, best, speedup);
+            let mut row = ResultRow::new("hub_and_spoke_120x24", "BEAR preprocess");
+            row.param = Some(format!(
+                "xi={xi} threads={threads} speedup={speedup:.3} host_cores={host_cores}"
+            ));
+            row.preprocess_s = Some(best);
+            out.rows.push(row);
+        }
+    }
+    if host_cores < 2 {
+        println!(
+            "NOTE: host grants a single core; multi-threaded timings cannot \
+             beat serial here. Re-run on a multi-core host for real speedup."
+        );
+    }
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    out.write_json(&json_path).expect("write json");
+    println!("wrote {json_path}");
+}

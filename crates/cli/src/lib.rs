@@ -2,8 +2,10 @@
 //!
 //! Subcommands:
 //!
-//! * `bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0]` —
-//!   read an edge list, run BEAR preprocessing, write the query index;
+//! * `bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0]
+//!   [--threads 0]` — read an edge list, run BEAR preprocessing (0
+//!   threads = all cores; the index is bit-identical for any thread
+//!   count), write the query index and report per-stage timings;
 //! * `bear query <index.bear> <seed> [--top 10] [--threads 0]` — answer
 //!   one RWR query from a saved index (0 threads = all cores);
 //! * `bear batch <index.bear> <seed>... [--top 10] [--threads 0]` —
@@ -49,6 +51,9 @@ pub enum Command {
         c: f64,
         /// Drop tolerance (0 = exact).
         xi: f64,
+        /// Preprocessing worker threads (0 = all cores). The index is
+        /// bit-identical for any thread count.
+        threads: usize,
     },
     /// Query a saved index.
     Query {
@@ -117,39 +122,45 @@ impl Default for ServeFlags {
     }
 }
 
+/// Parses a float-valued flag (`--c`, `--xi`).
+fn float_flag(args: &[String], name: &str, default: f64) -> Result<f64> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| Error::InvalidStructure(format!("{name} needs a numeric value"))),
+        None => Ok(default),
+    }
+}
+
+/// Parses an integer-valued flag (`--top`, `--threads`, `--queue-cap`,
+/// `--deadline-ms`). Unlike a float parse followed by a cast, fractional
+/// or negative values (`--top 3.9`, `--threads -1`) are usage errors
+/// rather than silent truncations.
+fn int_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args.get(i + 1).and_then(|v| v.parse().ok()).ok_or_else(|| {
+            Error::InvalidStructure(format!("{name} needs a non-negative integer value"))
+        }),
+        None => Ok(default),
+    }
+}
+
 fn parse_serve_flags(args: &[String]) -> Result<ServeFlags> {
-    let flag = |name: &str, default: f64| -> Result<f64> {
-        match args.iter().position(|a| a == name) {
-            Some(i) => args
-                .get(i + 1)
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| Error::InvalidStructure(format!("{name} needs a numeric value"))),
-            None => Ok(default),
-        }
-    };
     Ok(ServeFlags {
-        queue_cap: flag("--queue-cap", 0.0)? as usize,
-        deadline_ms: flag("--deadline-ms", 0.0)? as u64,
+        queue_cap: int_flag(args, "--queue-cap", 0usize)?,
+        deadline_ms: int_flag(args, "--deadline-ms", 0u64)?,
         fallback_graph: args
             .iter()
             .position(|a| a == "--fallback-graph")
             .and_then(|i| args.get(i + 1))
             .cloned(),
-        c: flag("--c", 0.05)?,
+        c: float_flag(args, "--c", 0.05)?,
     })
 }
 
 /// Parses an argv-style token list (without the binary name).
 pub fn parse_command(args: &[String]) -> Result<Command> {
-    let flag = |name: &str, default: f64| -> Result<f64> {
-        match args.iter().position(|a| a == name) {
-            Some(i) => args
-                .get(i + 1)
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| Error::InvalidStructure(format!("{name} needs a numeric value"))),
-            None => Ok(default),
-        }
-    };
     match args.first().map(|s| s.as_str()) {
         Some("preprocess") => {
             let graph = args
@@ -162,7 +173,13 @@ pub fn parse_command(args: &[String]) -> Result<Command> {
                 .filter(|a| !a.starts_with("--"))
                 .ok_or_else(|| Error::InvalidStructure("preprocess needs <graph> <index>".into()))?
                 .clone();
-            Ok(Command::Preprocess { graph, index, c: flag("--c", 0.05)?, xi: flag("--xi", 0.0)? })
+            Ok(Command::Preprocess {
+                graph,
+                index,
+                c: float_flag(args, "--c", 0.05)?,
+                xi: float_flag(args, "--xi", 0.0)?,
+                threads: int_flag(args, "--threads", 0usize)?,
+            })
         }
         Some("query") => {
             let index = args
@@ -173,8 +190,8 @@ pub fn parse_command(args: &[String]) -> Result<Command> {
                 .get(2)
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| Error::InvalidStructure("query needs a numeric seed".into()))?;
-            let top = flag("--top", 10.0)? as usize;
-            let threads = flag("--threads", 0.0)? as usize;
+            let top = int_flag(args, "--top", 10usize)?;
+            let threads = int_flag(args, "--threads", 0usize)?;
             Ok(Command::Query { index, seed, top, threads, serve: parse_serve_flags(args)? })
         }
         Some("batch") => {
@@ -201,8 +218,8 @@ pub fn parse_command(args: &[String]) -> Result<Command> {
             if seeds.is_empty() {
                 return Err(Error::InvalidStructure("batch needs at least one seed".into()));
             }
-            let top = flag("--top", 10.0)? as usize;
-            let threads = flag("--threads", 0.0)? as usize;
+            let top = int_flag(args, "--top", 10usize)?;
+            let threads = int_flag(args, "--threads", 0usize)?;
             Ok(Command::Batch { index, seeds, top, threads, serve: parse_serve_flags(args)? })
         }
         Some("stats") => Ok(Command::Stats {
@@ -231,11 +248,17 @@ pub const USAGE: &str = "\
 bear — block elimination approach for random walk with restart
 
 USAGE:
-  bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0]
+  bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0] [--threads 0]
   bear query <index.bear> <seed> [--top 10] [--threads 0] [serving flags]
   bear batch <index.bear> <seed>... [--top 10] [--threads 0] [serving flags]
   bear stats <graph.txt>
   bear generate <dataset> <out.txt>
+
+PREPROCESS FLAGS:
+  --c F                restart probability (default 0.05)
+  --xi F               drop tolerance; 0 = exact BEAR (default 0)
+  --threads N          preprocessing worker threads; 0 = all cores. The
+                       written index is bit-identical for any N.
 
 SERVING FLAGS (query/batch):
   --queue-cap N        admission-control bound on queued jobs (0 = default)
@@ -381,10 +404,12 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
     let io_err = |e: std::io::Error| Error::InvalidStructure(format!("output error: {e}"));
     match cmd {
         Command::Help => writeln!(out, "{USAGE}").map_err(io_err),
-        Command::Preprocess { graph, index, c, xi } => {
+        Command::Preprocess { graph, index, c, xi, threads } => {
             let g = read_edge_list(Path::new(graph), None)?;
-            let config =
-                if *xi > 0.0 { BearConfig::approx(*c, *xi) } else { BearConfig::exact(*c) };
+            // `xi` passes through unconditionally (approx(c, 0) == exact(c))
+            // so a NaN/negative/infinite tolerance reaches
+            // `BearConfig::validate` instead of silently meaning "exact".
+            let config = BearConfig { threads: *threads, ..BearConfig::approx(*c, *xi) };
             let start = std::time::Instant::now();
             let bear = Bear::new(&g, &config)?;
             let elapsed = start.elapsed().as_secs_f64();
@@ -392,17 +417,19 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
             let st = bear.stats();
             writeln!(
                 out,
-                "preprocessed {} nodes / {} edges in {elapsed:.3}s: \
+                "preprocessed {} nodes / {} edges in {elapsed:.3}s (threads={}): \
                  n1={} n2={} blocks={} nnz={} bytes={} -> {index}",
                 g.num_nodes(),
                 g.num_edges(),
+                config.effective_threads(),
                 st.n1,
                 st.n2,
                 st.num_blocks,
                 st.total_nnz(),
                 st.bytes
             )
-            .map_err(io_err)
+            .map_err(io_err)?;
+            writeln!(out, "stages: {}", bear.timings().summary()).map_err(io_err)
         }
         Command::Query { index, seed, top, threads, serve } => {
             let (service, notice) = load_service(index, *threads, serve)?;
@@ -520,11 +547,55 @@ mod tests {
 
     #[test]
     fn parses_preprocess() {
-        let cmd = parse(&["preprocess", "g.txt", "g.idx", "--c", "0.1", "--xi", "1e-4"]).unwrap();
+        let cmd = parse(&[
+            "preprocess",
+            "g.txt",
+            "g.idx",
+            "--c",
+            "0.1",
+            "--xi",
+            "1e-4",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
         assert_eq!(
             cmd,
-            Command::Preprocess { graph: "g.txt".into(), index: "g.idx".into(), c: 0.1, xi: 1e-4 }
+            Command::Preprocess {
+                graph: "g.txt".into(),
+                index: "g.idx".into(),
+                c: 0.1,
+                xi: 1e-4,
+                threads: 4,
+            }
         );
+        // --threads defaults to 0 (all cores).
+        let cmd = parse(&["preprocess", "g.txt", "g.idx"]).unwrap();
+        assert!(matches!(cmd, Command::Preprocess { threads: 0, .. }));
+    }
+
+    /// Integer flags are parsed as integers: fractional, negative, or
+    /// non-numeric values are usage errors, never silent `as usize`
+    /// truncations (`--top 3.9` used to mean `--top 3`).
+    #[test]
+    fn integer_flags_reject_non_integers() {
+        for bad in [
+            vec!["query", "g.idx", "1", "--top", "3.9"],
+            vec!["query", "g.idx", "1", "--top", "-2"],
+            vec!["query", "g.idx", "1", "--threads", "1.5"],
+            vec!["batch", "g.idx", "1", "--threads", "-1"],
+            vec!["query", "g.idx", "1", "--queue-cap", "64.0"],
+            vec!["query", "g.idx", "1", "--deadline-ms", "abc"],
+            vec!["preprocess", "g.txt", "g.idx", "--threads", "2.5"],
+        ] {
+            let err = parse(&bad).unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidStructure(ref m) if m.contains("integer")),
+                "{bad:?}: unexpected {err:?}"
+            );
+        }
+        // Well-formed integers still parse.
+        assert!(parse(&["query", "g.idx", "1", "--top", "7", "--queue-cap", "64"]).is_ok());
     }
 
     #[test]
@@ -637,11 +708,17 @@ mod tests {
                 index: index_path.to_string_lossy().into_owned(),
                 c: 0.05,
                 xi: 0.0,
+                threads: 2,
             },
             &mut buf,
         )
         .unwrap();
-        assert!(String::from_utf8_lossy(&buf).contains("preprocessed"));
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.contains("preprocessed"));
+        assert!(text.contains("threads=2"));
+        assert!(text.contains("stages:"), "missing stage timings: {text}");
+        assert!(text.contains("factor_h11="));
+        assert!(text.contains("total="));
 
         buf.clear();
         run(
@@ -689,6 +766,41 @@ mod tests {
 
         std::fs::remove_file(&graph_path).ok();
         std::fs::remove_file(&index_path).ok();
+    }
+
+    /// A NaN/negative/infinite `--xi` must be rejected by the config
+    /// boundary, not silently collapse to exact mode.
+    #[test]
+    fn preprocess_rejects_invalid_drop_tolerance() {
+        let dir = std::env::temp_dir();
+        let graph_path = dir.join("bear_cli_bad_xi.txt");
+        let mut buf = Vec::new();
+        run(
+            &Command::Generate {
+                dataset: "small_routing".into(),
+                out: graph_path.to_string_lossy().into_owned(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        for xi in [f64::NAN, -0.5, f64::INFINITY] {
+            let err = run(
+                &Command::Preprocess {
+                    graph: graph_path.to_string_lossy().into_owned(),
+                    index: dir.join("bear_cli_bad_xi.idx").to_string_lossy().into_owned(),
+                    c: 0.05,
+                    xi,
+                    threads: 1,
+                },
+                &mut buf,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidConfig { param: "drop_tolerance", .. }),
+                "xi = {xi}: unexpected {err:?}"
+            );
+        }
+        std::fs::remove_file(&graph_path).ok();
     }
 
     #[test]

@@ -68,7 +68,6 @@ impl DynamicBear {
         bear: &Bear,
         config: &BearConfig,
     ) -> Result<(SparseColumns, SparseColumns)> {
-        let n = bear.num_nodes();
         let (n1, n2) = (bear.n1, bear.n2);
         let h = bear.perm.permute_symmetric(&build_h(g, &config.rwr)?)?;
         let mut h12_cols = vec![Vec::new(); n2];
@@ -82,7 +81,6 @@ impl DynamicBear {
                 }
             }
         }
-        let _ = n;
         Ok((h12_cols, h22_cols))
     }
 

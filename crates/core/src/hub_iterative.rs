@@ -41,9 +41,14 @@ impl BearHubIterative {
     /// Schur complement (Algorithm 1 lines 1–7), but keeps `S` as-is
     /// instead of factoring and inverting it.
     pub fn new(g: &Graph, config: &BearConfig) -> Result<Self> {
+        // `preprocess_to_schur` validates the config, so `drop_tolerance`
+        // is finite and non-negative here.
         let parts = crate::precompute::preprocess_to_schur(g, config)?;
-        let xi = config.drop_tolerance.max(0.0);
-        let s = bear_sparse::sparsify::drop_tolerance_csr(&parts.s, xi);
+        let s = bear_sparse::sparsify::par_drop_tolerance_csr(
+            &parts.s,
+            config.drop_tolerance,
+            config.effective_threads(),
+        )?;
         Ok(BearHubIterative {
             l1_inv: parts.l1_inv,
             u1_inv: parts.u1_inv,

@@ -77,5 +77,5 @@ pub use hub_iterative::BearHubIterative;
 pub use precompute::{Bear, BearConfig};
 pub use rwr::{build_h, Normalization, RwrConfig};
 pub use solver::RwrSolver;
-pub use stats::PrecomputedStats;
+pub use stats::{PrecomputedStats, StageTimings};
 pub use topk::ScoredNode;

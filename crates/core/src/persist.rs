@@ -219,7 +219,23 @@ impl Bear {
         {
             return Err(Error::InvalidStructure("inconsistent index dimensions".into()));
         }
-        Ok(Bear { l1_inv, u1_inv, l2_inv, u2_inv, h12, h21, perm, n1, n2, c, block_sizes, degrees })
+        Ok(Bear {
+            l1_inv,
+            u1_inv,
+            l2_inv,
+            u2_inv,
+            h12,
+            h21,
+            perm,
+            n1,
+            n2,
+            c,
+            block_sizes,
+            degrees,
+            // Preprocessing happened in the process that wrote the index;
+            // a loaded index reports zero stage timings.
+            timings: crate::stats::StageTimings::default(),
+        })
     }
 }
 

@@ -15,11 +15,14 @@
 //!    six precomputed matrices.
 
 use crate::rwr::{build_h, RwrConfig};
-use crate::stats::PrecomputedStats;
+use crate::stats::{PrecomputedStats, StageTimings};
 use bear_graph::{slashburn, Graph, SlashBurnConfig};
 use bear_sparse::mem::{MemBudget, MemoryUsage};
-use bear_sparse::sparsify::{drop_tolerance_csc, drop_tolerance_csr};
-use bear_sparse::{ops, BlockDiagLu, CscMatrix, CsrMatrix, Permutation, Result, SparseLu};
+use bear_sparse::parallel::{par_invert_triangular, par_spgemm};
+use bear_sparse::sparsify::{par_drop_tolerance_csc, par_drop_tolerance_csr};
+use bear_sparse::triangular::Triangle;
+use bear_sparse::{ops, BlockDiagLu, CscMatrix, CsrMatrix, Error, Permutation, Result, SparseLu};
+use std::time::Instant;
 
 /// Configuration for BEAR preprocessing.
 #[derive(Debug, Clone, Copy)]
@@ -42,8 +45,11 @@ pub struct BearConfig {
     /// (Observation 1). Disable only for ablation experiments.
     pub sort_blocks_by_degree: bool,
     /// Worker threads for the parallelizable preprocessing kernels
-    /// (Schur-complement SpGEMM and triangular-factor inversion). `1`
-    /// runs the serial kernels; results are identical either way.
+    /// (block-diagonal LU, factor inversion, Schur-complement SpGEMM,
+    /// and drop-tolerance sparsification). `1` runs the serial kernels;
+    /// `0` means "all cores". Results are **bit-identical** for every
+    /// thread count: every parallel kernel stitches per-chunk output
+    /// back in input order.
     pub threads: usize,
 }
 
@@ -71,6 +77,35 @@ impl BearConfig {
     pub fn approx(c: f64, xi: f64) -> Self {
         BearConfig { drop_tolerance: xi, ..BearConfig::exact(c) }
     }
+
+    /// Validates the whole configuration at the preprocessing boundary.
+    ///
+    /// Beyond the restart-probability range check, this rejects a NaN,
+    /// infinite, or negative drop tolerance `ξ`: a NaN used to slip
+    /// through to the sparsifier where `v.abs() >= NaN` is false for
+    /// every entry, silently emptying all six precomputed matrices.
+    pub fn validate(&self) -> Result<()> {
+        self.rwr.validate()?;
+        if !self.drop_tolerance.is_finite() || self.drop_tolerance < 0.0 {
+            return Err(Error::InvalidConfig {
+                param: "drop_tolerance",
+                reason: format!(
+                    "xi = {} must be finite and >= 0 (0 disables sparsification)",
+                    self.drop_tolerance
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolves [`BearConfig::threads`] to a concrete worker count:
+    /// `0` maps to all available cores, anything else is taken as-is.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
 }
 
 /// Intermediate preprocessing state shared by [`Bear`] and the
@@ -88,19 +123,30 @@ pub(crate) struct PreprocessParts {
     pub(crate) n2: usize,
     pub(crate) block_sizes: Vec<usize>,
     pub(crate) degrees: Vec<usize>,
+    /// Stage timings for lines 1–7; the Schur-side stages are filled in
+    /// by [`Bear::new`].
+    pub(crate) timings: StageTimings,
 }
 
 /// Runs Algorithm 1 lines 1–7: build `H`, SlashBurn-reorder, partition,
 /// block-factor `H₁₁` and invert its factors, form the Schur complement,
 /// and reorder the hubs. Stops before factoring `S`.
+///
+/// All heavy kernels run on `config.effective_threads()` workers; the
+/// output is bit-identical for every thread count.
 pub(crate) fn preprocess_to_schur(g: &Graph, config: &BearConfig) -> Result<PreprocessParts> {
-    config.rwr.validate()?;
+    config.validate()?;
     let n = g.num_nodes();
+    let threads = config.effective_threads();
+    let mut timings = StageTimings::default();
 
     // Line 1: H = I − (1−c) Ãᵀ.
+    let stage = Instant::now();
     let h = build_h(g, &config.rwr)?;
+    timings.build_h = stage.elapsed();
 
     // Lines 2–3: SlashBurn ordering.
+    let stage = Instant::now();
     let mut sb_config = match config.slashburn_k {
         Some(k) => SlashBurnConfig::with_k(k),
         None => SlashBurnConfig::paper_default(n),
@@ -109,33 +155,37 @@ pub(crate) fn preprocess_to_schur(g: &Graph, config: &BearConfig) -> Result<Prep
     let ordering = slashburn(g, &sb_config)?;
     let (n1, n2) = (ordering.n_spokes, ordering.n_hubs);
     let h = ordering.perm.permute_symmetric(&h)?;
+    timings.slashburn = stage.elapsed();
 
     // Line 4: partition.
+    let stage = Instant::now();
     let h11 = h.submatrix(0, n1, 0, n1)?;
     let mut h12 = h.submatrix(0, n1, n1, n)?;
     let mut h21 = h.submatrix(n1, n, 0, n1)?;
     let h22 = h.submatrix(n1, n, n1, n)?;
     config.budget.check(h12.memory_bytes() + h21.memory_bytes())?;
+    timings.partition = stage.elapsed();
 
-    // Line 5: block-diagonal LU of H₁₁ and inverted factors.
-    let block_lu = BlockDiagLu::factor(&h11.to_csc(), &ordering.block_sizes)?;
-    let (l1_inv, u1_inv) = block_lu.invert_factors()?;
+    // Line 5: block-diagonal LU of H₁₁ and inverted factors, with the
+    // independent blocks scheduled across the workers (cost-balanced by
+    // Σ block_size², largest blocks first).
+    let stage = Instant::now();
+    let block_lu = BlockDiagLu::par_factor(&h11.to_csc(), &ordering.block_sizes, threads)?;
+    timings.factor_h11 = stage.elapsed();
+    let stage = Instant::now();
+    let (l1_inv, u1_inv) = block_lu.par_invert_factors(threads)?;
     config.budget.check(
         h12.memory_bytes() + h21.memory_bytes() + l1_inv.memory_bytes() + u1_inv.memory_bytes(),
     )?;
+    timings.invert_h11 = stage.elapsed();
 
-    // Line 6: Schur complement S = H₂₂ − H₂₁ U₁⁻¹ L₁⁻¹ H₁₂.
-    let threads = config.threads.max(1);
-    let mm = |a: &CsrMatrix, b: &CsrMatrix| -> Result<CsrMatrix> {
-        if threads > 1 {
-            bear_sparse::parallel::par_spgemm(a, b, threads)
-        } else {
-            ops::spgemm(a, b)
-        }
-    };
-    let r1 = mm(&l1_inv.to_csr(), &h12)?;
-    let r2 = mm(&u1_inv.to_csr(), &r1)?;
-    let r3 = mm(&h21, &r2)?;
+    // Line 6: Schur complement S = H₂₂ − H₂₁ U₁⁻¹ L₁⁻¹ H₁₂; the three
+    // SpGEMMs split row ranges across workers (par_spgemm delegates to
+    // the serial kernel for one thread or tiny inputs).
+    let stage = Instant::now();
+    let r1 = par_spgemm(&l1_inv.to_csr(), &h12, threads)?;
+    let r2 = par_spgemm(&u1_inv.to_csr(), &r1, threads)?;
+    let r3 = par_spgemm(&h21, &r2, threads)?;
     let mut s = ops::sub(&h22, &r3)?;
 
     // Line 7: reorder hubs ascending by degree within S.
@@ -144,6 +194,7 @@ pub(crate) fn preprocess_to_schur(g: &Graph, config: &BearConfig) -> Result<Prep
     s = hub_perm.permute_symmetric(&s)?;
     h12 = hub_perm.permute_cols(&h12)?;
     h21 = hub_perm.permute_rows(&h21)?;
+    timings.schur = stage.elapsed();
 
     // Full ordering = hub reorder on top of the SlashBurn ordering.
     let mut full_forward: Vec<usize> = (0..n).collect();
@@ -164,6 +215,7 @@ pub(crate) fn preprocess_to_schur(g: &Graph, config: &BearConfig) -> Result<Prep
         n2,
         block_sizes: ordering.block_sizes,
         degrees: g.undirected_degrees(),
+        timings,
     })
 }
 
@@ -196,41 +248,48 @@ pub struct Bear {
     /// Undirected degree of every node (used by the effective-importance
     /// variant).
     pub(crate) degrees: Vec<usize>,
+    /// Per-stage preprocessing timings (zeros for a loaded index).
+    pub(crate) timings: StageTimings,
 }
 
 impl Bear {
     /// Runs Algorithm 1 on `g`.
     pub fn new(g: &Graph, config: &BearConfig) -> Result<Self> {
+        let start = Instant::now();
         let parts = preprocess_to_schur(g, config)?;
+        let mut timings = parts.timings;
+        let threads = config.effective_threads();
 
-        // Line 8: LU of S and inverted factors.
+        // Line 8: LU of S and inverted factors. The factorization is
+        // inherently sequential (each column depends on the previous
+        // ones); the inversion is one independent solve per column and
+        // splits across the workers.
+        let stage = Instant::now();
         let s_lu = SparseLu::factor(&parts.s.to_csc())?;
-        let threads = config.threads.max(1);
-        let (l2_inv, u2_inv) = if threads > 1 {
-            use bear_sparse::parallel::par_invert_triangular;
-            use bear_sparse::triangular::Triangle;
-            (
-                par_invert_triangular(s_lu.l(), Triangle::Lower, true, threads)?,
-                par_invert_triangular(s_lu.u(), Triangle::Upper, false, threads)?,
-            )
-        } else {
-            s_lu.invert_factors()?
-        };
+        timings.factor_schur = stage.elapsed();
+        let stage = Instant::now();
+        let l2_inv = par_invert_triangular(s_lu.l(), Triangle::Lower, true, threads)?;
+        let u2_inv = par_invert_triangular(s_lu.u(), Triangle::Upper, false, threads)?;
+        timings.invert_schur = stage.elapsed();
 
-        // Line 9: drop tolerance (BEAR-Approx only).
+        // Line 9: drop tolerance (BEAR-Approx only); each of the six
+        // matrices is filtered in parallel row/column ranges.
+        let stage = Instant::now();
         let xi = config.drop_tolerance;
         let (l1_inv, u1_inv, l2_inv, u2_inv, h12, h21) = if xi > 0.0 {
             (
-                drop_tolerance_csc(&parts.l1_inv, xi),
-                drop_tolerance_csc(&parts.u1_inv, xi),
-                drop_tolerance_csc(&l2_inv, xi),
-                drop_tolerance_csc(&u2_inv, xi),
-                drop_tolerance_csr(&parts.h12, xi),
-                drop_tolerance_csr(&parts.h21, xi),
+                par_drop_tolerance_csc(&parts.l1_inv, xi, threads)?,
+                par_drop_tolerance_csc(&parts.u1_inv, xi, threads)?,
+                par_drop_tolerance_csc(&l2_inv, xi, threads)?,
+                par_drop_tolerance_csc(&u2_inv, xi, threads)?,
+                par_drop_tolerance_csr(&parts.h12, xi, threads)?,
+                par_drop_tolerance_csr(&parts.h21, xi, threads)?,
             )
         } else {
             (parts.l1_inv, parts.u1_inv, l2_inv, u2_inv, parts.h12, parts.h21)
         };
+        timings.sparsify = stage.elapsed();
+        timings.total = start.elapsed();
 
         let total_bytes = l1_inv.memory_bytes()
             + u1_inv.memory_bytes()
@@ -253,6 +312,7 @@ impl Bear {
             c: config.rwr.c,
             block_sizes: parts.block_sizes,
             degrees: parts.degrees,
+            timings,
         })
     }
 
@@ -286,6 +346,12 @@ impl Bear {
         &self.perm
     }
 
+    /// Per-stage preprocessing wall-clock timings. All zeros for an index
+    /// loaded from disk (the work happened in another process).
+    pub fn timings(&self) -> &StageTimings {
+        &self.timings
+    }
+
     /// Per-matrix nonzero counts and byte sizes of the precomputed data
     /// (the paper's Table 4 columns).
     pub fn stats(&self) -> PrecomputedStats {
@@ -307,6 +373,7 @@ impl Bear {
                 + self.u2_inv.memory_bytes()
                 + self.h12.memory_bytes()
                 + self.h21.memory_bytes(),
+            timings: self.timings,
         }
     }
 }
@@ -423,5 +490,75 @@ mod tests {
         for seed in [0, 7, 42] {
             assert_eq!(serial.query(seed).unwrap(), parallel.query(seed).unwrap());
         }
+    }
+
+    /// Exact per-matrix comparison of every precomputed structure. Used by
+    /// [`parallel_preprocessing_is_bit_identical`]; a failure names the
+    /// first matrix that diverged.
+    fn assert_bear_bit_identical(a: &Bear, b: &Bear) {
+        assert_eq!(a.perm.as_new_to_old(), b.perm.as_new_to_old(), "permutation diverged");
+        assert_eq!(a.block_sizes, b.block_sizes, "block sizes diverged");
+        assert_eq!((a.n1, a.n2), (b.n1, b.n2), "spoke/hub split diverged");
+        assert_eq!(a.l1_inv, b.l1_inv, "L1_inv diverged");
+        assert_eq!(a.u1_inv, b.u1_inv, "U1_inv diverged");
+        assert_eq!(a.l2_inv, b.l2_inv, "L2_inv diverged");
+        assert_eq!(a.u2_inv, b.u2_inv, "U2_inv diverged");
+        assert_eq!(a.h12, b.h12, "H12 diverged");
+        assert_eq!(a.h21, b.h21, "H21 diverged");
+    }
+
+    /// The determinism guarantee of the parallel preprocessing path:
+    /// `Bear::new` is *bit-identical* — exact `==` on all six matrices and
+    /// the permutation — for `threads = 1` vs `threads ∈ {2, 4, 8}`, both
+    /// exact and with drop-tolerance sparsification. `BEAR_TEST_THREADS`
+    /// adds an extra thread count so the CI matrix exercises others.
+    #[test]
+    fn parallel_preprocessing_is_bit_identical() {
+        let g = bear_graph::generators::hub_and_spoke(
+            &bear_graph::generators::HubSpokeConfig {
+                num_hubs: 5,
+                num_caves: 30,
+                max_cave_size: 7,
+                cave_density: 0.5,
+                hub_links: 2,
+                hub_density: 0.5,
+            },
+            &mut rand_rng(21),
+        );
+        let mut thread_counts = vec![2usize, 4, 8];
+        if let Ok(extra) = std::env::var("BEAR_TEST_THREADS") {
+            if let Ok(n) = extra.trim().parse::<usize>() {
+                if n > 1 && !thread_counts.contains(&n) {
+                    thread_counts.push(n);
+                }
+            }
+        }
+        for xi in [0.0, 1e-3] {
+            let base = BearConfig { drop_tolerance: xi, ..BearConfig::default() };
+            let serial = Bear::new(&g, &BearConfig { threads: 1, ..base }).unwrap();
+            for &threads in &thread_counts {
+                let parallel = Bear::new(&g, &BearConfig { threads, ..base }).unwrap();
+                assert_bear_bit_identical(&serial, &parallel);
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_or_negative_drop_tolerance_rejected() {
+        let g = star_graph();
+        for xi in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5] {
+            let config = BearConfig { drop_tolerance: xi, ..BearConfig::default() };
+            let err = Bear::new(&g, &config).unwrap_err();
+            assert!(
+                matches!(err, bear_sparse::Error::InvalidConfig { param: "drop_tolerance", .. }),
+                "xi = {xi}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_available() {
+        assert!(BearConfig { threads: 0, ..BearConfig::default() }.effective_threads() >= 1);
+        assert_eq!(BearConfig { threads: 3, ..BearConfig::default() }.effective_threads(), 3);
     }
 }

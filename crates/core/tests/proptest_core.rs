@@ -69,6 +69,30 @@ proptest! {
     }
 
     #[test]
+    fn parallel_preprocessing_saves_identical_bytes(g in arb_graph(), tag in 0u64..1_000_000) {
+        // The public-API face of the determinism guarantee: serial and
+        // multi-threaded preprocessing persist byte-for-byte identical
+        // indexes, so every matrix, permutation entry, and count agrees
+        // exactly — not just approximately.
+        let serial = Bear::new(&g, &BearConfig { threads: 1, ..BearConfig::approx(0.1, 1e-4) }).unwrap();
+        let mut blobs = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let config = BearConfig { threads, ..BearConfig::approx(0.1, 1e-4) };
+            let bear = Bear::new(&g, &config).unwrap();
+            let path = std::env::temp_dir().join(format!("bear_prop_par_{tag}_{threads}.idx"));
+            bear.save(&path).unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            blobs.push((threads, bytes));
+            prop_assert_eq!(serial.stats(), bear.stats());
+        }
+        let (_, reference) = &blobs[0];
+        for (threads, bytes) in &blobs[1..] {
+            prop_assert_eq!(bytes, reference, "threads = {} produced different index bytes", threads);
+        }
+    }
+
+    #[test]
     fn batch_query_equals_individual(g in arb_graph()) {
         let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
         let n = g.num_nodes();

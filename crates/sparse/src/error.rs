@@ -75,6 +75,16 @@ pub enum Error {
     },
     /// The operation was cancelled by its caller before completion.
     Cancelled,
+    /// A worker thread of a parallel kernel panicked. The panic is
+    /// contained at the join (the process survives, sibling chunks run to
+    /// completion) and surfaces as this typed error, mirroring the query
+    /// engine's `WorkerPanicked` containment.
+    KernelPanicked {
+        /// Name of the kernel whose worker panicked.
+        kernel: &'static str,
+        /// The panic payload, when it carried a printable message.
+        detail: String,
+    },
     /// A configuration parameter was rejected at construction time.
     InvalidConfig {
         /// Name of the offending parameter.
@@ -117,6 +127,9 @@ impl fmt::Display for Error {
                 write!(f, "query worker panicked answering seed {seed}")
             }
             Error::Cancelled => write!(f, "operation cancelled by caller"),
+            Error::KernelPanicked { kernel, detail } => {
+                write!(f, "parallel kernel {kernel} worker panicked: {detail}")
+            }
             Error::InvalidConfig { param, reason } => {
                 write!(f, "invalid configuration: {param}: {reason}")
             }

@@ -435,6 +435,44 @@ pub struct BlockDiagLu {
     dim: usize,
 }
 
+/// Validates the block layout of `a` against `block_sizes` (square, sizes
+/// summing to the dimension, no entry crossing a block boundary) and
+/// returns each block's starting offset.
+///
+/// Entries outside the claimed diagonal blocks are rejected: silently
+/// dropping them would make `BlockDiagLu::solve` return wrong results.
+fn validate_block_layout(a: &CscMatrix, block_sizes: &[usize]) -> Result<Vec<usize>> {
+    let n = a.ncols();
+    if a.nrows() != n {
+        return Err(Error::DimensionMismatch {
+            op: "block diag lu",
+            lhs: (a.nrows(), a.ncols()),
+            rhs: (n, n),
+        });
+    }
+    let total: usize = block_sizes.iter().sum();
+    if total != n {
+        return Err(Error::InvalidStructure(format!("block sizes sum to {total}, expected {n}")));
+    }
+    // Map every index to its block id and offset for validation.
+    let mut block_of = vec![0usize; n];
+    let mut offsets = Vec::with_capacity(block_sizes.len());
+    let mut off = 0;
+    for (bid, &sz) in block_sizes.iter().enumerate() {
+        offsets.push(off);
+        block_of[off..off + sz].fill(bid);
+        off += sz;
+    }
+    for (r, c, _) in a.iter() {
+        if block_of[r] != block_of[c] {
+            return Err(Error::InvalidStructure(format!(
+                "entry ({r}, {c}) crosses block boundary"
+            )));
+        }
+    }
+    Ok(offsets)
+}
+
 impl BlockDiagLu {
     /// Factors a block-diagonal matrix given as the full CSC matrix plus
     /// the list of block sizes (which must sum to the dimension).
@@ -442,37 +480,7 @@ impl BlockDiagLu {
     /// Entries outside the claimed diagonal blocks are rejected: silently
     /// dropping them would make `solve` return wrong results.
     pub fn factor(a: &CscMatrix, block_sizes: &[usize]) -> Result<Self> {
-        let n = a.ncols();
-        if a.nrows() != n {
-            return Err(Error::DimensionMismatch {
-                op: "block diag lu",
-                lhs: (a.nrows(), a.ncols()),
-                rhs: (n, n),
-            });
-        }
-        let total: usize = block_sizes.iter().sum();
-        if total != n {
-            return Err(Error::InvalidStructure(format!(
-                "block sizes sum to {total}, expected {n}"
-            )));
-        }
-        // Map every index to its block id and offset for validation.
-        let mut block_of = vec![0usize; n];
-        let mut offsets = Vec::with_capacity(block_sizes.len());
-        let mut off = 0;
-        for (bid, &sz) in block_sizes.iter().enumerate() {
-            offsets.push(off);
-            block_of[off..off + sz].fill(bid);
-            off += sz;
-        }
-        for (r, c, _) in a.iter() {
-            if block_of[r] != block_of[c] {
-                return Err(Error::InvalidStructure(format!(
-                    "entry ({r}, {c}) crosses block boundary"
-                )));
-            }
-        }
-
+        let offsets = validate_block_layout(a, block_sizes)?;
         let csr = a.to_csr();
         let mut blocks = Vec::with_capacity(block_sizes.len());
         for (bid, &sz) in block_sizes.iter().enumerate() {
@@ -481,7 +489,49 @@ impl BlockDiagLu {
             let lu = SparseLu::factor(&sub.to_csc())?;
             blocks.push((off, lu));
         }
-        Ok(BlockDiagLu { blocks, dim: n })
+        Ok(BlockDiagLu { blocks, dim: a.ncols() })
+    }
+
+    /// Parallel [`BlockDiagLu::factor`]: the independent diagonal blocks
+    /// (Lemma 1) are scheduled across `threads` scoped workers.
+    ///
+    /// Scheduling is cost-aware: blocks are weighted by `size²` and
+    /// chunked largest-first with [`crate::parallel::balance_by_cost`],
+    /// so one giant block cannot serialize the whole factorization behind
+    /// a thread that also owns half the small blocks. Results are
+    /// stitched back in block order, making the output bit-identical to
+    /// the serial path for every thread count.
+    pub fn par_factor(a: &CscMatrix, block_sizes: &[usize], threads: usize) -> Result<Self> {
+        if threads.max(1) <= 1 || block_sizes.len() <= 1 {
+            return Self::factor(a, block_sizes);
+        }
+        let offsets = validate_block_layout(a, block_sizes)?;
+        let csr = a.to_csr();
+        let costs: Vec<u128> =
+            block_sizes.iter().map(|&s| (s as u128).saturating_mul(s as u128)).collect();
+        let chunks = crate::parallel::balance_by_cost(&costs, threads);
+        let per_chunk =
+            crate::parallel::run_chunked(chunks, "block_diag_lu::par_factor", |chunk| {
+                chunk
+                    .into_iter()
+                    .map(|bid| {
+                        let (off, sz) = (offsets[bid], block_sizes[bid]);
+                        let sub = csr.submatrix(off, off + sz, off, off + sz)?;
+                        Ok((bid, SparseLu::factor(&sub.to_csc())?))
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })?;
+        // Stitch in block order.
+        let mut slots: Vec<Option<SparseLu>> = (0..block_sizes.len()).map(|_| None).collect();
+        for (bid, lu) in per_chunk.into_iter().flatten() {
+            slots[bid] = Some(lu);
+        }
+        let blocks = offsets
+            .into_iter()
+            .zip(slots)
+            .map(|(off, lu)| (off, lu.expect("every block factored exactly once")))
+            .collect();
+        Ok(BlockDiagLu { blocks, dim: a.ncols() })
     }
 
     /// Dimension of the factored matrix.
@@ -522,6 +572,43 @@ impl BlockDiagLu {
             linvs.push(li);
             uinvs.push(ui);
         }
+        Ok((block_diag_concat(&linvs, self.dim), block_diag_concat(&uinvs, self.dim)))
+    }
+
+    /// Parallel [`BlockDiagLu::invert_factors`]: per-block triangular
+    /// inversions scheduled across `threads` workers with the same
+    /// `size²` cost model as [`BlockDiagLu::par_factor`], concatenated in
+    /// block order so the result is bit-identical to the serial path.
+    pub fn par_invert_factors(&self, threads: usize) -> Result<(CscMatrix, CscMatrix)> {
+        if threads.max(1) <= 1 || self.blocks.len() <= 1 {
+            return self.invert_factors();
+        }
+        let costs: Vec<u128> = self
+            .blocks
+            .iter()
+            .map(|(_, lu)| (lu.dim() as u128).saturating_mul(lu.dim() as u128))
+            .collect();
+        let chunks = crate::parallel::balance_by_cost(&costs, threads);
+        let per_chunk =
+            crate::parallel::run_chunked(chunks, "block_diag_lu::par_invert_factors", |chunk| {
+                chunk
+                    .into_iter()
+                    .map(|bid| {
+                        let (li, ui) = self.blocks[bid].1.invert_factors()?;
+                        Ok((bid, li, ui))
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })?;
+        let mut linvs: Vec<Option<CscMatrix>> = (0..self.blocks.len()).map(|_| None).collect();
+        let mut uinvs: Vec<Option<CscMatrix>> = (0..self.blocks.len()).map(|_| None).collect();
+        for (bid, li, ui) in per_chunk.into_iter().flatten() {
+            linvs[bid] = Some(li);
+            uinvs[bid] = Some(ui);
+        }
+        let linvs: Vec<CscMatrix> =
+            linvs.into_iter().map(|m| m.expect("every block inverted exactly once")).collect();
+        let uinvs: Vec<CscMatrix> =
+            uinvs.into_iter().map(|m| m.expect("every block inverted exactly once")).collect();
         Ok((block_diag_concat(&linvs, self.dim), block_diag_concat(&uinvs, self.dim)))
     }
 }
@@ -788,6 +875,70 @@ mod tests {
     fn block_sizes_must_sum_to_dim() {
         let a = CscMatrix::identity(4);
         assert!(BlockDiagLu::factor(&a, &[2, 1]).is_err());
+        assert!(BlockDiagLu::par_factor(&a, &[2, 1], 4).is_err());
+    }
+
+    /// Diagonally dominant block-diagonal matrix with heterogeneous block
+    /// sizes (one big block plus many small ones — the shape SlashBurn
+    /// produces, and the one that exercises cost-aware chunking).
+    fn random_block_diag(block_sizes: &[usize], seed: u64) -> CscMatrix {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n: usize = block_sizes.iter().sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(n, n);
+        let mut off = 0;
+        for &sz in block_sizes {
+            for i in 0..sz {
+                let mut row_sum = 0.0;
+                for j in 0..sz {
+                    if i != j && rng.gen_bool(0.4) {
+                        let v: f64 = rng.gen_range(-1.0..1.0);
+                        coo.push(off + i, off + j, v);
+                        row_sum += v.abs();
+                    }
+                }
+                coo.push(off + i, off + i, row_sum + 1.0);
+            }
+            off += sz;
+        }
+        coo.to_csr().to_csc()
+    }
+
+    #[test]
+    fn par_factor_bit_identical_to_serial() {
+        let sizes = [7usize, 1, 3, 12, 2, 2, 5, 1, 1, 4];
+        let a = random_block_diag(&sizes, 11);
+        let serial = BlockDiagLu::factor(&a, &sizes).unwrap();
+        let (sl, su) = serial.invert_factors().unwrap();
+        for threads in [1, 2, 3, 4, 8] {
+            let par = BlockDiagLu::par_factor(&a, &sizes, threads).unwrap();
+            assert_eq!(par.num_blocks(), serial.num_blocks());
+            // Factors and their inverses are bit-identical: same indptr,
+            // indices, and values, not just numerically close.
+            let (pl, pu) = par.invert_factors().unwrap();
+            assert_eq!(pl, sl);
+            assert_eq!(pu, su);
+            let (ppl, ppu) = par.par_invert_factors(threads).unwrap();
+            assert_eq!(ppl, sl);
+            assert_eq!(ppu, su);
+            // Solves agree exactly as well.
+            let b: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).cos()).collect();
+            assert_eq!(par.solve(&b).unwrap(), serial.solve(&b).unwrap());
+        }
+    }
+
+    #[test]
+    fn par_factor_propagates_singular_block() {
+        // Second block singular (zero column).
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 2.0);
+        coo.push(2, 2, 1.0);
+        // Column 3 is empty -> singular.
+        let a = coo.to_csr().to_csc();
+        let err = BlockDiagLu::par_factor(&a, &[2, 2], 2).unwrap_err();
+        assert!(matches!(err, Error::SingularMatrix { .. }), "got {err:?}");
     }
 
     #[test]

@@ -1,11 +1,31 @@
-//! Parallel versions of the embarrassingly parallel kernels.
+//! Parallel versions of the embarrassingly parallel kernels, built on a
+//! shared scoped fan-out helper.
 //!
-//! BEAR's preprocessing is dominated by two column-independent
-//! computations — triangular-factor inversion (one sparse solve per
-//! column) and SpGEMM (one accumulator pass per row) — so both scale
-//! nearly linearly with threads via simple range splitting over
-//! `std::thread::scope`. Results are bit-identical to the serial
-//! kernels (each column/row is computed by exactly the same code).
+//! BEAR's preprocessing is dominated by per-column / per-block
+//! computations that are independent of each other — triangular-factor
+//! inversion (one sparse solve per column), SpGEMM (one accumulator pass
+//! per row), block-diagonal LU (one factorization per block), and
+//! drop-tolerance sparsification (one filter pass per row/column) — so
+//! all of them scale nearly linearly with threads by splitting the work
+//! into chunks over `std::thread::scope`. Results are stitched back in
+//! input order, so every parallel kernel is **bit-identical** to its
+//! serial counterpart (each column/row/block is computed by exactly the
+//! same code, and f64 arithmetic never crosses a chunk boundary).
+//!
+//! Two scheduling helpers cover the kernels' needs:
+//!
+//! * [`split_ranges`] — contiguous near-equal ranges, for kernels whose
+//!   per-item cost is roughly uniform (rows of SpGEMM, columns of a
+//!   triangular inverse);
+//! * [`balance_by_cost`] — greedy LPT (longest-processing-time-first)
+//!   chunking for heterogeneous items, e.g. diagonal blocks of `H₁₁`
+//!   whose factorization cost grows like `size²`; the largest blocks are
+//!   placed first and chunks are balanced by total cost.
+//!
+//! [`run_chunked`] is the shared execution core: it fans the chunks out
+//! over scoped threads, joins them in order, and converts worker panics
+//! into the typed [`Error::KernelPanicked`] instead of aborting the
+//! process (consistent with the query engine's worker-panic containment).
 //!
 //! Thread-spawn overhead is a few hundred microseconds per call, so the
 //! parallel paths only pay off once the serial kernel takes milliseconds —
@@ -21,7 +41,7 @@ use crate::triangular::{spsolve, SpSolveWorkspace, Triangle};
 
 /// Splits `0..n` into at most `parts` contiguous ranges of near-equal
 /// length.
-fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+pub fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     let parts = parts.max(1).min(n.max(1));
     let base = n / parts;
     let extra = n % parts;
@@ -33,6 +53,84 @@ fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
         start += len;
     }
     out
+}
+
+/// Partitions the item indices `0..costs.len()` into at most `parts`
+/// chunks of near-equal total cost using the greedy LPT rule: items are
+/// visited in descending cost order and each goes to the currently
+/// least-loaded chunk. Scheduling is fully deterministic (stable
+/// descending sort, ties broken by lowest item index; equal loads broken
+/// by lowest chunk index) and every index appears in exactly one chunk.
+///
+/// Within each returned chunk the indices are sorted ascending, so a
+/// caller that stitches per-chunk output back by index produces
+/// input-ordered (hence bit-identical) results regardless of `parts`.
+pub fn balance_by_cost(costs: &[u128], parts: usize) -> Vec<Vec<usize>> {
+    let parts = parts.max(1).min(costs.len().max(1));
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    // Stable sort: equal costs keep ascending index order.
+    order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+    let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    let mut loads = vec![0u128; parts];
+    for i in order {
+        let k = (0..parts).min_by_key(|&k| (loads[k], k)).expect("parts >= 1");
+        chunks[k].push(i);
+        loads[k] = loads[k].saturating_add(costs[i]);
+    }
+    for chunk in &mut chunks {
+        chunk.sort_unstable();
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `work` over `chunks` on one scoped thread per chunk and returns
+/// the per-chunk results **in input order**.
+///
+/// This is the shared execution core of every parallel kernel. It
+/// replaces the per-call `thread::scope` + `join().expect("no panics")`
+/// pattern: a panicking worker no longer aborts the process — the panic
+/// is captured at the join and mapped to [`Error::KernelPanicked`]
+/// (tagged with `kernel` for diagnosis). Error reporting is
+/// deterministic: the first failing chunk in input order wins.
+///
+/// With zero or one chunk the work runs inline on the calling thread, so
+/// small inputs pay no spawn overhead.
+pub fn run_chunked<I, T, F>(chunks: Vec<I>, kernel: &'static str, work: F) -> Result<Vec<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> Result<T> + Sync,
+{
+    if chunks.len() <= 1 {
+        return chunks.into_iter().map(work).collect();
+    }
+    let results: Vec<Result<T>> = std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> =
+            chunks.into_iter().map(|chunk| scope.spawn(move || work(chunk))).collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(payload) => {
+                    Err(Error::KernelPanicked { kernel, detail: panic_message(&*payload) })
+                }
+            })
+            .collect()
+    });
+    results.into_iter().collect()
 }
 
 /// Parallel triangular inversion: like
@@ -57,37 +155,26 @@ pub fn par_invert_triangular(
         return crate::triangular::invert_triangular(g, triangle, unit_diag);
     }
 
-    type ColChunk = Result<(Vec<usize>, Vec<usize>, Vec<f64>)>;
-    let chunks: Vec<ColChunk> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .cloned()
-            .map(|range| {
-                scope.spawn(move || -> ColChunk {
-                    let mut ws = SpSolveWorkspace::new(n);
-                    let mut col_ptr = Vec::with_capacity(range.len());
-                    let mut indices = Vec::new();
-                    let mut values = Vec::new();
-                    for j in range {
-                        let (pat, vals) = spsolve(g, triangle, &[j], &[1.0], unit_diag, &mut ws)?;
-                        indices.extend_from_slice(&pat);
-                        values.extend_from_slice(&vals);
-                        col_ptr.push(indices.len());
-                    }
-                    Ok((col_ptr, indices, values))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    });
+    let chunks = run_chunked(ranges, "par_invert_triangular", |range| {
+        let mut ws = SpSolveWorkspace::new(n);
+        let mut col_ptr = Vec::with_capacity(range.len());
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for j in range {
+            let (pat, vals) = spsolve(g, triangle, &[j], &[1.0], unit_diag, &mut ws)?;
+            indices.extend_from_slice(&pat);
+            values.extend_from_slice(&vals);
+            col_ptr.push(indices.len());
+        }
+        Ok((col_ptr, indices, values))
+    })?;
 
     // Stitch the chunks into one CSC matrix.
     let mut indptr = Vec::with_capacity(n + 1);
     let mut indices = Vec::new();
     let mut values = Vec::new();
     indptr.push(0);
-    for chunk in chunks {
-        let (col_ptr, idx, val) = chunk?;
+    for (col_ptr, idx, val) in chunks {
         let offset = indices.len();
         indptr.extend(col_ptr.iter().map(|&p| p + offset));
         indices.extend_from_slice(&idx);
@@ -111,27 +198,16 @@ pub fn par_spgemm(a: &CsrMatrix, b: &CsrMatrix, threads: usize) -> Result<CsrMat
         return spgemm(a, b);
     }
 
-    type RowChunk = Result<CsrMatrix>;
-    let chunks: Vec<RowChunk> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .cloned()
-            .map(|range| {
-                scope.spawn(move || -> RowChunk {
-                    let sub = a.submatrix(range.start, range.end, 0, a.ncols())?;
-                    spgemm(&sub, b)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    });
+    let chunks = run_chunked(ranges, "par_spgemm", |range| {
+        let sub = a.submatrix(range.start, range.end, 0, a.ncols())?;
+        spgemm(&sub, b)
+    })?;
 
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
     let mut indices = Vec::new();
     let mut values = Vec::new();
     indptr.push(0);
-    for chunk in chunks {
-        let m = chunk?;
+    for m in chunks {
         let offset = indices.len();
         indptr.extend(m.indptr()[1..].iter().map(|&p| p + offset));
         indices.extend_from_slice(m.indices());
@@ -191,6 +267,107 @@ mod tests {
         assert_eq!(ranges.last().unwrap().end, 10);
         assert_eq!(split_ranges(2, 8).len(), 2);
         assert_eq!(split_ranges(0, 4).len(), 1);
+    }
+
+    #[test]
+    fn balance_by_cost_partitions_all_indices() {
+        let costs = [9u128, 1, 4, 16, 1, 25, 9, 4];
+        for parts in [1, 2, 3, 4, 8, 20] {
+            let chunks = balance_by_cost(&costs, parts);
+            assert!(chunks.len() <= parts.min(costs.len()));
+            let mut seen: Vec<usize> = chunks.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..costs.len()).collect::<Vec<_>>());
+            // Indices inside each chunk stay ascending (stitch order).
+            for chunk in &chunks {
+                assert!(chunk.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn balance_by_cost_spreads_load() {
+        // One huge block plus many small ones: LPT must put the huge one
+        // alone and spread the rest, instead of a contiguous split that
+        // pairs the huge block with half the small ones.
+        let costs = [100u128, 1, 1, 1, 1, 1, 1, 1];
+        let chunks = balance_by_cost(&costs, 2);
+        assert_eq!(chunks.len(), 2);
+        let load = |c: &[usize]| c.iter().map(|&i| costs[i]).sum::<u128>();
+        let max_load = chunks.iter().map(|c| load(c)).max().unwrap();
+        assert_eq!(max_load, 100); // huge block isolated
+        assert_eq!(chunks.iter().map(Vec::len).sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn balance_by_cost_is_deterministic_on_ties() {
+        let costs = [2u128, 2, 2, 2];
+        let a = balance_by_cost(&costs, 2);
+        let b = balance_by_cost(&costs, 2);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn balance_by_cost_handles_degenerate_inputs() {
+        assert_eq!(balance_by_cost(&[], 4), Vec::<Vec<usize>>::new());
+        assert_eq!(balance_by_cost(&[7], 4), vec![vec![0]]);
+        // All-zero costs still place every index exactly once.
+        let chunks = balance_by_cost(&[0, 0, 0], 2);
+        let mut seen: Vec<usize> = chunks.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_chunked_preserves_input_order() {
+        let chunks: Vec<usize> = (0..8).collect();
+        let out = run_chunked(chunks, "test", |i| Ok(i * 10)).unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    /// Failpoint-style containment test: a worker that panics mid-kernel
+    /// must surface as `Error::KernelPanicked`, not abort the process,
+    /// and the earliest failing chunk must win deterministically.
+    #[test]
+    fn run_chunked_contains_worker_panics() {
+        let chunks = vec![0usize, 1, 2, 3];
+        let err = run_chunked(chunks, "panicky_kernel", |i| {
+            if i == 2 {
+                panic!("injected fault in chunk {i}");
+            }
+            Ok(i)
+        })
+        .unwrap_err();
+        match err {
+            Error::KernelPanicked { kernel, detail } => {
+                assert_eq!(kernel, "panicky_kernel");
+                assert!(detail.contains("injected fault in chunk 2"), "detail: {detail}");
+            }
+            other => panic!("expected KernelPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_chunked_prefers_earliest_typed_error() {
+        let chunks = vec![0usize, 1, 2];
+        let err = run_chunked(chunks, "test", |i| {
+            if i >= 1 {
+                Err(Error::SingularMatrix { at: i })
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, Error::SingularMatrix { at: 1 });
+    }
+
+    #[test]
+    fn run_chunked_single_chunk_runs_inline() {
+        // One chunk must not spawn (and must still contain its errors).
+        let out = run_chunked(vec![41usize], "test", |i| Ok(i + 1)).unwrap();
+        assert_eq!(out, vec![42]);
+        assert!(run_chunked(Vec::<usize>::new(), "test", Ok).unwrap().is_empty());
     }
 
     #[test]

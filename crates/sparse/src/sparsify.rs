@@ -2,12 +2,20 @@
 
 use crate::csc::CscMatrix;
 use crate::csr::CsrMatrix;
+use crate::error::Result;
+use crate::parallel::{run_chunked, split_ranges};
 
 /// Returns a copy of `a` with every entry of magnitude `< xi` removed.
 /// `xi = 0` keeps everything (entries equal to the tolerance survive,
 /// matching the paper's "absolute value smaller than ξ" wording).
+///
+/// The guard treats a NaN tolerance as "keep everything": with the old
+/// `xi <= 0.0` form NaN fell through to the filter, where
+/// `v.abs() >= NaN` is false for every entry and the whole matrix was
+/// silently emptied. Config boundaries (`BearConfig`) additionally
+/// reject non-finite and negative `ξ` outright.
 pub fn drop_tolerance_csr(a: &CsrMatrix, xi: f64) -> CsrMatrix {
-    if xi <= 0.0 {
+    if xi.is_nan() || xi <= 0.0 {
         return a.clone();
     }
     let mut indptr = Vec::with_capacity(a.nrows() + 1);
@@ -29,7 +37,7 @@ pub fn drop_tolerance_csr(a: &CsrMatrix, xi: f64) -> CsrMatrix {
 
 /// CSC counterpart of [`drop_tolerance_csr`].
 pub fn drop_tolerance_csc(a: &CscMatrix, xi: f64) -> CscMatrix {
-    if xi <= 0.0 {
+    if xi.is_nan() || xi <= 0.0 {
         return a.clone();
     }
     let mut indptr = Vec::with_capacity(a.ncols() + 1);
@@ -49,6 +57,86 @@ pub fn drop_tolerance_csc(a: &CscMatrix, xi: f64) -> CscMatrix {
     CscMatrix::from_raw_unchecked(a.nrows(), a.ncols(), indptr, indices, values)
 }
 
+/// Parallel [`drop_tolerance_csr`]: row ranges filtered on `threads`
+/// scoped workers and stitched in row order, so the result is
+/// bit-identical to the serial filter. Falls back to the serial path for
+/// one thread, tiny matrices, or a no-op tolerance.
+pub fn par_drop_tolerance_csr(a: &CsrMatrix, xi: f64, threads: usize) -> Result<CsrMatrix> {
+    if xi.is_nan() || xi <= 0.0 {
+        return Ok(a.clone());
+    }
+    let ranges = split_ranges(a.nrows(), threads);
+    if ranges.len() <= 1 {
+        return Ok(drop_tolerance_csr(a, xi));
+    }
+    let chunks = run_chunked(ranges, "par_drop_tolerance_csr", |range| {
+        let mut row_ptr = Vec::with_capacity(range.len());
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in range {
+            let (cols, vals) = a.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if v.abs() >= xi {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(indices.len());
+        }
+        Ok((row_ptr, indices, values))
+    })?;
+    let mut indptr = Vec::with_capacity(a.nrows() + 1);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    indptr.push(0);
+    for (row_ptr, idx, val) in chunks {
+        let offset = indices.len();
+        indptr.extend(row_ptr.iter().map(|&p| p + offset));
+        indices.extend_from_slice(&idx);
+        values.extend_from_slice(&val);
+    }
+    Ok(CsrMatrix::from_raw_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+}
+
+/// Parallel [`drop_tolerance_csc`]: column ranges filtered on `threads`
+/// workers; see [`par_drop_tolerance_csr`].
+pub fn par_drop_tolerance_csc(a: &CscMatrix, xi: f64, threads: usize) -> Result<CscMatrix> {
+    if xi.is_nan() || xi <= 0.0 {
+        return Ok(a.clone());
+    }
+    let ranges = split_ranges(a.ncols(), threads);
+    if ranges.len() <= 1 {
+        return Ok(drop_tolerance_csc(a, xi));
+    }
+    let chunks = run_chunked(ranges, "par_drop_tolerance_csc", |range| {
+        let mut col_ptr = Vec::with_capacity(range.len());
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for c in range {
+            let (rows, vals) = a.col(c);
+            for (&r, &v) in rows.iter().zip(vals) {
+                if v.abs() >= xi {
+                    indices.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(indices.len());
+        }
+        Ok((col_ptr, indices, values))
+    })?;
+    let mut indptr = Vec::with_capacity(a.ncols() + 1);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    indptr.push(0);
+    for (col_ptr, idx, val) in chunks {
+        let offset = indices.len();
+        indptr.extend(col_ptr.iter().map(|&p| p + offset));
+        indices.extend_from_slice(&idx);
+        values.extend_from_slice(&val);
+    }
+    Ok(CscMatrix::from_raw_unchecked(a.nrows(), a.ncols(), indptr, indices, values))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +154,19 @@ mod tests {
     fn zero_tolerance_keeps_everything() {
         let a = sample();
         assert_eq!(drop_tolerance_csr(&a, 0.0), a);
+    }
+
+    /// Regression: a NaN tolerance used to fall through to the filter
+    /// where `v.abs() >= NaN` is false, silently dropping every entry.
+    /// It must behave like "no tolerance" instead (and negative
+    /// tolerances likewise keep everything).
+    #[test]
+    fn nan_tolerance_keeps_everything() {
+        let a = sample();
+        assert_eq!(drop_tolerance_csr(&a, f64::NAN), a);
+        assert_eq!(drop_tolerance_csc(&a.to_csc(), f64::NAN), a.to_csc());
+        assert_eq!(par_drop_tolerance_csr(&a, f64::NAN, 2).unwrap(), a);
+        assert_eq!(drop_tolerance_csr(&a, -1.0), a);
     }
 
     #[test]
@@ -92,5 +193,28 @@ mod tests {
         let via_csr = drop_tolerance_csr(&a, 1e-4);
         let via_csc = drop_tolerance_csc(&a.to_csc(), 1e-4).to_csr();
         assert_eq!(via_csr, via_csc);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut coo = CooMatrix::new(37, 23);
+        for i in 0..37 {
+            for j in 0..23 {
+                if rng.gen_bool(0.3) {
+                    coo.push(i, j, rng.gen_range(-1.0..1.0));
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let xi = 0.25;
+        let serial_csr = drop_tolerance_csr(&a, xi);
+        let serial_csc = drop_tolerance_csc(&a.to_csc(), xi);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(par_drop_tolerance_csr(&a, xi, threads).unwrap(), serial_csr);
+            assert_eq!(par_drop_tolerance_csc(&a.to_csc(), xi, threads).unwrap(), serial_csc);
+        }
     }
 }
