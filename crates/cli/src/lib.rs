@@ -16,9 +16,9 @@
 //!
 //! `query` and `batch` both run through [`bear_core::QueryEngine`] and
 //! finish by reporting its metrics (query count, cache hit rate, latency
-//! percentiles, and fault counters). Both accept the fault-tolerance
-//! flags in [`ServeFlags`] (`--queue-cap`, `--deadline-ms`,
-//! `--fallback-graph`, `--c`); deadline and overload failures exit with
+//! percentiles, realized block widths, and fault counters). Both accept
+//! the serving flags in [`ServeFlags`] (`--queue-cap`, `--deadline-ms`,
+//! `--block-width`, `--fallback-graph`, `--c`); deadline and overload failures exit with
 //! dedicated codes (see [`USAGE`] and [`exit_code`]), and with
 //! `--fallback-graph` they degrade to a bounded power-method answer
 //! instead of failing — including when the index itself cannot load.
@@ -106,6 +106,10 @@ pub struct ServeFlags {
     /// Per-query deadline budget in milliseconds (`--deadline-ms`; 0
     /// means no deadline).
     pub deadline_ms: u64,
+    /// How many queued queries a worker may coalesce into one blocked
+    /// multi-RHS solve (`--block-width`; 0 keeps the engine default,
+    /// 1 disables coalescing). Answers are bit-identical at any width.
+    pub block_width: usize,
     /// Edge-list path for the degraded fallback path
     /// (`--fallback-graph`). With it, deadline/overload/panic faults
     /// degrade to a bounded power-method answer, and a failed index load
@@ -118,7 +122,7 @@ pub struct ServeFlags {
 
 impl Default for ServeFlags {
     fn default() -> Self {
-        ServeFlags { queue_cap: 0, deadline_ms: 0, fallback_graph: None, c: 0.05 }
+        ServeFlags { queue_cap: 0, deadline_ms: 0, block_width: 0, fallback_graph: None, c: 0.05 }
     }
 }
 
@@ -150,6 +154,7 @@ fn parse_serve_flags(args: &[String]) -> Result<ServeFlags> {
     Ok(ServeFlags {
         queue_cap: int_flag(args, "--queue-cap", 0usize)?,
         deadline_ms: int_flag(args, "--deadline-ms", 0u64)?,
+        block_width: int_flag(args, "--block-width", 0usize)?,
         fallback_graph: args
             .iter()
             .position(|a| a == "--fallback-graph")
@@ -263,6 +268,9 @@ PREPROCESS FLAGS:
 SERVING FLAGS (query/batch):
   --queue-cap N        admission-control bound on queued jobs (0 = default)
   --deadline-ms N      per-query deadline budget; 0 = none
+  --block-width N      coalesce up to N queued queries into one blocked
+                       multi-RHS solve; 1 disables coalescing, 0 keeps the
+                       engine default. Bit-identical at any width.
   --fallback-graph P   edge list enabling graceful degradation: faults are
                        answered by a bounded power method, and a failed
                        index load serves degraded-only instead of exiting
@@ -318,6 +326,9 @@ fn load_service(
     }
     if serve.deadline_ms > 0 {
         builder = builder.default_deadline(Some(Duration::from_millis(serve.deadline_ms)));
+    }
+    if serve.block_width > 0 {
+        builder = builder.block_width(serve.block_width);
     }
     let config = builder.build()?;
     let fallback_for = |g_path: &str, c: f64| -> Result<FallbackSolver> {
@@ -385,12 +396,15 @@ fn write_metrics(m: &MetricsSnapshot, out: &mut dyn std::io::Write) -> std::io::
     writeln!(
         out,
         "metrics: queries={} cache_hit_rate={:.1}% p50={:?} p95={:?} p99={:?} \
+         avg_block_width={:.1} p50_amortized={:?} \
          timeouts={} rejected={} shed={} panics={} degraded={}",
         m.queries,
         m.cache_hit_rate() * 100.0,
         m.p50,
         m.p95,
         m.p99,
+        m.avg_block_width(),
+        m.p50_amortized,
         m.timeouts,
         m.queue_rejections,
         m.shed_jobs,
@@ -586,6 +600,7 @@ mod tests {
             vec!["batch", "g.idx", "1", "--threads", "-1"],
             vec!["query", "g.idx", "1", "--queue-cap", "64.0"],
             vec!["query", "g.idx", "1", "--deadline-ms", "abc"],
+            vec!["batch", "g.idx", "1", "--block-width", "-4"],
             vec!["preprocess", "g.txt", "g.idx", "--threads", "2.5"],
         ] {
             let err = parse(&bad).unwrap_err();
@@ -639,6 +654,8 @@ mod tests {
             "64",
             "--deadline-ms",
             "250",
+            "--block-width",
+            "16",
             "--fallback-graph",
             "g.txt",
         ])
@@ -653,6 +670,7 @@ mod tests {
                 serve: ServeFlags {
                     queue_cap: 64,
                     deadline_ms: 250,
+                    block_width: 16,
                     fallback_graph: Some("g.txt".into()),
                     c: 0.05,
                 },

@@ -11,6 +11,11 @@ use std::time::Duration;
 /// Number of log₂ latency buckets (covers 1ns .. ~584 years).
 pub(crate) const LATENCY_BUCKETS: usize = 64;
 
+/// Number of log₂ block-width buckets: bucket `i` counts blocked solves
+/// of width in `[2^i, 2^(i+1))`, with the last bucket open-ended
+/// (width ≥ 128).
+pub const BLOCK_WIDTH_BUCKETS: usize = 8;
+
 /// Lock-free serving metrics: query count, cache hit/miss counts, fault
 /// counters, and per-class (hit vs. miss) fixed-bucket log₂ latency
 /// histograms for percentile estimates. All counters are atomics, so
@@ -33,6 +38,15 @@ pub struct Metrics {
     /// `[2^i, 2^(i+1))` ns; `miss_histogram` likewise for computed ones.
     hit_histogram: [AtomicU64; LATENCY_BUCKETS],
     miss_histogram: [AtomicU64; LATENCY_BUCKETS],
+    /// Blocked solves executed by the pool (a width-1 solve counts too).
+    block_solves: AtomicU64,
+    /// Queries answered through blocked solves (sum of block widths).
+    block_queries: AtomicU64,
+    /// Log₂ histogram of blocked-solve widths.
+    block_width_histogram: [AtomicU64; BLOCK_WIDTH_BUCKETS],
+    /// Per-query *amortized* compute latency (solve wall time divided by
+    /// block width), weighted by width so each query contributes once.
+    amortized_histogram: [AtomicU64; LATENCY_BUCKETS],
 }
 
 impl Metrics {
@@ -49,6 +63,10 @@ impl Metrics {
             degraded: AtomicU64::new(0),
             hit_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
             miss_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+            block_solves: AtomicU64::new(0),
+            block_queries: AtomicU64::new(0),
+            block_width_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+            amortized_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -65,6 +83,24 @@ impl Metrics {
         let nanos = (elapsed.as_nanos() as u64).max(1);
         let bucket = (63 - nanos.leading_zeros()) as usize;
         histogram[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one blocked solve of `width` coalesced queries that took
+    /// `elapsed` wall time: bumps the block-size histogram and credits
+    /// each of the `width` queries an amortized latency of
+    /// `elapsed / width` in the amortized histogram.
+    pub fn record_block(&self, width: usize, elapsed: Duration) {
+        if width == 0 {
+            return;
+        }
+        self.block_solves.fetch_add(1, Ordering::Relaxed);
+        self.block_queries.fetch_add(width as u64, Ordering::Relaxed);
+        let wbucket =
+            ((usize::BITS - 1 - width.leading_zeros()) as usize).min(BLOCK_WIDTH_BUCKETS - 1);
+        self.block_width_histogram[wbucket].fetch_add(1, Ordering::Relaxed);
+        let per_query = ((elapsed.as_nanos() / width as u128) as u64).max(1);
+        let bucket = (63 - per_query.leading_zeros()) as usize;
+        self.amortized_histogram[bucket].fetch_add(width as u64, Ordering::Relaxed);
     }
 
     /// Accounts a worker panic (converted into a typed error).
@@ -113,6 +149,16 @@ impl Metrics {
             p99: percentile_from(&combined, 0.99),
             p50_hit: percentile_from(&hit, 0.50),
             p50_miss: percentile_from(&miss, 0.50),
+            block_solves: self.block_solves.load(Ordering::Relaxed),
+            block_queries: self.block_queries.load(Ordering::Relaxed),
+            block_width_histogram: std::array::from_fn(|i| {
+                self.block_width_histogram[i].load(Ordering::Relaxed)
+            }),
+            p50_amortized: {
+                let amortized: Vec<u64> =
+                    self.amortized_histogram.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                percentile_from(&amortized, 0.50)
+            },
         }
     }
 }
@@ -172,6 +218,16 @@ pub struct MetricsSnapshot {
     pub p50_hit: Duration,
     /// Median latency of computed (cache-miss) queries only.
     pub p50_miss: Duration,
+    /// Blocked solves executed by the pool (width-1 fallbacks included).
+    pub block_solves: u64,
+    /// Queries answered through blocked solves (sum of block widths).
+    pub block_queries: u64,
+    /// Log₂ histogram of blocked-solve widths: entry `i` counts solves of
+    /// width in `[2^i, 2^(i+1))`, last entry open-ended.
+    pub block_width_histogram: [u64; BLOCK_WIDTH_BUCKETS],
+    /// Median per-query *amortized* compute latency (solve wall time
+    /// divided by block width, each query weighted once).
+    pub p50_amortized: Duration,
 }
 
 impl MetricsSnapshot {
@@ -181,6 +237,16 @@ impl MetricsSnapshot {
             0.0
         } else {
             self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean number of queries answered per blocked solve (1.0 when no
+    /// coalescing happened, 0.0 before any solve ran).
+    pub fn avg_block_width(&self) -> f64 {
+        if self.block_solves == 0 {
+            0.0
+        } else {
+            self.block_queries as f64 / self.block_solves as f64
         }
     }
 }
@@ -226,6 +292,25 @@ mod tests {
         assert_eq!(s.p50_hit, Duration::from_nanos(31));
         assert!(s.p50_miss >= Duration::from_micros(64));
         assert!(s.p50_hit < s.p50_miss);
+    }
+
+    #[test]
+    fn block_histogram_and_amortized_latency() {
+        let m = Metrics::new();
+        m.record_block(1, Duration::from_nanos(20)); // bucket 0
+        m.record_block(4, Duration::from_nanos(80)); // bucket 2, 20ns/query
+        m.record_block(7, Duration::from_nanos(140)); // bucket 2
+        m.record_block(1000, Duration::from_micros(20)); // clamped to last bucket
+        m.record_block(0, Duration::ZERO); // ignored
+        let s = m.snapshot();
+        assert_eq!(s.block_solves, 4);
+        assert_eq!(s.block_queries, 1 + 4 + 7 + 1000);
+        assert_eq!(s.block_width_histogram[0], 1);
+        assert_eq!(s.block_width_histogram[2], 2);
+        assert_eq!(s.block_width_histogram[BLOCK_WIDTH_BUCKETS - 1], 1);
+        assert!((s.avg_block_width() - 1012.0 / 4.0).abs() < 1e-12);
+        // All 1012 queries were credited 20 ns each: bucket 4 → 31 ns cap.
+        assert_eq!(s.p50_amortized, Duration::from_nanos(31));
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! out under `cfg(loom)` because it drives real OS worker threads.
 
 use crate::precompute::Bear;
+use bear_sparse::DenseBlock;
 
 pub mod metrics;
 pub mod queue;
@@ -88,5 +89,72 @@ impl QueryWorkspace {
             t4: vec![0.0; bear.n2],
             r: vec![0.0; n],
         }
+    }
+}
+
+/// Preallocated buffers for a blocked multi-seed query
+/// ([`Bear::query_block_into`]): the multi-RHS counterpart of
+/// [`QueryWorkspace`], with each scratch vector widened to a column-major
+/// [`DenseBlock`] holding one column per seed.
+///
+/// The workspace is reusable across batches of different widths — blocks
+/// are reshaped in place ([`DenseBlock::reset`]), keeping their backing
+/// allocations, so a serving worker that coalesces variable-size batches
+/// allocates nothing in steady state.
+pub struct BlockWorkspace {
+    /// One-hot scratch in original node ids (kept zeroed between seeds).
+    pub(crate) q: Vec<f64>,
+    /// Per-seed permutation scratch (length `n`).
+    pub(crate) q_perm: Vec<f64>,
+    /// Per-seed result-assembly scratch (length `n`).
+    pub(crate) r: Vec<f64>,
+    /// Permuted seed columns, spoke part (`n1 × k`).
+    pub(crate) q1: DenseBlock,
+    /// Permuted seed columns, hub part (`n2 × k`).
+    pub(crate) q2: DenseBlock,
+    /// Spoke-block scratch (`n1 × k`).
+    pub(crate) t1: DenseBlock,
+    /// Spoke-block scratch (`n1 × k`).
+    pub(crate) t2: DenseBlock,
+    /// Hub-block scratch (`n2 × k`).
+    pub(crate) t3: DenseBlock,
+    /// Hub-block scratch (`n2 × k`).
+    pub(crate) t4: DenseBlock,
+    /// Hub-part results `r₂` (`n2 × k`).
+    pub(crate) r2: DenseBlock,
+}
+
+impl BlockWorkspace {
+    /// Buffers sized for `bear`'s partition, starting at width zero; the
+    /// first [`Bear::query_block_into`] call widens them to its batch.
+    pub fn for_bear(bear: &Bear) -> Self {
+        let n = bear.num_nodes();
+        BlockWorkspace {
+            q: vec![0.0; n],
+            q_perm: vec![0.0; n],
+            r: vec![0.0; n],
+            q1: DenseBlock::zeros(bear.n1, 0),
+            q2: DenseBlock::zeros(bear.n2, 0),
+            t1: DenseBlock::zeros(bear.n1, 0),
+            t2: DenseBlock::zeros(bear.n1, 0),
+            t3: DenseBlock::zeros(bear.n2, 0),
+            t4: DenseBlock::zeros(bear.n2, 0),
+            r2: DenseBlock::zeros(bear.n2, 0),
+        }
+    }
+
+    /// Reshapes every block to width `k` for `bear`'s partition, reusing
+    /// backing allocations.
+    pub(crate) fn ensure_width(&mut self, bear: &Bear, k: usize) {
+        if self.q1.ncols() == k && self.q1.nrows() == bear.n1 && self.q2.nrows() == bear.n2 {
+            return;
+        }
+        self.q1.reset(bear.n1, k);
+        self.q2.reset(bear.n2, k);
+        self.t1.reset(bear.n1, k);
+        self.t2.reset(bear.n1, k);
+        self.t3.reset(bear.n2, k);
+        self.t4.reset(bear.n2, k);
+        self.r2.reset(bear.n2, k);
     }
 }

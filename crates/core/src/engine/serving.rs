@@ -28,14 +28,29 @@
 //!   timeouts, overload rejections, and worker panics into a
 //!   bounded-iteration power-method answer tagged with a
 //!   [`DegradedReason`] and residual, instead of an error.
+//!
+//! # Blocked coalescing
+//!
+//! Under load, each worker coalesces up to [`EngineConfig::block_width`]
+//! queued jobs into one blocked multi-RHS solve
+//! ([`Bear::query_block_into`]): after a blocking pop it drains whatever
+//! else is already queued, without waiting, so a lone query never idles
+//! for company and a full queue is answered `block_width` seeds at a
+//! time. Blocked answers are bit-identical to per-seed answers — the
+//! block kernels replicate the scalar accumulation order column by
+//! column — so coalescing is purely a throughput/latency trade-off (see
+//! DESIGN.md §13). Dead jobs (expired deadline, cancelled caller) are
+//! still shed individually before the batch is formed, and a panic
+//! poisons only the batch that hit it. [`Metrics`] records the realized
+//! block-width histogram and per-query amortized latency.
 
 use super::metrics::Metrics;
 use super::queue::JobQueue;
-use super::{MetricsSnapshot, QueryWorkspace};
+use super::{BlockWorkspace, MetricsSnapshot, QueryWorkspace};
 use crate::fallback::{DegradedReason, FallbackSolver};
 use crate::precompute::Bear;
 use crate::topk::{top_k_excluding_seed, ScoredNode};
-use bear_sparse::{Error, Result};
+use bear_sparse::{DenseBlock, Error, Result};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -132,6 +147,14 @@ pub struct EngineConfig {
     /// Deadline budget applied to queries that do not carry their own
     /// ([`QueryOptions::deadline`]). `None` means no deadline.
     pub default_deadline: Option<Duration>,
+    /// Maximum queued jobs a worker coalesces into one blocked
+    /// multi-RHS solve ([`Bear::query_block_into`]). `1` disables
+    /// coalescing; must be ≥ 1 ([`Error::InvalidConfig`] otherwise) and
+    /// is capped at [`EngineConfig::queue_capacity`] — more jobs than the
+    /// queue can hold can never be waiting. Blocked answers are
+    /// bit-identical to per-seed ones, so this is purely a
+    /// throughput/latency trade-off.
+    pub block_width: usize,
 }
 
 impl Default for EngineConfig {
@@ -142,6 +165,7 @@ impl Default for EngineConfig {
             queue_capacity: 1024,
             overload: OverloadPolicy::Reject,
             default_deadline: None,
+            block_width: 8,
         }
     }
 }
@@ -166,7 +190,20 @@ impl EngineConfig {
                 reason: "a queue that admits nothing deadlocks every query".into(),
             });
         }
+        if self.block_width == 0 {
+            return Err(Error::InvalidConfig {
+                param: "block_width",
+                reason: "a zero-width block answers nothing; use 1 to disable coalescing".into(),
+            });
+        }
         Ok(())
+    }
+
+    /// The coalescing width the engine actually uses: `block_width`
+    /// clamped to `[1, queue_capacity]` (a worker can never drain more
+    /// jobs than the queue admits).
+    pub fn effective_block_width(&self) -> usize {
+        self.block_width.clamp(1, self.queue_capacity.max(1))
     }
 }
 
@@ -204,6 +241,13 @@ impl EngineConfigBuilder {
     /// Default per-query deadline budget.
     pub fn default_deadline(mut self, deadline: Option<Duration>) -> Self {
         self.config.default_deadline = deadline;
+        self
+    }
+
+    /// Maximum jobs a worker coalesces into one blocked solve (must be
+    /// ≥ 1; `1` disables coalescing).
+    pub fn block_width(mut self, width: usize) -> Self {
+        self.config.block_width = width;
         self
     }
 
@@ -378,6 +422,7 @@ impl QueryEngine {
         config.validate()?;
         let queue = Arc::new(JobQueue::bounded(config.queue_capacity));
         let metrics = Arc::new(Metrics::new());
+        let block_width = config.effective_block_width();
         let workers = (0..config.threads)
             .map(|i| {
                 let bear = Arc::clone(&bear);
@@ -385,7 +430,7 @@ impl QueryEngine {
                 let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("bear-query-{i}"))
-                    .spawn(move || worker_loop(&bear, &queue, &metrics))
+                    .spawn(move || worker_loop(&bear, &queue, &metrics, block_width))
                     .expect("spawn query worker")
             })
             .collect();
@@ -651,6 +696,11 @@ impl QueryEngine {
         for &seed in seeds {
             self.check_seed(seed)?;
         }
+        // An empty batch has an obvious answer; don't touch the pool (or
+        // its metrics) to produce it.
+        if seeds.is_empty() {
+            return Ok(Vec::new());
+        }
         let budget = self.default_deadline;
         let deadline = budget.map(|b| Instant::now() + b);
         let token = CancelToken::new();
@@ -798,12 +848,56 @@ fn degraded_reason(e: &Error) -> Option<DegradedReason> {
     }
 }
 
-/// Worker body: pull jobs until the queue closes.
-fn worker_loop(bear: &Bear, queue: &JobQueue<Job>, metrics: &Metrics) {
+/// Worker body: pull jobs until the queue closes. After each blocking
+/// pop, the worker *opportunistically* drains up to `block_width - 1`
+/// more jobs without waiting ([`JobQueue::try_pop`]) and answers the
+/// whole batch with one blocked multi-RHS solve — a lone job therefore
+/// never waits for company, and an idle queue degenerates to the plain
+/// one-job-at-a-time loop (width-1 solves take the `matvec` fallback, so
+/// coalescing costs nothing when there is nothing to coalesce).
+fn worker_loop(bear: &Bear, queue: &JobQueue<Job>, metrics: &Metrics, block_width: usize) {
     let mut ws = QueryWorkspace::for_bear(bear);
+    let mut block_ws = BlockWorkspace::for_bear(bear);
+    let mut jobs: Vec<Job> = Vec::with_capacity(block_width);
+    let mut live: Vec<Job> = Vec::with_capacity(block_width);
+    let mut seeds: Vec<usize> = Vec::with_capacity(block_width);
+    let mut out = DenseBlock::zeros(bear.num_nodes(), 0);
     while let Some(job) = queue.pop() {
-        run_job(bear, &mut ws, job, metrics);
+        jobs.push(job);
+        while jobs.len() < block_width {
+            match queue.try_pop() {
+                Some(next) => jobs.push(next),
+                None => break,
+            }
+        }
+        if jobs.len() == 1 {
+            run_job(bear, &mut ws, jobs.pop().expect("one job queued"), metrics);
+        } else {
+            run_block(bear, &mut block_ws, &mut jobs, &mut live, &mut seeds, &mut out, metrics);
+        }
+        jobs.clear();
     }
+}
+
+/// Sheds `job` when its deadline already passed or its caller cancelled
+/// (replying with the matching typed error); hands it back otherwise.
+/// Computing an answer nobody can use anymore only starves the queries
+/// still inside their budget.
+fn shed_if_dead(job: Job, metrics: &Metrics) -> Option<Job> {
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        metrics.record_shed();
+        metrics.record_timeout();
+        let _ = job
+            .reply
+            .send((job.tag, Err(Error::Timeout { budget: job.budget.unwrap_or_default() })));
+        return None;
+    }
+    if job.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+        metrics.record_shed();
+        let _ = job.reply.send((job.tag, Err(Error::Cancelled)));
+        return None;
+    }
+    Some(job)
 }
 
 /// Answers one job with the given workspace — the freshly allocated
@@ -820,21 +914,8 @@ fn run_job(bear: &Bear, ws: &mut QueryWorkspace, job: Job, metrics: &Metrics) {
     if let Some(crate::failpoints::FailAction::Delay(d)) = crate::failpoints::armed("queue::pop") {
         std::thread::sleep(d);
     }
-    // Deadline shedding at dequeue: computing an answer nobody can use
-    // anymore only starves the queries still inside their budget.
-    if job.deadline.is_some_and(|d| Instant::now() >= d) {
-        metrics.record_shed();
-        metrics.record_timeout();
-        let _ = job
-            .reply
-            .send((job.tag, Err(Error::Timeout { budget: job.budget.unwrap_or_default() })));
-        return;
-    }
-    if job.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
-        metrics.record_shed();
-        let _ = job.reply.send((job.tag, Err(Error::Cancelled)));
-        return;
-    }
+    let Some(job) = shed_if_dead(job, metrics) else { return };
+    let start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         crate::fail_point!("engine::run_job");
         let mut result = vec![0.0; bear.num_nodes()];
@@ -845,8 +926,71 @@ fn run_job(bear: &Bear, ws: &mut QueryWorkspace, job: Job, metrics: &Metrics) {
         metrics.record_worker_panic();
         Err(Error::WorkerPanicked { seed: job.seed })
     });
+    metrics.record_block(1, start.elapsed());
     // A receiver that hung up no longer wants the answer; ignore.
     let _ = job.reply.send((job.tag, outcome));
+}
+
+/// Answers a coalesced batch of jobs with one blocked multi-RHS solve.
+/// Dead jobs (expired deadline, cancelled caller) are shed individually
+/// first, exactly as [`run_job`] would shed them; the survivors share
+/// one [`Bear::query_block_into`] call and each gets its own column
+/// copied out as its reply. A panic poisons only this batch: every
+/// member is answered with [`Error::WorkerPanicked`] and the pool
+/// survives. `jobs`, `live`, `seeds`, and `out` are worker-owned
+/// scratch, reused across batches so steady-state coalescing allocates
+/// only the per-query result vectors.
+fn run_block(
+    bear: &Bear,
+    ws: &mut BlockWorkspace,
+    jobs: &mut Vec<Job>,
+    live: &mut Vec<Job>,
+    seeds: &mut Vec<usize>,
+    out: &mut DenseBlock,
+    metrics: &Metrics,
+) {
+    #[cfg(feature = "failpoints")]
+    if let Some(crate::failpoints::FailAction::Delay(d)) = crate::failpoints::armed("queue::pop") {
+        std::thread::sleep(d);
+    }
+    live.clear();
+    for job in jobs.drain(..) {
+        if let Some(job) = shed_if_dead(job, metrics) {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    seeds.clear();
+    seeds.extend(live.iter().map(|j| j.seed));
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        crate::fail_point!("engine::run_job");
+        out.reset(bear.num_nodes(), seeds.len());
+        bear.query_block_into(seeds, ws, out)
+    }));
+    metrics.record_block(live.len(), start.elapsed());
+    match outcome {
+        Ok(Ok(())) => {
+            for (j, job) in live.drain(..).enumerate() {
+                let _ = job.reply.send((job.tag, Ok(Arc::new(out.col(j).to_vec()))));
+            }
+        }
+        // Seeds are validated at admission, so a typed error here is a
+        // bug surfaced loudly to every member rather than swallowed.
+        Ok(Err(e)) => {
+            for job in live.drain(..) {
+                let _ = job.reply.send((job.tag, Err(e.clone())));
+            }
+        }
+        Err(_) => {
+            metrics.record_worker_panic();
+            for job in live.drain(..) {
+                let _ = job.reply.send((job.tag, Err(Error::WorkerPanicked { seed: job.seed })));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1033,6 +1177,29 @@ mod tests {
     }
 
     #[test]
+    fn config_rejects_zero_block_width_and_clamps_overlarge() {
+        let bear = test_bear(6);
+        let err = QueryEngine::new(
+            Arc::clone(&bear),
+            EngineConfig { block_width: 0, ..EngineConfig::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { param: "block_width", .. }), "{err}");
+        // Overlarge widths are clamped to the queue capacity, not rejected
+        // — a worker can never coalesce more jobs than the queue holds.
+        let cfg = EngineConfig {
+            threads: 2,
+            queue_capacity: 4,
+            block_width: 1_000_000,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.effective_block_width(), 4);
+        let engine = QueryEngine::new(Arc::clone(&bear), cfg).unwrap();
+        let want = bear.query(2).unwrap();
+        assert_eq!(*engine.query(2).unwrap(), want);
+    }
+
+    #[test]
     fn config_builder_validates() {
         let cfg = EngineConfig::builder()
             .threads(2)
@@ -1040,14 +1207,61 @@ mod tests {
             .queue_capacity(16)
             .overload(OverloadPolicy::Block)
             .default_deadline(Some(Duration::from_millis(500)))
+            .block_width(4)
             .build()
             .unwrap();
         assert_eq!(cfg.threads, 2);
         assert_eq!(cfg.queue_capacity, 16);
         assert_eq!(cfg.overload, OverloadPolicy::Block);
         assert_eq!(cfg.default_deadline, Some(Duration::from_millis(500)));
+        assert_eq!(cfg.block_width, 4);
         assert!(EngineConfig::builder().threads(0).build().is_err());
         assert!(EngineConfig::builder().queue_capacity(0).build().is_err());
+        assert!(EngineConfig::builder().block_width(0).build().is_err());
+    }
+
+    #[test]
+    fn coalesced_batch_is_bitwise_identical_and_counted() {
+        let bear = test_bear(40);
+        // One worker and a deep queue: the batch below queues up faster
+        // than the single worker drains it, so the worker finds company
+        // on its try_pop drain and coalesces (caller-assist still answers
+        // some jobs at width 1; both paths go through record_block).
+        let engine = QueryEngine::new(
+            Arc::clone(&bear),
+            EngineConfig {
+                threads: 1,
+                cache_capacity: 0,
+                queue_capacity: 64,
+                block_width: 8,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let seeds: Vec<usize> = (0..40).chain(0..40).collect();
+        let want: Vec<Vec<f64>> = seeds.iter().map(|&s| bear.query(s).unwrap()).collect();
+        let got = engine.query_batch(&seeds).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(**g, *w);
+        }
+        let m = engine.metrics();
+        // Every answered query passed through record_block (width ≥ 1).
+        assert_eq!(m.block_queries, seeds.len() as u64);
+        assert!(m.block_solves >= 1 && m.block_solves <= seeds.len() as u64);
+        assert!(m.avg_block_width() >= 1.0);
+        let widths: u64 = m.block_width_histogram.iter().sum();
+        assert_eq!(widths, m.block_solves);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_without_dispatch() {
+        let bear = test_bear(8);
+        let engine = QueryEngine::new(bear, config(2, 4)).unwrap();
+        let got = engine.query_batch(&[]).unwrap();
+        assert!(got.is_empty());
+        let m = engine.metrics();
+        assert_eq!(m.queries, 0);
+        assert_eq!(m.block_solves, 0);
     }
 
     #[test]

@@ -65,12 +65,12 @@ macro_rules! fail_point {
 }
 
 pub use dynamic::{DynamicBear, UpdateKind};
+pub use engine::{BlockWorkspace, MetricsSnapshot, QueryWorkspace};
 #[cfg(not(loom))]
 pub use engine::{
     CancelToken, DegradedInfo, EngineConfig, EngineConfigBuilder, OverloadPolicy, QueryEngine,
     QueryOptions, Served,
 };
-pub use engine::{MetricsSnapshot, QueryWorkspace};
 #[cfg(not(loom))]
 pub use fallback::{DegradedReason, FallbackAnswer, FallbackSolver, DEFAULT_FALLBACK_ITERATIONS};
 pub use hub_iterative::BearHubIterative;

@@ -11,12 +11,12 @@
 //! with every product a sparse matrix–vector multiplication, giving the
 //! paper's query complexity `O(Σ n₁ᵢ² + n₂² + min(n₁n₂, m))` (Theorem 3).
 
-use crate::engine::QueryWorkspace;
+use crate::engine::{BlockWorkspace, QueryWorkspace};
 use crate::precompute::Bear;
 use crate::rwr::validate_distribution;
 use crate::solver::RwrSolver;
 use bear_sparse::mem::MemoryUsage;
-use bear_sparse::{Error, Result};
+use bear_sparse::{DenseBlock, Error, Result};
 
 impl Bear {
     /// RWR scores of every node w.r.t. `seed` (Algorithm 2).
@@ -103,6 +103,95 @@ impl Bear {
         // Map back to the original node ids.
         self.perm.unpermute_vec_into(&ws.r, out)
     }
+
+    /// Answers a block of seeds at once: column `j` of `out` receives the
+    /// RWR scores for `seeds[j]`. Convenience wrapper over
+    /// [`Bear::query_block_into`] that allocates its own workspace and
+    /// returns one score vector per seed, in seed order.
+    pub fn query_block(&self, seeds: &[usize]) -> Result<Vec<Vec<f64>>> {
+        let mut ws = BlockWorkspace::for_bear(self);
+        let mut out = DenseBlock::zeros(self.num_nodes(), seeds.len());
+        self.query_block_into(seeds, &mut ws, &mut out)?;
+        Ok(out.to_columns())
+    }
+
+    /// Blocked multi-RHS form of [`Bear::query_into`]: runs Algorithm 2's
+    /// two block-elimination sweeps on all of `seeds` simultaneously,
+    /// with every sparse matrix applied once per *block* instead of once
+    /// per seed (the SpMM-over-SpMV amortization; see DESIGN.md §13).
+    ///
+    /// Column `j` of `out` is **bit-identical** to what
+    /// `query_into(seeds[j], …)` writes — the blocked kernels replicate
+    /// the scalar accumulation order per column — so blocking is purely a
+    /// throughput optimization, never a numerics change. Duplicate seeds
+    /// are allowed and produce duplicate columns.
+    ///
+    /// `out` must be `n × seeds.len()`; `ws` must have been built for
+    /// this index ([`BlockWorkspace::for_bear`]) and is reshaped in place
+    /// to the batch width (allocation-free when shrinking or at steady
+    /// width).
+    pub fn query_block_into(
+        &self,
+        seeds: &[usize],
+        ws: &mut BlockWorkspace,
+        out: &mut DenseBlock,
+    ) -> Result<()> {
+        let n = self.num_nodes();
+        let k = seeds.len();
+        if out.nrows() != n || out.ncols() != k {
+            return Err(Error::DimensionMismatch {
+                op: "bear query_block",
+                lhs: (n, k),
+                rhs: (out.nrows(), out.ncols()),
+            });
+        }
+        if let Some(&bad) = seeds.iter().find(|&&s| s >= n) {
+            return Err(Error::IndexOutOfBounds { index: bad, bound: n });
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        ws.ensure_width(self, k);
+        // Build the permuted one-hot columns, split at the spoke/hub
+        // boundary exactly as the per-seed path splits `q_perm`.
+        for (j, &seed) in seeds.iter().enumerate() {
+            ws.q[seed] = 1.0;
+            let permuted = self.perm.permute_vec_into(&ws.q, &mut ws.q_perm);
+            ws.q[seed] = 0.0;
+            permuted?;
+            ws.q1.col_mut(j).copy_from_slice(&ws.q_perm[..self.n1]);
+            ws.q2.col_mut(j).copy_from_slice(&ws.q_perm[self.n1..]);
+        }
+
+        // r₂ = c U₂⁻¹ L₂⁻¹ (q₂ − H₂₁ U₁⁻¹ L₁⁻¹ q₁), one column per seed.
+        self.l1_inv.spmm_into(&ws.q1, &mut ws.t1)?;
+        self.u1_inv.spmm_into(&ws.t1, &mut ws.t2)?;
+        self.h21.spmm_into(&ws.t2, &mut ws.t3)?;
+        for (t, &qv) in ws.t3.data_mut().iter_mut().zip(ws.q2.data()) {
+            *t = qv - *t;
+        }
+        self.l2_inv.spmm_into(&ws.t3, &mut ws.t4)?;
+        self.u2_inv.spmm_into(&ws.t4, &mut ws.t3)?;
+        for (r, &v) in ws.r2.data_mut().iter_mut().zip(ws.t3.data()) {
+            *r = self.c * v;
+        }
+
+        // r₁ = U₁⁻¹ L₁⁻¹ (c q₁ − H₁₂ r₂); `t1` holds the finished r₁.
+        self.h12.spmm_into(&ws.r2, &mut ws.t1)?;
+        for (t, &qv) in ws.t1.data_mut().iter_mut().zip(ws.q1.data()) {
+            *t = self.c * qv - *t;
+        }
+        self.l1_inv.spmm_into(&ws.t1, &mut ws.t2)?;
+        self.u1_inv.spmm_into(&ws.t2, &mut ws.t1)?;
+
+        // Map each column back to the original node ids.
+        for j in 0..k {
+            ws.r[..self.n1].copy_from_slice(ws.t1.col(j));
+            ws.r[self.n1..].copy_from_slice(ws.r2.col(j));
+            self.perm.unpermute_vec_into(&ws.r, out.col_mut(j))?;
+        }
+        Ok(())
+    }
 }
 
 impl Bear {
@@ -121,6 +210,11 @@ impl Bear {
         let n = self.num_nodes();
         if let Some(&bad) = seeds.iter().find(|&&s| s >= n) {
             return Err(Error::IndexOutOfBounds { index: bad, bound: n });
+        }
+        // Nothing to answer: return without allocating workspaces or
+        // touching any thread machinery.
+        if seeds.is_empty() {
+            return Ok(Vec::new());
         }
         let threads = threads.max(1).min(seeds.len().max(1));
         if threads <= 1 {
@@ -328,6 +422,69 @@ mod tests {
         assert!(bear.query_batch(&[0, 99], 2).is_err());
         // Empty batch is fine.
         assert!(bear.query_batch(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn block_query_bitwise_equals_per_seed() {
+        let g = undirected(
+            12,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (0, 4),
+                (4, 5),
+                (5, 6),
+                (0, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (4, 6),
+            ],
+        );
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        // Duplicates and arbitrary order are allowed.
+        let seeds = [3usize, 0, 7, 3, 11, 5];
+        let blocked = bear.query_block(&seeds).unwrap();
+        assert_eq!(blocked.len(), seeds.len());
+        for (j, &s) in seeds.iter().enumerate() {
+            assert_eq!(blocked[j], bear.query(s).unwrap(), "seed {s} (column {j})");
+        }
+        // Duplicate seeds yield identical columns.
+        assert_eq!(blocked[0], blocked[3]);
+    }
+
+    #[test]
+    fn block_workspace_reuses_across_widths() {
+        let g = undirected(9, &[(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6), (6, 7), (7, 8)]);
+        let bear = Bear::new(&g, &BearConfig::exact(0.2)).unwrap();
+        let mut ws = crate::engine::BlockWorkspace::for_bear(&bear);
+        for seeds in [vec![0usize, 4, 8], vec![2], vec![1, 1, 3, 5, 7, 0, 2], vec![]] {
+            let mut out = bear_sparse::DenseBlock::zeros(9, seeds.len());
+            bear.query_block_into(&seeds, &mut ws, &mut out).unwrap();
+            for (j, &s) in seeds.iter().enumerate() {
+                assert_eq!(out.col(j), &bear.query(s).unwrap()[..], "width {}", seeds.len());
+            }
+        }
+    }
+
+    #[test]
+    fn block_query_validates_inputs() {
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let mut ws = crate::engine::BlockWorkspace::for_bear(&bear);
+        // Out-of-range seed named in the error.
+        let mut out = bear_sparse::DenseBlock::zeros(5, 2);
+        let err = bear.query_block_into(&[0, 9], &mut ws, &mut out).unwrap_err();
+        assert_eq!(err, Error::IndexOutOfBounds { index: 9, bound: 5 });
+        // Output block must be n × k.
+        let mut wrong = bear_sparse::DenseBlock::zeros(5, 3);
+        assert!(bear.query_block_into(&[0, 1], &mut ws, &mut wrong).is_err());
+        let mut wrong = bear_sparse::DenseBlock::zeros(4, 2);
+        assert!(bear.query_block_into(&[0, 1], &mut ws, &mut wrong).is_err());
+        // Empty block is a no-op.
+        assert!(bear.query_block(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Crate-level property tests for bear-core: the iterative-hub variant,
-//! persistence, top-k, and drop-tolerance behaviour on arbitrary graphs.
+//! persistence, top-k, blocked multi-RHS queries, and drop-tolerance
+//! behaviour on arbitrary graphs.
 
-use bear_core::{Bear, BearConfig, BearHubIterative, RwrSolver};
+use bear_core::{Bear, BearConfig, BearHubIterative, BlockWorkspace, RwrSolver};
 use bear_graph::Graph;
+use bear_sparse::DenseBlock;
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
@@ -101,6 +103,49 @@ proptest! {
         for (i, &s) in seeds.iter().enumerate() {
             prop_assert_eq!(&batch[i], &bear.query(s).unwrap());
         }
+    }
+
+    #[test]
+    fn query_block_identical_to_per_seed(
+        g in arb_graph(),
+        picks in proptest::collection::vec(0.0f64..1.0, 0..12),
+        width in 1usize..10,
+    ) {
+        // The blocked multi-RHS path's determinism guarantee: for ANY
+        // graph, ANY seed multiset (duplicates included), and ANY block
+        // width — including a width larger than the seed count, which
+        // exercises the remainder/fallback shapes — every blocked column
+        // is bit-for-bit identical (`==`, not approximately equal) to
+        // the per-seed answer.
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let n = g.num_nodes();
+        let seeds: Vec<usize> =
+            picks.iter().map(|&p| ((p * n as f64) as usize).min(n - 1)).collect();
+        let want: Vec<Vec<f64>> = seeds.iter().map(|&s| bear.query(s).unwrap()).collect();
+        let mut ws = BlockWorkspace::for_bear(&bear);
+        let mut out = DenseBlock::zeros(n, 0);
+        let mut offset = 0;
+        for chunk in seeds.chunks(width) {
+            out.reset(n, chunk.len());
+            bear.query_block_into(chunk, &mut ws, &mut out).unwrap();
+            for (j, want) in want[offset..offset + chunk.len()].iter().enumerate() {
+                prop_assert_eq!(out.col(j), &want[..], "column {} diverged", offset + j);
+            }
+            offset += chunk.len();
+        }
+        // One whole-slice solve too (width > n_seeds when picks is short).
+        if !seeds.is_empty() {
+            let cols = bear.query_block(&seeds).unwrap();
+            for (got, want) in cols.iter().zip(&want) {
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_query_empty_seed_slice_is_empty(g in arb_graph()) {
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        prop_assert_eq!(bear.query_batch(&[], 4).unwrap(), Vec::<Vec<f64>>::new());
     }
 
     #[test]

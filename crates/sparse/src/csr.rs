@@ -1,5 +1,6 @@
 //! Compressed sparse row matrix: the crate's primary format.
 
+use crate::block::DenseBlock;
 use crate::csc::CscMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{Error, Result};
@@ -230,6 +231,69 @@ impl CsrMatrix {
                 acc += v * x[c];
             }
             *yr += acc;
+        }
+        Ok(())
+    }
+
+    /// `Y = A X` for a column-major dense block: the multi-RHS form of
+    /// [`CsrMatrix::matvec_into`]. Column `j` of `Y` is bit-identical to
+    /// `matvec_into(X.col(j), Y.col(j))` — per output entry the scalar
+    /// accumulation runs over the row's nonzeros in the same order — but
+    /// each row's index/value structure is walked once for all `k`
+    /// columns instead of `k` times, which is where the blocked query
+    /// path gets its memory-bandwidth amortization. Width-1 blocks
+    /// delegate to the vector kernel outright.
+    pub fn spmm_into(&self, x: &DenseBlock, y: &mut DenseBlock) -> Result<()> {
+        if x.nrows() != self.ncols || y.nrows() != self.nrows || x.ncols() != y.ncols() {
+            return Err(Error::DimensionMismatch {
+                op: "spmm_into",
+                lhs: (self.nrows, self.ncols),
+                rhs: (x.nrows(), x.ncols()),
+            });
+        }
+        let k = x.ncols();
+        if k == 1 {
+            return self.matvec_into(x.col(0), y.col_mut(0));
+        }
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for j in 0..k {
+                let xj = x.col(j);
+                let mut acc = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * xj[c];
+                }
+                y[(r, j)] = acc;
+            }
+        }
+        Ok(())
+    }
+
+    /// `Y += A X` accumulated into a caller-owned block: the multi-RHS
+    /// form of [`CsrMatrix::matvec_acc`], with the same per-column
+    /// bit-identity guarantee as [`CsrMatrix::spmm_into`].
+    pub fn spmm_acc(&self, x: &DenseBlock, y: &mut DenseBlock) -> Result<()> {
+        if x.nrows() != self.ncols || y.nrows() != self.nrows || x.ncols() != y.ncols() {
+            return Err(Error::DimensionMismatch {
+                op: "spmm_acc",
+                lhs: (self.nrows, self.ncols),
+                rhs: (x.nrows(), x.ncols()),
+            });
+        }
+        let k = x.ncols();
+        if k == 1 {
+            return self.matvec_acc(x.col(0), y.col_mut(0));
+        }
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for j in 0..k {
+                let xj = x.col(j);
+                let mut acc = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * xj[c];
+                }
+                y[(r, j)] += acc;
+            }
         }
         Ok(())
     }
@@ -609,5 +673,50 @@ mod tests {
         assert!(m.matvec_into(&[1.0; 3], &mut [0.0; 2]).is_err());
         assert!(m.matvec_into(&[1.0; 2], &mut [0.0; 3]).is_err());
         assert!(m.matvec_acc(&[1.0; 3], &mut [0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn spmm_columns_bitwise_equal_matvec() {
+        let m = sample();
+        // Awkward values so any reassociation of the sums would show up.
+        let cols: Vec<Vec<f64>> = (0..5)
+            .map(|j| (0..3).map(|i| ((i * 7 + j * 13) as f64).sin() * 1e3 + 0.1).collect())
+            .collect();
+        let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let x = DenseBlock::from_columns(3, &refs).unwrap();
+        let mut y = DenseBlock::zeros(3, 5);
+        m.spmm_into(&x, &mut y).unwrap();
+        for (j, col) in cols.iter().enumerate() {
+            assert_eq!(y.col(j), m.matvec(col).unwrap(), "column {j}");
+        }
+        // Accumulating form adds exactly one more product on top.
+        let mut acc = y.clone();
+        m.spmm_acc(&x, &mut acc).unwrap();
+        for (j, col) in cols.iter().enumerate() {
+            let mut want = y.col(j).to_vec();
+            m.matvec_acc(col, &mut want).unwrap();
+            assert_eq!(acc.col(j), &want[..], "column {j}");
+        }
+    }
+
+    #[test]
+    fn spmm_width_one_falls_back_to_matvec() {
+        let m = sample();
+        let x = DenseBlock::from_columns(3, &[&[0.3, -1.7, 2.9]]).unwrap();
+        let mut y = DenseBlock::zeros(3, 1);
+        m.spmm_into(&x, &mut y).unwrap();
+        assert_eq!(y.col(0), m.matvec(&[0.3, -1.7, 2.9]).unwrap());
+    }
+
+    #[test]
+    fn spmm_rejects_bad_shapes() {
+        let m = sample();
+        let x = DenseBlock::zeros(2, 4); // wrong inner dimension
+        let mut y = DenseBlock::zeros(3, 4);
+        assert!(m.spmm_into(&x, &mut y).is_err());
+        let x = DenseBlock::zeros(3, 4);
+        let mut y = DenseBlock::zeros(3, 2); // width mismatch
+        assert!(m.spmm_into(&x, &mut y).is_err());
+        assert!(m.spmm_acc(&x, &mut y).is_err());
     }
 }

@@ -5,8 +5,10 @@
 //!
 //! * storage formats: [`CooMatrix`], [`CsrMatrix`], [`CscMatrix`],
 //!   [`DenseMatrix`];
-//! * kernels: sparse matrix–vector products, sparse matrix–matrix products
-//!   (Gustavson SpGEMM), transposition, element-wise combination;
+//! * kernels: sparse matrix–vector products, blocked multi-RHS products
+//!   against column-major [`DenseBlock`]s (SpMM, bit-identical per column
+//!   to the vector kernels), sparse matrix–matrix products (Gustavson
+//!   SpGEMM), transposition, element-wise combination;
 //! * factorizations: sparse LU without pivoting (Gilbert–Peierls
 //!   left-looking, valid for the column-diagonally-dominant systems RWR
 //!   produces), dense LU with partial pivoting, dense Householder QR,
@@ -22,6 +24,7 @@
 //! All formats store `f64` values with `usize` indices. Matrices are
 //! immutable after construction; operations return new matrices.
 
+pub mod block;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -42,6 +45,7 @@ pub mod svd;
 pub mod triangular;
 pub mod validate;
 
+pub use block::DenseBlock;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;

@@ -71,6 +71,40 @@ fn bear_approx_still_usable_at_large_tolerance() {
     assert!(coarse.memory_bytes() < approx.memory_bytes());
 }
 
+/// Sweeping the drop tolerance across fixed decades: the L1 error versus
+/// exact BEAR is *zero* at ξ = 0 (the ξ = 0 factorization drops nothing,
+/// so every query is bit-identical) and monotone non-decreasing as ξ
+/// grows — more aggressive dropping can only lose information.
+#[test]
+fn bear_approx_l1_error_monotone_in_drop_tolerance() {
+    let l1 = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>();
+    for spec in &small_suite()[..2] {
+        let g = spec.load();
+        let n = g.num_nodes();
+        let exact = Bear::new(&g, &BearConfig::exact(0.05)).unwrap();
+        let seeds = [0, n / 2, n - 1];
+        let truth: Vec<Vec<f64>> = seeds.iter().map(|&s| exact.query(s).unwrap()).collect();
+        let mut last = 0.0f64;
+        for xi in [0.0, 1e-8, 1e-4, 1e-2] {
+            let approx = Bear::new(&g, &BearConfig::approx(0.05, xi)).unwrap();
+            let err: f64 = seeds
+                .iter()
+                .zip(&truth)
+                .map(|(&s, want)| l1(&approx.query(s).unwrap(), want))
+                .sum();
+            if xi == 0.0 {
+                assert_eq!(err, 0.0, "{}: xi=0 must be exactly exact", spec.name);
+            }
+            assert!(
+                err >= last - 1e-12,
+                "{}: L1 error fell from {last:.3e} to {err:.3e} at xi={xi}",
+                spec.name
+            );
+            last = err;
+        }
+    }
+}
+
 #[test]
 fn rppr_tightens_with_threshold() {
     let spec = &small_suite()[1];

@@ -1,0 +1,122 @@
+//! Differential-oracle suite: every query path in the workspace —
+//! BEAR-Exact per-seed, the blocked multi-RHS kernels at several widths,
+//! the scoped-thread batch path, and the LU / QR / iterative baselines —
+//! is checked against one independent ground truth, dense matrix
+//! inversion, within an L∞ tolerance of 1e-10.
+//!
+//! The panel runs on the paper-shape datasets (`small_suite`) plus
+//! randomly generated SlashBurn-able hub-and-spoke graphs, so both the
+//! structures the paper evaluates and adversarially random ones are
+//! covered. A uniform restart probability of 0.2 keeps the iterative
+//! method's contraction factor small enough that its converged answer
+//! sits well inside the shared tolerance.
+
+use bear_baselines::{Inversion, Iterative, IterativeConfig, LuDecomp, QrDecomp};
+use bear_core::rwr::RwrConfig;
+use bear_core::{Bear, BearConfig, BlockWorkspace, RwrSolver};
+use bear_datasets::small_suite;
+use bear_graph::generators::{hub_and_spoke, HubSpokeConfig};
+use bear_graph::Graph;
+use bear_sparse::mem::MemBudget;
+use bear_sparse::DenseBlock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shared L∞ agreement tolerance for every solver on the panel.
+const TOL: f64 = 1e-10;
+/// Restart probability for the whole panel. Larger than the paper's
+/// default 0.05 so the iterative method's geometric error (factor
+/// `1 - c` per sweep) converges below [`TOL`] instead of stalling at it.
+const C: f64 = 0.2;
+
+fn linf(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Paper-shape datasets plus random SlashBurn-able graphs.
+fn graph_panel() -> Vec<(String, Graph)> {
+    let mut graphs: Vec<(String, Graph)> =
+        small_suite().iter().map(|spec| (spec.name.to_string(), spec.load())).collect();
+    for rng_seed in [7u64, 99, 1234] {
+        let g = hub_and_spoke(
+            &HubSpokeConfig {
+                num_hubs: 4,
+                num_caves: 14,
+                max_cave_size: 9,
+                cave_density: 0.4,
+                hub_links: 2,
+                hub_density: 0.5,
+            },
+            &mut StdRng::seed_from_u64(rng_seed),
+        );
+        graphs.push((format!("hub_spoke_rng{rng_seed}"), g));
+    }
+    graphs
+}
+
+#[test]
+fn every_query_path_matches_the_dense_inversion_oracle() {
+    for (name, g) in graph_panel() {
+        let n = g.num_nodes();
+        let rwr = RwrConfig { c: C, ..RwrConfig::default() };
+        let budget = MemBudget::unlimited();
+        let oracle = Inversion::new(&g, &rwr, &budget).expect("dense inversion oracle");
+        let seeds: Vec<usize> = (0..8).map(|i| (i * 977) % n).collect();
+        let truth: Vec<Vec<f64>> =
+            seeds.iter().map(|&s| oracle.query(s).expect("oracle query")).collect();
+
+        // Per-seed paths: BEAR exact and the three baselines.
+        let bear = Bear::new(&g, &BearConfig::exact(C)).expect("bear");
+        let solvers: Vec<(&str, Box<dyn RwrSolver>)> = vec![
+            ("lu", Box::new(LuDecomp::new(&g, &rwr, &budget).unwrap())),
+            ("qr", Box::new(QrDecomp::new(&g, &rwr, &budget).unwrap())),
+            (
+                "iterative",
+                Box::new(
+                    Iterative::new(
+                        &g,
+                        &IterativeConfig { rwr, epsilon: 1e-13, max_iterations: 100_000 },
+                    )
+                    .unwrap(),
+                ),
+            ),
+        ];
+        for (&seed, want) in seeds.iter().zip(&truth) {
+            let r = bear.query(seed).unwrap();
+            let err = linf(&r, want);
+            assert!(err < TOL, "{name}: bear off oracle by {err:.3e} at seed {seed}");
+            for (sname, solver) in &solvers {
+                let r = solver.query(seed).unwrap();
+                let err = linf(&r, want);
+                assert!(err < TOL, "{name}: {sname} off oracle by {err:.3e} at seed {seed}");
+            }
+        }
+
+        // Blocked multi-RHS path, one reused workspace across widths —
+        // including widths that leave a remainder chunk.
+        let mut ws = BlockWorkspace::for_bear(&bear);
+        let mut out = DenseBlock::zeros(n, 0);
+        for width in [1usize, 3, 8] {
+            let mut offset = 0;
+            for chunk in seeds.chunks(width) {
+                out.reset(n, chunk.len());
+                bear.query_block_into(chunk, &mut ws, &mut out).unwrap();
+                for (j, want) in truth[offset..offset + chunk.len()].iter().enumerate() {
+                    let err = linf(out.col(j), want);
+                    assert!(
+                        err < TOL,
+                        "{name}: blocked width {width} off oracle by {err:.3e} at column {j}"
+                    );
+                }
+                offset += chunk.len();
+            }
+        }
+
+        // Scoped-thread batch path.
+        let batch = bear.query_batch(&seeds, 2).unwrap();
+        for (i, (got, want)) in batch.iter().zip(&truth).enumerate() {
+            let err = linf(got, want);
+            assert!(err < TOL, "{name}: query_batch off oracle by {err:.3e} at seed #{i}");
+        }
+    }
+}
