@@ -1,0 +1,205 @@
+//! Open-loop HTTP load generator for the serving front-end.
+//!
+//! Stands up a complete serving stack in-process — dataset →
+//! preprocess → save → [`bear_serve::Server`] — then drives it with
+//! open-loop traffic: each client thread sends on a fixed schedule
+//! derived from `--rate`, never waiting for the previous response to
+//! come back on time, so queueing delay shows up in the measured
+//! latencies instead of silently throttling the offered load.
+//!
+//! Midway through the run (unless `--no-swap`), a new index version is
+//! published through `POST /admin/load` while traffic flows, so the
+//! recorded distribution includes the hot-swap window.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin load_gen -- \
+//!     [--dataset small_routing] [--duration-ms 3000] [--rate 400]
+//!     [--clients 4] [--deadline-ms 0] [--no-swap]
+//!     [--json results/BENCH_serving.json]
+//! ```
+//!
+//! Any `500`-class response other than the deadline-mapped `504` fails
+//! the run — the smoke gate CI relies on.
+
+use bear_bench::cli::Args;
+use bear_bench::harness::{ExperimentResult, ResultRow};
+use bear_core::{Bear, BearConfig, EngineConfig, QueryEngine};
+use bear_serve::{client, Registry, Server, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    status_429: AtomicU64,
+    status_504: AtomicU64,
+    other_4xx: AtomicU64,
+    failures: AtomicU64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let args = Args::from_env();
+    let dataset = args.get("--dataset").unwrap_or("small_routing").to_string();
+    let duration = Duration::from_millis(args.get_or("--duration-ms", 3000u64).max(100));
+    let rate: f64 = args.get_or("--rate", 400.0f64).max(1.0);
+    let clients: usize = args.get_or("--clients", 4usize).max(1);
+    let deadline_ms: u64 = args.get_or("--deadline-ms", 0u64);
+    let swap = !args.has("--no-swap");
+    let json_path = args.get("--json").unwrap_or("results/BENCH_serving.json").to_string();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let spec = bear_datasets::dataset_by_name(&dataset)
+        .unwrap_or_else(|| panic!("unknown dataset '{dataset}'"));
+    let g = spec.load();
+    let bear = Bear::new(&g, &BearConfig::exact(0.05)).expect("preprocess");
+    let n = bear.num_nodes();
+    let index_path = std::env::temp_dir().join("bear_load_gen.idx");
+    bear.save(&index_path).expect("save index");
+
+    let engine_config = EngineConfig::default();
+    let engine = QueryEngine::new(Arc::new(bear), engine_config.clone()).expect("engine");
+    let registry = Arc::new(Registry::new());
+    registry.publish("bench", Arc::new(engine));
+    let server = Server::start(
+        registry,
+        ServerConfig { http_threads: clients.max(2), engine_config, ..ServerConfig::default() },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    println!(
+        "load_gen: dataset={dataset} n={n} | host cores: {host_cores} | \
+         {rate:.0} req/s open-loop x {:?} over {clients} client(s), \
+         deadline={deadline_ms}ms swap={swap} @ http://{addr}",
+        duration
+    );
+
+    let tally = Arc::new(Tally::default());
+    let interval = Duration::from_secs_f64(clients as f64 / rate);
+    let start = Instant::now();
+    let deadline_header = format!("{deadline_ms}");
+    let senders: Vec<_> = (0..clients)
+        .map(|c| {
+            let tally = Arc::clone(&tally);
+            let deadline_header = deadline_header.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                let mut k = 0u64;
+                loop {
+                    // Open-loop schedule: request k fires at start +
+                    // offset + k*interval regardless of earlier replies.
+                    let due = start
+                        + interval.mul_f64(c as f64 / clients as f64)
+                        + interval.mul_f64(k as f64);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    if start.elapsed() >= duration {
+                        return latencies;
+                    }
+                    let seed = (k as usize * 2654435761 + c * 97) % n;
+                    let headers: &[(&str, &str)] =
+                        if deadline_ms > 0 { &[("X-Deadline-Ms", &deadline_header)] } else { &[] };
+                    let sent = Instant::now();
+                    match client::get(addr, &format!("/v1/query?graph=bench&seed={seed}"), headers)
+                    {
+                        Ok(resp) => {
+                            latencies.push(sent.elapsed().as_secs_f64());
+                            match resp.status {
+                                200 => tally.ok.fetch_add(1, Ordering::Relaxed),
+                                429 => tally.status_429.fetch_add(1, Ordering::Relaxed),
+                                504 => tally.status_504.fetch_add(1, Ordering::Relaxed),
+                                400..=499 => tally.other_4xx.fetch_add(1, Ordering::Relaxed),
+                                _ => tally.failures.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                        Err(_) => {
+                            tally.failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    k += 1;
+                }
+            })
+        })
+        .collect();
+
+    if swap {
+        std::thread::sleep(duration / 2);
+        let resp = client::post(
+            addr,
+            &format!("/admin/load?graph=bench&index={}", index_path.display()),
+            &[],
+        )
+        .expect("hot swap request");
+        assert_eq!(resp.status, 200, "hot swap must publish: {}", resp.body_str());
+        println!("hot-swapped to version 2 at t={:?}", start.elapsed());
+    }
+
+    let mut latencies: Vec<f64> = Vec::new();
+    for s in senders {
+        latencies.extend(s.join().expect("sender thread"));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    server.shutdown();
+    std::fs::remove_file(&index_path).ok();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let total = latencies.len() as u64 + tally.failures.load(Ordering::Relaxed);
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let r429 = tally.status_429.load(Ordering::Relaxed);
+    let r504 = tally.status_504.load(Ordering::Relaxed);
+    let r4xx = tally.other_4xx.load(Ordering::Relaxed);
+    let failures = tally.failures.load(Ordering::Relaxed);
+    let throughput = ok as f64 / wall;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    let mut out = ExperimentResult::new(
+        "serving_load",
+        &format!(
+            "open-loop HTTP load against the bear-serve front-end \
+             ({rate:.0} req/s x {clients} clients, deadline={deadline_ms}ms, \
+             hot_swap={swap}); host_cores={host_cores}"
+        ),
+    );
+    let base_param = format!(
+        "rate={rate:.0} clients={clients} deadline_ms={deadline_ms} host_cores={host_cores}"
+    );
+    let mut row = ResultRow::new(&dataset, "http_p50");
+    row.param = Some(base_param.clone());
+    row.query_s = Some(p50);
+    out.rows.push(row);
+    let mut row = ResultRow::new(&dataset, "http_p99");
+    row.param = Some(base_param.clone());
+    row.query_s = Some(p99);
+    out.rows.push(row);
+    let mut row = ResultRow::new(&dataset, "http_throughput");
+    row.param = Some(format!(
+        "{base_param} qps={throughput:.1} total={total} ok={ok} \
+         r429={r429} r504={r504} other_4xx={r4xx} transport_failures={failures}"
+    ));
+    row.query_s = Some(if throughput > 0.0 { 1.0 / throughput } else { 0.0 });
+    out.rows.push(row);
+    out.print_table();
+    out.write_json(&json_path).expect("write json");
+    println!("wrote {json_path}");
+
+    assert!(ok > 0, "no successful responses at all");
+    assert_eq!(failures, 0, "transport-level failures (connect/read errors or 5xx) detected");
+    let served = ok + r429 + r504;
+    println!(
+        "done: {served} served / {total} sent in {wall:.2}s -> {throughput:.1} ok/s \
+         (p50 {:.3}ms, p99 {:.3}ms)",
+        p50 * 1e3,
+        p99 * 1e3
+    );
+}

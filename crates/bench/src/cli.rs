@@ -35,9 +35,12 @@ impl Args {
         args
     }
 
-    /// String value of `--name`.
+    /// String value of `--name`. Accepts the name with or without the
+    /// leading dashes — several figure binaries look flags up as
+    /// `"--reps"` while the parser stores them stripped, which silently
+    /// ignored those flags until the lookup normalized both spellings.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.values.get(name).map(|s| s.as_str())
+        self.values.get(name.trim_start_matches('-')).map(|s| s.as_str())
     }
 
     /// Parsed value of `--name`, falling back to `default`.
@@ -47,6 +50,7 @@ impl Args {
 
     /// Whether the boolean switch `--name` was passed.
     pub fn has(&self, name: &str) -> bool {
+        let name = name.trim_start_matches('-');
         self.switches.iter().any(|s| s == name) || self.values.contains_key(name)
     }
 }
@@ -101,6 +105,17 @@ mod tests {
         assert_eq!(a.get_or("seeds", 0usize), 5);
         assert!(a.has("full"));
         assert!(!a.has("missing"));
+    }
+
+    /// Regression: the figure binaries look flags up with the dashes
+    /// still attached (`get_or("--reps", ...)`); both spellings must
+    /// resolve, or those flags are silently ignored.
+    #[test]
+    fn dashed_lookup_spelling_resolves() {
+        let a = parse(&["--reps", "7", "--full"]);
+        assert_eq!(a.get_or("--reps", 0usize), 7);
+        assert_eq!(a.get_or("reps", 0usize), 7);
+        assert!(a.has("--full"));
     }
 
     #[test]

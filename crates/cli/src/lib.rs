@@ -10,6 +10,10 @@
 //!   one RWR query from a saved index (0 threads = all cores);
 //! * `bear batch <index.bear> <seed>... [--top 10] [--threads 0]` —
 //!   answer many queries through the persistent [`QueryEngine`] pool;
+//! * `bear serve <name=index.bear>... [--addr HOST:PORT]` — serve one or
+//!   more saved indexes over HTTP through [`bear_serve`], with
+//!   per-request deadlines (`X-Deadline-Ms`), typed fault-to-status
+//!   mapping, and zero-downtime hot swap via `POST /admin/load`;
 //! * `bear stats <graph.txt>` — graph and SlashBurn structure statistics;
 //! * `bear generate <dataset> <out.txt>` — materialize a registry dataset
 //!   as an edge list.
@@ -80,6 +84,22 @@ pub enum Command {
         threads: usize,
         /// Serving options shared by `query` and `batch`.
         serve: ServeFlags,
+    },
+    /// Serve one or more saved indexes over HTTP.
+    Serve {
+        /// `name=index-path` pairs; each becomes a registered graph.
+        graphs: Vec<(String, String)>,
+        /// Bind address (`host:port`; port 0 picks a free one).
+        addr: String,
+        /// HTTP connection worker threads (0 = server default).
+        http_threads: usize,
+        /// Engine worker threads per graph (0 = all cores).
+        threads: usize,
+        /// Serving options shared with `query` and `batch`.
+        serve: ServeFlags,
+        /// Run for this many milliseconds then exit cleanly (0 = run
+        /// until killed). Used by tests and smoke checks.
+        for_ms: u64,
     },
     /// Print graph statistics.
     Stats {
@@ -227,6 +247,51 @@ pub fn parse_command(args: &[String]) -> Result<Command> {
             let threads = int_flag(args, "--threads", 0usize)?;
             Ok(Command::Batch { index, seeds, top, threads, serve: parse_serve_flags(args)? })
         }
+        Some("serve") => {
+            // Positional graphs: `name=path` pairs anywhere before/among
+            // the flags (same scan discipline as batch's seeds).
+            let mut graphs = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                if args[i].starts_with("--") {
+                    i += 2; // skip the flag and its value
+                    continue;
+                }
+                let (name, path) = args[i].split_once('=').ok_or_else(|| {
+                    Error::InvalidStructure(format!(
+                        "serve graph '{}' must be name=index-path",
+                        args[i]
+                    ))
+                })?;
+                if name.is_empty() || path.is_empty() {
+                    return Err(Error::InvalidStructure(format!(
+                        "serve graph '{}' must be name=index-path",
+                        args[i]
+                    )));
+                }
+                graphs.push((name.to_string(), path.to_string()));
+                i += 1;
+            }
+            if graphs.is_empty() {
+                return Err(Error::InvalidStructure(
+                    "serve needs at least one name=index-path graph".into(),
+                ));
+            }
+            let addr = args
+                .iter()
+                .position(|a| a == "--addr")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7171".to_string());
+            Ok(Command::Serve {
+                graphs,
+                addr,
+                http_threads: int_flag(args, "--http-threads", 0usize)?,
+                threads: int_flag(args, "--threads", 0usize)?,
+                serve: parse_serve_flags(args)?,
+                for_ms: int_flag(args, "--for-ms", 0u64)?,
+            })
+        }
         Some("stats") => Ok(Command::Stats {
             graph: args
                 .get(1)
@@ -256,6 +321,8 @@ USAGE:
   bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0] [--threads 0]
   bear query <index.bear> <seed> [--top 10] [--threads 0] [serving flags]
   bear batch <index.bear> <seed>... [--top 10] [--threads 0] [serving flags]
+  bear serve <name=index.bear>... [--addr 127.0.0.1:7171] [--http-threads 0]
+             [--threads 0] [--for-ms 0] [serving flags]
   bear stats <graph.txt>
   bear generate <dataset> <out.txt>
 
@@ -276,6 +343,19 @@ SERVING FLAGS (query/batch):
                        index load serves degraded-only instead of exiting
   --c F                restart probability for the fallback when the index
                        (and its stored c) could not be loaded (default 0.05)
+
+SERVE FLAGS:
+  --addr HOST:PORT     bind address (default 127.0.0.1:7171; port 0 picks
+                       a free port)
+  --http-threads N     HTTP connection workers (0 = server default)
+  --for-ms N           run for N milliseconds then exit cleanly; 0 = run
+                       until killed (used by tests and smoke checks)
+  The serving flags above also apply; --fallback-graph needs exactly one
+  served graph. Endpoints: GET /v1/query?graph=NAME&seed=N,
+  /v1/batch?seeds=..., /v1/topk?k=..., /healthz, /metrics, and
+  POST /admin/load?graph=NAME&index=PATH for zero-downtime hot swap.
+  Per-request deadlines: X-Deadline-Ms header (504 on expiry; 429 on
+  overload — the HTTP mirror of exit codes 3 and 4).
 
 EXIT CODES:
   0 success (possibly with degraded answers, reported in the output)
@@ -312,11 +392,9 @@ enum Service {
 /// Builds the serving stack for `query`/`batch`. `threads == 0` keeps
 /// the default (all cores). Returns the service plus an optional notice
 /// line to print (degraded-only mode names the load failure).
-fn load_service(
-    index: &str,
-    threads: usize,
-    serve: &ServeFlags,
-) -> Result<(Service, Option<String>)> {
+/// Builds the engine configuration shared by `query`, `batch`, and
+/// `serve` from the common flags (`0` keeps each engine default).
+fn engine_config_from(threads: usize, serve: &ServeFlags) -> Result<EngineConfig> {
     let mut builder = EngineConfig::builder();
     if threads > 0 {
         builder = builder.threads(threads);
@@ -330,7 +408,15 @@ fn load_service(
     if serve.block_width > 0 {
         builder = builder.block_width(serve.block_width);
     }
-    let config = builder.build()?;
+    builder.build()
+}
+
+fn load_service(
+    index: &str,
+    threads: usize,
+    serve: &ServeFlags,
+) -> Result<(Service, Option<String>)> {
+    let config = engine_config_from(threads, serve)?;
     let fallback_for = |g_path: &str, c: f64| -> Result<FallbackSolver> {
         let g = read_edge_list(Path::new(g_path), None)?;
         FallbackSolver::new(
@@ -516,6 +602,60 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
                 None => Ok(()),
             }
         }
+        Command::Serve { graphs, addr, http_threads, threads, serve, for_ms } => {
+            if serve.fallback_graph.is_some() && graphs.len() > 1 {
+                return Err(Error::InvalidStructure(
+                    "--fallback-graph applies to a single served graph".into(),
+                ));
+            }
+            let engine_config = engine_config_from(*threads, serve)?;
+            let registry = Arc::new(bear_serve::Registry::new());
+            for (name, index) in graphs {
+                let bear = Arc::new(Bear::load(Path::new(index))?);
+                let engine = match &serve.fallback_graph {
+                    Some(g_path) => {
+                        let g = read_edge_list(Path::new(g_path), None)?;
+                        let fb = FallbackSolver::new(
+                            &g,
+                            &RwrConfig { c: bear.restart_probability(), ..RwrConfig::default() },
+                            DEFAULT_FALLBACK_ITERATIONS,
+                        )?;
+                        QueryEngine::with_fallback(bear, engine_config.clone(), Arc::new(fb))?
+                    }
+                    None => QueryEngine::new(bear, engine_config.clone())?,
+                };
+                let nodes = engine.bear().num_nodes();
+                registry.publish(name, Arc::new(engine));
+                writeln!(out, "graph '{name}': {nodes} nodes from {index}").map_err(io_err)?;
+            }
+            let mut server_config = bear_serve::ServerConfig {
+                addr: addr.clone(),
+                engine_config,
+                ..bear_serve::ServerConfig::default()
+            };
+            if *http_threads > 0 {
+                server_config.http_threads = *http_threads;
+            }
+            let handle = bear_serve::Server::start(registry, server_config)?;
+            writeln!(
+                out,
+                "serving {} graph(s) on http://{} — endpoints: /v1/query /v1/batch \
+                 /v1/topk /admin/load /healthz /metrics",
+                graphs.len(),
+                handle.addr()
+            )
+            .map_err(io_err)?;
+            out.flush().map_err(io_err)?;
+            if *for_ms > 0 {
+                std::thread::sleep(Duration::from_millis(*for_ms));
+                handle.shutdown();
+                writeln!(out, "shut down after {for_ms} ms").map_err(io_err)
+            } else {
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+        }
         Command::Stats { graph } => {
             let g = read_edge_list(Path::new(graph), None)?;
             let ord = slashburn(&g, &SlashBurnConfig::paper_default(g.num_nodes()))?;
@@ -680,6 +820,140 @@ mod tests {
         let cmd = parse(&["batch", "g.idx", "1", "--fallback-graph", "g.txt", "2"]).unwrap();
         assert!(matches!(&cmd, Command::Batch { seeds, serve, .. }
                 if *seeds == vec![1, 2] && serve.fallback_graph.as_deref() == Some("g.txt")));
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        let cmd = parse(&[
+            "serve",
+            "web=web.idx",
+            "mail=mail.idx",
+            "--addr",
+            "0.0.0.0:8080",
+            "--http-threads",
+            "8",
+            "--threads",
+            "2",
+            "--deadline-ms",
+            "100",
+            "--for-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                graphs: vec![("web".into(), "web.idx".into()), ("mail".into(), "mail.idx".into())],
+                addr: "0.0.0.0:8080".into(),
+                http_threads: 8,
+                threads: 2,
+                serve: ServeFlags { deadline_ms: 100, ..ServeFlags::default() },
+                for_ms: 500,
+            }
+        );
+        // Defaults.
+        let cmd = parse(&["serve", "g=g.idx"]).unwrap();
+        assert!(matches!(cmd, Command::Serve { ref addr, http_threads: 0, for_ms: 0, .. }
+            if addr == "127.0.0.1:7171"));
+        // Malformed pairs and empty graph lists are usage errors.
+        assert!(parse(&["serve"]).is_err());
+        assert!(parse(&["serve", "justapath.idx"]).is_err());
+        assert!(parse(&["serve", "=x.idx"]).is_err());
+        assert!(parse(&["serve", "g="]).is_err());
+    }
+
+    /// End-to-end: preprocess a dataset, serve it over HTTP for a
+    /// bounded window, and exercise the full request path (query +
+    /// healthz) against the in-memory reference.
+    #[test]
+    fn serve_command_answers_http_until_deadline() {
+        let dir = std::env::temp_dir();
+        let graph_path = dir.join("bear_cli_serve.txt");
+        let index_path = dir.join("bear_cli_serve.idx");
+        let mut buf = Vec::new();
+        run(
+            &Command::Generate {
+                dataset: "small_routing".into(),
+                out: graph_path.to_string_lossy().into_owned(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        run(
+            &Command::Preprocess {
+                graph: graph_path.to_string_lossy().into_owned(),
+                index: index_path.to_string_lossy().into_owned(),
+                c: 0.05,
+                xi: 0.0,
+                threads: 1,
+            },
+            &mut buf,
+        )
+        .unwrap();
+
+        // Bind a registry+server through the library path the command
+        // uses, on an ephemeral port we can read back.
+        let cmd = Command::Serve {
+            graphs: vec![("routing".into(), index_path.to_string_lossy().into_owned())],
+            addr: "127.0.0.1:0".into(),
+            http_threads: 2,
+            threads: 1,
+            serve: ServeFlags::default(),
+            for_ms: 1200,
+        };
+        let out = Arc::new(std::sync::Mutex::new(Vec::<u8>::new()));
+        let writer = SharedWriter(Arc::clone(&out));
+        let server = std::thread::spawn(move || {
+            let mut writer = writer;
+            run(&cmd, &mut writer)
+        });
+
+        // Poll the shared buffer for the bound address.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr: std::net::SocketAddr = loop {
+            assert!(std::time::Instant::now() < deadline, "server never reported its address");
+            let text = String::from_utf8_lossy(&out.lock().unwrap()).into_owned();
+            if let Some(rest) = text.split("http://").nth(1) {
+                if let Some(addr) = rest.split_whitespace().next() {
+                    break addr.parse().unwrap();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let resp = bear_serve::client::get(addr, "/healthz", &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        let resp = bear_serve::client::get(addr, "/v1/query?graph=routing&seed=0", &[]).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+        let scores = bear_serve::client::json_number_array(&resp.body_str(), "scores").unwrap();
+        let reference = Bear::load(&index_path).unwrap().query(0).unwrap();
+        assert_eq!(scores.len(), reference.len());
+        for (got, want) in scores.iter().zip(&reference) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+
+        server.join().unwrap().unwrap();
+        let text = String::from_utf8_lossy(&out.lock().unwrap()).into_owned();
+        assert!(text.contains("graph 'routing'"), "{text}");
+        assert!(text.contains("shut down after 1200 ms"), "{text}");
+
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&index_path).ok();
+    }
+
+    /// `Write` adapter the serve test uses to watch command output from
+    /// another thread.
+    struct SharedWriter(Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
     }
 
     #[test]

@@ -8,6 +8,17 @@
 use crate::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Nanoseconds of `elapsed` as a `u64`, saturating at `u64::MAX`.
+///
+/// `elapsed.as_nanos() as u64` *wraps* above ~584 years of nanoseconds,
+/// so a pathological clock step (NTP jump, suspended VM, `Duration::MAX`
+/// from a saturating subtraction) would land in an arbitrary low bucket
+/// and poison the percentile estimates; saturating pins it to the
+/// open-ended top bucket instead.
+fn saturating_nanos(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Number of log₂ latency buckets (covers 1ns .. ~584 years).
 pub(crate) const LATENCY_BUCKETS: usize = 64;
 
@@ -80,7 +91,7 @@ impl Metrics {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
             &self.miss_histogram
         };
-        let nanos = (elapsed.as_nanos() as u64).max(1);
+        let nanos = saturating_nanos(elapsed).max(1);
         let bucket = (63 - nanos.leading_zeros()) as usize;
         histogram[bucket].fetch_add(1, Ordering::Relaxed);
     }
@@ -98,7 +109,8 @@ impl Metrics {
         let wbucket =
             ((usize::BITS - 1 - width.leading_zeros()) as usize).min(BLOCK_WIDTH_BUCKETS - 1);
         self.block_width_histogram[wbucket].fetch_add(1, Ordering::Relaxed);
-        let per_query = ((elapsed.as_nanos() / width as u128) as u64).max(1);
+        let per_query =
+            u64::try_from(elapsed.as_nanos() / width as u128).unwrap_or(u64::MAX).max(1);
         let bucket = (63 - per_query.leading_zeros()) as usize;
         self.amortized_histogram[bucket].fetch_add(width as u64, Ordering::Relaxed);
     }
@@ -311,6 +323,21 @@ mod tests {
         assert!((s.avg_block_width() - 1012.0 / 4.0).abs() < 1e-12);
         // All 1012 queries were credited 20 ns each: bucket 4 → 31 ns cap.
         assert_eq!(s.p50_amortized, Duration::from_nanos(31));
+    }
+
+    /// Satellite regression: a pathological clock step (here the worst
+    /// case, `Duration::MAX`) must saturate into the open-ended top
+    /// bucket. With the old `as u64` cast it *wrapped* into an arbitrary
+    /// low bucket and dragged the percentile estimates down.
+    #[test]
+    fn pathological_clock_step_saturates_into_top_bucket() {
+        let m = Metrics::new();
+        m.record(false, Duration::MAX);
+        m.record_block(3, Duration::MAX);
+        let s = m.snapshot();
+        assert_eq!(s.p50, Duration::from_nanos(u64::MAX));
+        assert_eq!(s.p99, Duration::from_nanos(u64::MAX));
+        assert_eq!(s.p50_amortized, Duration::from_nanos(u64::MAX));
     }
 
     #[test]

@@ -477,23 +477,74 @@ impl QueryEngine {
         Ok(())
     }
 
-    /// Admits one job to the pool under the configured overload policy,
-    /// accounting rejections and admission timeouts.
-    fn admit(&self, job: Job, deadline: Option<Instant>) -> Result<()> {
+    /// Admission without metrics accounting: fail-fast deadline check,
+    /// then push under the configured overload policy.
+    ///
+    /// A job whose deadline has already passed (including a zero budget)
+    /// fails fast with [`Error::Timeout`] *before* it is enqueued: letting
+    /// it through would occupy bounded queue capacity until the
+    /// dequeue-side shed — capacity that still-viable queries could use.
+    fn try_admit(&self, job: Job, deadline: Option<Instant>) -> Result<()> {
         crate::fail_point!("queue::push");
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(Error::Timeout { budget: job.budget.unwrap_or_default() });
+        }
         match self.overload {
-            OverloadPolicy::Reject => self.queue.push(job).inspect_err(|e| {
-                if matches!(e, Error::QueueFull { .. }) {
-                    self.metrics.record_queue_rejection();
-                }
-            }),
+            OverloadPolicy::Reject => self.queue.push(job),
             OverloadPolicy::Block => {
                 let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
-                self.queue.push_blocking(job, remaining).inspect_err(|e| {
-                    if matches!(e, Error::Timeout { .. }) {
-                        self.metrics.record_timeout();
+                self.queue.push_blocking(job, remaining)
+            }
+        }
+    }
+
+    /// Admits one job to the pool under the configured overload policy,
+    /// accounting rejections and admission timeouts (see
+    /// [`QueryEngine::try_admit`]).
+    fn admit(&self, job: Job, deadline: Option<Instant>) -> Result<()> {
+        self.try_admit(job, deadline).inspect_err(|e| match e {
+            Error::QueueFull { .. } => self.metrics.record_queue_rejection(),
+            Error::Timeout { .. } => self.metrics.record_timeout(),
+            _ => {}
+        })
+    }
+
+    /// Batch-dispatch admission: like [`QueryEngine::admit`], except that
+    /// when the caller's *own* dispatch loop has filled the queue
+    /// ([`OverloadPolicy::Reject`], no deadline), the submitting thread
+    /// assists — draining one queued job inline with the spare workspace —
+    /// and retries. A batch larger than the queue therefore makes progress
+    /// in bounded memory instead of being shed on its own backlog (each
+    /// retry either admits the job or answers one queued job, so the loop
+    /// terminates after at most the batch's own work). External overload
+    /// while the spare workspace is busy still sheds with
+    /// [`Error::QueueFull`], and deadline-carrying batches keep strict
+    /// admission (inline work cannot be abandoned mid-compute, so
+    /// assisting would run the caller past its budget).
+    fn admit_assisting(&self, make_job: &dyn Fn() -> Job, deadline: Option<Instant>) -> Result<()> {
+        loop {
+            match self.try_admit(make_job(), deadline) {
+                Err(Error::QueueFull { capacity }) if deadline.is_none() => {
+                    let Ok(mut ws) = self.caller_ws.try_lock() else {
+                        self.metrics.record_queue_rejection();
+                        return Err(Error::QueueFull { capacity });
+                    };
+                    match self.queue.try_pop() {
+                        Some(job) => run_job(&self.bear, &mut ws, job, &self.metrics),
+                        // A worker drained the queue between the rejection
+                        // and our pop; the retry will find space.
+                        None => std::thread::yield_now(),
                     }
-                })
+                }
+                Err(e) => {
+                    match &e {
+                        Error::QueueFull { .. } => self.metrics.record_queue_rejection(),
+                        Error::Timeout { .. } => self.metrics.record_timeout(),
+                        _ => {}
+                    }
+                    return Err(e);
+                }
+                Ok(()) => return Ok(()),
             }
         }
     }
@@ -724,17 +775,18 @@ impl QueryEngine {
                 }
                 None => {
                     dispatched[tag] = Some(probe_start);
-                    self.admit(
-                        Job {
-                            seed,
-                            tag,
-                            reply: reply_tx.clone(),
-                            deadline,
-                            budget,
-                            cancel: Some(token.clone()),
-                        },
+                    // Assisting admission: a batch bigger than the queue
+                    // drains its own backlog instead of tripping QueueFull
+                    // on it (self-inflicted overload is not overload).
+                    let make_job = || Job {
+                        seed,
+                        tag,
+                        reply: reply_tx.clone(),
                         deadline,
-                    )?;
+                        budget,
+                        cancel: Some(token.clone()),
+                    };
+                    self.admit_assisting(&make_job, deadline)?;
                     outstanding += 1;
                 }
             }
@@ -1323,6 +1375,10 @@ mod tests {
         assert!(engine.metrics().shed_jobs >= 1);
     }
 
+    /// Satellite regression: an already-expired (zero-budget) deadline
+    /// fails fast with the typed `Timeout` at *admission* — the job is
+    /// never enqueued, so nothing is shed at dequeue and no queue
+    /// capacity is occupied by work nobody can use.
     #[test]
     fn already_expired_deadline_times_out_with_typed_error() {
         let bear = test_bear(10);
@@ -1330,7 +1386,39 @@ mod tests {
         let opts = QueryOptions { deadline: Some(Duration::ZERO), cancel: None };
         let err = engine.serve(2, &opts).unwrap_err();
         assert!(matches!(err, Error::Timeout { .. }), "{err}");
-        assert!(engine.metrics().timeouts >= 1);
+        let m = engine.metrics();
+        assert!(m.timeouts >= 1, "fail-fast timeout must be counted");
+        assert_eq!(m.shed_jobs, 0, "dead job must not be enqueued then shed at dequeue");
+        assert_eq!(engine.queue_depth(), 0);
+    }
+
+    /// Regression for a seed flake: a batch larger than the queue
+    /// capacity must not trip `QueueFull` on its *own* backlog — the
+    /// dispatching caller assists (drains queued jobs inline) when the
+    /// queue fills, so the batch completes in bounded memory with answers
+    /// still bit-identical and in order.
+    #[test]
+    fn batch_larger_than_queue_capacity_completes_exactly() {
+        let bear = test_bear(30);
+        let engine = QueryEngine::new(
+            Arc::clone(&bear),
+            EngineConfig {
+                threads: 1,
+                cache_capacity: 0,
+                queue_capacity: 4,
+                block_width: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let seeds: Vec<usize> = (0..30).chain(0..30).collect();
+        let want: Vec<Vec<f64>> = seeds.iter().map(|&s| bear.query(s).unwrap()).collect();
+        let got = engine.query_batch(&seeds).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(**g, *w);
+        }
+        // Self-inflicted overload is not overload: no rejections counted.
+        assert_eq!(engine.metrics().queue_rejections, 0);
     }
 
     #[test]

@@ -17,6 +17,17 @@ fn io_err(e: std::io::Error) -> Error {
     Error::InvalidStructure(format!("index io error: {e}"))
 }
 
+/// Converts an on-disk `u64` (length, dimension, or index) to `usize`,
+/// returning the typed corruption error when it does not fit. On 32-bit
+/// targets a plain `as usize` would silently truncate an oversized value
+/// into a *valid-looking* small one, turning a corrupt file into wrong
+/// answers instead of a load failure.
+fn checked_usize(v: u64, what: &str) -> Result<usize> {
+    usize::try_from(v).map_err(|_| {
+        Error::InvalidStructure(format!("corrupt index: {what} {v} does not fit in usize"))
+    })
+}
+
 fn write_usize_slice<W: Write>(w: &mut W, data: &[usize]) -> Result<()> {
     w.write_all(&(data.len() as u64).to_le_bytes()).map_err(io_err)?;
     for &v in data {
@@ -85,9 +96,9 @@ fn read_u64<R: Read>(r: &mut BoundedReader<R>) -> Result<u64> {
 fn read_usize_slice<R: Read>(r: &mut BoundedReader<R>) -> Result<Vec<usize>> {
     let len = read_u64(r)?;
     r.check_len(len)?;
-    let mut out = Vec::with_capacity(len as usize);
+    let mut out = Vec::with_capacity(checked_usize(len, "array length")?);
     for _ in 0..len {
-        out.push(read_u64(r)? as usize);
+        out.push(checked_usize(read_u64(r)?, "array element")?);
     }
     Ok(out)
 }
@@ -95,7 +106,7 @@ fn read_usize_slice<R: Read>(r: &mut BoundedReader<R>) -> Result<Vec<usize>> {
 fn read_f64_slice<R: Read>(r: &mut BoundedReader<R>) -> Result<Vec<f64>> {
     let len = read_u64(r)?;
     r.check_len(len)?;
-    let mut out = Vec::with_capacity(len as usize);
+    let mut out = Vec::with_capacity(checked_usize(len, "array length")?);
     let mut buf = [0u8; 8];
     for _ in 0..len {
         r.read_exact(&mut buf)?;
@@ -113,8 +124,8 @@ fn write_csc<W: Write>(w: &mut W, m: &CscMatrix) -> Result<()> {
 }
 
 fn read_csc<R: Read>(r: &mut BoundedReader<R>) -> Result<CscMatrix> {
-    let nrows = read_u64(r)? as usize;
-    let ncols = read_u64(r)? as usize;
+    let nrows = checked_usize(read_u64(r)?, "matrix row count")?;
+    let ncols = checked_usize(read_u64(r)?, "matrix column count")?;
     let indptr = read_usize_slice(r)?;
     let indices = read_usize_slice(r)?;
     let values = read_f64_slice(r)?;
@@ -133,8 +144,8 @@ fn write_csr<W: Write>(w: &mut W, m: &CsrMatrix) -> Result<()> {
 }
 
 fn read_csr<R: Read>(r: &mut BoundedReader<R>) -> Result<CsrMatrix> {
-    let nrows = read_u64(r)? as usize;
-    let ncols = read_u64(r)? as usize;
+    let nrows = checked_usize(read_u64(r)?, "matrix row count")?;
+    let ncols = checked_usize(read_u64(r)?, "matrix column count")?;
     let indptr = read_usize_slice(r)?;
     let indices = read_usize_slice(r)?;
     let values = read_f64_slice(r)?;
@@ -185,8 +196,8 @@ impl Bear {
                 "not a BEAR index file (magic {magic:?})"
             )));
         }
-        let n1 = read_u64(&mut r)? as usize;
-        let n2 = read_u64(&mut r)? as usize;
+        let n1 = checked_usize(read_u64(&mut r)?, "spoke count n1")?;
+        let n2 = checked_usize(read_u64(&mut r)?, "hub count n2")?;
         let mut cbuf = [0u8; 8];
         r.read_exact(&mut cbuf)?;
         let c = f64::from_le_bytes(cbuf);
@@ -203,8 +214,12 @@ impl Bear {
         let h12 = read_csr(&mut r)?;
         let h21 = read_csr(&mut r)?;
 
-        // Cross-validate dimensions before accepting the index.
-        let n = n1 + n2;
+        // Cross-validate dimensions before accepting the index. The sum
+        // is checked: corrupt headers near usize::MAX must fail typed,
+        // not overflow (panic in debug, wrap to a bogus `n` in release).
+        let n = n1.checked_add(n2).ok_or_else(|| {
+            Error::InvalidStructure(format!("corrupt index: n1 {n1} + n2 {n2} overflows"))
+        })?;
         if perm.len() != n
             || degrees.len() != n
             || block_sizes.iter().sum::<usize>() != n1

@@ -72,6 +72,7 @@ fn small_config(threads: usize, queue_capacity: usize) -> EngineConfig {
         queue_capacity,
         overload: OverloadPolicy::Reject,
         default_deadline: None,
+        ..EngineConfig::default()
     }
 }
 
@@ -252,6 +253,57 @@ fn expired_job_is_shed_at_dequeue() {
         std::thread::sleep(Duration::from_millis(5));
     }
     assert!(engine.metrics().shed_jobs >= 1, "expired job must be shed at dequeue");
+}
+
+/// Satellite regression: a query whose deadline is already expired (or
+/// zero) at admission must fail fast with the typed `Timeout` *before*
+/// being enqueued — even when the queue is full. Before the fix it was
+/// enqueued (occupying bounded capacity until the dequeue-side shed) or,
+/// at queue-full, misreported as `QueueFull`.
+#[test]
+fn expired_deadline_fails_fast_before_enqueue_even_at_queue_full() {
+    let _serial = serial();
+    let (_g, bear) = build(12);
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&bear), small_config(1, 1)).unwrap());
+    // Make the single worker dawdle before computing, so a second job
+    // sits in the capacity-1 queue and fills it. The fillers carry a
+    // generous (not expired) deadline, which also keeps them off the
+    // caller-assist path — with a deadline set, submitters never compute
+    // inline, so the queue fills deterministically.
+    failpoints::configure("engine::run_job", FailAction::Delay(Duration::from_millis(400)));
+    let generous = QueryOptions { deadline: Some(Duration::from_secs(30)), cancel: None };
+
+    let f1 = {
+        let (engine, opts) = (Arc::clone(&engine), generous.clone());
+        std::thread::spawn(move || engine.serve(1, &opts).map(|_| ()))
+    };
+    // The worker pops f1's job effectively instantly, then naps in the
+    // injected delay; give it a moment, then fill the queue's only slot.
+    std::thread::sleep(Duration::from_millis(100));
+    let f2 = {
+        let (engine, opts) = (Arc::clone(&engine), generous.clone());
+        std::thread::spawn(move || engine.serve(2, &opts).map(|_| ()))
+    };
+    let wait_deadline = Instant::now() + Duration::from_secs(5);
+    while engine.queue_depth() < 1 && Instant::now() < wait_deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(engine.queue_depth(), 1, "queue must be full for the regression");
+
+    // Expired-deadline admission while the queue is full: the typed
+    // Timeout (not QueueFull), counted, and nothing shed at dequeue —
+    // the dead job never reached the queue, whose single slot still
+    // belongs to the viable filler.
+    let shed_before = engine.metrics().shed_jobs;
+    let opts = QueryOptions { deadline: Some(Duration::ZERO), cancel: None };
+    let err = engine.serve(3, &opts).unwrap_err();
+    assert!(matches!(err, Error::Timeout { .. }), "want fail-fast Timeout, got {err}");
+    assert!(engine.metrics().timeouts >= 1);
+    assert_eq!(engine.metrics().shed_jobs, shed_before, "job must not be enqueued then shed");
+    assert_eq!(engine.metrics().queue_rejections, 0, "fail-fast must not misreport QueueFull");
+
+    f1.join().unwrap().unwrap();
+    f2.join().unwrap().unwrap();
 }
 
 /// Fault class: admission-path failure (e.g. an I/O-backed queue

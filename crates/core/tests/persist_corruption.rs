@@ -227,6 +227,39 @@ fn block_size_sum_mismatch_is_rejected() {
     assert!(format!("{err}").contains("dimensions"), "unexpected error: {err}");
 }
 
+/// Satellite regression: on-disk `u64` header dimensions near the top of
+/// the range must fail typed everywhere. `n1`/`n2` are raw header words
+/// (not length prefixes), so the bounded reader never sees them; before
+/// the checked conversions, `n1 + n2` overflowed (a panic in debug
+/// builds, a wrapped bogus `n` in release) and on 32-bit targets the
+/// `as usize` truncated them into valid-looking small values.
+#[test]
+fn huge_header_dimensions_are_rejected_not_overflowed() {
+    for (tag, n1, n2) in [
+        ("huge_both", u64::MAX, u64::MAX),
+        ("huge_n1", u64::MAX, 2),
+        ("huge_sum", u64::MAX / 2 + 1, u64::MAX / 2 + 1),
+    ] {
+        let (mut bytes, path) = saved_index(tag);
+        write_u64_at(&mut bytes, 8, n1); // n1 sits right after the magic
+        write_u64_at(&mut bytes, 16, n2);
+        let err = assert_rejected(&bytes, &path, "huge n1/n2 header");
+        assert!(matches!(err, Error::InvalidStructure(_)), "want typed error, got: {err:?}");
+    }
+}
+
+/// Satellite regression: a huge element inside a `usize` array (here a
+/// permutation entry at `u64::MAX`) must be rejected by the checked
+/// conversion / validation path, never truncated by `as usize` into an
+/// in-bounds id on narrower targets.
+#[test]
+fn huge_usize_array_element_is_rejected() {
+    let (mut bytes, path) = saved_index("huge_elem");
+    let layout = walk(&bytes);
+    write_u64_at(&mut bytes, layout.perm.elem(0), u64::MAX);
+    assert_rejected(&bytes, &path, "u64::MAX permutation entry");
+}
+
 #[test]
 fn untouched_round_trip_still_loads() {
     // Control: the walker itself proves the layout assumption, and an

@@ -1,0 +1,39 @@
+//! HTTP serving front-end for the BEAR query engine.
+//!
+//! `bear-serve` turns [`bear_core::QueryEngine`] into a network
+//! service without adding a single external dependency: a hand-rolled
+//! HTTP/1.1 layer over `std::net::TcpListener`, a connection pool
+//! built on the engine's own [`bear_core::engine::queue::JobQueue`],
+//! and a multi-tenant [`Registry`] whose atomically swappable handles
+//! give zero-downtime index hot-swap.
+//!
+//! # Endpoints
+//!
+//! | Method | Path          | Parameters                      | Answer |
+//! |--------|---------------|---------------------------------|--------|
+//! | GET    | `/v1/query`   | `graph`, `seed`                 | full RWR score vector (JSON) |
+//! | GET    | `/v1/topk`    | `graph`, `seed`, `k`            | top-k nodes excluding the seed |
+//! | GET    | `/v1/batch`   | `graph`, `seeds=0,3,7`          | one score vector per seed |
+//! | POST   | `/admin/load` | `graph`, `index` (server path)  | publishes the next index version |
+//! | GET    | `/healthz`    | —                               | liveness |
+//! | GET    | `/metrics`    | —                               | text exposition of all counters |
+//!
+//! The `graph` parameter may be omitted when exactly one graph is
+//! registered. A per-request deadline arrives as `X-Deadline-Ms` and
+//! maps onto the engine's deadline machinery; an expired budget fails
+//! fast at admission. Fault classes map onto dedicated status codes
+//! (`504` deadline, `429` overload, `503` shutdown — the HTTP mirror
+//! of the CLI's exit codes), and degraded answers carry `X-Degraded`,
+//! `X-Residual`, `X-Error-Bound`, and `X-Iterations` headers.
+//!
+//! Score payloads use Rust's shortest round-trip `f64` formatting, so
+//! parsing the JSON numbers back recovers bit-identical values — the
+//! save→load→serve differential tests pin this.
+
+pub mod http;
+pub mod registry;
+pub mod server;
+
+pub use http::{client, ClientResponse, Request, Response};
+pub use registry::{Registry, Tenant};
+pub use server::{Server, ServerConfig, ServerHandle, ServerMetrics};

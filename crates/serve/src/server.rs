@@ -1,0 +1,713 @@
+//! The HTTP front-end: accept loop, connection worker pool, request
+//! routing, and the fault-to-status mapping.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            accept thread                 connection workers
+//!  TcpListener ──────────▶ JobQueue<TcpStream> ──────────▶ handle_connection
+//!  (nonblocking poll)      (bounded backlog;               (parse → route →
+//!                           overflow ⇒ 503 + close)         QueryEngine → write)
+//! ```
+//!
+//! The connection queue reuses [`bear_core::engine::queue::JobQueue`] —
+//! the same bounded two-condvar queue the query engine itself runs on —
+//! so admission control composes: a connection is shed with `503` when
+//! the *connection* backlog is full, and an accepted request is shed
+//! with `429` when the *query* queue is full.
+//!
+//! Per-request deadlines arrive as an `X-Deadline-Ms` header and map
+//! onto [`QueryOptions::deadline`], which the engine enforces at
+//! admission, dequeue, and reply-wait. An already-expired budget
+//! (`X-Deadline-Ms: 0`) fails fast at admission with
+//! [`Error::Timeout`] → `504` without ever occupying a queue slot.
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::registry::{Registry, Tenant};
+use bear_core::engine::queue::JobQueue;
+use bear_core::topk::top_k_excluding_seed;
+use bear_core::{Bear, EngineConfig, QueryEngine, QueryOptions, Served};
+use bear_sparse::{Error, Result};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (`:0` picks a free port).
+    pub addr: String,
+    /// Connection worker threads (each handles one connection at a
+    /// time; keep-alive connections hold a worker between requests).
+    pub http_threads: usize,
+    /// Bound on accepted-but-unserviced connections; overflow is
+    /// answered with a best-effort `503` and closed.
+    pub conn_backlog: usize,
+    /// Engine configuration used when `/admin/load` builds the engine
+    /// for a newly published index version.
+    pub engine_config: EngineConfig,
+    /// Maximum seeds accepted by one `/v1/batch` request.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            http_threads: 4,
+            conn_backlog: 128,
+            engine_config: EngineConfig::default(),
+            max_batch: 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Rejects configurations the server cannot honor.
+    pub fn validate(&self) -> Result<()> {
+        if self.http_threads == 0 {
+            return Err(Error::InvalidConfig {
+                param: "http_threads",
+                reason: "the connection pool needs at least one thread".into(),
+            });
+        }
+        if self.conn_backlog == 0 {
+            return Err(Error::InvalidConfig {
+                param: "conn_backlog",
+                reason: "a backlog that admits nothing rejects every connection".into(),
+            });
+        }
+        if self.max_batch == 0 {
+            return Err(Error::InvalidConfig {
+                param: "max_batch",
+                reason: "a zero batch bound rejects every batch request".into(),
+            });
+        }
+        self.engine_config.validate()
+    }
+}
+
+/// Server-level counters, exposed through `/metrics` alongside each
+/// tenant engine's [`bear_core::MetricsSnapshot`].
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests parsed off the wire.
+    pub http_requests: AtomicU64,
+    /// Responses with a 2xx status.
+    pub responses_2xx: AtomicU64,
+    /// Responses with a 4xx status (429 included).
+    pub responses_4xx: AtomicU64,
+    /// Responses with a 5xx status (503/504 included).
+    pub responses_5xx: AtomicU64,
+    /// Overloaded requests answered `429 Too Many Requests`.
+    pub responses_429: AtomicU64,
+    /// Deadline-exceeded requests answered `504 Gateway Timeout`.
+    pub responses_504: AtomicU64,
+    /// Connections shed because the connection backlog was full.
+    pub rejected_connections: AtomicU64,
+    /// Successful `/admin/load` publishes.
+    pub hot_swaps: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn record_response(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.fetch_add(1, Ordering::Relaxed),
+            429 => {
+                self.responses_4xx.fetch_add(1, Ordering::Relaxed);
+                self.responses_429.fetch_add(1, Ordering::Relaxed)
+            }
+            400..=499 => self.responses_4xx.fetch_add(1, Ordering::Relaxed),
+            504 => {
+                self.responses_5xx.fetch_add(1, Ordering::Relaxed);
+                self.responses_504.fetch_add(1, Ordering::Relaxed)
+            }
+            _ => self.responses_5xx.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+/// Shared state every connection worker routes against.
+struct ServerCtx {
+    registry: Arc<Registry>,
+    config: ServerConfig,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle shuts it down; use
+/// [`ServerHandle::shutdown`] for an explicit, joined stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerCtx>,
+    conns: Arc<JobQueue<TcpStream>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server routes against — publish on it to
+    /// hot-swap an index version while the server keeps answering.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.ctx.registry
+    }
+
+    /// Point-in-time server-level counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.ctx.metrics
+    }
+
+    /// Stops accepting, drains the connection queue, and joins every
+    /// thread. In-flight requests finish; idle keep-alive connections
+    /// are closed at their next read-timeout tick.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        self.conns.close();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("graphs", &self.ctx.registry.names())
+            .finish()
+    }
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr`, spawns the accept thread and
+    /// `config.http_threads` connection workers, and returns a handle.
+    /// The server answers queries for every graph in `registry`,
+    /// including versions published after startup.
+    pub fn start(registry: Arc<Registry>, config: ServerConfig) -> Result<ServerHandle> {
+        config.validate()?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| Error::InvalidStructure(format!("bind {}: {e}", config.addr)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::InvalidStructure(format!("set_nonblocking: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::InvalidStructure(format!("local_addr: {e}")))?;
+
+        let ctx = Arc::new(ServerCtx {
+            registry,
+            metrics: ServerMetrics::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let conns = Arc::new(JobQueue::bounded(ctx.config.conn_backlog));
+
+        let accept_thread = {
+            let ctx = Arc::clone(&ctx);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("bear-http-accept".into())
+                .spawn(move || accept_loop(&listener, &conns, &ctx))
+                .map_err(|e| Error::InvalidStructure(format!("spawn accept thread: {e}")))?
+        };
+        let workers = (0..ctx.config.http_threads)
+            .map(|i| {
+                let ctx = Arc::clone(&ctx);
+                let conns = Arc::clone(&conns);
+                std::thread::Builder::new()
+                    .name(format!("bear-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = conns.pop() {
+                            handle_connection(stream, &ctx);
+                        }
+                    })
+                    .map_err(|e| Error::InvalidStructure(format!("spawn http worker: {e}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(ServerHandle { addr, ctx, conns, accept_thread: Some(accept_thread), workers })
+    }
+}
+
+/// Polls the nonblocking listener so shutdown is observed within one
+/// tick even when no connection ever arrives.
+fn accept_loop(listener: &TcpListener, conns: &JobQueue<TcpStream>, ctx: &ServerCtx) {
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if conns.push(stream).is_err() {
+                    // Either backlog overflow (QueueFull) or shutdown
+                    // racing the accept; the pushed stream was dropped
+                    // (= connection reset), which is the correct signal
+                    // for a client to back off and retry.
+                    ctx.metrics.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Serves one connection until the peer closes, a request asks for
+/// `Connection: close`, the wire breaks, or shutdown begins.
+fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
+    // The read timeout doubles as the shutdown poll interval for idle
+    // keep-alive connections.
+    if stream.set_read_timeout(Some(Duration::from_millis(200))).is_err() {
+        return;
+    }
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => return,
+            Ok(Some(req)) => {
+                ctx.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                let resp = route(ctx, &req);
+                ctx.metrics.record_response(resp.status);
+                let keep = req.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
+                if resp.write_to(&mut writer, keep).is_err() || !keep {
+                    return;
+                }
+            }
+            Err(HttpError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(err) => {
+                let status = match err {
+                    HttpError::TooLarge => 413,
+                    _ => 400,
+                };
+                ctx.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.record_response(status);
+                let _ = Response::json(status, error_body(&format!("{err}"), "bad_request"))
+                    .write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing and handlers
+// ---------------------------------------------------------------------------
+
+fn route(ctx: &ServerCtx, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(ctx),
+        ("GET", "/metrics") => handle_metrics(ctx),
+        ("GET", "/v1/query") => handle_query(ctx, req),
+        ("GET", "/v1/topk") => handle_topk(ctx, req),
+        ("GET", "/v1/batch") => handle_batch(ctx, req),
+        ("POST", "/admin/load") => handle_admin_load(ctx, req),
+        (_, "/healthz" | "/metrics" | "/v1/query" | "/v1/topk" | "/v1/batch") => {
+            Response::json(405, error_body("use GET for this endpoint", "method_not_allowed"))
+                .header("Allow", "GET")
+        }
+        (_, "/admin/load") => {
+            Response::json(405, error_body("use POST for this endpoint", "method_not_allowed"))
+                .header("Allow", "POST")
+        }
+        _ => Response::json(404, error_body(&format!("no route '{}'", req.path), "not_found")),
+    }
+}
+
+/// Maps the engine/persistence error taxonomy onto HTTP statuses. The
+/// overload and deadline faults get dedicated codes so clients can
+/// implement retry policy without parsing bodies — the HTTP mirror of
+/// the CLI's exit codes 3 and 4.
+fn error_response(e: &Error) -> Response {
+    let (status, kind) = match e {
+        Error::Timeout { .. } => (504, "timeout"),
+        Error::QueueFull { .. } => (429, "overloaded"),
+        Error::PoolShutDown => (503, "shutting_down"),
+        Error::IndexOutOfBounds { .. } => (400, "bad_seed"),
+        Error::InvalidConfig { .. } | Error::InvalidStructure(_) => (400, "bad_request"),
+        _ => (500, "internal"),
+    };
+    let resp = Response::json(status, error_body(&format!("{e}"), kind));
+    match status {
+        429 | 503 => resp.header("Retry-After", "1"),
+        _ => resp,
+    }
+}
+
+fn error_body(message: &str, kind: &str) -> String {
+    format!("{{\"error\":{},\"kind\":{}}}", json_string(message), json_string(kind))
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` with Rust's shortest round-trip representation, so
+/// a client that parses the JSON number back recovers the exact bits —
+/// the property the save→load→serve differential test pins.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Resolves the tenant for a request: explicit `graph` parameter, or
+/// the single registered graph when unambiguous.
+fn resolve_tenant(ctx: &ServerCtx, req: &Request) -> std::result::Result<Arc<Tenant>, Response> {
+    let names = ctx.registry.names();
+    let name = match req.query_param("graph") {
+        Some(name) => name.to_string(),
+        None if names.len() == 1 => names[0].clone(),
+        None => {
+            return Err(Response::json(
+                400,
+                error_body(
+                    &format!("graph parameter required (registered: {})", names.join(", ")),
+                    "bad_request",
+                ),
+            ))
+        }
+    };
+    ctx.registry.get(&name).ok_or_else(|| {
+        Response::json(404, error_body(&format!("unknown graph '{name}'"), "not_found"))
+    })
+}
+
+/// Parses the `X-Deadline-Ms` header into [`QueryOptions`].
+fn query_options(req: &Request) -> std::result::Result<QueryOptions, Response> {
+    let deadline = match req.header("x-deadline-ms") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => {
+                return Err(Response::json(
+                    400,
+                    error_body(&format!("bad X-Deadline-Ms '{raw}'"), "bad_request"),
+                ))
+            }
+        },
+    };
+    Ok(QueryOptions { deadline, cancel: None })
+}
+
+fn parse_usize(req: &Request, name: &str) -> std::result::Result<usize, Response> {
+    match req.query_param(name) {
+        Some(raw) => raw.parse().map_err(|_| {
+            Response::json(
+                400,
+                error_body(&format!("parameter {name}='{raw}' is not a node count"), "bad_request"),
+            )
+        }),
+        None => Err(Response::json(
+            400,
+            error_body(&format!("parameter {name} required"), "bad_request"),
+        )),
+    }
+}
+
+/// Tags a response with the serving version and, for degraded answers,
+/// the full degradation ladder context (`X-Degraded` reason plus the
+/// fallback's residual / error bound / iteration count).
+fn tag(resp: Response, tenant: &Tenant, served: Option<&Served>) -> Response {
+    let resp = resp.header("X-Graph-Version", tenant.version.to_string());
+    match served.and_then(|s| s.degraded.as_ref()) {
+        None => resp,
+        Some(info) => resp
+            .header("X-Degraded", format!("{}", info.reason))
+            .header("X-Residual", format!("{:e}", info.residual))
+            .header("X-Error-Bound", format!("{:e}", info.error_bound))
+            .header("X-Iterations", info.iterations.to_string()),
+    }
+}
+
+fn handle_healthz(ctx: &ServerCtx) -> Response {
+    Response::text(200, format!("ok {} graph(s)\n", ctx.registry.len()))
+}
+
+fn handle_query(ctx: &ServerCtx, req: &Request) -> Response {
+    let tenant = match resolve_tenant(ctx, req) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let seed = match parse_usize(req, "seed") {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let opts = match query_options(req) {
+        Ok(o) => o,
+        Err(resp) => return resp,
+    };
+    match tenant.engine.serve(seed, &opts) {
+        Ok(served) => {
+            let mut body = format!("{{\"version\":{},\"seed\":{seed},\"scores\":[", tenant.version);
+            push_scores(&mut body, &served.scores);
+            body.push_str("]}");
+            tag(Response::json(200, body), &tenant, Some(&served))
+        }
+        Err(e) => tag(error_response(&e), &tenant, None),
+    }
+}
+
+fn handle_topk(ctx: &ServerCtx, req: &Request) -> Response {
+    let tenant = match resolve_tenant(ctx, req) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let seed = match parse_usize(req, "seed") {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let k = match req.query_param("k") {
+        None => 10,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) => k,
+            Err(_) => {
+                return Response::json(
+                    400,
+                    error_body(&format!("parameter k='{raw}' is not a count"), "bad_request"),
+                )
+            }
+        },
+    };
+    let opts = match query_options(req) {
+        Ok(o) => o,
+        Err(resp) => return resp,
+    };
+    // Route through `serve` (not the top-k cache) so deadlines and the
+    // degradation ladder apply uniformly across endpoints.
+    match tenant.engine.serve(seed, &opts) {
+        Ok(served) => {
+            let ranked = top_k_excluding_seed(&served.scores, seed, k);
+            let mut body =
+                format!("{{\"version\":{},\"seed\":{seed},\"k\":{k},\"nodes\":[", tenant.version);
+            for (i, s) in ranked.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!("{{\"node\":{},\"score\":{}}}", s.node, json_f64(s.score)));
+            }
+            body.push_str("]}");
+            tag(Response::json(200, body), &tenant, Some(&served))
+        }
+        Err(e) => tag(error_response(&e), &tenant, None),
+    }
+}
+
+fn handle_batch(ctx: &ServerCtx, req: &Request) -> Response {
+    let tenant = match resolve_tenant(ctx, req) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let raw = match req.query_param("seeds") {
+        Some(raw) if !raw.is_empty() => raw,
+        _ => {
+            return Response::json(
+                400,
+                error_body("parameter seeds required, e.g. seeds=0,3,7", "bad_request"),
+            )
+        }
+    };
+    let mut seeds = Vec::new();
+    for tok in raw.split(',') {
+        match tok.trim().parse::<usize>() {
+            Ok(s) => seeds.push(s),
+            Err(_) => {
+                return Response::json(
+                    400,
+                    error_body(&format!("seed '{tok}' is not a node id"), "bad_request"),
+                )
+            }
+        }
+    }
+    if seeds.len() > ctx.config.max_batch {
+        return Response::json(
+            400,
+            error_body(
+                &format!("batch of {} exceeds the bound of {}", seeds.len(), ctx.config.max_batch),
+                "bad_request",
+            ),
+        );
+    }
+    let opts = match query_options(req) {
+        Ok(o) => o,
+        Err(resp) => return resp,
+    };
+    match tenant.engine.serve_batch(&seeds, &opts) {
+        Ok(answers) => {
+            let degraded = answers.iter().filter(|s| !s.is_exact()).count();
+            let mut body = format!(
+                "{{\"version\":{},\"count\":{},\"degraded\":{degraded},\"results\":[",
+                tenant.version,
+                seeds.len()
+            );
+            for (i, served) in answers.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!("{{\"seed\":{},\"scores\":[", seeds[i]));
+                push_scores(&mut body, &served.scores);
+                body.push_str("]}");
+            }
+            body.push_str("]}");
+            let first_degraded = answers.iter().find(|s| !s.is_exact());
+            tag(Response::json(200, body), &tenant, first_degraded)
+                .header("X-Degraded-Count", degraded.to_string())
+        }
+        Err(e) => tag(error_response(&e), &tenant, None),
+    }
+}
+
+fn push_scores(body: &mut String, scores: &[f64]) {
+    for (i, v) in scores.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&json_f64(*v));
+    }
+}
+
+/// `POST /admin/load?graph=NAME&index=PATH`: loads a persisted index
+/// from the server's filesystem, builds a fresh engine with the
+/// server's engine configuration, and atomically publishes it as the
+/// graph's next version. Queries keep flowing on the previous version
+/// for the whole load; in-flight queries finish on it even after the
+/// swap.
+fn handle_admin_load(ctx: &ServerCtx, req: &Request) -> Response {
+    let Some(name) = req.query_param("graph") else {
+        return Response::json(400, error_body("graph parameter required", "bad_request"));
+    };
+    let Some(index) = req.query_param("index") else {
+        return Response::json(400, error_body("index parameter required", "bad_request"));
+    };
+    let engine = Bear::load(Path::new(index))
+        .and_then(|bear| QueryEngine::new(Arc::new(bear), ctx.config.engine_config.clone()));
+    match engine {
+        Ok(engine) => {
+            let nodes = engine.bear().num_nodes();
+            let version = ctx.registry.publish(name, Arc::new(engine));
+            ctx.metrics.hot_swaps.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                format!(
+                    "{{\"graph\":{},\"version\":{version},\"nodes\":{nodes}}}",
+                    json_string(name)
+                ),
+            )
+        }
+        Err(e) => {
+            // A bad path or corrupt index is an operator error; the
+            // currently published version keeps serving untouched.
+            let resp = error_response(&e);
+            match resp.status {
+                // Don't let persistence-layer taxonomy leak 5xx here.
+                500 => Response::json(400, error_body(&format!("{e}"), "bad_index")),
+                _ => resp,
+            }
+        }
+    }
+}
+
+/// `GET /metrics`: a flat text exposition (Prometheus-style lines) of
+/// the server counters plus every tenant engine's snapshot.
+fn handle_metrics(ctx: &ServerCtx) -> Response {
+    use std::fmt::Write as _;
+    let m = &ctx.metrics;
+    let mut out = String::new();
+    let _ = writeln!(out, "bear_http_requests_total {}", m.http_requests.load(Ordering::Relaxed));
+    for (class, v) in
+        [("2xx", &m.responses_2xx), ("4xx", &m.responses_4xx), ("5xx", &m.responses_5xx)]
+    {
+        let _ = writeln!(
+            out,
+            "bear_http_responses_total{{class=\"{class}\"}} {}",
+            v.load(Ordering::Relaxed)
+        );
+    }
+    let _ =
+        writeln!(out, "bear_http_responses_429_total {}", m.responses_429.load(Ordering::Relaxed));
+    let _ =
+        writeln!(out, "bear_http_responses_504_total {}", m.responses_504.load(Ordering::Relaxed));
+    let _ = writeln!(
+        out,
+        "bear_http_rejected_connections_total {}",
+        m.rejected_connections.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(out, "bear_hot_swaps_total {}", m.hot_swaps.load(Ordering::Relaxed));
+    for name in ctx.registry.names() {
+        let Some(tenant) = ctx.registry.get(&name) else { continue };
+        let s = tenant.engine.metrics();
+        let label = format!("{{graph={}}}", json_string(&name));
+        let _ = writeln!(out, "bear_graph_version{label} {}", tenant.version);
+        for (metric, v) in [
+            ("bear_queries_total", s.queries),
+            ("bear_cache_hits_total", s.cache_hits),
+            ("bear_timeouts_total", s.timeouts),
+            ("bear_queue_rejections_total", s.queue_rejections),
+            ("bear_shed_jobs_total", s.shed_jobs),
+            ("bear_degraded_total", s.degraded),
+            ("bear_worker_panics_total", s.worker_panics),
+            ("bear_block_solves_total", s.block_solves),
+        ] {
+            let _ = writeln!(out, "{metric}{label} {v}");
+        }
+        for (metric, d) in [
+            ("bear_latency_p50_seconds", s.p50),
+            ("bear_latency_p99_seconds", s.p99),
+            ("bear_latency_p50_amortized_seconds", s.p50_amortized),
+        ] {
+            let _ = writeln!(out, "{metric}{label} {}", d.as_secs_f64());
+        }
+        let _ = writeln!(out, "bear_cache_hit_rate{label} {}", s.cache_hit_rate());
+        let _ = writeln!(out, "bear_avg_block_width{label} {}", s.avg_block_width());
+    }
+    Response::text(200, out)
+}
