@@ -53,9 +53,15 @@ use crate::topk::{top_k_excluding_seed, ScoredNode};
 use bear_sparse::{DenseBlock, Error, Result};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+// Locks go through the `crate::sync` shim (L4): under `cfg(not(loom))` —
+// the only configuration this module compiles in — it re-exports
+// `std::sync::Mutex` unchanged, and keeping the import shim-shaped means
+// any future move of this code into the loom-modeled core needs no
+// rewrite.
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -423,17 +429,31 @@ impl QueryEngine {
         let queue = Arc::new(JobQueue::bounded(config.queue_capacity));
         let metrics = Arc::new(Metrics::new());
         let block_width = config.effective_block_width();
-        let workers = (0..config.threads)
-            .map(|i| {
-                let bear = Arc::clone(&bear);
-                let queue = Arc::clone(&queue);
-                let metrics = Arc::clone(&metrics);
-                std::thread::Builder::new()
-                    .name(format!("bear-query-{i}"))
-                    .spawn(move || worker_loop(&bear, &queue, &metrics, block_width))
-                    .expect("spawn query worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(config.threads);
+        for i in 0..config.threads {
+            let bear = Arc::clone(&bear);
+            let worker_queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            let spawned = std::thread::Builder::new()
+                .name(format!("bear-query-{i}"))
+                .spawn(move || worker_loop(&bear, &worker_queue, &metrics, block_width));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Typed error instead of a panic: close the queue so
+                    // the workers already spawned exit their pop loops,
+                    // join them, and report which spawn failed.
+                    queue.close();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(Error::InvalidConfig {
+                        param: "threads",
+                        reason: format!("failed to spawn query worker {i}: {e}"),
+                    });
+                }
+            }
+        }
         let caches_on = config.cache_capacity > 0;
         Ok(QueryEngine {
             caller_ws: Mutex::new(QueryWorkspace::for_bear(&bear)),
@@ -677,9 +697,9 @@ impl QueryEngine {
                 self.metrics.record(hit, start.elapsed());
                 Ok(Served { scores, degraded: None })
             }
-            Err(e) => match degraded_reason(&e) {
-                Some(reason) if self.fallback.is_some() => {
-                    let served = self.degrade(seed, reason)?;
+            Err(e) => match (degraded_reason(&e), self.fallback.as_deref()) {
+                (Some(reason), Some(fallback)) => {
+                    let served = self.degrade(fallback, seed, reason)?;
                     self.metrics.record(false, start.elapsed());
                     Ok(served)
                 }
@@ -708,9 +728,9 @@ impl QueryEngine {
                     self.metrics.record(hit, start.elapsed());
                     out.push(Served { scores, degraded: None });
                 }
-                Err(e) => match degraded_reason(&e) {
-                    Some(reason) if self.fallback.is_some() => {
-                        let served = self.degrade(seed, reason)?;
+                Err(e) => match (degraded_reason(&e), self.fallback.as_deref()) {
+                    (Some(reason), Some(fallback)) => {
+                        let served = self.degrade(fallback, seed, reason)?;
                         self.metrics.record(false, start.elapsed());
                         out.push(served);
                     }
@@ -721,9 +741,15 @@ impl QueryEngine {
         Ok(out)
     }
 
-    /// Answers one seed from the fallback solver, tagged with `reason`.
-    fn degrade(&self, seed: usize, reason: DegradedReason) -> Result<Served> {
-        let fallback = self.fallback.as_ref().expect("degrade requires a fallback");
+    /// Answers one seed from `fallback`, tagged with `reason`. Callers
+    /// hand the solver in (matched out of `self.fallback`), so "degrade
+    /// without a fallback" is unrepresentable rather than a panic.
+    fn degrade(
+        &self,
+        fallback: &FallbackSolver,
+        seed: usize,
+        reason: DegradedReason,
+    ) -> Result<Served> {
         let answer = fallback.solve(seed)?;
         self.metrics.record_degraded();
         let info = DegradedInfo {
@@ -860,7 +886,18 @@ impl QueryEngine {
                 }
             }
         }
-        Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+        // Every slot was filled either from cache at dispatch or by a
+        // collected reply; an empty one means the tag bookkeeping above
+        // is broken, which surfaces as a typed error, not a panic.
+        slots
+            .into_iter()
+            .zip(seeds)
+            .map(|(slot, seed)| {
+                slot.ok_or_else(|| {
+                    Error::InvalidStructure(format!("internal: no reply for batch seed {seed}"))
+                })
+            })
+            .collect()
     }
 }
 
@@ -922,8 +959,12 @@ fn worker_loop(bear: &Bear, queue: &JobQueue<Job>, metrics: &Metrics, block_widt
                 None => break,
             }
         }
+        // One job buffered: run it solo (pop cannot miss — the job was
+        // pushed just above, and this `if let` keeps that a non-panic).
         if jobs.len() == 1 {
-            run_job(bear, &mut ws, jobs.pop().expect("one job queued"), metrics);
+            if let Some(job) = jobs.pop() {
+                run_job(bear, &mut ws, job, metrics);
+            }
         } else {
             run_block(bear, &mut block_ws, &mut jobs, &mut live, &mut seeds, &mut out, metrics);
         }

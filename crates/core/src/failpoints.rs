@@ -22,6 +22,7 @@
 //!   query computation.
 
 use std::collections::HashMap;
+// lint:allow(L4, compiled under cfg(loom) too, where loom primitives panic outside a model)
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 

@@ -352,13 +352,22 @@ fn route(ctx: &ServerCtx, req: &Request) -> Response {
 /// implement retry policy without parsing bodies — the HTTP mirror of
 /// the CLI's exit codes 3 and 4.
 fn error_response(e: &Error) -> Response {
+    // Every `Error` variant is named (no `_` arm) so adding a variant
+    // forces a status decision here — the L5 lint checks exactly that.
     let (status, kind) = match e {
         Error::Timeout { .. } => (504, "timeout"),
         Error::QueueFull { .. } => (429, "overloaded"),
         Error::PoolShutDown => (503, "shutting_down"),
         Error::IndexOutOfBounds { .. } => (400, "bad_seed"),
         Error::InvalidConfig { .. } | Error::InvalidStructure(_) => (400, "bad_request"),
-        _ => (500, "internal"),
+        Error::DimensionMismatch { .. }
+        | Error::SingularMatrix { .. }
+        | Error::OutOfBudget { .. }
+        | Error::DidNotConverge { .. }
+        | Error::NonFiniteValue { .. }
+        | Error::WorkerPanicked { .. }
+        | Error::Cancelled
+        | Error::KernelPanicked { .. } => (500, "internal"),
     };
     let resp = Response::json(status, error_body(&format!("{e}"), kind));
     match status {

@@ -1,0 +1,9 @@
+//! Workspace automation library behind the `cargo xtask` binary.
+//!
+//! The binary's subprocess steps (fmt, clippy, loom, ...) live in
+//! `main.rs`; this library holds the in-process analysis passes —
+//! currently [`lint`], the repo-specific static analysis with a
+//! ratcheting baseline — so the integration tests in `tests/` can drive
+//! them against fixture trees directly.
+
+pub mod lint;

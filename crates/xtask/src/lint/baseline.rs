@@ -1,0 +1,252 @@
+//! The ratchet baseline: a committed TOML file of tolerated findings.
+//!
+//! Semantics (the ratchet only shrinks):
+//!
+//! * a current finding whose `(rule, file, fingerprint)` count exceeds
+//!   the baselined count is **new** — the lint fails;
+//! * a baseline entry whose count exceeds the current count is **stale**
+//!   (debt was paid down) — the lint fails until `--update-baseline`
+//!   removes it, so the recorded debt can never silently regrow;
+//! * `--update-baseline` rewrites the file from the current findings but
+//!   refuses to *add* entries (new findings must be fixed or
+//!   `lint:allow`ed, never re-baselined). Bootstrapping a missing
+//!   baseline file is the one exception.
+//!
+//! The file format is a TOML subset written and parsed here by hand (the
+//! build environment has no registry access): a `version` key and
+//! `[[finding]]` tables with string and integer values.
+
+use super::report::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Identity key of a baseline entry: `(rule, file, fingerprint)`.
+pub type Key = (String, String, String);
+
+/// Parsed baseline: tolerated finding counts by key, plus the category
+/// recorded for readability.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// Tolerated count per finding identity.
+    pub entries: BTreeMap<Key, BaselineEntry>,
+}
+
+/// One tolerated finding group.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Number of identical findings tolerated.
+    pub count: usize,
+    /// Category slug, stored for human readers of the file.
+    pub category: String,
+}
+
+/// Result of checking current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Findings beyond the baselined count, i.e. violations. Each entry
+    /// is a full finding (all findings of an over-budget key are listed).
+    pub new: Vec<Finding>,
+    /// Baseline keys whose debt was paid down (current < baselined).
+    pub stale: Vec<Key>,
+    /// Per-finding baselined status, in input order.
+    pub statuses: Vec<(Finding, bool)>,
+}
+
+impl Baseline {
+    /// Builds a baseline from a set of findings (the `--update-baseline`
+    /// path).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<Key, BaselineEntry> = BTreeMap::new();
+        for f in findings {
+            entries
+                .entry(f.key())
+                .and_modify(|e| e.count += 1)
+                .or_insert_with(|| BaselineEntry { count: 1, category: f.category.clone() });
+        }
+        Baseline { entries }
+    }
+
+    /// Total tolerated finding count (sum over entries).
+    pub fn total(&self) -> usize {
+        self.entries.values().map(|e| e.count).sum()
+    }
+
+    /// Checks `findings` against this baseline.
+    pub fn compare(&self, findings: &[Finding]) -> Comparison {
+        let current = Baseline::from_findings(findings);
+        let mut cmp = Comparison::default();
+        // Per-key budget left while walking findings in order: the first
+        // `baselined_count` findings of a key are tolerated, the rest are
+        // new. (Which ones are "new" within a key is arbitrary; counts
+        // are what the ratchet tracks.)
+        let mut budget: BTreeMap<Key, usize> =
+            self.entries.iter().map(|(k, e)| (k.clone(), e.count)).collect();
+        for f in findings {
+            let left = budget.get_mut(&f.key());
+            match left {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    cmp.statuses.push((f.clone(), true));
+                }
+                _ => {
+                    cmp.new.push(f.clone());
+                    cmp.statuses.push((f.clone(), false));
+                }
+            }
+        }
+        for (key, entry) in &self.entries {
+            let cur = current.entries.get(key).map_or(0, |e| e.count);
+            if cur < entry.count {
+                cmp.stale.push(key.clone());
+            }
+        }
+        cmp
+    }
+
+    /// Parses the baseline file format. Returns `Ok(None)` when the file
+    /// does not exist (bootstrap case).
+    pub fn load(path: &Path) -> io::Result<Option<Baseline>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        parse(&text).map(Some).map_err(|msg| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}: {msg}", path.display()))
+        })
+    }
+
+    /// Serializes and writes the baseline file.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    /// The serialized file content.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# bear-lint ratchet baseline: pre-existing findings tolerated by\n\
+             # `cargo xtask analyze lint`. The ratchet only shrinks — new findings\n\
+             # must be fixed or `lint:allow`ed; paid-down debt is removed with\n\
+             #   cargo xtask analyze lint --update-baseline\n\
+             # (see DESIGN.md §15).\n\
+             version = 1\n",
+        );
+        for ((rule, file, fingerprint), entry) in &self.entries {
+            let _ = write!(
+                out,
+                "\n[[finding]]\nrule = {}\ncategory = {}\nfile = {}\nfingerprint = {}\ncount = {}\n",
+                toml_str(rule),
+                toml_str(&entry.category),
+                toml_str(file),
+                toml_str(fingerprint),
+                entry.count,
+            );
+        }
+        out
+    }
+}
+
+/// Parses the baseline TOML subset.
+fn parse(text: &str) -> Result<Baseline, String> {
+    let mut entries = BTreeMap::new();
+    // Pending entry fields, committed when the next table (or EOF) starts.
+    let mut pending: Option<BTreeMap<String, String>> = None;
+    let mut commit = |pending: &mut Option<BTreeMap<String, String>>| -> Result<(), String> {
+        if let Some(fields) = pending.take() {
+            let get = |k: &str| {
+                fields.get(k).cloned().ok_or_else(|| format!("[[finding]] missing key `{k}`"))
+            };
+            let count: usize = get("count")?
+                .parse()
+                .map_err(|_| "count must be a non-negative integer".to_string())?;
+            let key = (get("rule")?, get("file")?, get("fingerprint")?);
+            let category = fields.get("category").cloned().unwrap_or_default();
+            entries.insert(key, BaselineEntry { count, category });
+        }
+        Ok(())
+    };
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[finding]]" {
+            commit(&mut pending)?;
+            pending = Some(BTreeMap::new());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = value`", idx + 1));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let value = if let Some(stripped) = value.strip_prefix('"') {
+            toml_unescape(
+                stripped
+                    .strip_suffix('"')
+                    .ok_or_else(|| format!("line {}: unterminated string", idx + 1))?,
+            )?
+        } else {
+            value.to_string()
+        };
+        match &mut pending {
+            Some(fields) => {
+                fields.insert(key.to_string(), value);
+            }
+            None => {
+                if key == "version" && value != "1" {
+                    return Err(format!("unsupported baseline version `{value}`"));
+                }
+            }
+        }
+    }
+    commit(&mut pending)?;
+    Ok(Baseline { entries })
+}
+
+/// Escapes a string as a TOML basic string.
+fn toml_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Reverses [`toml_str`] escaping.
+fn toml_unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                out.push(char::from_u32(code).ok_or_else(|| format!("bad \\u escape `{hex}`"))?);
+            }
+            other => return Err(format!("bad escape `\\{}`", other.unwrap_or(' '))),
+        }
+    }
+    Ok(out)
+}

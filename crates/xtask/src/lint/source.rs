@@ -1,0 +1,498 @@
+//! Line-aware lexical model of a Rust source file.
+//!
+//! The build environment has no registry access, so the lint cannot lean
+//! on `syn`; instead this module hand-rolls exactly as much lexing as the
+//! rules need, while staying line-oriented so every finding carries a
+//! `file:line` span:
+//!
+//! * string/char-literal *contents* and comments are blanked out of the
+//!   per-line `code` text (so `"unwrap()"` in a message never trips L1),
+//!   with comment text preserved separately for `lint:allow` parsing;
+//! * a token stream (identifiers + single-char punctuation) with brace
+//!   tracking recovers `fn` body spans, `#[cfg(test)]`/`#[test]` regions,
+//!   and `enum` variant lists.
+//!
+//! Heuristics are documented where exact parsing is out of scope (e.g. a
+//! `'x'` char literal vs. a `'a` lifetime); they are tuned to this
+//! repository's style and pinned by the fixture suite in
+//! `crates/xtask/tests/`.
+
+/// One physical line of a source file after lexical blanking.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// Line text with comments removed and literal contents blanked;
+    /// structure (quotes, braces, punctuation) is preserved.
+    pub code: String,
+    /// Concatenated comment text of the line (line and block comments),
+    /// scanned for `lint:allow` directives.
+    pub comment: String,
+    /// Raw line text as it appears in the file (used for fingerprints).
+    pub raw: String,
+    /// Whether the line sits inside test-gated code (`#[cfg(test)]`,
+    /// `#[test]`, or any attribute naming `test`).
+    pub in_test: bool,
+}
+
+/// One token of the blanked code: an identifier/number word or a single
+/// punctuation character.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token text (a whole word, or one punctuation char).
+    pub text: String,
+    /// 1-based line number the token starts on.
+    pub line: usize,
+    /// Whether the token is a word (identifier, keyword, or number).
+    pub is_word: bool,
+}
+
+/// The span of one `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// Token-stream index range of the body (between the braces,
+    /// exclusive of the braces themselves).
+    pub body_tokens: (usize, usize),
+    /// Whether the function is test-gated.
+    pub in_test: bool,
+}
+
+/// A parsed source file: lines, tokens, and recovered structure.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the lint root, with `/` separators.
+    pub rel_path: String,
+    /// Physical lines, 0-indexed (line `n` of the file is `lines[n-1]`).
+    pub lines: Vec<SourceLine>,
+    /// Token stream over the blanked code.
+    pub tokens: Vec<Token>,
+    /// Every `fn` item with a body.
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    /// Parses `text` into the lexical model. `rel_path` is stored for
+    /// reporting only.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let lines = blank_lines(text);
+        let tokens = tokenize(&lines);
+        let mut file =
+            SourceFile { rel_path: rel_path.to_string(), lines, tokens, fns: Vec::new() };
+        analyze_structure(&mut file);
+        file
+    }
+
+    /// The raw text of 1-based line `n`, trimmed — the ratchet
+    /// fingerprint for findings anchored at that line.
+    pub fn fingerprint(&self, line: usize) -> String {
+        self.lines.get(line.wrapping_sub(1)).map(|l| l.raw.trim().to_string()).unwrap_or_default()
+    }
+
+    /// Whether 1-based line `n` is test-gated.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.lines.get(line.wrapping_sub(1)).is_some_and(|l| l.in_test)
+    }
+}
+
+/// Lexer state for the blanking pass.
+enum State {
+    /// Ordinary code.
+    Normal,
+    /// Inside `//`-style comment (ends at newline).
+    LineComment,
+    /// Inside `/* */` comment, tracking nesting depth.
+    BlockComment(u32),
+    /// Inside a `"..."` (or `b"..."`) string literal.
+    Str,
+    /// Inside a raw string literal with the given number of `#` marks.
+    RawStr(usize),
+}
+
+/// Pass 1: split into lines with comments stripped and literal contents
+/// blanked to spaces. Raw line text comes straight from `text.lines()`.
+fn blank_lines(text: &str) -> Vec<SourceLine> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Normal;
+            }
+            out.push(SourceLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                raw: String::new(),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        if c == '\r' {
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if let Some(hashes) = raw_string_open(&chars, i, &code) {
+                    // `r"..."`, `r#"..."#`, `br"..."` — keep the prefix and
+                    // quote in `code`, blank the contents.
+                    let quote_at = chars[i..].iter().position(|&ch| ch == '"').unwrap_or(0);
+                    for &ch in &chars[i..=i + quote_at] {
+                        code.push(ch);
+                    }
+                    i += quote_at + 1;
+                    state = State::RawStr(hashes);
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs. lifetime: `'\...'` and `'x'` are
+                    // literals, everything else (`'a`, `'static`) is a
+                    // lifetime and passes through as code.
+                    if next == Some('\\') {
+                        // Escaped char literal: blank until the closing quote.
+                        code.push('\'');
+                        i += 1;
+                        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                            code.push(' ');
+                            i += if chars[i] == '\\' { 2 } else { 1 };
+                        }
+                        if chars.get(i) == Some(&'\'') {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        code.push('\'');
+                        code.push(' ');
+                        code.push('\'');
+                        i += 3;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Normal } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    if next == Some('\n') {
+                        i += 1; // line continuation; newline handled above
+                    } else {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#')) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    state = State::Normal;
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.trim().is_empty() || !comment.is_empty() {
+        out.push(SourceLine { code, comment, raw: String::new(), in_test: false });
+    }
+    // Attach the untouched raw text of each line (fingerprint source).
+    for (line, raw) in out.iter_mut().zip(text.lines()) {
+        line.raw = raw.to_string();
+    }
+    out
+}
+
+/// Detects a raw-string opener (`r"`, `r#"`, `br"`, ...) at `chars[i]`,
+/// returning the number of `#` marks. `code` is the blanked text so far
+/// on this line, used to reject identifier suffixes like `var"`.
+fn raw_string_open(chars: &[char], i: usize, code: &str) -> Option<usize> {
+    let prev_is_word = code.chars().last().is_some_and(|c| c.is_alphanumeric() || c == '_');
+    if prev_is_word {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Pass 2: word/punctuation tokens over the blanked code.
+fn tokenize(lines: &[SourceLine]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let number = idx + 1;
+        let mut word = String::new();
+        for c in line.code.chars() {
+            if c.is_alphanumeric() || c == '_' {
+                word.push(c);
+            } else {
+                if !word.is_empty() {
+                    tokens.push(Token {
+                        text: std::mem::take(&mut word),
+                        line: number,
+                        is_word: true,
+                    });
+                }
+                if !c.is_whitespace() {
+                    tokens.push(Token { text: c.to_string(), line: number, is_word: false });
+                }
+            }
+        }
+        if !word.is_empty() {
+            tokens.push(Token { text: word, line: number, is_word: true });
+        }
+    }
+    tokens
+}
+
+/// Whether attribute text gates code to test builds. `test` as a word
+/// anywhere in the attribute counts (`#[test]`, `#[cfg(test)]`,
+/// `#[cfg(any(test, loom))]`), except under `not(...)`, which gates
+/// *production* code.
+fn attr_is_test(attr: &str) -> bool {
+    attr.split(|c: char| !(c.is_alphanumeric() || c == '_')).any(|w| w == "test" || w == "tests")
+        && !attr.contains("not(")
+}
+
+/// Pass 3: brace-depth walk of the token stream recovering `fn` spans and
+/// test regions, writing `in_test` back onto the lines.
+fn analyze_structure(file: &mut SourceFile) {
+    /// A `fn` item seen but whose body brace has not opened yet.
+    struct PendingFn {
+        name: String,
+        start_line: usize,
+        in_test: bool,
+    }
+    /// A `fn` item whose body is currently open.
+    struct OpenFn {
+        name: String,
+        start_line: usize,
+        body_start: usize,
+        open_depth: usize,
+        in_test: bool,
+    }
+
+    let mut depth = 0usize;
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    let mut pending_fn: Option<PendingFn> = None;
+    let mut open_fns: Vec<OpenFn> = Vec::new();
+    // Brace depths at which a test-gated region opened.
+    let mut test_regions: Vec<usize> = Vec::new();
+    // Set once a test-gating attribute is seen, consumed by the next
+    // item's `{` (region) or `;` (item without a body).
+    let mut pending_test_attr = false;
+    let mut test_lines: Vec<usize> = Vec::new();
+
+    let mut i = 0;
+    let tokens = &file.tokens;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        let in_test_now = !test_regions.is_empty() || pending_test_attr;
+        if in_test_now {
+            test_lines.push(tok.line);
+        }
+        match tok.text.as_str() {
+            "#" if tokens.get(i + 1).is_some_and(|t| t.text == "[") => {
+                // Collect the attribute text up to the matching `]`.
+                let mut j = i + 2;
+                let mut bracket = 1usize;
+                let mut attr = String::new();
+                while j < tokens.len() && bracket > 0 {
+                    match tokens[j].text.as_str() {
+                        "[" => bracket += 1,
+                        "]" => bracket -= 1,
+                        t if bracket > 0 => {
+                            attr.push_str(t);
+                            attr.push(' ');
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if attr_is_test(&attr) {
+                    pending_test_attr = true;
+                }
+                if !test_regions.is_empty() || pending_test_attr {
+                    for t in &tokens[i..j] {
+                        test_lines.push(t.line);
+                    }
+                }
+                i = j;
+                continue;
+            }
+            "fn" => {
+                if let Some(name_tok) = tokens.get(i + 1).filter(|t| t.is_word) {
+                    pending_fn = Some(PendingFn {
+                        name: name_tok.text.clone(),
+                        start_line: tok.line,
+                        in_test: !test_regions.is_empty() || pending_test_attr,
+                    });
+                }
+            }
+            "{" => {
+                if let Some(p) = pending_fn.take() {
+                    open_fns.push(OpenFn {
+                        name: p.name,
+                        start_line: p.start_line,
+                        body_start: i + 1,
+                        open_depth: depth,
+                        in_test: p.in_test,
+                    });
+                }
+                if pending_test_attr {
+                    pending_test_attr = false;
+                    test_regions.push(depth);
+                }
+                depth += 1;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if test_regions.last() == Some(&depth) {
+                    test_regions.pop();
+                    test_lines.push(tok.line);
+                }
+                if open_fns.last().is_some_and(|f| f.open_depth == depth) {
+                    let f = open_fns.pop().expect("open fn checked above");
+                    file.fns.push(FnSpan {
+                        name: f.name,
+                        start_line: f.start_line,
+                        body_tokens: (f.body_start, i),
+                        in_test: f.in_test,
+                    });
+                }
+            }
+            "(" => paren += 1,
+            ")" => paren = paren.saturating_sub(1),
+            "[" => bracket += 1,
+            "]" => bracket = bracket.saturating_sub(1),
+            ";" if paren == 0 && bracket == 0 => {
+                // An item ended without a body (`#[cfg(test)] use ...;`,
+                // trait method declaration): drop the pending markers. A
+                // `;` inside parens or brackets (`[u8; 4]`) is not an
+                // item terminator.
+                pending_fn = None;
+                pending_test_attr = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    for line in test_lines {
+        if let Some(l) = file.lines.get_mut(line - 1) {
+            l.in_test = true;
+        }
+    }
+}
+
+/// Extracts the variant names of `enum <name>` from a parsed file, in
+/// declaration order. Returns `None` if the enum is not found.
+pub fn enum_variants(file: &SourceFile, name: &str) -> Option<Vec<String>> {
+    let tokens = &file.tokens;
+    let mut i = 0;
+    // Find `enum <name> {`.
+    while i + 1 < tokens.len() {
+        if tokens[i].text == "enum" && tokens[i + 1].text == name {
+            break;
+        }
+        i += 1;
+    }
+    if i + 1 >= tokens.len() {
+        return None;
+    }
+    let mut j = i + 2;
+    while j < tokens.len() && tokens[j].text != "{" {
+        j += 1;
+    }
+    if j >= tokens.len() {
+        return None;
+    }
+    // Walk the enum body at depth 1, skipping variant payloads
+    // (parenthesised or braced fields) and attributes (bracketed).
+    let mut variants = Vec::new();
+    let mut brace = 1usize;
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    // Previous structural token at variant scope; a variant name follows
+    // `{` (body open), `,`, or `]` (attribute close).
+    let mut prev_structural = "{".to_string();
+    let mut k = j + 1;
+    while k < tokens.len() && brace > 0 {
+        let t = &tokens[k];
+        match t.text.as_str() {
+            "{" => brace += 1,
+            "}" => brace -= 1,
+            "(" => paren += 1,
+            ")" => paren = paren.saturating_sub(1),
+            "[" => bracket += 1,
+            "]" => bracket = bracket.saturating_sub(1),
+            _ => {}
+        }
+        if brace == 1 && paren == 0 && bracket == 0 {
+            if t.is_word && matches!(prev_structural.as_str(), "{" | "," | "]") {
+                variants.push(t.text.clone());
+            }
+            prev_structural = t.text.clone();
+        }
+        k += 1;
+    }
+    Some(variants)
+}

@@ -16,13 +16,23 @@
 //! * `miri` — the sparse kernel unit tests under Miri (nightly),
 //!   skipped with a notice when `cargo +nightly miri` is unavailable
 //!   (e.g. offline dev containers);
+//! * `lint` — the repo-specific static analysis with a ratcheting
+//!   baseline (`bear-lint`, DESIGN.md §15): hot-path panic/alloc
+//!   freedom, trust boundaries, sync-shim discipline, error-taxonomy
+//!   completeness.
 //!
 //! `cargo xtask analyze <step>...` runs a subset. Any failing step makes
 //! the driver exit nonzero; a summary table is printed either way.
+//!
+//! `cargo xtask analyze lint` on its own accepts lint-specific flags
+//! (`--update-baseline`, `--format json`, `--output PATH`) and uses
+//! distinct exit codes: 5 for new (unbaselined) findings, 6 for a stale
+//! baseline entry that `--update-baseline` should remove.
 
 use std::env;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+use xtask::lint;
 
 /// Outcome of one analysis step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +70,11 @@ const STEPS: &[Step] = &[
         run: run_faults,
     },
     Step { name: "miri", description: "Miri on bear-sparse kernel unit tests", run: run_miri },
+    Step {
+        name: "lint",
+        description: "bear-lint: repo rules L1-L5 against the ratchet baseline",
+        run: run_lint,
+    },
 ];
 
 fn main() -> ExitCode {
@@ -76,6 +91,22 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     }
+    // Lint-specific flags (and a bare `analyze lint`) take the dedicated
+    // path with distinct exit codes (5 = new findings, 6 = stale
+    // baseline) instead of the summary-table loop.
+    let (names, flags): (Vec<&String>, Vec<&String>) =
+        selected.iter().partition(|a| !a.starts_with("--"));
+    let lint_alone = names.len() == 1 && names[0] == "lint";
+    if lint_alone {
+        let flag_args: Vec<String> = flags.into_iter().cloned().collect();
+        return run_lint_cli(&workspace_root(), &flag_args);
+    }
+    if !flags.is_empty() {
+        eprintln!("xtask: flags are only accepted by `analyze lint`\n");
+        print_usage();
+        return ExitCode::from(lint::EXIT_USAGE);
+    }
+
     for name in selected {
         if !STEPS.iter().any(|s| s.name == name) {
             eprintln!("xtask: unknown analyze step `{name}`\n");
@@ -114,6 +145,50 @@ fn print_usage() {
     eprintln!("usage: cargo xtask analyze [step...]\n\nsteps:");
     for step in STEPS {
         eprintln!("  {:<10} {}", step.name, step.description);
+    }
+    eprintln!(
+        "\nlint flags (only with `analyze lint`):\n  \
+         --update-baseline   remove paid-down debt from the ratchet baseline\n  \
+         --format text|json  report format (default text)\n  \
+         --output PATH       write the report to PATH instead of stdout\n\
+         lint exit codes: 5 = new findings, 6 = stale baseline entries"
+    );
+}
+
+/// Dedicated `analyze lint` entry point with lint-specific flags and
+/// exit codes.
+fn run_lint_cli(root: &Path, flag_args: &[String]) -> ExitCode {
+    let opts = match lint::LintOptions::parse(flag_args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("xtask: {msg}\n");
+            print_usage();
+            return ExitCode::from(lint::EXIT_USAGE);
+        }
+    };
+    let config = lint::LintConfig::workspace(root);
+    match lint::check(&config, &opts) {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("xtask: lint failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The umbrella-mode lint step: deny-new text mode against the committed
+/// baseline.
+fn run_lint(root: &Path) -> Outcome {
+    let opts =
+        lint::LintOptions { update_baseline: false, format: lint::Format::Text, output: None };
+    let config = lint::LintConfig::workspace(root);
+    match lint::check(&config, &opts) {
+        Ok(0) => Outcome::Passed,
+        Ok(_) => Outcome::Failed,
+        Err(e) => {
+            eprintln!("xtask: lint failed: {e}");
+            Outcome::Failed
+        }
     }
 }
 

@@ -1,0 +1,13 @@
+//! L5 fixture: a small error taxonomy with unit, struct, and tuple
+//! variants. Never compiled — parsed by the lint tests only.
+
+/// Fixture error enum.
+#[derive(Debug)]
+pub enum Error {
+    /// Unit variant.
+    Timeout,
+    /// Struct variant (its field names must not read as variants).
+    QueueFull { capacity: usize },
+    /// Tuple variant (its payload type must not read as a variant).
+    Invalid(String),
+}

@@ -1,0 +1,23 @@
+//! L5 fixture: one mapping that names every variant (true negative) and
+//! one that hides a variant under `_` (true positive). Never compiled —
+//! parsed by the lint tests only.
+
+use super::error::Error;
+
+/// True negative: every variant has an explicit arm.
+pub fn full_map(e: &Error) -> i32 {
+    match e {
+        Error::Timeout => 3,
+        Error::QueueFull { .. } => 4,
+        Error::Invalid(_) => 1,
+    }
+}
+
+/// True positive: `Invalid` falls through the `_` arm.
+pub fn partial_map(e: &Error) -> i32 {
+    match e {
+        Error::Timeout => 3,
+        Error::QueueFull { .. } => 4,
+        _ => 1,
+    }
+}

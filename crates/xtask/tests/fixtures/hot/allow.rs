@@ -1,0 +1,20 @@
+//! Allow-directive fixture: a well-formed directive with a reason
+//! suppresses its finding; a reason-less one suppresses nothing and is
+//! itself reported. Never compiled — parsed by the lint tests only.
+
+/// Suppressed: same-line directive with a reason.
+pub fn allowed_same_line(v: Option<usize>) -> usize {
+    v.unwrap() // lint:allow(L1, fixture: invariant documented here)
+}
+
+/// Suppressed: directive on the directly preceding comment-only line.
+pub fn allowed_prev_line(v: Option<usize>) -> usize {
+    // lint:allow(L1, fixture: invariant documented here)
+    v.unwrap()
+}
+
+/// NOT suppressed: the directive below names no reason, so it is
+/// ignored for suppression and reported as malformed.
+pub fn not_allowed(v: Option<usize>) -> usize {
+    v.unwrap() // lint:allow(L1)
+}

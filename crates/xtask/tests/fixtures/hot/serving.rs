@@ -1,0 +1,47 @@
+//! L1 fixture: hot-path panic sites (true positives) and allowed forms
+//! (true negatives). Never compiled — parsed by the lint tests only.
+
+/// True positive: `.unwrap()` in a hot path.
+pub fn tp_unwrap(v: Option<usize>) -> usize {
+    v.unwrap()
+}
+
+/// True positive: `.expect(...)` in a hot path.
+pub fn tp_expect(v: Option<usize>) -> usize {
+    v.expect("present")
+}
+
+/// True positive: panicking macro.
+pub fn tp_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+/// True positive: slice-index expression.
+pub fn tp_index(xs: &[f64], i: usize) -> f64 {
+    xs[i]
+}
+
+/// True negative: checked access; `debug_assert!` compiles out of
+/// release builds; `&[f64]` in the signature is a type, not an index.
+pub fn tn_checked(xs: &[f64], i: usize) -> Option<f64> {
+    debug_assert!(i < xs.len());
+    xs.get(i).copied()
+}
+
+/// True negative: "xs[i].unwrap()" inside a string literal — and in
+/// this comment: xs[i] — is blanked before the rules run.
+pub fn tn_string() -> &'static str {
+    "xs[i].unwrap()"
+}
+
+#[cfg(test)]
+mod tests {
+    /// True negative: test code may unwrap freely.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = [1usize, 2, 3];
+        assert_eq!(xs[0], Some(1).unwrap());
+    }
+}

@@ -1,0 +1,39 @@
+//! L2 fixture: allocations inside `*_into`/`*_acc` kernel bodies (true
+//! positives) and alloc-free kernels / non-kernel helpers (true
+//! negatives). Never compiled — parsed by the lint tests only.
+
+/// True positives ×3: `Vec::new`, `.collect()`, and `vec![]` inside a
+/// kernel body.
+pub fn bad_axpy_into(out: &mut [f64], xs: &[f64], a: f64) {
+    let mut scratch: Vec<f64> = Vec::new();
+    for x in xs {
+        scratch.push(a * x);
+    }
+    let doubled: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+    let tail = vec![0.0; out.len()];
+    for ((o, d), t) in out.iter_mut().zip(&doubled).zip(&tail) {
+        *o += d + t;
+    }
+}
+
+/// True positive: `.to_vec()` inside an accumulator kernel.
+pub fn bad_norm_acc(acc: &mut f64, xs: &[f64]) {
+    let copy = xs.to_vec();
+    for x in &copy {
+        *acc += x * x;
+    }
+}
+
+/// True negative: an alloc-free kernel.
+pub fn good_axpy_into(out: &mut [f64], xs: &[f64], a: f64) {
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o += a * x;
+    }
+}
+
+/// True negative: helpers without the kernel suffix may allocate.
+pub fn build_scratch(n: usize) -> Vec<f64> {
+    let mut v = Vec::new();
+    v.resize(n, 0.0);
+    v
+}

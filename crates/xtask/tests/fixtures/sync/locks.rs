@@ -1,0 +1,20 @@
+//! L4 fixture: direct `std::sync` lock types (true positives) and
+//! unshimmed imports that are fine (true negatives). Never compiled —
+//! parsed by the lint tests only.
+
+// True positives ×2: a brace-group import naming two shimmed types.
+use std::sync::{Condvar, Mutex};
+// True negatives: atomics and `Arc` have no loom-shim requirement.
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+/// True positives ×2: fully qualified lock type in a signature and in
+/// an expression.
+pub fn tp_inline() -> std::sync::RwLock<usize> {
+    std::sync::RwLock::new(0)
+}
+
+/// True negative: the shim path is exactly what L4 asks for.
+pub fn tn_shimmed(m: &crate::sync::Mutex<usize>) -> usize {
+    *m.lock().unwrap_or_else(|p| p.into_inner())
+}

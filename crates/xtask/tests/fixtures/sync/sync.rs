@@ -1,0 +1,5 @@
+//! The sync shim itself — carved out of the L4 scope by `exclude`, so
+//! these re-exports are true negatives. Never compiled — parsed by the
+//! lint tests only.
+
+pub use std::sync::{Condvar, Mutex, MutexGuard, RwLock};

@@ -1,0 +1,27 @@
+//! L3 fixture: raw sparse constructors called outside bear-sparse (true
+//! positives) and the audited path (true negatives). Never compiled —
+//! parsed by the lint tests only.
+
+/// True positive: `from_parts` bypasses the invariant audit.
+pub fn tp_raw(rows: usize) -> Matrix {
+    Matrix::from_parts(rows)
+}
+
+/// True negative: `try_from_parts` runs the full audit.
+pub fn tn_audited(rows: usize) -> Option<Matrix> {
+    Matrix::try_from_parts(rows).ok()
+}
+
+/// True negative: defining a local `from_parts` is not a call.
+pub fn from_parts(n: usize) -> usize {
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    /// True negative: tests may construct raw parts directly.
+    #[test]
+    fn raw_in_tests_is_fine() {
+        let _ = super::Matrix::from_parts(1);
+    }
+}
