@@ -1,0 +1,154 @@
+//! Durability failure matrix: exercises the read-side corruption
+//! contract over a grid of damage patterns and records the outcome of
+//! every cell — the artifact CI uploads so a regression shows exactly
+//! which damage class started slipping through.
+//!
+//! For a freshly preprocessed index, each cell applies one corruption
+//! (truncation to a fraction of the file, a single bit flip at a
+//! position, header garbage, trailing junk) and asserts the durability
+//! contract: `Bear::load` must either return the typed
+//! `CorruptIndex` error or — only when the damage is a full-length
+//! no-op — answer bit-identically to the undamaged index. Any panic,
+//! untyped error, or silently absorbed corruption fails the run.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin durability_matrix -- \
+//!     [--dataset small_routing] [--json results/DURABILITY_matrix.json]
+//! ```
+
+use bear_bench::harness::{ExperimentResult, ResultRow};
+use bear_core::{persist, Bear, BearConfig};
+use bear_sparse::Error;
+use std::path::PathBuf;
+
+struct Cell {
+    /// Damage class label (JSON `method` column).
+    class: &'static str,
+    /// Cell parameter (offset/fraction description).
+    param: String,
+    /// The damaged image.
+    bytes: Vec<u8>,
+}
+
+fn cells(full: &[u8]) -> Vec<Cell> {
+    let len = full.len();
+    let mut cells = Vec::new();
+    // Torn writes: prefixes at coarse fractions plus the exact frame
+    // boundaries most likely to be "almost valid".
+    for (tag, keep) in [
+        ("empty", 0),
+        ("magic_only", 8),
+        ("1/16", len / 16),
+        ("1/4", len / 4),
+        ("1/2", len / 2),
+        ("3/4", 3 * len / 4),
+        ("all_but_trailer", len.saturating_sub(20)),
+        ("all_but_one", len - 1),
+    ] {
+        cells.push(Cell {
+            class: "truncate",
+            param: format!("{tag} ({keep} bytes)"),
+            bytes: full[..keep].to_vec(),
+        });
+    }
+    // Bit rot: single flips spread across the span, including the
+    // header, the first payload, and the trailer checksum itself.
+    for byte in [0, 7, 9, 33, len / 3, len / 2, len - 21, len - 9, len - 1] {
+        let mut bytes = full.to_vec();
+        bytes[byte] ^= 1 << (byte % 8);
+        cells.push(Cell { class: "bit_flip", param: format!("byte {byte}"), bytes });
+    }
+    // Wrong or garbage header.
+    let mut wrong_magic = full.to_vec();
+    wrong_magic[..8].copy_from_slice(b"NOTBEAR!");
+    cells.push(Cell { class: "header", param: "wrong magic".into(), bytes: wrong_magic });
+    cells.push(Cell { class: "header", param: "garbage".into(), bytes: vec![0x5A; 256] });
+    // Appended junk: the trailer records the true length, so trailing
+    // bytes are torn-write debris and must be rejected.
+    let mut padded = full.to_vec();
+    padded.extend_from_slice(&[0u8; 64]);
+    cells.push(Cell { class: "append", param: "64 junk bytes".into(), bytes: padded });
+    cells
+}
+
+fn main() {
+    let args = bear_bench::cli::Args::from_env();
+    let dataset = args.get("--dataset").unwrap_or("small_routing").to_string();
+    let json_path = args.get("--json").unwrap_or("results/DURABILITY_matrix.json").to_string();
+
+    let spec = bear_datasets::dataset_by_name(&dataset)
+        .unwrap_or_else(|| panic!("unknown dataset '{dataset}'"));
+    let g = spec.load();
+    let bear = Bear::new(&g, &BearConfig::exact(0.05)).expect("preprocess");
+    let path: PathBuf = std::env::temp_dir().join("bear_durability_matrix.idx");
+    bear.save(&path).expect("save");
+    let full = std::fs::read(&path).expect("read image");
+    let reference = bear.query(0).expect("reference query");
+
+    // The pristine image must verify end to end before any cell runs.
+    let report = persist::verify_index(&path).expect("fresh index must verify");
+    assert_eq!(report.version, 2);
+
+    let mut out = ExperimentResult::new(
+        "durability_matrix",
+        &format!(
+            "read-side corruption grid over a {}-byte v2 index of '{dataset}': every cell \
+             must fail with the typed CorruptIndex error (never panic, never load damaged \
+             data); verify_index must agree with load on every cell",
+            full.len()
+        ),
+    );
+
+    let mut failures = 0u32;
+    for cell in cells(&full) {
+        std::fs::write(&path, &cell.bytes).expect("write cell");
+        let load = std::panic::catch_unwind(|| Bear::load(&path));
+        let verify = persist::verify_index(&path);
+        let outcome = match &load {
+            Err(_) => {
+                failures += 1;
+                "PANIC".to_string()
+            }
+            Ok(Err(Error::CorruptIndex { section, .. })) => format!("typed ({section})"),
+            Ok(Err(other)) => {
+                failures += 1;
+                format!("UNTYPED: {other}")
+            }
+            Ok(Ok(loaded)) => {
+                // Only acceptable if the damage was byte-preserving,
+                // which no cell in this grid is.
+                failures += 1;
+                let identical = loaded.query(0).map(|s| s == reference).unwrap_or(false);
+                format!("ABSORBED (bit_identical={identical})")
+            }
+        };
+        // load and verify must agree: both reject or both accept.
+        let verdicts_agree = matches!(&load, Ok(r) if r.is_ok() == verify.is_ok());
+        if !verdicts_agree {
+            failures += 1;
+        }
+        let mut row = ResultRow::new(&dataset, cell.class);
+        row.param = Some(format!("{}: load={outcome} verify_agrees={verdicts_agree}", cell.param));
+        row.memory_bytes = Some(cell.bytes.len());
+        if outcome.starts_with("PANIC")
+            || outcome.starts_with("UNTYPED")
+            || outcome.starts_with("ABSORBED")
+            || !verdicts_agree
+        {
+            row.failed = Some(outcome.clone());
+        }
+        out.rows.push(row);
+    }
+
+    // Control: restore the pristine image and prove it still answers.
+    std::fs::write(&path, &full).expect("restore");
+    let restored = Bear::load(&path).expect("restored image must load");
+    assert_eq!(restored.query(0).expect("restored query"), reference, "control answer drifted");
+    std::fs::remove_file(&path).ok();
+
+    out.print_table();
+    out.write_json(&json_path).expect("write json");
+    println!("wrote {json_path} ({} cells)", out.rows.len());
+    assert_eq!(failures, 0, "{failures} durability cell(s) violated the corruption contract");
+    println!("durability matrix clean: every damaged image failed typed");
+}

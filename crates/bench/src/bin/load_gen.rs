@@ -14,9 +14,17 @@
 //! ```text
 //! cargo run --release -p bear-bench --bin load_gen -- \
 //!     [--dataset small_routing] [--duration-ms 3000] [--rate 400]
-//!     [--clients 4] [--deadline-ms 0] [--no-swap]
-//!     [--json results/BENCH_serving.json]
+//!     [--clients 4] [--deadline-ms 0] [--no-swap] [--retries 3]
+//!     [--retry-base-ms 10] [--json results/BENCH_serving.json]
 //! ```
+//!
+//! Retryable rejections (`429`, `503`) are retried up to `--retries`
+//! times with jittered exponential backoff (deterministic LCG jitter,
+//! so runs are reproducible), honoring the server's `Retry-After`
+//! header as a floor on the wait; a request that exhausts its attempts
+//! counts as `gave_up`, never as a transport failure. Backoff sleeps
+//! delay that client's open-loop schedule — visible backpressure, by
+//! design.
 //!
 //! Any `500`-class response other than the deadline-mapped `504` fails
 //! the run — the smoke gate CI relies on.
@@ -24,7 +32,7 @@
 use bear_bench::cli::Args;
 use bear_bench::harness::{ExperimentResult, ResultRow};
 use bear_core::{Bear, BearConfig, EngineConfig, QueryEngine};
-use bear_serve::{client, Registry, Server, ServerConfig};
+use bear_serve::{client, ClientResponse, Registry, Server, ServerConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -36,6 +44,56 @@ struct Tally {
     status_504: AtomicU64,
     other_4xx: AtomicU64,
     failures: AtomicU64,
+    /// Individual retry attempts issued after a 429/503.
+    retries: AtomicU64,
+    /// Requests still rejected (429/503) after the attempt budget.
+    gave_up: AtomicU64,
+}
+
+/// Deterministic 64-bit LCG step (Knuth's MMIX constants) — the jitter
+/// source, so two runs with the same flags back off identically.
+fn lcg(state: u64) -> u64 {
+    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}
+
+/// Retry policy for one request: jittered exponential backoff on
+/// retryable rejections, bounded attempts, `Retry-After` honored as a
+/// floor. Returns the final response (or transport error) and how many
+/// retries were spent.
+fn get_with_retry(
+    addr: std::net::SocketAddr,
+    target: &str,
+    headers: &[(&str, &str)],
+    max_retries: u32,
+    base: Duration,
+    mut rng: u64,
+) -> (std::io::Result<ClientResponse>, u64) {
+    let mut attempt = 0u32;
+    loop {
+        let result = client::get(addr, target, headers);
+        let retryable = matches!(&result, Ok(resp) if resp.status == 429 || resp.status == 503);
+        if !retryable || attempt >= max_retries {
+            return (result, attempt as u64);
+        }
+        let retry_after = match &result {
+            Ok(resp) => resp
+                .header("retry-after")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_secs),
+            Err(_) => None,
+        };
+        // Exponential base doubling per attempt, jittered into
+        // [0.5x, 1.5x] to decorrelate clients that were rejected by the
+        // same overload spike.
+        rng = lcg(rng);
+        let jitter = 0.5 + (rng >> 40) as f64 / (1u64 << 24) as f64;
+        let mut wait = base.mul_f64(f64::from(1u32 << attempt.min(6))).mul_f64(jitter);
+        if let Some(floor) = retry_after {
+            wait = wait.max(floor);
+        }
+        std::thread::sleep(wait);
+        attempt += 1;
+    }
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -53,6 +111,8 @@ fn main() {
     let rate: f64 = args.get_or("--rate", 400.0f64).max(1.0);
     let clients: usize = args.get_or("--clients", 4usize).max(1);
     let deadline_ms: u64 = args.get_or("--deadline-ms", 0u64);
+    let max_retries: u32 = args.get_or("--retries", 3u32);
+    let retry_base = Duration::from_millis(args.get_or("--retry-base-ms", 10u64).max(1));
     let swap = !args.has("--no-swap");
     let json_path = args.get("--json").unwrap_or("results/BENCH_serving.json").to_string();
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -110,13 +170,27 @@ fn main() {
                     let headers: &[(&str, &str)] =
                         if deadline_ms > 0 { &[("X-Deadline-Ms", &deadline_header)] } else { &[] };
                     let sent = Instant::now();
-                    match client::get(addr, &format!("/v1/query?graph=bench&seed={seed}"), headers)
-                    {
+                    let jitter_seed = lcg((c as u64) << 32 | k);
+                    let (result, retries) = get_with_retry(
+                        addr,
+                        &format!("/v1/query?graph=bench&seed={seed}"),
+                        headers,
+                        max_retries,
+                        retry_base,
+                        jitter_seed,
+                    );
+                    tally.retries.fetch_add(retries, Ordering::Relaxed);
+                    match result {
                         Ok(resp) => {
+                            // Latency spans the whole retry ladder: what
+                            // a caller with this policy actually waits.
                             latencies.push(sent.elapsed().as_secs_f64());
                             match resp.status {
                                 200 => tally.ok.fetch_add(1, Ordering::Relaxed),
-                                429 => tally.status_429.fetch_add(1, Ordering::Relaxed),
+                                429 | 503 => {
+                                    tally.gave_up.fetch_add(1, Ordering::Relaxed);
+                                    tally.status_429.fetch_add(1, Ordering::Relaxed)
+                                }
                                 504 => tally.status_504.fetch_add(1, Ordering::Relaxed),
                                 400..=499 => tally.other_4xx.fetch_add(1, Ordering::Relaxed),
                                 _ => tally.failures.fetch_add(1, Ordering::Relaxed),
@@ -159,6 +233,8 @@ fn main() {
     let r504 = tally.status_504.load(Ordering::Relaxed);
     let r4xx = tally.other_4xx.load(Ordering::Relaxed);
     let failures = tally.failures.load(Ordering::Relaxed);
+    let retries = tally.retries.load(Ordering::Relaxed);
+    let gave_up = tally.gave_up.load(Ordering::Relaxed);
     let throughput = ok as f64 / wall;
     let p50 = percentile(&latencies, 0.50);
     let p99 = percentile(&latencies, 0.99);
@@ -185,7 +261,8 @@ fn main() {
     let mut row = ResultRow::new(&dataset, "http_throughput");
     row.param = Some(format!(
         "{base_param} qps={throughput:.1} total={total} ok={ok} \
-         r429={r429} r504={r504} other_4xx={r4xx} transport_failures={failures}"
+         r429={r429} r504={r504} other_4xx={r4xx} transport_failures={failures} \
+         retries={retries} gave_up={gave_up} max_retries={max_retries}"
     ));
     row.query_s = Some(if throughput > 0.0 { 1.0 / throughput } else { 0.0 });
     out.rows.push(row);
@@ -198,7 +275,7 @@ fn main() {
     let served = ok + r429 + r504;
     println!(
         "done: {served} served / {total} sent in {wall:.2}s -> {throughput:.1} ok/s \
-         (p50 {:.3}ms, p99 {:.3}ms)",
+         (p50 {:.3}ms, p99 {:.3}ms; {retries} retries, {gave_up} gave up)",
         p50 * 1e3,
         p99 * 1e3
     );

@@ -14,6 +14,8 @@
 //!   more saved indexes over HTTP through [`bear_serve`], with
 //!   per-request deadlines (`X-Deadline-Ms`), typed fault-to-status
 //!   mapping, and zero-downtime hot swap via `POST /admin/load`;
+//! * `bear verify-index <index.bear>` — verify an index's checksums and
+//!   structure without serving it (exit code 5 on corruption);
 //! * `bear stats <graph.txt>` — graph and SlashBurn structure statistics;
 //! * `bear generate <dataset> <out.txt>` — materialize a registry dataset
 //!   as an edge list.
@@ -100,6 +102,15 @@ pub enum Command {
         /// Run for this many milliseconds then exit cleanly (0 = run
         /// until killed). Used by tests and smoke checks.
         for_ms: u64,
+        /// Graceful-drain grace period in milliseconds for shutdown
+        /// (0 = server default).
+        drain_ms: u64,
+    },
+    /// Verify a saved index's checksums and structure without loading
+    /// it into an engine.
+    VerifyIndex {
+        /// Index path.
+        index: String,
     },
     /// Print graph statistics.
     Stats {
@@ -290,8 +301,16 @@ pub fn parse_command(args: &[String]) -> Result<Command> {
                 threads: int_flag(args, "--threads", 0usize)?,
                 serve: parse_serve_flags(args)?,
                 for_ms: int_flag(args, "--for-ms", 0u64)?,
+                drain_ms: int_flag(args, "--drain-ms", 0u64)?,
             })
         }
+        Some("verify-index") => Ok(Command::VerifyIndex {
+            index: args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| Error::InvalidStructure("verify-index needs <index>".into()))?
+                .clone(),
+        }),
         Some("stats") => Ok(Command::Stats {
             graph: args
                 .get(1)
@@ -322,7 +341,8 @@ USAGE:
   bear query <index.bear> <seed> [--top 10] [--threads 0] [serving flags]
   bear batch <index.bear> <seed>... [--top 10] [--threads 0] [serving flags]
   bear serve <name=index.bear>... [--addr 127.0.0.1:7171] [--http-threads 0]
-             [--threads 0] [--for-ms 0] [serving flags]
+             [--threads 0] [--for-ms 0] [--drain-ms 0] [serving flags]
+  bear verify-index <index.bear>
   bear stats <graph.txt>
   bear generate <dataset> <out.txt>
 
@@ -350,12 +370,23 @@ SERVE FLAGS:
   --http-threads N     HTTP connection workers (0 = server default)
   --for-ms N           run for N milliseconds then exit cleanly; 0 = run
                        until killed (used by tests and smoke checks)
+  --drain-ms N         graceful-drain grace period on shutdown: in-flight
+                       and admitted requests get N ms to finish before
+                       force-close (0 = server default, 5000)
   The serving flags above also apply; --fallback-graph needs exactly one
   served graph. Endpoints: GET /v1/query?graph=NAME&seed=N,
-  /v1/batch?seeds=..., /v1/topk?k=..., /healthz, /metrics, and
-  POST /admin/load?graph=NAME&index=PATH for zero-downtime hot swap.
+  /v1/batch?seeds=..., /v1/topk?k=..., /healthz, /readyz (503 while
+  warming or draining), /metrics, and POST
+  /admin/load?graph=NAME&index=PATH for zero-downtime hot swap (a
+  corrupt index is rejected and quarantined to <path>.corrupt).
   Per-request deadlines: X-Deadline-Ms header (504 on expiry; 429 on
   overload — the HTTP mirror of exit codes 3 and 4).
+
+VERIFY-INDEX:
+  Checks the on-disk artifact end to end — header, per-section CRC32,
+  whole-file trailer checksum, and structural invariants — and prints a
+  section report without building an engine. Exit code 0 means every
+  byte checked out; 5 means corruption (the file is left in place).
 
 EXIT CODES:
   0 success (possibly with degraded answers, reported in the output)
@@ -363,6 +394,7 @@ EXIT CODES:
   2 usage error
   3 deadline exceeded (typed timeout, no fallback available)
   4 overload (admission control rejected the query, no fallback available)
+  5 corrupt index (checksum or structural verification failed)
 
 Graphs are whitespace edge lists: 'src dst [weight]' per line, '#'
 comments. Datasets: any name from the bear-datasets registry, e.g.
@@ -377,6 +409,7 @@ pub fn exit_code(e: &Error) -> i32 {
     match e {
         Error::Timeout { .. } => 3,
         Error::QueueFull { .. } => 4,
+        Error::CorruptIndex { .. } => 5,
         Error::DimensionMismatch { .. }
         | Error::IndexOutOfBounds { .. }
         | Error::InvalidStructure(_)
@@ -615,7 +648,20 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
                 None => Ok(()),
             }
         }
-        Command::Serve { graphs, addr, http_threads, threads, serve, for_ms } => {
+        Command::VerifyIndex { index } => {
+            let report = bear_core::persist::verify_index(Path::new(index))?;
+            writeln!(
+                out,
+                "{index}: OK (format v{}, {} bytes, n1={} n2={} c={})",
+                report.version, report.file_len, report.n1, report.n2, report.c
+            )
+            .map_err(io_err)?;
+            for s in &report.sections {
+                writeln!(out, "  section {}: {} bytes, crc ok", s.tag, s.len).map_err(io_err)?;
+            }
+            Ok(())
+        }
+        Command::Serve { graphs, addr, http_threads, threads, serve, for_ms, drain_ms } => {
             if serve.fallback_graph.is_some() && graphs.len() > 1 {
                 return Err(Error::InvalidStructure(
                     "--fallback-graph applies to a single served graph".into(),
@@ -649,11 +695,14 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
             if *http_threads > 0 {
                 server_config.http_threads = *http_threads;
             }
+            if *drain_ms > 0 {
+                server_config.drain = Duration::from_millis(*drain_ms);
+            }
             let handle = bear_serve::Server::start(registry, server_config)?;
             writeln!(
                 out,
                 "serving {} graph(s) on http://{} — endpoints: /v1/query /v1/batch \
-                 /v1/topk /admin/load /healthz /metrics",
+                 /v1/topk /admin/load /healthz /readyz /metrics",
                 graphs.len(),
                 handle.addr()
             )
@@ -851,6 +900,8 @@ mod tests {
             "100",
             "--for-ms",
             "500",
+            "--drain-ms",
+            "750",
         ])
         .unwrap();
         assert_eq!(
@@ -862,12 +913,15 @@ mod tests {
                 threads: 2,
                 serve: ServeFlags { deadline_ms: 100, ..ServeFlags::default() },
                 for_ms: 500,
+                drain_ms: 750,
             }
         );
         // Defaults.
         let cmd = parse(&["serve", "g=g.idx"]).unwrap();
-        assert!(matches!(cmd, Command::Serve { ref addr, http_threads: 0, for_ms: 0, .. }
-            if addr == "127.0.0.1:7171"));
+        assert!(
+            matches!(cmd, Command::Serve { ref addr, http_threads: 0, for_ms: 0, drain_ms: 0, .. }
+            if addr == "127.0.0.1:7171")
+        );
         // Malformed pairs and empty graph lists are usage errors.
         assert!(parse(&["serve"]).is_err());
         assert!(parse(&["serve", "justapath.idx"]).is_err());
@@ -913,6 +967,7 @@ mod tests {
             threads: 1,
             serve: ServeFlags::default(),
             for_ms: 1200,
+            drain_ms: 0,
         };
         // lint:allow(L4, test-capture writer, never contended)
         let out = Arc::new(std::sync::Mutex::new(Vec::<u8>::new()));
@@ -978,6 +1033,74 @@ mod tests {
         assert_eq!(exit_code(&Error::QueueFull { capacity: 8 }), 4);
         assert_eq!(exit_code(&Error::PoolShutDown), 1);
         assert_eq!(exit_code(&Error::InvalidStructure("x".into())), 1);
+        assert_eq!(
+            exit_code(&Error::CorruptIndex { section: "meta", detail: "bad crc".into() }),
+            5
+        );
+    }
+
+    #[test]
+    fn parses_verify_index() {
+        assert_eq!(
+            parse(&["verify-index", "g.idx"]).unwrap(),
+            Command::VerifyIndex { index: "g.idx".into() }
+        );
+        assert!(parse(&["verify-index"]).is_err());
+        assert!(parse(&["verify-index", "--flag"]).is_err());
+    }
+
+    /// `verify-index` reports every section of a fresh index, fails
+    /// typed (exit code 5) on a corrupted one, and exit code 1 on a
+    /// missing file — without quarantining anything.
+    #[test]
+    fn verify_index_distinguishes_ok_corrupt_and_missing() {
+        let dir = std::env::temp_dir();
+        let graph_path = dir.join("bear_cli_verify.txt");
+        let index_path = dir.join("bear_cli_verify.idx");
+        let mut buf = Vec::new();
+        run(
+            &Command::Generate {
+                dataset: "small_routing".into(),
+                out: graph_path.to_string_lossy().into_owned(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        run(
+            &Command::Preprocess {
+                graph: graph_path.to_string_lossy().into_owned(),
+                index: index_path.to_string_lossy().into_owned(),
+                c: 0.05,
+                xi: 0.0,
+                threads: 1,
+            },
+            &mut buf,
+        )
+        .unwrap();
+
+        let verify = Command::VerifyIndex { index: index_path.to_string_lossy().into_owned() };
+        buf.clear();
+        run(&verify, &mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.contains(": OK (format v2"), "{text}");
+        assert!(text.contains("section META: 24 bytes, crc ok"), "{text}");
+        assert!(text.contains("section H12M"), "{text}");
+
+        // Flip one payload bit: typed corruption, exit code 5, and the
+        // artifact stays where the operator can inspect it.
+        let mut bytes = std::fs::read(&index_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&index_path, &bytes).unwrap();
+        let err = run(&verify, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, Error::CorruptIndex { .. }), "{err:?}");
+        assert_eq!(exit_code(&err), 5);
+        assert!(index_path.exists(), "verify must never quarantine");
+
+        std::fs::remove_file(&index_path).ok();
+        let err = run(&verify, &mut Vec::new()).unwrap_err();
+        assert_eq!(exit_code(&err), 1, "missing file is an error, not corruption: {err:?}");
+        std::fs::remove_file(&graph_path).ok();
     }
 
     #[test]

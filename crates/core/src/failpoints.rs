@@ -16,6 +16,15 @@
 //! Sites currently wired:
 //!
 //! * `persist::load` — start of [`crate::Bear::load`];
+//! * `persist::save::write` — before the temp file is created; also
+//!   honors [`FailAction::TruncateAt`] (write only the first `k` bytes,
+//!   then fail — a crash mid-write);
+//! * `persist::save::sync` — after the payload write, before `fsync`;
+//! * `persist::save::rename` — before the atomic rename into place;
+//! * `persist::save::torn` — consulted via [`armed`], not [`eval`]:
+//!   [`FailAction::TruncateAt`]/[`FailAction::BitFlip`] corrupt the
+//!   synced temp file and then let the rename *succeed* (a lying disk —
+//!   save reports Ok, load must catch the damage);
 //! * `queue::push` — engine job admission ([`crate::engine::QueryEngine`]);
 //! * `queue::pop` — worker dequeue, before deadline shedding;
 //! * `engine::run_job` — inside the worker's `catch_unwind`, before the
@@ -40,6 +49,16 @@ pub enum FailAction {
     Fail,
     /// First sleep, then fail — a slow path that ultimately errors.
     DelayThenFail(Duration),
+    /// Torn-write injection for the persist path: the artifact is cut to
+    /// the first `k` bytes at the armed site. Only the dedicated persist
+    /// sites (`persist::save::write`, `persist::save::torn`) interpret
+    /// this; [`eval`] treats it as a no-op.
+    TruncateAt(u64),
+    /// Bit-rot injection for the persist path: the bit at absolute bit
+    /// offset `k` (byte `k / 8`, bit `k % 8`) is flipped at the armed
+    /// site. Only `persist::save::torn` interprets this; [`eval`] treats
+    /// it as a no-op.
+    BitFlip(u64),
 }
 
 fn registry() -> &'static Mutex<HashMap<&'static str, FailAction>> {
@@ -86,6 +105,10 @@ pub fn eval(site: &'static str) -> bear_sparse::Result<()> {
             std::thread::sleep(d);
             fail()
         }
+        // Byte-surgery actions are meaningful only at the persist sites,
+        // which consult `armed` directly; at a generic site they do
+        // nothing rather than silently failing an unrelated operation.
+        FailAction::TruncateAt(_) | FailAction::BitFlip(_) => Ok(()),
     }
 }
 

@@ -33,6 +33,7 @@
 //! assert!(scores[1] > scores[2]);
 //! ```
 
+pub mod crc32;
 pub mod dynamic;
 pub mod engine;
 #[cfg(feature = "failpoints")]

@@ -1,32 +1,649 @@
 //! Persistence of BEAR's precomputed index.
 //!
 //! Preprocessing is the expensive phase; a production deployment computes
-//! it once and serves queries from many processes. This module writes the
-//! six precomputed matrices, the node ordering, and the partition metadata
-//! in a compact little-endian binary format (magic + version header, then
-//! length-prefixed `u64`/`f64` arrays — no external serialization crate).
+//! it once and serves queries from many processes, so the on-disk index
+//! is both a performance artifact and a durability liability: a torn
+//! write or a flipped bit must never reach the query path. This module
+//! provides:
+//!
+//! * **Format v2 (`BEARIDX2`)** — the current write format. Ten framed
+//!   sections (`tag [4] | len u64 LE | payload | crc32 u32 LE`), one per
+//!   logical component (metadata, permutation, partition arrays, the six
+//!   matrices), followed by a 20-byte trailer
+//!   (`"BEARTRL2" | whole-file crc32 | file length`). The trailer is
+//!   verified before any payload is parsed, so truncation and bit rot
+//!   fail fast with [`bear_sparse::Error::CorruptIndex`] instead of
+//!   feeding damaged bytes to the structural validators.
+//! * **Crash-safe writes** — [`Bear::save`] builds the image in memory,
+//!   writes it to a hidden temp file *in the target directory*, fsyncs
+//!   the file, atomically renames it over the destination, and fsyncs
+//!   the directory. A crash at any point leaves either the old index or
+//!   the new one, never a half-written hybrid under the real name.
+//! * **Legacy reads** — [`Bear::load`] still reads v1 (`BEARIDX1`)
+//!   files, so indexes written by earlier binaries keep working; only
+//!   the writer moved to v2.
+//! * **Quarantine** — [`Bear::load_or_quarantine`] renames an artifact
+//!   that fails integrity checks to `<path>.corrupt` so operators can
+//!   inspect the bytes offline and a retry loop cannot re-serve it.
+//! * **Offline verification** — [`verify_index`] replays the full load
+//!   validation and returns an [`IndexReport`] for the
+//!   `bear verify-index` subcommand.
+//!
+//! Every load-path failure — framing, checksum, or a payload that parses
+//! but violates a structural invariant — is reported as
+//! `Error::CorruptIndex { section, detail }` naming the section that
+//! failed. The crash-injection suite in
+//! `crates/core/tests/crash_injection.rs` sweeps truncations and bit
+//! flips over real images to hold that contract.
 
 use crate::precompute::Bear;
 use bear_sparse::{CscMatrix, CsrMatrix, Error, Permutation, Result};
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"BEARIDX1";
+const MAGIC_V1: &[u8; 8] = b"BEARIDX1";
+const MAGIC_V2: &[u8; 8] = b"BEARIDX2";
+const TRAILER_MAGIC: &[u8; 8] = b"BEARTRL2";
+/// Trailer layout: magic (8) + whole-file crc32 (4) + file length (8).
+const TRAILER_LEN: usize = 20;
+/// Section frame overhead: tag (4) + payload length (8) + payload crc (4).
+const FRAME_OVERHEAD: usize = 16;
+
+/// The ten v2 sections, in file order: `(tag, section name)`. The name
+/// is what `Error::CorruptIndex { section, .. }` reports.
+const SECTIONS: [(&[u8; 4], &str); 10] = [
+    (b"META", "meta"),
+    (b"PERM", "perm"),
+    (b"BSIZ", "block_sizes"),
+    (b"DEGS", "degrees"),
+    (b"L1IV", "l1_inv"),
+    (b"U1IV", "u1_inv"),
+    (b"L2IV", "l2_inv"),
+    (b"U2IV", "u2_inv"),
+    (b"H12M", "h12"),
+    (b"H21M", "h21"),
+];
 
 fn io_err(e: std::io::Error) -> Error {
     Error::InvalidStructure(format!("index io error: {e}"))
 }
 
+fn corrupt(section: &'static str, detail: impl Into<String>) -> Error {
+    Error::CorruptIndex { section, detail: detail.into() }
+}
+
+/// Maps any non-`CorruptIndex` error (structural validation, bounded-read
+/// truncation, ...) into `CorruptIndex` for `section`, preserving the
+/// inner message as the detail. Already-typed corruption passes through
+/// so the most specific section wins.
+fn wrap(section: &'static str) -> impl Fn(Error) -> Error {
+    move |e| match e {
+        Error::CorruptIndex { .. } => e,
+        other => corrupt(section, other.to_string()),
+    }
+}
+
 /// Converts an on-disk `u64` (length, dimension, or index) to `usize`,
-/// returning the typed corruption error when it does not fit. On 32-bit
-/// targets a plain `as usize` would silently truncate an oversized value
-/// into a *valid-looking* small one, turning a corrupt file into wrong
-/// answers instead of a load failure.
+/// returning a typed error when it does not fit. On 32-bit targets a
+/// plain `as usize` would silently truncate an oversized value into a
+/// *valid-looking* small one, turning a corrupt file into wrong answers
+/// instead of a load failure.
 fn checked_usize(v: u64, what: &str) -> Result<usize> {
     usize::try_from(v).map_err(|_| {
         Error::InvalidStructure(format!("corrupt index: {what} {v} does not fit in usize"))
     })
 }
+
+/// Decodes 8 little-endian bytes. Callers always pass exactly 8 bytes
+/// (sliced via bounds-checked cursors).
+fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(b);
+    u64::from_le_bytes(a)
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(b);
+    u32::from_le_bytes(a)
+}
+
+// ---------------------------------------------------------------------------
+// v2 writer
+// ---------------------------------------------------------------------------
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Raw (unprefixed) `u64` array — the section frame already carries the
+/// byte length, so PERM/BSIZ/DEGS payloads need no inner prefix.
+fn push_raw_u64s(out: &mut Vec<u8>, data: &[usize]) {
+    for &v in data {
+        push_u64(out, v as u64);
+    }
+}
+
+/// Length-prefixed `u64` array, used *inside* matrix payloads where
+/// several arrays share one frame.
+fn push_usize_array(out: &mut Vec<u8>, data: &[usize]) {
+    push_u64(out, data.len() as u64);
+    push_raw_u64s(out, data);
+}
+
+fn push_f64_array(out: &mut Vec<u8>, data: &[f64]) {
+    push_u64(out, data.len() as u64);
+    for &v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Shared CSC/CSR payload: `nrows | ncols | indptr | indices | values`.
+fn matrix_payload(
+    nrows: usize,
+    ncols: usize,
+    indptr: &[usize],
+    indices: &[usize],
+    values: &[f64],
+) -> Vec<u8> {
+    let mut p = Vec::with_capacity(16 + 8 * (indptr.len() + indices.len() + values.len() + 3));
+    push_u64(&mut p, nrows as u64);
+    push_u64(&mut p, ncols as u64);
+    push_usize_array(&mut p, indptr);
+    push_usize_array(&mut p, indices);
+    push_f64_array(&mut p, values);
+    p
+}
+
+fn push_section(out: &mut Vec<u8>, tag: &[u8; 4], payload: &[u8]) {
+    out.extend_from_slice(tag);
+    push_u64(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crate::crc32::crc32(payload).to_le_bytes());
+}
+
+impl Bear {
+    /// Serializes the index as a complete v2 image (sections + trailer),
+    /// ready to be written atomically.
+    fn to_v2_bytes(&self) -> Vec<u8> {
+        let mut meta = Vec::with_capacity(24);
+        push_u64(&mut meta, self.n1 as u64);
+        push_u64(&mut meta, self.n2 as u64);
+        meta.extend_from_slice(&self.c.to_le_bytes());
+
+        let mut perm = Vec::new();
+        push_raw_u64s(&mut perm, self.perm.as_new_to_old());
+        let mut bsiz = Vec::new();
+        push_raw_u64s(&mut bsiz, &self.block_sizes);
+        let mut degs = Vec::new();
+        push_raw_u64s(&mut degs, &self.degrees);
+
+        let csc = |m: &CscMatrix| {
+            matrix_payload(m.nrows(), m.ncols(), m.indptr(), m.indices(), m.values())
+        };
+        let csr = |m: &CsrMatrix| {
+            matrix_payload(m.nrows(), m.ncols(), m.indptr(), m.indices(), m.values())
+        };
+        let payloads: [(usize, Vec<u8>); 10] = [
+            (0, meta),
+            (1, perm),
+            (2, bsiz),
+            (3, degs),
+            (4, csc(&self.l1_inv)),
+            (5, csc(&self.u1_inv)),
+            (6, csc(&self.l2_inv)),
+            (7, csc(&self.u2_inv)),
+            (8, csr(&self.h12)),
+            (9, csr(&self.h21)),
+        ];
+
+        let body: usize =
+            payloads.iter().map(|(_, p)| p.len() + FRAME_OVERHEAD).sum::<usize>() + MAGIC_V2.len();
+        let mut out = Vec::with_capacity(body + TRAILER_LEN);
+        out.extend_from_slice(MAGIC_V2);
+        for (i, payload) in &payloads {
+            push_section(&mut out, SECTIONS[*i].0, payload);
+        }
+
+        let trailer_off = out.len();
+        let file_crc = crate::crc32::crc32(&out);
+        out.extend_from_slice(TRAILER_MAGIC);
+        out.extend_from_slice(&file_crc.to_le_bytes());
+        push_u64(&mut out, (trailer_off + TRAILER_LEN) as u64);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe write
+// ---------------------------------------------------------------------------
+
+/// Under the `failpoints` feature, an armed `TruncateAt(k)` at `site`
+/// cuts the bytes to their first `k` — the torn-write half of a
+/// simulated crash. Without the feature (or an arming) this is identity.
+#[cfg(feature = "failpoints")]
+fn injected_prefix<'a>(site: &str, bytes: &'a [u8]) -> &'a [u8] {
+    match crate::failpoints::armed(site) {
+        Some(crate::failpoints::FailAction::TruncateAt(k)) => {
+            let k = usize::try_from(k).unwrap_or(usize::MAX).min(bytes.len());
+            &bytes[..k]
+        }
+        _ => bytes,
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn injected_prefix<'a>(_site: &str, bytes: &'a [u8]) -> &'a [u8] {
+    bytes
+}
+
+/// Under the `failpoints` feature, `persist::save::torn` armed with
+/// `TruncateAt`/`BitFlip` corrupts the already-synced temp file *and
+/// lets the rename proceed* — a lying disk: save reports success, the
+/// damage is only discoverable at load time.
+#[cfg(feature = "failpoints")]
+fn apply_torn_injection(tmp: &Path) -> Result<()> {
+    use crate::failpoints::{armed, FailAction};
+    match armed("persist::save::torn") {
+        Some(FailAction::TruncateAt(k)) => {
+            let data = std::fs::read(tmp).map_err(io_err)?;
+            let k = usize::try_from(k).unwrap_or(usize::MAX).min(data.len());
+            std::fs::write(tmp, &data[..k]).map_err(io_err)?;
+        }
+        Some(FailAction::BitFlip(bit)) => {
+            let mut data = std::fs::read(tmp).map_err(io_err)?;
+            if !data.is_empty() {
+                let byte = usize::try_from(bit / 8).unwrap_or(0) % data.len();
+                data[byte] ^= 1 << (bit % 8);
+                std::fs::write(tmp, &data).map_err(io_err)?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(not(feature = "failpoints"))]
+fn apply_torn_injection(_tmp: &Path) -> Result<()> {
+    Ok(())
+}
+
+/// The ordered steps of the atomic write protocol. Failpoint sites mark
+/// each crash window; the caller cleans up the temp file on error.
+fn write_atomic_steps(dir: &Path, tmp: &Path, path: &Path, bytes: &[u8]) -> Result<()> {
+    crate::fail_point!("persist::save::write");
+    let to_write = injected_prefix("persist::save::write", bytes);
+    let mut file = std::fs::File::create(tmp).map_err(io_err)?;
+    file.write_all(to_write).map_err(io_err)?;
+    if to_write.len() != bytes.len() {
+        // The injected torn write doubles as the crash itself: the temp
+        // file holds a prefix and the process "dies" before the rename.
+        return Err(Error::InvalidStructure(
+            "failpoint 'persist::save::write' injected torn write".into(),
+        ));
+    }
+    crate::fail_point!("persist::save::sync");
+    // fsync the payload before the rename: rename-before-data-reaches-disk
+    // is exactly the reordering that turns a crash into a corrupt index.
+    file.sync_all().map_err(io_err)?;
+    drop(file);
+    apply_torn_injection(tmp)?;
+    crate::fail_point!("persist::save::rename");
+    std::fs::rename(tmp, path).map_err(io_err)?;
+    // fsync the directory so the rename (the commit point) is durable too.
+    let dirf = std::fs::File::open(dir).map_err(io_err)?;
+    dirf.sync_all().map_err(io_err)?;
+    Ok(())
+}
+
+/// Writes `bytes` to `path` crash-safely: temp file in the same
+/// directory, fsync, atomic rename, directory fsync. On any error the
+/// temp file is removed (best-effort) and the previous `path` contents —
+/// if any — are untouched.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let file_name = path.file_name().ok_or_else(|| Error::InvalidConfig {
+        param: "path",
+        reason: format!("index path {} has no file name", path.display()),
+    })?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    // Same directory as the target: rename(2) is only atomic within a
+    // filesystem, and a temp file elsewhere could cross a mount boundary.
+    let tmp = dir.join(format!(".{}.tmp.{}", file_name.to_string_lossy(), std::process::id()));
+    let result = write_atomic_steps(&dir, &tmp, path, bytes);
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// v2 reader
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over one section payload. Every read reports
+/// the owning section on failure, so a truncated inner array surfaces as
+/// `CorruptIndex { section: "h12", .. }` rather than a generic error.
+struct SectionReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> SectionReader<'a> {
+    fn new(bytes: &'a [u8], section: &'static str) -> Self {
+        SectionReader { bytes, pos: 0, section }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len()).ok_or_else(|| {
+            corrupt(
+                self.section,
+                format!(
+                    "payload truncated: needed {n} bytes at offset {}, payload is {} bytes",
+                    self.pos,
+                    self.bytes.len()
+                ),
+            )
+        })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(le_u64(self.take(8)?))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes({
+            let mut a = [0u8; 8];
+            a.copy_from_slice(self.take(8)?);
+            a
+        }))
+    }
+
+    /// Remaining unread payload bytes.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Validates a length prefix of `len` 8-byte elements against the
+    /// remaining payload *before* any allocation.
+    fn check_len(&self, len: u64) -> Result<()> {
+        let bytes = len
+            .checked_mul(8)
+            .ok_or_else(|| corrupt(self.section, format!("corrupt length prefix {len}")))?;
+        if bytes > self.remaining() as u64 {
+            return Err(corrupt(
+                self.section,
+                format!(
+                    "corrupt length prefix {len}: needs {bytes} bytes but only {} remain",
+                    self.remaining()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn usize_array(&mut self) -> Result<Vec<usize>> {
+        let len = self.u64()?;
+        self.check_len(len)?;
+        let len = checked_usize(len, "array length").map_err(wrap(self.section))?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(checked_usize(self.u64()?, "array element").map_err(wrap(self.section))?);
+        }
+        Ok(out)
+    }
+
+    fn f64_array(&mut self) -> Result<Vec<f64>> {
+        let len = self.u64()?;
+        self.check_len(len)?;
+        let len = checked_usize(len, "array length").map_err(wrap(self.section))?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Rejects trailing garbage — a payload longer than its content
+    /// means the frame length lies about the structure inside it.
+    fn finish(self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(corrupt(
+                self.section,
+                format!("{} unconsumed bytes at end of payload", self.bytes.len() - self.pos),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Verifies the trailer and section framing of a v2 image and returns
+/// the ten payload slices in [`SECTIONS`] order. Checksums (whole-file,
+/// then per-section) are validated here, before any payload parsing.
+fn v2_frames(bytes: &[u8]) -> Result<Vec<&[u8]>> {
+    let total = bytes.len();
+    if total < MAGIC_V2.len() + TRAILER_LEN {
+        return Err(corrupt(
+            "trailer",
+            format!("file too short ({total} bytes) to hold magic and trailer"),
+        ));
+    }
+    let trailer_off = total - TRAILER_LEN;
+    let trailer = &bytes[trailer_off..];
+    if &trailer[..8] != TRAILER_MAGIC {
+        return Err(corrupt("trailer", "trailer magic missing (torn or truncated write)"));
+    }
+    let stored_len = le_u64(&trailer[12..20]);
+    if stored_len != total as u64 {
+        return Err(corrupt(
+            "trailer",
+            format!("trailer records a {stored_len}-byte file, actual size is {total}"),
+        ));
+    }
+    let stored_crc = le_u32(&trailer[8..12]);
+    let actual_crc = crate::crc32::crc32(&bytes[..trailer_off]);
+    if stored_crc != actual_crc {
+        return Err(corrupt(
+            "trailer",
+            format!(
+                "whole-file checksum mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            ),
+        ));
+    }
+
+    let mut pos = MAGIC_V2.len();
+    let mut frames = Vec::with_capacity(SECTIONS.len());
+    for (tag, name) in SECTIONS {
+        let hdr_end = pos + 12;
+        if hdr_end > trailer_off {
+            return Err(corrupt(name, "section header truncated"));
+        }
+        let found = &bytes[pos..pos + 4];
+        if found != tag.as_slice() {
+            return Err(corrupt(
+                name,
+                format!(
+                    "section tag mismatch: expected {:?}, found {:?}",
+                    String::from_utf8_lossy(tag),
+                    String::from_utf8_lossy(found)
+                ),
+            ));
+        }
+        let len = checked_usize(le_u64(&bytes[pos + 4..pos + 12]), "section length")
+            .map_err(wrap(name))?;
+        let bounds = hdr_end
+            .checked_add(len)
+            .and_then(|payload_end| {
+                payload_end.checked_add(4).map(|crc_end| (payload_end, crc_end))
+            })
+            .filter(|&(_, crc_end)| crc_end <= trailer_off);
+        let Some((payload_end, crc_end)) = bounds else {
+            return Err(corrupt(name, format!("section length {len} exceeds file bounds")));
+        };
+        let payload = &bytes[hdr_end..payload_end];
+        let stored = le_u32(&bytes[payload_end..crc_end]);
+        let actual = crate::crc32::crc32(payload);
+        if stored != actual {
+            return Err(corrupt(
+                name,
+                format!(
+                    "section checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                ),
+            ));
+        }
+        frames.push(payload);
+        pos = crc_end;
+    }
+    if pos != trailer_off {
+        return Err(corrupt(
+            "trailer",
+            format!("{} unexpected bytes between sections and trailer", trailer_off - pos),
+        ));
+    }
+    Ok(frames)
+}
+
+fn parse_meta(payload: &[u8]) -> Result<(usize, usize, f64)> {
+    let mut r = SectionReader::new(payload, "meta");
+    let n1 = checked_usize(r.u64()?, "spoke count n1").map_err(wrap("meta"))?;
+    let n2 = checked_usize(r.u64()?, "hub count n2").map_err(wrap("meta"))?;
+    let c = r.f64()?;
+    r.finish()?;
+    if !(c > 0.0 && c < 1.0) {
+        return Err(corrupt("meta", format!("restart probability {c} outside (0, 1)")));
+    }
+    Ok((n1, n2, c))
+}
+
+/// Raw `u64` payload (PERM/BSIZ/DEGS): length must be a multiple of 8.
+fn parse_raw_u64s(payload: &[u8], section: &'static str) -> Result<Vec<usize>> {
+    if !payload.len().is_multiple_of(8) {
+        return Err(corrupt(
+            section,
+            format!("payload length {} is not a multiple of 8", payload.len()),
+        ));
+    }
+    let mut out = Vec::with_capacity(payload.len() / 8);
+    for chunk in payload.chunks_exact(8) {
+        out.push(checked_usize(le_u64(chunk), "array element").map_err(wrap(section))?);
+    }
+    Ok(out)
+}
+
+/// Raw matrix payload: `(nrows, ncols, indptr, indices, values)` before
+/// the structural audit runs.
+type MatrixParts = (usize, usize, Vec<usize>, Vec<usize>, Vec<f64>);
+
+/// Parses a matrix payload into its raw parts; the caller runs the
+/// structural audit via `try_from_parts`.
+fn parse_matrix_parts(payload: &[u8], section: &'static str) -> Result<MatrixParts> {
+    let mut r = SectionReader::new(payload, section);
+    let nrows = checked_usize(r.u64()?, "matrix row count").map_err(wrap(section))?;
+    let ncols = checked_usize(r.u64()?, "matrix column count").map_err(wrap(section))?;
+    let indptr = r.usize_array()?;
+    let indices = r.usize_array()?;
+    let values = r.f64_array()?;
+    r.finish()?;
+    Ok((nrows, ncols, indptr, indices, values))
+}
+
+fn parse_csc(payload: &[u8], section: &'static str) -> Result<CscMatrix> {
+    let (nrows, ncols, indptr, indices, values) = parse_matrix_parts(payload, section)?;
+    // Trust boundary: run the full invariant audit (structure and
+    // finiteness), not just shape checks — a checksum-valid payload can
+    // still have been *written* with NaN/∞ or broken structure.
+    CscMatrix::try_from_parts(nrows, ncols, indptr, indices, values).map_err(wrap(section))
+}
+
+fn parse_csr(payload: &[u8], section: &'static str) -> Result<CsrMatrix> {
+    let (nrows, ncols, indptr, indices, values) = parse_matrix_parts(payload, section)?;
+    // Trust boundary: full audit, as in `parse_csc`.
+    CsrMatrix::try_from_parts(nrows, ncols, indptr, indices, values).map_err(wrap(section))
+}
+
+/// Cross-validates partition dimensions and assembles the index. Shared
+/// by the v1 and v2 readers so both enforce identical consistency rules.
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    n1: usize,
+    n2: usize,
+    c: f64,
+    perm: Permutation,
+    block_sizes: Vec<usize>,
+    degrees: Vec<usize>,
+    l1_inv: CscMatrix,
+    u1_inv: CscMatrix,
+    l2_inv: CscMatrix,
+    u2_inv: CscMatrix,
+    h12: CsrMatrix,
+    h21: CsrMatrix,
+) -> Result<Bear> {
+    // The sum is checked: corrupt headers near usize::MAX must fail
+    // typed, not overflow (panic in debug, wrap to a bogus `n` in
+    // release).
+    let n = n1
+        .checked_add(n2)
+        .ok_or_else(|| corrupt("meta", format!("n1 {n1} + n2 {n2} overflows")))?;
+    if perm.len() != n
+        || degrees.len() != n
+        || block_sizes.iter().sum::<usize>() != n1
+        || l1_inv.nrows() != n1
+        || u1_inv.nrows() != n1
+        || l2_inv.nrows() != n2
+        || u2_inv.nrows() != n2
+        || h12.nrows() != n1
+        || h12.ncols() != n2
+        || h21.nrows() != n2
+        || h21.ncols() != n1
+    {
+        return Err(corrupt("meta", "inconsistent index dimensions"));
+    }
+    Ok(Bear {
+        l1_inv,
+        u1_inv,
+        l2_inv,
+        u2_inv,
+        h12,
+        h21,
+        perm,
+        n1,
+        n2,
+        c,
+        block_sizes,
+        degrees,
+        // Preprocessing happened in the process that wrote the index;
+        // a loaded index reports zero stage timings.
+        timings: crate::stats::StageTimings::default(),
+    })
+}
+
+fn load_v2(bytes: &[u8]) -> Result<Bear> {
+    let frames = v2_frames(bytes)?;
+    let [meta, perm_b, bsiz_b, degs_b, l1_b, u1_b, l2_b, u2_b, h12_b, h21_b]: [&[u8]; 10] =
+        frames.try_into().map_err(|_| corrupt("header", "wrong section count"))?;
+    let (n1, n2, c) = parse_meta(meta)?;
+    let perm =
+        Permutation::try_from_parts(parse_raw_u64s(perm_b, "perm")?).map_err(wrap("perm"))?;
+    let block_sizes = parse_raw_u64s(bsiz_b, "block_sizes")?;
+    let degrees = parse_raw_u64s(degs_b, "degrees")?;
+    let l1_inv = parse_csc(l1_b, "l1_inv")?;
+    let u1_inv = parse_csc(u1_b, "u1_inv")?;
+    let l2_inv = parse_csc(l2_b, "l2_inv")?;
+    let u2_inv = parse_csc(u2_b, "u2_inv")?;
+    let h12 = parse_csr(h12_b, "h12")?;
+    let h21 = parse_csr(h21_b, "h21")?;
+    assemble(n1, n2, c, perm, block_sizes, degrees, l1_inv, u1_inv, l2_inv, u2_inv, h12, h21)
+}
+
+// ---------------------------------------------------------------------------
+// v1 reader/writer (legacy format, kept for compatibility)
+// ---------------------------------------------------------------------------
 
 fn write_usize_slice<W: Write>(w: &mut W, data: &[usize]) -> Result<()> {
     w.write_all(&(data.len() as u64).to_le_bytes()).map_err(io_err)?;
@@ -115,32 +732,14 @@ fn read_f64_slice<R: Read>(r: &mut BoundedReader<R>) -> Result<Vec<f64>> {
     Ok(out)
 }
 
-fn write_csc<W: Write>(w: &mut W, m: &CscMatrix) -> Result<()> {
-    w.write_all(&(m.nrows() as u64).to_le_bytes()).map_err(io_err)?;
-    w.write_all(&(m.ncols() as u64).to_le_bytes()).map_err(io_err)?;
-    write_usize_slice(w, m.indptr())?;
-    write_usize_slice(w, m.indices())?;
-    write_f64_slice(w, m.values())
-}
-
 fn read_csc<R: Read>(r: &mut BoundedReader<R>) -> Result<CscMatrix> {
     let nrows = checked_usize(read_u64(r)?, "matrix row count")?;
     let ncols = checked_usize(read_u64(r)?, "matrix column count")?;
     let indptr = read_usize_slice(r)?;
     let indices = read_usize_slice(r)?;
     let values = read_f64_slice(r)?;
-    // Trust boundary: run the full invariant audit (structure and
-    // finiteness), not just the structural `from_raw` checks — a
-    // length-valid payload can still smuggle NaN/∞ into the index.
+    // Trust boundary: run the full invariant audit, as in `parse_csc`.
     CscMatrix::try_from_parts(nrows, ncols, indptr, indices, values)
-}
-
-fn write_csr<W: Write>(w: &mut W, m: &CsrMatrix) -> Result<()> {
-    w.write_all(&(m.nrows() as u64).to_le_bytes()).map_err(io_err)?;
-    w.write_all(&(m.ncols() as u64).to_le_bytes()).map_err(io_err)?;
-    write_usize_slice(w, m.indptr())?;
-    write_usize_slice(w, m.indices())?;
-    write_f64_slice(w, m.values())
 }
 
 fn read_csr<R: Read>(r: &mut BoundedReader<R>) -> Result<CsrMatrix> {
@@ -149,113 +748,202 @@ fn read_csr<R: Read>(r: &mut BoundedReader<R>) -> Result<CsrMatrix> {
     let indptr = read_usize_slice(r)?;
     let indices = read_usize_slice(r)?;
     let values = read_f64_slice(r)?;
-    // Trust boundary: full audit, as in `read_csc`.
     CsrMatrix::try_from_parts(nrows, ncols, indptr, indices, values)
 }
 
+/// Parses a v1 image (magic already verified by the dispatcher).
+fn parse_v1(bytes: &[u8]) -> Result<Bear> {
+    let body = &bytes[MAGIC_V1.len()..];
+    let mut r = BoundedReader::new(body, body.len() as u64);
+    let n1 = checked_usize(read_u64(&mut r)?, "spoke count n1")?;
+    let n2 = checked_usize(read_u64(&mut r)?, "hub count n2")?;
+    let mut cbuf = [0u8; 8];
+    r.read_exact(&mut cbuf)?;
+    let c = f64::from_le_bytes(cbuf);
+    if !(c > 0.0 && c < 1.0) {
+        return Err(Error::InvalidStructure(format!("corrupt restart probability {c}")));
+    }
+    let perm = Permutation::try_from_parts(read_usize_slice(&mut r)?)?;
+    let block_sizes = read_usize_slice(&mut r)?;
+    let degrees = read_usize_slice(&mut r)?;
+    let l1_inv = read_csc(&mut r)?;
+    let u1_inv = read_csc(&mut r)?;
+    let l2_inv = read_csc(&mut r)?;
+    let u2_inv = read_csc(&mut r)?;
+    let h12 = read_csr(&mut r)?;
+    let h21 = read_csr(&mut r)?;
+    assemble(n1, n2, c, perm, block_sizes, degrees, l1_inv, u1_inv, l2_inv, u2_inv, h12, h21)
+}
+
+fn load_v1(bytes: &[u8]) -> Result<Bear> {
+    // v1 has no checksums, so every failure here is structural; wrap it
+    // in the corruption taxonomy with the format version as the section.
+    parse_v1(bytes).map_err(wrap("v1"))
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
 impl Bear {
-    /// Writes the precomputed index to `path`.
+    /// Writes the precomputed index to `path` in the v2 format,
+    /// crash-safely: the image is built in memory, written to a hidden
+    /// temp file in the target directory, fsynced, atomically renamed
+    /// over `path`, and the directory is fsynced. A crash (or error) at
+    /// any point leaves the previous contents of `path` intact.
     pub fn save(&self, path: &Path) -> Result<()> {
-        let file = std::fs::File::create(path).map_err(io_err)?;
-        let mut w = BufWriter::new(file);
-        w.write_all(MAGIC).map_err(io_err)?;
-        w.write_all(&(self.n1 as u64).to_le_bytes()).map_err(io_err)?;
-        w.write_all(&(self.n2 as u64).to_le_bytes()).map_err(io_err)?;
-        w.write_all(&self.c.to_le_bytes()).map_err(io_err)?;
-        write_usize_slice(&mut w, self.perm.as_new_to_old())?;
-        write_usize_slice(&mut w, &self.block_sizes)?;
-        write_usize_slice(&mut w, &self.degrees)?;
-        write_csc(&mut w, &self.l1_inv)?;
-        write_csc(&mut w, &self.u1_inv)?;
-        write_csc(&mut w, &self.l2_inv)?;
-        write_csc(&mut w, &self.u2_inv)?;
-        write_csr(&mut w, &self.h12)?;
-        write_csr(&mut w, &self.h21)?;
-        w.flush().map_err(io_err)
+        write_atomic(path, &self.to_v2_bytes())
     }
 
-    /// Reads a precomputed index previously written with [`Bear::save`].
+    /// Writes the index in the legacy v1 layout (`BEARIDX1`: bare
+    /// header + length-prefixed arrays, no checksums). Kept so the
+    /// compatibility suite can prove current binaries still read files
+    /// written by pre-v2 releases; new code should use [`Bear::save`].
+    pub fn save_v1(&self, path: &Path) -> Result<()> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC_V1);
+        push_u64(&mut out, self.n1 as u64);
+        push_u64(&mut out, self.n2 as u64);
+        out.extend_from_slice(&self.c.to_le_bytes());
+        write_usize_slice(&mut out, self.perm.as_new_to_old())?;
+        write_usize_slice(&mut out, &self.block_sizes)?;
+        write_usize_slice(&mut out, &self.degrees)?;
+        for m in [&self.l1_inv, &self.u1_inv, &self.l2_inv, &self.u2_inv] {
+            push_u64(&mut out, m.nrows() as u64);
+            push_u64(&mut out, m.ncols() as u64);
+            write_usize_slice(&mut out, m.indptr())?;
+            write_usize_slice(&mut out, m.indices())?;
+            write_f64_slice(&mut out, m.values())?;
+        }
+        for m in [&self.h12, &self.h21] {
+            push_u64(&mut out, m.nrows() as u64);
+            push_u64(&mut out, m.ncols() as u64);
+            write_usize_slice(&mut out, m.indptr())?;
+            write_usize_slice(&mut out, m.indices())?;
+            write_f64_slice(&mut out, m.values())?;
+        }
+        write_atomic(path, &out)
+    }
+
+    /// Reads a precomputed index written by [`Bear::save`] (v2) or a
+    /// pre-v2 binary (v1).
     ///
-    /// The file is a trust boundary: every matrix and the node ordering
-    /// are re-validated on load via the `try_from_parts` constructors
-    /// (sorted, in-bounds, duplicate-free indices; monotone `indptr`;
-    /// bijective permutation; finite values), and the partition
-    /// dimensions are cross-checked. A corrupt-but-length-valid payload
-    /// therefore returns a typed error instead of producing an index
-    /// that answers queries with garbage (see
-    /// `crates/core/tests/persist_corruption.rs`).
+    /// The file is a trust boundary. For v2 the whole-file and
+    /// per-section checksums are verified before any parsing; for both
+    /// versions every matrix and the node ordering are re-validated via
+    /// the `try_from_parts` constructors (sorted, in-bounds,
+    /// duplicate-free indices; monotone `indptr`; bijective permutation;
+    /// finite values), and the partition dimensions are cross-checked.
+    /// Any failure — torn write, bit rot, or a corrupt-but-length-valid
+    /// payload — returns [`Error::CorruptIndex`] naming the section,
+    /// never a panic and never an index that answers with garbage (see
+    /// `crates/core/tests/crash_injection.rs`).
     pub fn load(path: &Path) -> Result<Self> {
         crate::fail_point!("persist::load");
-        let file = std::fs::File::open(path).map_err(io_err)?;
-        let file_size = file.metadata().map_err(io_err)?.len();
-        let mut r = BoundedReader::new(BufReader::new(file), file_size);
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(Error::InvalidStructure(format!(
-                "not a BEAR index file (magic {magic:?})"
-            )));
+        let bytes = std::fs::read(path).map_err(io_err)?;
+        match bytes.get(..8) {
+            Some(m) if m == MAGIC_V2 => load_v2(&bytes),
+            Some(m) if m == MAGIC_V1 => load_v1(&bytes),
+            Some(m) => Err(corrupt("header", format!("not a BEAR index file (magic {m:?})"))),
+            None => Err(corrupt(
+                "header",
+                format!("file too short ({} bytes) to hold a magic number", bytes.len()),
+            )),
         }
-        let n1 = checked_usize(read_u64(&mut r)?, "spoke count n1")?;
-        let n2 = checked_usize(read_u64(&mut r)?, "hub count n2")?;
-        let mut cbuf = [0u8; 8];
-        r.read_exact(&mut cbuf)?;
-        let c = f64::from_le_bytes(cbuf);
-        if !(c > 0.0 && c < 1.0) {
-            return Err(Error::InvalidStructure(format!("corrupt restart probability {c}")));
-        }
-        let perm = Permutation::try_from_parts(read_usize_slice(&mut r)?)?;
-        let block_sizes = read_usize_slice(&mut r)?;
-        let degrees = read_usize_slice(&mut r)?;
-        let l1_inv = read_csc(&mut r)?;
-        let u1_inv = read_csc(&mut r)?;
-        let l2_inv = read_csc(&mut r)?;
-        let u2_inv = read_csc(&mut r)?;
-        let h12 = read_csr(&mut r)?;
-        let h21 = read_csr(&mut r)?;
-
-        // Cross-validate dimensions before accepting the index. The sum
-        // is checked: corrupt headers near usize::MAX must fail typed,
-        // not overflow (panic in debug, wrap to a bogus `n` in release).
-        let n = n1.checked_add(n2).ok_or_else(|| {
-            Error::InvalidStructure(format!("corrupt index: n1 {n1} + n2 {n2} overflows"))
-        })?;
-        if perm.len() != n
-            || degrees.len() != n
-            || block_sizes.iter().sum::<usize>() != n1
-            || l1_inv.nrows() != n1
-            || u1_inv.nrows() != n1
-            || l2_inv.nrows() != n2
-            || u2_inv.nrows() != n2
-            || h12.nrows() != n1
-            || h12.ncols() != n2
-            || h21.nrows() != n2
-            || h21.ncols() != n1
-        {
-            return Err(Error::InvalidStructure("inconsistent index dimensions".into()));
-        }
-        Ok(Bear {
-            l1_inv,
-            u1_inv,
-            l2_inv,
-            u2_inv,
-            h12,
-            h21,
-            perm,
-            n1,
-            n2,
-            c,
-            block_sizes,
-            degrees,
-            // Preprocessing happened in the process that wrote the index;
-            // a loaded index reports zero stage timings.
-            timings: crate::stats::StageTimings::default(),
-        })
     }
+
+    /// Like [`Bear::load`], but an artifact that fails integrity or
+    /// structural validation is renamed to `<path>.corrupt` so it cannot
+    /// be retried into serving; the returned error's detail records the
+    /// quarantine destination. I/O errors (e.g. the file is simply
+    /// missing) are *not* quarantined — only typed corruption is.
+    pub fn load_or_quarantine(path: &Path) -> Result<Self> {
+        match Self::load(path) {
+            Err(Error::CorruptIndex { section, detail }) => {
+                let mut q = path.as_os_str().to_os_string();
+                q.push(".corrupt");
+                let quarantined = PathBuf::from(q);
+                let detail = match std::fs::rename(path, &quarantined) {
+                    Ok(()) => format!("{detail}; quarantined to {}", quarantined.display()),
+                    Err(e) => format!("{detail}; quarantine rename failed: {e}"),
+                };
+                Err(Error::CorruptIndex { section, detail })
+            }
+            other => other,
+        }
+    }
+}
+
+/// One framed section of a v2 index, as reported by [`verify_index`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionInfo {
+    /// Four-character section tag (e.g. `META`, `L1IV`).
+    pub tag: String,
+    /// Payload length in bytes (framing overhead excluded).
+    pub len: u64,
+}
+
+/// Result of a successful [`verify_index`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexReport {
+    /// On-disk format version: 1 (`BEARIDX1`) or 2 (`BEARIDX2`).
+    pub version: u32,
+    /// Total file size in bytes.
+    pub file_len: u64,
+    /// Spoke count.
+    pub n1: usize,
+    /// Hub count.
+    pub n2: usize,
+    /// Restart probability.
+    pub c: f64,
+    /// Section inventory (empty for v1, which has no framing).
+    pub sections: Vec<SectionInfo>,
+}
+
+/// Fully verifies the index at `path` — checksums, framing, structural
+/// invariants, dimension consistency — by replaying the complete load
+/// path, and reports what was found. Errors are exactly those
+/// [`Bear::load`] would return; the file is never modified.
+pub fn verify_index(path: &Path) -> Result<IndexReport> {
+    let bytes = std::fs::read(path).map_err(io_err)?;
+    let (version, bear) = match bytes.get(..8) {
+        Some(m) if m == MAGIC_V2 => (2, load_v2(&bytes)?),
+        Some(m) if m == MAGIC_V1 => (1, load_v1(&bytes)?),
+        Some(m) => return Err(corrupt("header", format!("not a BEAR index file (magic {m:?})"))),
+        None => {
+            return Err(corrupt(
+                "header",
+                format!("file too short ({} bytes) to hold a magic number", bytes.len()),
+            ))
+        }
+    };
+    let sections = if version == 2 {
+        // The load above already proved the framing valid; this walk
+        // just inventories it for the report.
+        v2_frames(&bytes)?
+            .into_iter()
+            .zip(SECTIONS.iter())
+            .map(|(payload, (tag, _))| SectionInfo {
+                tag: String::from_utf8_lossy(*tag).into_owned(),
+                len: payload.len() as u64,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Ok(IndexReport {
+        version,
+        file_len: bytes.len() as u64,
+        n1: bear.n1,
+        n2: bear.n2,
+        c: bear.c,
+        sections,
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::precompute::{Bear, BearConfig};
     use bear_graph::Graph;
 
@@ -270,11 +958,32 @@ mod tests {
         Graph::from_edges(10, &edges).unwrap()
     }
 
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    /// Recomputes every section CRC and the trailer over a surgically
+    /// edited image (payload bytes changed, lengths unchanged), so tests
+    /// can reach the structural validators *beneath* the checksums.
+    fn fix_checksums(bytes: &mut [u8]) {
+        let trailer_off = bytes.len() - TRAILER_LEN;
+        let mut pos = MAGIC_V2.len();
+        while pos < trailer_off {
+            let len = le_u64(&bytes[pos + 4..pos + 12]) as usize;
+            let payload_end = pos + 12 + len;
+            let crc = crate::crc32::crc32(&bytes[pos + 12..payload_end]);
+            bytes[payload_end..payload_end + 4].copy_from_slice(&crc.to_le_bytes());
+            pos = payload_end + 4;
+        }
+        let file_crc = crate::crc32::crc32(&bytes[..trailer_off]);
+        bytes[trailer_off + 8..trailer_off + 12].copy_from_slice(&file_crc.to_le_bytes());
+    }
+
     #[test]
     fn save_load_round_trip_preserves_queries() {
         let g = sample_graph();
         let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
-        let path = std::env::temp_dir().join("bear_persist_round_trip.idx");
+        let path = tmp("bear_persist_round_trip.idx");
         bear.save(&path).unwrap();
         let loaded = Bear::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -286,59 +995,208 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_garbage() {
-        let path = std::env::temp_dir().join("bear_persist_garbage.idx");
-        std::fs::write(&path, b"not an index at all").unwrap();
-        assert!(Bear::load(&path).is_err());
+    fn v2_round_trip_is_bit_identical() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let a = tmp("bear_persist_bitident_a.idx");
+        let b = tmp("bear_persist_bitident_b.idx");
+        bear.save(&a).unwrap();
+        Bear::load(&a).unwrap().save(&b).unwrap();
+        let (ba, bb) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+        assert_eq!(&ba[..8], MAGIC_V2);
+        assert_eq!(ba, bb, "save -> load -> save must reproduce the image byte for byte");
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let path = tmp("bear_persist_v1_compat.idx");
+        bear.save_v1(&path).unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[..8], MAGIC_V1);
+        let loaded = Bear::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
+        for seed in 0..10 {
+            assert_eq!(bear.query(seed).unwrap(), loaded.query(seed).unwrap());
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("bear_persist_garbage.idx");
+        std::fs::write(&path, b"not an index at all").unwrap();
+        let err = Bear::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, Error::CorruptIndex { section: "header", .. }),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]
     fn load_rejects_wrong_magic() {
-        let path = std::env::temp_dir().join("bear_persist_magic.idx");
+        let path = tmp("bear_persist_magic.idx");
         std::fs::write(&path, b"WRONGMAGICxxxxxxxxxxxxxxxxxxx").unwrap();
-        assert!(Bear::load(&path).is_err());
+        let err = Bear::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, Error::CorruptIndex { section: "header", .. }),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]
     fn load_rejects_truncated_file_without_huge_allocation() {
         let g = sample_graph();
         let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
-        let path = std::env::temp_dir().join("bear_persist_truncated.idx");
+        let path = tmp("bear_persist_truncated.idx");
         bear.save(&path).unwrap();
         let full = std::fs::read(&path).unwrap();
-        // Truncation anywhere in the file must produce a clean error.
-        for keep in [full.len() / 4, full.len() / 2, full.len() - 3] {
+        // Truncation anywhere in the file must produce a typed error.
+        for keep in [0, 7, 12, full.len() / 4, full.len() / 2, full.len() - 3] {
             std::fs::write(&path, &full[..keep]).unwrap();
-            assert!(Bear::load(&path).is_err(), "truncated to {keep} bytes");
+            let err = Bear::load(&path).unwrap_err();
+            assert!(
+                matches!(err, Error::CorruptIndex { .. }),
+                "truncated to {keep} bytes: unexpected error {err}"
+            );
         }
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn load_rejects_corrupt_length_prefix() {
+    fn v1_load_rejects_corrupt_length_prefix() {
         let g = sample_graph();
         let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
-        let path = std::env::temp_dir().join("bear_persist_corrupt_len.idx");
-        bear.save(&path).unwrap();
+        let path = tmp("bear_persist_corrupt_len.idx");
+        bear.save_v1(&path).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
-        // The first length prefix (the permutation's) sits right after
+        // The first v1 length prefix (the permutation's) sits right after
         // magic + n1 + n2 + c = 32 bytes. Blow it up to u64::MAX: a naive
         // `Vec::with_capacity` on it would abort the process, while the
         // bounded reader must reject it against the remaining file size.
         bytes[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
         let err = Bear::load(&path).unwrap_err();
-        assert!(format!("{err}").contains("length prefix"), "unexpected error: {err}");
         std::fs::remove_file(&path).ok();
+        assert!(matches!(err, Error::CorruptIndex { section: "v1", .. }), "unexpected: {err}");
+        assert!(format!("{err}").contains("length prefix"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn v2_checksums_catch_a_single_flipped_bit() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let path = tmp("bear_persist_bitflip.idx");
+        bear.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for byte in [9, full.len() / 3, full.len() - TRAILER_LEN + 9] {
+            let mut bytes = full.clone();
+            bytes[byte] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            let err = Bear::load(&path).unwrap_err();
+            assert!(
+                matches!(err, Error::CorruptIndex { .. }),
+                "bit flip at byte {byte}: unexpected error {err}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_rejects_structural_corruption_beneath_checksums() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let path = tmp("bear_persist_meta_corrupt.idx");
+        bear.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // META payload starts after magic (8) + frame header (12); its
+        // restart probability is the third u64 field. Set it to 2.0 and
+        // re-fix every checksum: the CRCs now pass, so only the semantic
+        // validator can catch it.
+        let c_off = 8 + 12 + 16;
+        bytes[c_off..c_off + 8].copy_from_slice(&2.0f64.to_le_bytes());
+        fix_checksums(&mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Bear::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, Error::CorruptIndex { section: "meta", .. }), "unexpected: {err}");
+    }
+
+    #[test]
+    fn load_or_quarantine_renames_corrupt_artifacts() {
+        let path = tmp("bear_persist_quarantine.idx");
+        let quarantined = tmp("bear_persist_quarantine.idx.corrupt");
+        std::fs::remove_file(&quarantined).ok();
+        std::fs::write(&path, b"definitely not an index").unwrap();
+        let err = Bear::load_or_quarantine(&path).unwrap_err();
+        assert!(matches!(err, Error::CorruptIndex { .. }), "unexpected: {err}");
+        assert!(format!("{err}").contains("quarantined to"), "detail lacks destination: {err}");
+        assert!(!path.exists(), "corrupt artifact left in place");
+        assert!(quarantined.exists(), "quarantine file missing");
+        std::fs::remove_file(&quarantined).ok();
+    }
+
+    #[test]
+    fn load_or_quarantine_leaves_missing_files_alone() {
+        let path = tmp("bear_persist_missing.idx");
+        std::fs::remove_file(&path).ok();
+        let err = Bear::load_or_quarantine(&path).unwrap_err();
+        assert!(matches!(err, Error::InvalidStructure(_)), "unexpected: {err}");
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let dir = tmp("bear_persist_tmpdir");
+        std::fs::create_dir_all(&dir).unwrap();
+        bear.save(&dir.join("index.idx")).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "index.idx")
+            .collect();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(leftovers.is_empty(), "stray files after save: {leftovers:?}");
+    }
+
+    #[test]
+    fn verify_index_reports_v2_sections() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let path = tmp("bear_persist_verify.idx");
+        bear.save(&path).unwrap();
+        let report = verify_index(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(report.version, 2);
+        assert_eq!(report.n1 + report.n2, 10);
+        assert!((report.c - 0.1).abs() < 1e-12);
+        assert_eq!(report.sections.len(), SECTIONS.len());
+        assert_eq!(report.sections[0].tag, "META");
+        assert_eq!(report.sections[0].len, 24);
+    }
+
+    #[test]
+    fn verify_index_reports_v1_without_sections() {
+        let g = sample_graph();
+        let bear = Bear::new(&g, &BearConfig::exact(0.1)).unwrap();
+        let path = tmp("bear_persist_verify_v1.idx");
+        bear.save_v1(&path).unwrap();
+        let report = verify_index(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(report.version, 1);
+        assert!(report.sections.is_empty());
     }
 
     #[test]
     fn save_load_preserves_approx_variant() {
         let g = sample_graph();
         let bear = Bear::new(&g, &BearConfig::approx(0.1, 1e-3)).unwrap();
-        let path = std::env::temp_dir().join("bear_persist_approx.idx");
+        let path = tmp("bear_persist_approx.idx");
         bear.save(&path).unwrap();
         let loaded = Bear::load(&path).unwrap();
         std::fs::remove_file(&path).ok();

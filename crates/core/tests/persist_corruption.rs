@@ -1,24 +1,36 @@
 //! Round-trip corruption tests for the persisted index.
 //!
 //! Each test saves a valid index, performs targeted byte surgery on one
-//! payload field — producing a file that is *length-valid* (every length
-//! prefix still consistent) but violates a structural or numerical
-//! invariant — and asserts that [`Bear::load`] rejects it with a typed
-//! error under **default features**. This pins the trust boundary: the
-//! loader must route every array through the `try_from_parts`
-//! constructors rather than trusting bytes that merely parse.
+//! payload field — producing a file that is *length-valid* (every frame
+//! and length prefix still consistent) but violates a structural or
+//! numerical invariant — and asserts that [`Bear::load`] rejects it with
+//! [`Error::CorruptIndex`] under **default features**. This pins the
+//! trust boundary: the loader must route every array through the
+//! `try_from_parts` constructors rather than trusting bytes that merely
+//! parse.
 //!
-//! The byte walker below mirrors the `BEARIDX1` layout written by
-//! `Bear::save`: magic(8) n1(8) n2(8) c(8), then length-prefixed
-//! u64/f64 arrays in order `perm`, `block_sizes`, `degrees`, followed by
-//! seven matrices (`l1_inv`, `u1_inv`, `l2_inv`, `u2_inv` as CSC;
-//! `h12`, `h21` as CSR), each serialized as nrows(8) ncols(8) +
-//! indptr/indices/values arrays.
+//! The v2 format checksums every section and the whole file, so naive
+//! surgery would be caught by the CRCs before the structural validators
+//! ever ran. To keep exercising the deeper layer, each corrupted image
+//! has its checksums *re-fixed* ([`fix_checksums`]) before loading —
+//! simulating an adversarial or wrote-garbage-honestly artifact whose
+//! integrity envelope is intact but whose content is wrong. (Checksum
+//! violations themselves are covered by `crash_injection.rs`.)
+//!
+//! The byte walker below mirrors the `BEARIDX2` layout written by
+//! `Bear::save`: magic(8), then ten framed sections
+//! (`tag(4) len(8) payload crc(4)`) in order META, PERM, BSIZ, DEGS and
+//! six matrices (`l1_inv`, `u1_inv`, `l2_inv`, `u2_inv` as CSC; `h12`,
+//! `h21` as CSR — each `nrows(8) ncols(8)` + length-prefixed
+//! indptr/indices/values), then the 20-byte trailer.
 
-use bear_core::{Bear, BearConfig};
+use bear_core::{crc32, Bear, BearConfig};
 use bear_graph::Graph;
 use bear_sparse::Error;
 use std::path::PathBuf;
+
+/// Trailer layout: magic (8) + whole-file crc32 (4) + file length (8).
+const TRAILER_LEN: usize = 20;
 
 /// Byte span of one length-prefixed array in the index file.
 #[derive(Debug, Clone, Copy)]
@@ -46,8 +58,10 @@ struct MatrixSpan {
     values: ArraySpan,
 }
 
-/// Parsed layout of a saved index file.
+/// Parsed layout of a saved v2 index file.
 struct Layout {
+    /// Offset of the META payload (`n1(8) n2(8) c(8)`).
+    meta: usize,
     perm: ArraySpan,
     block_sizes: ArraySpan,
     /// `l1_inv, u1_inv, l2_inv, u2_inv, h12, h21` in file order.
@@ -69,24 +83,54 @@ fn walk_array(bytes: &[u8], pos: &mut usize) -> ArraySpan {
     span
 }
 
-fn walk_matrix(bytes: &[u8], pos: &mut usize) -> MatrixSpan {
-    let ncols = read_u64_at(bytes, *pos + 8) as usize;
-    *pos += 16; // nrows + ncols
-    let indptr = walk_array(bytes, pos);
-    let indices = walk_array(bytes, pos);
-    let values = walk_array(bytes, pos);
-    MatrixSpan { ncols, indptr, indices, values }
+/// `(payload offset, payload length)` for each of the ten v2 frames.
+fn walk_frames(bytes: &[u8]) -> Vec<(usize, usize)> {
+    assert_eq!(&bytes[..8], b"BEARIDX2");
+    let trailer_off = bytes.len() - TRAILER_LEN;
+    let mut pos = 8;
+    let mut frames = Vec::new();
+    while pos < trailer_off {
+        let len = read_u64_at(bytes, pos + 4) as usize;
+        frames.push((pos + 12, len));
+        pos += 12 + len + 4;
+    }
+    assert_eq!(pos, trailer_off, "walker must consume every section exactly");
+    frames
 }
 
 fn walk(bytes: &[u8]) -> Layout {
-    assert_eq!(&bytes[..8], b"BEARIDX1");
-    let mut pos = 32; // magic + n1 + n2 + c
-    let perm = walk_array(bytes, &mut pos);
-    let block_sizes = walk_array(bytes, &mut pos);
-    let _degrees = walk_array(bytes, &mut pos);
-    let matrices = std::array::from_fn(|_| walk_matrix(bytes, &mut pos));
-    assert_eq!(pos, bytes.len(), "walker must consume the whole file");
-    Layout { perm, block_sizes, matrices }
+    let frames = walk_frames(bytes);
+    assert_eq!(frames.len(), 10, "v2 file has ten sections");
+    // Raw u64 sections carry no inner length prefix; the frame length is
+    // the byte count.
+    let raw = |f: (usize, usize)| ArraySpan { data: f.0, len: f.1 / 8 };
+    let matrices = std::array::from_fn(|i| {
+        let (off, _) = frames[4 + i];
+        let ncols = read_u64_at(bytes, off + 8) as usize;
+        let mut pos = off + 16; // nrows + ncols
+        let indptr = walk_array(bytes, &mut pos);
+        let indices = walk_array(bytes, &mut pos);
+        let values = walk_array(bytes, &mut pos);
+        MatrixSpan { ncols, indptr, indices, values }
+    });
+    Layout { meta: frames[0].0, perm: raw(frames[1]), block_sizes: raw(frames[2]), matrices }
+}
+
+/// Recomputes every section CRC and the trailer after payload surgery
+/// (lengths unchanged), so the corruption reaches the structural
+/// validators instead of bouncing off the checksums.
+fn fix_checksums(bytes: &mut [u8]) {
+    let trailer_off = bytes.len() - TRAILER_LEN;
+    let mut pos = 8;
+    while pos < trailer_off {
+        let len = read_u64_at(bytes, pos + 4) as usize;
+        let payload_end = pos + 12 + len;
+        let crc = crc32::crc32(&bytes[pos + 12..payload_end]);
+        bytes[payload_end..payload_end + 4].copy_from_slice(&crc.to_le_bytes());
+        pos = payload_end + 4;
+    }
+    let file_crc = crc32::crc32(&bytes[..trailer_off]);
+    bytes[trailer_off + 8..trailer_off + 12].copy_from_slice(&file_crc.to_le_bytes());
 }
 
 /// A star graph (hub 0) plus a chord: `h21` (hubs × spokes) gets a row
@@ -106,14 +150,23 @@ fn saved_index(tag: &str) -> (Vec<u8>, PathBuf) {
     (std::fs::read(&path).unwrap(), path)
 }
 
-/// Writes the corrupted bytes and asserts `Bear::load` rejects them.
+/// Re-fixes checksums over the surgically corrupted bytes, writes them,
+/// and asserts `Bear::load` rejects them with the corruption taxonomy.
 fn assert_rejected(bytes: &[u8], path: &PathBuf, what: &str) -> Error {
-    std::fs::write(path, bytes).unwrap();
+    let mut fixed = bytes.to_vec();
+    fix_checksums(&mut fixed);
+    std::fs::write(path, &fixed).unwrap();
     let result = Bear::load(path);
     std::fs::remove_file(path).ok();
     match result {
         Ok(_) => panic!("corrupt index ({what}) was accepted"),
-        Err(e) => e,
+        Err(e) => {
+            assert!(
+                matches!(e, Error::CorruptIndex { .. }),
+                "corrupt index ({what}) must fail typed, got: {e:?}"
+            );
+            e
+        }
     }
 }
 
@@ -183,7 +236,13 @@ fn nan_value_is_rejected_with_typed_error() {
     assert!(m.values.len >= 1);
     bytes[m.values.elem(0)..m.values.elem(0) + 8].copy_from_slice(&f64::NAN.to_le_bytes());
     let err = assert_rejected(&bytes, &path, "NaN value payload");
-    assert!(matches!(err, Error::NonFiniteValue { .. }), "want NonFiniteValue, got: {err:?}");
+    // The non-finite audit fires beneath the checksums and surfaces
+    // through the corruption taxonomy naming the owning section.
+    assert!(
+        matches!(err, Error::CorruptIndex { section: "l1_inv", .. }),
+        "want CorruptIndex for l1_inv, got: {err:?}"
+    );
+    assert!(format!("{err}").contains("non-finite"), "detail lost the root cause: {err}");
 }
 
 #[test]
@@ -194,7 +253,7 @@ fn infinite_value_is_rejected() {
     assert!(m.values.len >= 1);
     bytes[m.values.elem(0)..m.values.elem(0) + 8].copy_from_slice(&f64::INFINITY.to_le_bytes());
     let err = assert_rejected(&bytes, &path, "infinite value payload");
-    assert!(matches!(err, Error::NonFiniteValue { .. }));
+    assert!(format!("{err}").contains("non-finite"), "detail lost the root cause: {err}");
 }
 
 #[test]
@@ -228,11 +287,11 @@ fn block_size_sum_mismatch_is_rejected() {
 }
 
 /// Satellite regression: on-disk `u64` header dimensions near the top of
-/// the range must fail typed everywhere. `n1`/`n2` are raw header words
-/// (not length prefixes), so the bounded reader never sees them; before
-/// the checked conversions, `n1 + n2` overflowed (a panic in debug
-/// builds, a wrapped bogus `n` in release) and on 32-bit targets the
-/// `as usize` truncated them into valid-looking small values.
+/// the range must fail typed everywhere. `n1`/`n2` are raw META payload
+/// words (not length prefixes), so no bounded reader ever sees them;
+/// before the checked conversions, `n1 + n2` overflowed (a panic in
+/// debug builds, a wrapped bogus `n` in release) and on 32-bit targets
+/// the `as usize` truncated them into valid-looking small values.
 #[test]
 fn huge_header_dimensions_are_rejected_not_overflowed() {
     for (tag, n1, n2) in [
@@ -241,10 +300,11 @@ fn huge_header_dimensions_are_rejected_not_overflowed() {
         ("huge_sum", u64::MAX / 2 + 1, u64::MAX / 2 + 1),
     ] {
         let (mut bytes, path) = saved_index(tag);
-        write_u64_at(&mut bytes, 8, n1); // n1 sits right after the magic
-        write_u64_at(&mut bytes, 16, n2);
+        let meta = walk(&bytes).meta;
+        write_u64_at(&mut bytes, meta, n1);
+        write_u64_at(&mut bytes, meta + 8, n2);
         let err = assert_rejected(&bytes, &path, "huge n1/n2 header");
-        assert!(matches!(err, Error::InvalidStructure(_)), "want typed error, got: {err:?}");
+        assert!(matches!(err, Error::CorruptIndex { .. }), "want typed error, got: {err:?}");
     }
 }
 

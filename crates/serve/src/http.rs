@@ -29,8 +29,16 @@ pub enum HttpError {
     BadRequest(String),
     /// The request exceeded [`MAX_HEAD_BYTES`] or [`MAX_BODY_BYTES`].
     TooLarge,
-    /// The underlying socket failed or timed out.
+    /// The underlying socket failed or timed out *before any byte of a
+    /// request was consumed* — an idle connection. Retrying the read is
+    /// safe.
     Io(std::io::Error),
+    /// The socket timed out or failed *mid-request*: bytes of a partial
+    /// request were already consumed off the wire, so the stream
+    /// position is unrecoverable. Retrying the read would parse from the
+    /// middle of the torn request (connection poisoning); the only safe
+    /// move is to close.
+    TornRead(std::io::Error),
 }
 
 impl std::fmt::Display for HttpError {
@@ -39,6 +47,7 @@ impl std::fmt::Display for HttpError {
             HttpError::BadRequest(why) => write!(f, "bad request: {why}"),
             HttpError::TooLarge => write!(f, "request too large"),
             HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::TornRead(e) => write!(f, "torn read mid-request: {e}"),
         }
     }
 }
@@ -123,7 +132,16 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
 fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
     let mut raw = Vec::new();
     let take = *budget as u64 + 1;
-    let n = reader.by_ref().take(take).read_until(b'\n', &mut raw).map_err(HttpError::Io)?;
+    let n = match reader.by_ref().take(take).read_until(b'\n', &mut raw) {
+        Ok(n) => n,
+        // `read_until` may consume bytes *before* failing (e.g. a slow
+        // peer trickles half a line, then the read timeout fires). Those
+        // bytes are gone from the stream; report the loss as a torn read
+        // so the caller closes instead of re-parsing from mid-line.
+        Err(e) => {
+            return Err(if raw.is_empty() { HttpError::Io(e) } else { HttpError::TornRead(e) })
+        }
+    };
     if n == 0 {
         return Ok(None); // clean EOF
     }
@@ -144,8 +162,28 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<Str
         .map_err(|_| HttpError::BadRequest("non-UTF-8 bytes in request head".into()))
 }
 
+/// Escalates a retryable idle-socket error into a fatal torn read. Used
+/// once the request line is in hand: from that point, any timeout left
+/// a partial request on the wire.
+fn escalate(e: HttpError) -> HttpError {
+    match e {
+        HttpError::Io(io)
+            if matches!(
+                io.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            HttpError::TornRead(io)
+        }
+        other => other,
+    }
+}
+
 /// Parses one request off `reader`. Returns `Ok(None)` on a clean EOF
 /// before any bytes (the peer closed an idle keep-alive connection).
+/// A timeout before the first byte is [`HttpError::Io`] (retry is
+/// safe); a timeout after any byte was consumed is
+/// [`HttpError::TornRead`] (the connection must close).
 pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
     let mut budget = MAX_HEAD_BYTES;
     let Some(request_line) = read_line(reader, &mut budget)? else {
@@ -161,7 +199,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     }
     let mut headers = Vec::new();
     loop {
-        let Some(line) = read_line(reader, &mut budget)? else {
+        let Some(line) = read_line(reader, &mut budget).map_err(escalate)? else {
             return Err(HttpError::Io(std::io::ErrorKind::UnexpectedEof.into()));
         };
         if line.is_empty() {
@@ -185,7 +223,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
             return Err(HttpError::TooLarge);
         }
         std::io::copy(&mut reader.by_ref().take(len as u64), &mut std::io::sink())
-            .map_err(HttpError::Io)?;
+            .map_err(|e| escalate(HttpError::Io(e)))?;
     }
     Ok(Some(request))
 }
@@ -464,6 +502,56 @@ mod tests {
         assert!(matches!(parse("GET /incomplete"), Err(HttpError::Io(_))));
         assert!(matches!(parse("NONSENSE\r\n\r\n"), Err(HttpError::BadRequest(_))));
         assert!(matches!(parse("GET / SPDY/3\r\n\r\n"), Err(HttpError::BadRequest(_))));
+    }
+
+    /// Yields `data`, then fails every further read with `WouldBlock` —
+    /// the shape of a slow peer tripping the socket read timeout.
+    struct StallAfter(&'static [u8]);
+
+    impl std::io::Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let n = self.0.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn timeout_before_any_byte_is_retryable_io() {
+        let mut reader = BufReader::new(StallAfter(b""));
+        assert!(matches!(read_request(&mut reader), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn timeout_mid_request_line_is_a_torn_read() {
+        // Half a request line trickles in, then the timeout fires: the
+        // consumed bytes are unrecoverable, so retrying the read would
+        // parse from mid-stream. Must be TornRead, not retryable Io.
+        let mut reader = BufReader::new(StallAfter(b"GET /v1/que"));
+        assert!(matches!(read_request(&mut reader), Err(HttpError::TornRead(_))));
+    }
+
+    #[test]
+    fn timeout_mid_headers_is_a_torn_read() {
+        // The request line parsed cleanly but a header is in flight: the
+        // stream holds a partial request, so an idle-style retry would
+        // poison the connection.
+        let mut reader = BufReader::new(StallAfter(b"GET / HTTP/1.1\r\nHost: lo"));
+        assert!(matches!(read_request(&mut reader), Err(HttpError::TornRead(_))));
+        let mut reader = BufReader::new(StallAfter(b"GET / HTTP/1.1\r\n"));
+        assert!(matches!(read_request(&mut reader), Err(HttpError::TornRead(_))));
+    }
+
+    #[test]
+    fn timeout_mid_body_drain_is_a_torn_read() {
+        let mut reader = BufReader::new(StallAfter(
+            b"POST /admin/load HTTP/1.1\r\nContent-Length: 10\r\n\r\nhel",
+        ));
+        assert!(matches!(read_request(&mut reader), Err(HttpError::TornRead(_))));
     }
 
     #[test]

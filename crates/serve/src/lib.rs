@@ -15,7 +15,8 @@
 //! | GET    | `/v1/topk`    | `graph`, `seed`, `k`            | top-k nodes excluding the seed |
 //! | GET    | `/v1/batch`   | `graph`, `seeds=0,3,7`          | one score vector per seed |
 //! | POST   | `/admin/load` | `graph`, `index` (server path)  | publishes the next index version |
-//! | GET    | `/healthz`    | —                               | liveness |
+//! | GET    | `/healthz`    | —                               | liveness (200 while the process runs) |
+//! | GET    | `/readyz`     | —                               | readiness (503 while warming or draining) |
 //! | GET    | `/metrics`    | —                               | text exposition of all counters |
 //!
 //! The `graph` parameter may be omitted when exactly one graph is

@@ -21,6 +21,15 @@
 //! admission, dequeue, and reply-wait. An already-expired budget
 //! (`X-Deadline-Ms: 0`) fails fast at admission with
 //! [`Error::Timeout`] → `504` without ever occupying a queue slot.
+//!
+//! # Lifecycle
+//!
+//! `/healthz` is liveness (200 whenever the process can answer) while
+//! `/readyz` is readiness: 503 during warm-up (no graph published) and
+//! from the instant a graceful drain begins. [`ServerHandle::shutdown`]
+//! drains: the listener stops, already-queued connections are still
+//! served, and workers get [`ServerConfig::drain`] to finish before
+//! being force-detached.
 
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::registry::{Registry, Tenant};
@@ -51,6 +60,10 @@ pub struct ServerConfig {
     pub engine_config: EngineConfig,
     /// Maximum seeds accepted by one `/v1/batch` request.
     pub max_batch: usize,
+    /// Graceful-drain grace period for [`ServerHandle::shutdown`]: after
+    /// draining begins, in-flight and already-admitted requests get this
+    /// long to finish before still-busy workers are force-detached.
+    pub drain: Duration,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +74,7 @@ impl Default for ServerConfig {
             conn_backlog: 128,
             engine_config: EngineConfig::default(),
             max_batch: 1024,
+            drain: Duration::from_secs(5),
         }
     }
 }
@@ -108,6 +122,13 @@ pub struct ServerMetrics {
     pub responses_504: AtomicU64,
     /// Connections shed because the connection backlog was full.
     pub rejected_connections: AtomicU64,
+    /// Connections admitted into the connection queue. Together with
+    /// the response counters this lets the drain test prove every
+    /// admitted request was answered.
+    pub accepted_connections: AtomicU64,
+    /// Connections dropped because the wire tore mid-request or
+    /// mid-response (read timeout after partial bytes, failed write).
+    pub torn_connections: AtomicU64,
     /// Successful `/admin/load` publishes.
     pub hot_swaps: AtomicU64,
 }
@@ -136,6 +157,13 @@ struct ServerCtx {
     config: ServerConfig,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
+    /// Set when a graceful drain begins: `/readyz` flips to 503 (load
+    /// balancers stop routing here) while `/healthz` stays 200 (the
+    /// process is alive and finishing admitted work).
+    draining: AtomicBool,
+    /// Connection workers that have exited their pop loop. The drain
+    /// waits on this (std threads cannot be joined with a timeout).
+    workers_exited: AtomicU64,
 }
 
 /// A running server. Dropping the handle shuts it down; use
@@ -165,28 +193,64 @@ impl ServerHandle {
         &self.ctx.metrics
     }
 
-    /// Stops accepting, drains the connection queue, and joins every
-    /// thread. In-flight requests finish; idle keep-alive connections
-    /// are closed at their next read-timeout tick.
-    pub fn shutdown(mut self) {
-        self.stop();
+    /// Gracefully drains and stops the server with the configured
+    /// [`ServerConfig::drain`] grace period. Returns `true` when every
+    /// worker finished within the grace (a clean drain).
+    ///
+    /// Drain protocol: `/readyz` flips to 503 immediately, the listener
+    /// stops accepting, already-queued connections are still dequeued
+    /// and served, keep-alive connections are told `Connection: close`
+    /// after their in-flight response, and idle ones close at their
+    /// next read-timeout tick. Workers that are still busy when the
+    /// grace expires are force-detached (their sockets die with the
+    /// process), never blocking shutdown indefinitely.
+    pub fn shutdown(mut self) -> bool {
+        let grace = self.ctx.config.drain;
+        self.stop(grace)
     }
 
-    fn stop(&mut self) {
+    /// [`ServerHandle::shutdown`] with an explicit grace period.
+    pub fn shutdown_within(mut self, grace: Duration) -> bool {
+        self.stop(grace)
+    }
+
+    fn stop(&mut self, grace: Duration) -> bool {
+        self.ctx.draining.store(true, Ordering::SeqCst);
         self.ctx.shutdown.store(true, Ordering::SeqCst);
         self.conns.close();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for t in self.workers.drain(..) {
-            let _ = t.join();
+        let total = self.workers.len() as u64;
+        let deadline = std::time::Instant::now() + grace;
+        // Poll-with-sleep instead of a timed join: std threads offer no
+        // join-with-timeout, and the workers' 200ms read timeout bounds
+        // how long an *idle* worker can lag; only a genuinely stuck
+        // in-flight request can exhaust the grace.
+        while self.ctx.workers_exited.load(Ordering::SeqCst) < total
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
         }
+        let clean = self.ctx.workers_exited.load(Ordering::SeqCst) >= total;
+        if clean {
+            for t in self.workers.drain(..) {
+                let _ = t.join();
+            }
+        } else {
+            // Force-close: detach the stragglers. They hold no lock the
+            // process needs, and their connections are abandoned by
+            // design once the grace is spent.
+            self.workers.clear();
+        }
+        clean
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop();
+        let grace = self.ctx.config.drain;
+        self.stop(grace);
     }
 }
 
@@ -222,6 +286,8 @@ impl Server {
             registry,
             metrics: ServerMetrics::default(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            workers_exited: AtomicU64::new(0),
             config,
         });
         let conns = Arc::new(JobQueue::bounded(ctx.config.conn_backlog));
@@ -241,9 +307,13 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("bear-http-{i}"))
                     .spawn(move || {
+                        // `pop` keeps returning already-queued
+                        // connections after `close()`, so every admitted
+                        // connection is served during a drain.
                         while let Some(stream) = conns.pop() {
                             handle_connection(stream, &ctx);
                         }
+                        ctx.workers_exited.fetch_add(1, Ordering::SeqCst);
                     })
                     .map_err(|e| Error::InvalidStructure(format!("spawn http worker: {e}")))
             })
@@ -259,7 +329,9 @@ fn accept_loop(listener: &TcpListener, conns: &JobQueue<TcpStream>, ctx: &Server
     while !ctx.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                if conns.push(stream).is_err() {
+                if conns.push(stream).is_ok() {
+                    ctx.metrics.accepted_connections.fetch_add(1, Ordering::Relaxed);
+                } else {
                     // Either backlog overflow (QueueFull) or shutdown
                     // racing the accept; the pushed stream was dropped
                     // (= connection reset), which is the correct signal
@@ -293,10 +365,21 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
                 let resp = route(ctx, &req);
                 ctx.metrics.record_response(resp.status);
                 let keep = req.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
-                if resp.write_to(&mut writer, keep).is_err() || !keep {
+                if resp.write_to(&mut writer, keep).is_err() {
+                    // The wire broke mid-response: the peer would see a
+                    // truncated body, and any further response on this
+                    // socket could be misattributed. Count it and tear
+                    // the connection down both ways.
+                    ctx.metrics.torn_connections.fetch_add(1, Ordering::Relaxed);
+                    let _ = writer.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
+                if !keep {
                     return;
                 }
             }
+            // Idle timeout with *zero* request bytes consumed: safe to
+            // keep waiting (this is also the shutdown poll tick).
             Err(HttpError::Io(e))
                 if matches!(
                     e.kind(),
@@ -306,6 +389,13 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
                 if ctx.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+            }
+            // Timeout or failure *mid-request*: bytes were consumed and
+            // lost, so looping back into the parser would read from the
+            // middle of a torn request. Close, never retry.
+            Err(HttpError::TornRead(_)) => {
+                ctx.metrics.torn_connections.fetch_add(1, Ordering::Relaxed);
+                return;
             }
             Err(HttpError::Io(_)) => return,
             Err(err) => {
@@ -330,12 +420,13 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
 fn route(ctx: &ServerCtx, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(ctx),
+        ("GET", "/readyz") => handle_readyz(ctx),
         ("GET", "/metrics") => handle_metrics(ctx),
         ("GET", "/v1/query") => handle_query(ctx, req),
         ("GET", "/v1/topk") => handle_topk(ctx, req),
         ("GET", "/v1/batch") => handle_batch(ctx, req),
         ("POST", "/admin/load") => handle_admin_load(ctx, req),
-        (_, "/healthz" | "/metrics" | "/v1/query" | "/v1/topk" | "/v1/batch") => {
+        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/query" | "/v1/topk" | "/v1/batch") => {
             Response::json(405, error_body("use GET for this endpoint", "method_not_allowed"))
                 .header("Allow", "GET")
         }
@@ -360,6 +451,10 @@ fn error_response(e: &Error) -> Response {
         Error::PoolShutDown => (503, "shutting_down"),
         Error::IndexOutOfBounds { .. } => (400, "bad_seed"),
         Error::InvalidConfig { .. } | Error::InvalidStructure(_) => (400, "bad_request"),
+        // A corrupt on-disk artifact is a server-side data fault; the
+        // admin-load handler downgrades it to a 400 operator error and
+        // reports the quarantine.
+        Error::CorruptIndex { .. } => (500, "corrupt_index"),
         Error::DimensionMismatch { .. }
         | Error::SingularMatrix { .. }
         | Error::OutOfBudget { .. }
@@ -480,6 +575,22 @@ fn tag(resp: Response, tenant: &Tenant, served: Option<&Served>) -> Response {
 
 fn handle_healthz(ctx: &ServerCtx) -> Response {
     Response::text(200, format!("ok {} graph(s)\n", ctx.registry.len()))
+}
+
+/// `GET /readyz`: readiness, distinct from liveness. 503 while the
+/// server is draining (shutdown in progress: finish in-flight work but
+/// route no new traffic here) or warming (no graph published yet), 200
+/// once it can usefully answer queries. `/healthz` stays 200 through
+/// both states — the process is alive; restarting it would not help.
+fn handle_readyz(ctx: &ServerCtx) -> Response {
+    if ctx.draining.load(Ordering::SeqCst) {
+        return Response::text(503, "draining\n".to_string()).header("Retry-After", "1");
+    }
+    if ctx.registry.is_empty() {
+        return Response::text(503, "warming: no graph published\n".to_string())
+            .header("Retry-After", "1");
+    }
+    Response::text(200, format!("ready {} graph(s)\n", ctx.registry.len()))
 }
 
 fn handle_query(ctx: &ServerCtx, req: &Request) -> Response {
@@ -637,7 +748,10 @@ fn handle_admin_load(ctx: &ServerCtx, req: &Request) -> Response {
     let Some(index) = req.query_param("index") else {
         return Response::json(400, error_body("index parameter required", "bad_request"));
     };
-    let engine = Bear::load(Path::new(index))
+    // `load_or_quarantine`: a checksum/structure failure renames the
+    // artifact to `<path>.corrupt` so a crash-looping operator script
+    // cannot keep re-publishing a damaged file.
+    let engine = Bear::load_or_quarantine(Path::new(index))
         .and_then(|bear| QueryEngine::new(Arc::new(bear), ctx.config.engine_config.clone()));
     match engine {
         Ok(engine) => {
@@ -689,6 +803,16 @@ fn handle_metrics(ctx: &ServerCtx) -> Response {
         out,
         "bear_http_rejected_connections_total {}",
         m.rejected_connections.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        out,
+        "bear_http_accepted_connections_total {}",
+        m.accepted_connections.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        out,
+        "bear_http_torn_connections_total {}",
+        m.torn_connections.load(Ordering::Relaxed)
     );
     let _ = writeln!(out, "bear_hot_swaps_total {}", m.hot_swaps.load(Ordering::Relaxed));
     for name in ctx.registry.names() {

@@ -1,0 +1,310 @@
+//! Serving-lifecycle integration tests: readiness vs liveness, graceful
+//! drain under load (every admitted request answered, zero drops),
+//! quarantine of corrupt indexes published through `/admin/load`, and
+//! the torn-read connection-poisoning regression.
+
+use bear_core::{Bear, BearConfig, EngineConfig, QueryEngine};
+use bear_graph::Graph;
+use bear_serve::{client, Registry, Server, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_graph() -> Graph {
+    let mut edges = Vec::new();
+    for v in 1..12 {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    edges.push((5, 6));
+    edges.push((6, 5));
+    Graph::from_edges(12, &edges).unwrap()
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::builder().threads(2).queue_capacity(64).build().unwrap()
+}
+
+/// Builds, saves, reloads, and serves the test graph as tenant `g`.
+fn test_server(tag: &str, http_threads: usize) -> (ServerHandle, Bear, PathBuf) {
+    let reference = Bear::new(&test_graph(), &BearConfig::exact(0.15)).unwrap();
+    let path = std::env::temp_dir().join(format!("bear_lifecycle_{tag}.idx"));
+    reference.save(&path).unwrap();
+    let loaded = Arc::new(Bear::load(&path).unwrap());
+    let engine = QueryEngine::new(loaded, engine_config()).unwrap();
+    let registry = Arc::new(Registry::new());
+    registry.publish("g", Arc::new(engine));
+    let config =
+        ServerConfig { http_threads, engine_config: engine_config(), ..ServerConfig::default() };
+    let handle = Server::start(registry, config).unwrap();
+    (handle, reference, path)
+}
+
+/// Reads exactly one HTTP response off `reader`, honoring
+/// `Content-Length`. Returns `(status, connection_header, body)`.
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, String, String)> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    if status_line.is_empty() {
+        return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed"));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line '{status_line}'")))?;
+    let mut connection = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            match name.trim().to_ascii_lowercase().as_str() {
+                "content-length" => content_length = value.trim().parse().unwrap_or(0),
+                "connection" => connection = value.trim().to_ascii_lowercase(),
+                _ => {}
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, connection, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn write_request(stream: &mut TcpStream, target: &str) -> std::io::Result<()> {
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n")?;
+    stream.flush()
+}
+
+/// `/readyz` is 503 while no graph is published (warming) and flips to
+/// 200 on the first publish; `/healthz` is 200 throughout.
+#[test]
+fn readyz_reports_warming_until_first_publish() {
+    let registry = Arc::new(Registry::new());
+    let config = ServerConfig { engine_config: engine_config(), ..ServerConfig::default() };
+    let server = Server::start(Arc::clone(&registry), config).unwrap();
+    let addr = server.addr();
+
+    let resp = client::get(addr, "/healthz", &[]).unwrap();
+    assert_eq!(resp.status, 200, "liveness must not depend on published graphs");
+    let resp = client::get(addr, "/readyz", &[]).unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body_str());
+    assert!(resp.body_str().contains("warming"), "{}", resp.body_str());
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    let bear = Bear::new(&test_graph(), &BearConfig::exact(0.15)).unwrap();
+    let engine = QueryEngine::new(Arc::new(bear), engine_config()).unwrap();
+    registry.publish("g", Arc::new(engine));
+
+    let resp = client::get(addr, "/readyz", &[]).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert!(resp.body_str().contains("ready 1 graph(s)"));
+
+    assert!(server.shutdown(), "drain of an idle server must be clean");
+}
+
+/// The S3 satellite: a graceful drain completes every admitted request.
+///
+/// With a single worker held hostage by an idle keep-alive connection,
+/// several fully-written requests are parked in the connection queue —
+/// so they can only be served *after* the drain begins (the worker
+/// re-checks the queue once shutdown wakes it from the keep-alive
+/// read). Every one of them must still get a complete response: the
+/// queued `/readyz` sees 503 (draining), the queued `/healthz` sees 200
+/// (alive until exit), and the queued queries are answered in full.
+#[test]
+fn graceful_drain_answers_every_admitted_request() {
+    let (server, reference, path) = test_server("drain", 1);
+    let addr = server.addr();
+    let expected = reference.query(3).unwrap();
+
+    // Hold the single worker on an idle keep-alive connection.
+    let mut held = TcpStream::connect(addr).unwrap();
+    held.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut held_reader = BufReader::new(held.try_clone().unwrap());
+    write_request(&mut held, "/v1/query?graph=g&seed=3").unwrap();
+    let (status, connection, _) = read_one_response(&mut held_reader).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive", "worker must stay parked on this connection");
+    // Pre-drain readiness, checked on the held connection itself (a
+    // fresh connection would queue behind the single busy worker).
+    write_request(&mut held, "/readyz").unwrap();
+    let (status, _, body) = read_one_response(&mut held_reader).unwrap();
+    assert_eq!(status, 200, "ready before the drain begins: {body}");
+
+    // Park fully-written requests in the connection queue. None can be
+    // served until the drain frees the worker.
+    let targets =
+        ["/readyz", "/healthz", "/v1/query?graph=g&seed=3", "/v1/query?graph=g&seed=0", "/metrics"];
+    let parked: Vec<(BufReader<TcpStream>, &str)> = targets
+        .iter()
+        .map(|target| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            write_request(&mut stream, target).unwrap();
+            // The write half stays open via try_clone inside the reader.
+            (reader, *target)
+        })
+        .collect();
+    // Wait until the accept thread has admitted every parked connection
+    // into the queue — a drain only owes answers to *admitted* work, and
+    // connections still in the kernel backlog die with the listener.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.metrics().accepted_connections.load(std::sync::atomic::Ordering::Relaxed)
+        < 1 + targets.len() as u64
+    {
+        assert!(std::time::Instant::now() < deadline, "accept thread never admitted the backlog");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let drainer = std::thread::spawn(move || server.shutdown());
+
+    let mut drain_readyz = None;
+    let mut drain_healthz = None;
+    for (mut reader, target) in parked {
+        let (status, connection, body) = read_one_response(&mut reader)
+            .unwrap_or_else(|e| panic!("admitted request {target} was dropped: {e}"));
+        assert_eq!(connection, "close", "{target}: drain must not keep connections alive");
+        match target {
+            "/readyz" => drain_readyz = Some((status, body)),
+            "/healthz" => drain_healthz = Some((status, body)),
+            t if t.starts_with("/v1/query") => {
+                assert_eq!(status, 200, "{target}: {body}");
+                let scores = client::json_number_array(&body, "scores").unwrap();
+                let want =
+                    if t.contains("seed=3") { &expected } else { &reference.query(0).unwrap() };
+                assert_eq!(scores.len(), want.len());
+                for (got, want) in scores.iter().zip(want) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "{target} served wrong bits");
+                }
+            }
+            _ => assert_eq!(status, 200, "{target}: {body}"),
+        }
+        // Drained responses are final: the server closes after each.
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "{target}: trailing bytes after close");
+    }
+    let (status, body) = drain_readyz.expect("queued /readyz must be answered");
+    assert_eq!(status, 503, "readyz during drain: {body}");
+    assert!(body.contains("draining"), "readyz during drain: {body}");
+    let (status, body) = drain_healthz.expect("queued /healthz must be answered");
+    assert_eq!(status, 200, "healthz must stay live through the drain: {body}");
+
+    // The held keep-alive connection is closed by the drain (EOF), not
+    // reset, once the worker's read-timeout tick observes shutdown.
+    let mut rest = Vec::new();
+    held_reader.read_to_end(&mut rest).unwrap();
+
+    assert!(drainer.join().unwrap(), "drain must finish inside the grace period");
+    std::fs::remove_file(&path).ok();
+}
+
+/// A corrupt index published through `/admin/load` is rejected as an
+/// operator error (400), the damaged artifact is quarantined to
+/// `<path>.corrupt`, and the previous version keeps answering.
+#[test]
+fn admin_load_quarantines_corrupt_index_and_keeps_serving() {
+    let (server, reference, path) = test_server("quarantine", 2);
+    let addr = server.addr();
+
+    // A single flipped bit deep in the payload: undetectable without
+    // checksums, caught by the section CRC.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    let bad = std::env::temp_dir().join("bear_lifecycle_quarantine_bad.idx");
+    let bad_quarantined = std::env::temp_dir().join("bear_lifecycle_quarantine_bad.idx.corrupt");
+    std::fs::remove_file(&bad_quarantined).ok();
+    std::fs::write(&bad, &bytes).unwrap();
+
+    let resp =
+        client::post(addr, &format!("/admin/load?graph=g&index={}", bad.display()), &[]).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    assert!(resp.body_str().contains("bad_index"), "{}", resp.body_str());
+    assert!(resp.body_str().contains("quarantined"), "{}", resp.body_str());
+
+    assert!(!bad.exists(), "corrupt artifact must be moved out of the publish path");
+    assert!(bad_quarantined.exists(), "quarantine file missing");
+
+    // A retry of the same operator script now fails on a missing file —
+    // it cannot loop on re-publishing the damaged artifact.
+    let resp =
+        client::post(addr, &format!("/admin/load?graph=g&index={}", bad.display()), &[]).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+
+    // The old version never stopped answering, bit-identically.
+    let resp = client::get(addr, "/v1/query?graph=g&seed=1", &[]).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-graph-version"), Some("1"), "failed publish must not bump");
+    let scores = client::json_number_array(&resp.body_str(), "scores").unwrap();
+    for (got, want) in scores.iter().zip(&reference.query(1).unwrap()) {
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+    let metrics = client::get(addr, "/metrics", &[]).unwrap().body_str();
+    assert!(metrics.contains("bear_hot_swaps_total 0"), "{metrics}");
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&bad_quarantined).ok();
+}
+
+/// The S1 regression: a connection that times out *mid-request* has
+/// lost bytes off the wire, so the server must close it rather than
+/// retry the parse and serve a garbled pipeline. The next full request
+/// on a fresh connection works, and the tear is counted.
+#[test]
+fn torn_mid_request_closes_the_connection_instead_of_poisoning_it() {
+    let (server, _, path) = test_server("torn", 2);
+    let addr = server.addr();
+
+    let torn_before = {
+        let body = client::get(addr, "/metrics", &[]).unwrap().body_str();
+        metric(&body, "bear_http_torn_connections_total")
+    };
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // Half a request line, then silence: longer than the server's 200ms
+    // read-timeout tick, so the read escalates to a torn-read close.
+    stream.write_all(b"GET /v1/que").unwrap();
+    stream.flush().unwrap();
+
+    let mut buf = Vec::new();
+    let n = stream.read_to_end(&mut buf).unwrap();
+    assert_eq!(n, 0, "server must close a torn connection without writing: {buf:?}");
+
+    // Completing the request after the tear is meaningless — the
+    // connection is gone; a write eventually surfaces a broken pipe.
+    // (Not asserted: loopback may buffer the first write.)
+    let _ = stream.write_all(b"ry?graph=g&seed=1 HTTP/1.1\r\n\r\n");
+
+    // A fresh connection is unaffected and the tear was counted.
+    let resp = client::get(addr, "/v1/query?graph=g&seed=1", &[]).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let body = client::get(addr, "/metrics", &[]).unwrap().body_str();
+    assert_eq!(
+        metric(&body, "bear_http_torn_connections_total"),
+        torn_before + 1,
+        "torn connection must be counted: {body}"
+    );
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Extracts a `name value` line from the `/metrics` exposition.
+fn metric(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find(|l| l.starts_with(name))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing from {body}"))
+}

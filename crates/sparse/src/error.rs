@@ -92,6 +92,19 @@ pub enum Error {
         /// Why it was rejected.
         reason: String,
     },
+    /// A persisted index artifact failed integrity or structural
+    /// validation on load: torn write, bit rot, truncation, or a payload
+    /// that parses but violates an invariant. The artifact must never be
+    /// retried into serving — loaders quarantine it (rename to
+    /// `*.corrupt`) so operators can inspect the bytes offline.
+    CorruptIndex {
+        /// The on-disk section (or load phase) where validation failed,
+        /// e.g. `"trailer"`, `"l1_inv"`, `"header"`.
+        section: &'static str,
+        /// What exactly failed (checksum mismatch, truncation, the
+        /// wrapped structural error, ...).
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -132,6 +145,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidConfig { param, reason } => {
                 write!(f, "invalid configuration: {param}: {reason}")
+            }
+            Error::CorruptIndex { section, detail } => {
+                write!(f, "corrupt index ({section}): {detail}")
             }
         }
     }
