@@ -1,0 +1,190 @@
+//! Pruned top-k query speedup: the recordable evidence for the exact
+//! pruned top-k path ([`Bear::query_top_k_pruned`]). Two generated
+//! datasets, answering the same seed set at k ∈ {1, 8, 32} through
+//!
+//! * the full path: `query_into` over all n nodes, then
+//!   `top_k_excluding_seed`, and
+//! * the pruned path: hub sweep + certified partial spoke resolution,
+//!
+//! verifying on both that the pruned ranking is **bit-identical** to the
+//! full one (nodes, order, and `f64` bits — correctness gates, perf is
+//! recorded), and reporting per-query latency, the speedup, the fraction
+//! of spoke nodes never resolved (prune ratio), and how many queries
+//! certified without falling back.
+//!
+//! The datasets probe opposite ends of the block-size spectrum:
+//!
+//! * `rmat_scale{s}` — the paper's Section 4.4 generator (p_ul = 0.7).
+//!   SlashBurn shreds R-MAT spokes into thousands of singleton blocks
+//!   and the hub factors carry ~98% of the query flops, so spoke
+//!   pruning cannot repay its bookkeeping; many leaf spokes also tie
+//!   bit-for-bit, which the strict certificate refuses to prune.
+//!   Recorded as honest adversarial evidence.
+//! * `hub_spoke` — the repo's dataset stand-in generator ("cave"
+//!   components per Table 4): ~120 dense blocks of up to 120 nodes
+//!   behind a small hub core. Spoke back-substitution dominates the
+//!   query, bounds certify every seed, and ~95% of spoke nodes are
+//!   never resolved — the regime the pruned path exists for, where the
+//!   ≥ 5× target applies.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin topk_speedup \
+//!     [--reps 5] [--seeds 64] [--scale 13] [--json results/BENCH_topk.json]
+//! ```
+
+use bear_bench::cli::Args;
+use bear_bench::harness::{measure, ExperimentResult, ResultRow};
+use bear_core::topk::top_k_excluding_seed;
+use bear_core::{Bear, BearConfig, QueryWorkspace, TopKPruneOptions};
+use bear_graph::generators::{hub_and_spoke, rmat, HubSpokeConfig, RmatConfig};
+use bear_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let reps: usize = args.get_or("--reps", 5usize).max(1);
+    let num_seeds: usize = args.get_or("--seeds", 64usize).max(1);
+    let scale: u32 = args.get_or("--scale", 13u32).clamp(8, 20);
+    let json_path = args.get("--json").unwrap_or("results/BENCH_topk.json").to_string();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let nodes = 1usize << scale;
+    let rmat_graph =
+        rmat(&RmatConfig::paper(scale, nodes * 8, 0.7), &mut StdRng::seed_from_u64(42));
+    let hub_spoke_graph = hub_and_spoke(
+        &HubSpokeConfig {
+            num_hubs: 64,
+            num_caves: 120,
+            max_cave_size: 120,
+            cave_density: 0.3,
+            hub_links: 2,
+            hub_density: 0.3,
+        },
+        &mut StdRng::seed_from_u64(7),
+    );
+    let datasets: [(String, &Graph); 2] =
+        [(format!("rmat_scale{scale}"), &rmat_graph), ("hub_spoke".to_string(), &hub_spoke_graph)];
+
+    let mut out = ExperimentResult::new(
+        "topk_speedup",
+        &format!(
+            "pruned exact top-k vs full-vector ranking on R-MAT scale {scale} and the \
+             hub_spoke dataset stand-in (best of {reps} passes over {num_seeds} seeds); \
+             host grants {host_cores} core(s); pruned rankings bit-identical to full"
+        ),
+    );
+
+    for (dataset, g) in &datasets {
+        let bear = Bear::new(g, &BearConfig::exact(0.05)).expect("preprocess");
+        let n = bear.num_nodes();
+        let seeds: Vec<usize> = (0..num_seeds).map(|i| (i * 2654435761) % n).collect();
+        println!(
+            "[{dataset}] n={} m={} | n1={} spokes, n2={} hubs | host cores: {host_cores} | \
+             {num_seeds} seeds, best of {reps} passes",
+            g.num_nodes(),
+            g.num_edges(),
+            bear.n_spokes(),
+            bear.n_hubs()
+        );
+
+        let mut ws = QueryWorkspace::for_bear(&bear);
+        let mut full = vec![0.0; n];
+        let opts = TopKPruneOptions::default();
+        println!(
+            "{:<8} {:>14} {:>14} {:>9} {:>12} {:>10}",
+            "k", "full(us)", "pruned(us)", "speedup", "prune-ratio", "certified"
+        );
+
+        for k in [1usize, 8, 32] {
+            // Full path: solve all n scores, then select.
+            let mut full_s = f64::INFINITY;
+            for _ in 0..reps {
+                let (_, secs) = measure(|| {
+                    for &seed in &seeds {
+                        bear.query_into(seed, &mut ws, &mut full).expect("query");
+                        std::hint::black_box(top_k_excluding_seed(&full, seed, k));
+                    }
+                });
+                full_s = full_s.min(secs);
+            }
+
+            // Pruned path, timed.
+            let mut pruned_s = f64::INFINITY;
+            for _ in 0..reps {
+                let (_, secs) = measure(|| {
+                    for &seed in &seeds {
+                        std::hint::black_box(
+                            bear.query_top_k_pruned_in(seed, k, &opts, &mut ws).expect("pruned"),
+                        );
+                    }
+                });
+                pruned_s = pruned_s.min(secs);
+            }
+
+            // Correctness gate + stats pass (untimed): every pruned ranking
+            // bit-identical to the full one, accounting covers every node.
+            let mut certified = 0usize;
+            let mut pruned_nodes = 0u64;
+            let mut candidates = 0u64;
+            for &seed in &seeds {
+                bear.query_into(seed, &mut ws, &mut full).expect("query");
+                let want = top_k_excluding_seed(&full, seed, k);
+                let (got, stats) =
+                    bear.query_top_k_pruned_in(seed, k, &opts, &mut ws).expect("pruned");
+                assert_eq!(got.len(), want.len(), "k={k} seed={seed}: length");
+                for (a, b) in got.iter().zip(&want) {
+                    assert_eq!(a.node, b.node, "k={k} seed={seed}: rank order diverged");
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "k={k} seed={seed}: score bits diverged"
+                    );
+                }
+                certified += stats.certified as usize;
+                pruned_nodes += stats.nodes_pruned as u64;
+                candidates += stats.candidates as u64;
+            }
+
+            let full_q = full_s / num_seeds as f64;
+            let pruned_q = pruned_s / num_seeds as f64;
+            let speedup = full_q / pruned_q;
+            let prune_ratio = pruned_nodes as f64 / (pruned_nodes + candidates).max(1) as f64;
+            println!(
+                "{:<8} {:>14.3} {:>14.3} {:>8.2}x {:>11.1}% {:>7}/{}",
+                k,
+                full_q * 1e6,
+                pruned_q * 1e6,
+                speedup,
+                prune_ratio * 100.0,
+                certified,
+                num_seeds
+            );
+
+            let mut row = ResultRow::new(dataset, "topk_full");
+            row.param = Some(format!("k={k} host_cores={host_cores}"));
+            row.query_s = Some(full_q);
+            out.rows.push(row);
+            let mut row = ResultRow::new(dataset, "topk_pruned");
+            row.param = Some(format!(
+                "k={k} speedup_vs_full={speedup:.3} prune_ratio={prune_ratio:.4} \
+                 certified={certified}/{num_seeds} host_cores={host_cores}"
+            ));
+            row.query_s = Some(pruned_q);
+            out.rows.push(row);
+
+            if speedup < 5.0 {
+                println!(
+                    "  note: speedup {speedup:.2}x below the 5x target at k={k} \
+                     (recorded as evidence; correctness is the gate)"
+                );
+            }
+        }
+    }
+
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    out.write_json(&json_path).expect("write json");
+    println!("wrote {json_path}");
+}

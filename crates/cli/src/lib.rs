@@ -34,8 +34,8 @@
 
 use bear_core::topk::top_k_excluding_seed;
 use bear_core::{
-    Bear, BearConfig, EngineConfig, FallbackSolver, MetricsSnapshot, QueryEngine, QueryOptions,
-    RwrConfig, Served, DEFAULT_FALLBACK_ITERATIONS,
+    Bear, BearConfig, DegradedInfo, EngineConfig, FallbackSolver, MetricsSnapshot, QueryEngine,
+    QueryOptions, RwrConfig, Served, DEFAULT_FALLBACK_ITERATIONS,
 };
 use bear_graph::io::{read_edge_list, write_edge_list};
 use bear_graph::{slashburn, SlashBurnConfig};
@@ -512,8 +512,8 @@ fn degraded_only_answer(fb: &FallbackSolver, seed: usize) -> Result<Served> {
 }
 
 /// One-line degradation tag appended to a served answer's header.
-fn degraded_tag(served: &Served) -> String {
-    match &served.degraded {
+fn degraded_tag(degraded: Option<&DegradedInfo>) -> String {
+    match degraded {
         None => String::new(),
         Some(info) => format!(
             " [DEGRADED: {} — {} iterations, error bound {:.3e}]",
@@ -583,20 +583,25 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
                 writeln!(out, "{notice}").map_err(io_err)?;
             }
             let start = std::time::Instant::now();
-            let (served, metrics) = match &service {
+            // The engine path uses the pruned exact top-k solver; the
+            // degraded-only fallback still ranks its full vector.
+            let (ranked, degraded, metrics) = match &service {
                 Service::Full(engine) => {
-                    (engine.serve(*seed, &QueryOptions::default())?, Some(engine.metrics()))
+                    let served = engine.query_top_k(*seed, *top, &QueryOptions::default())?;
+                    (served.nodes.to_vec(), served.degraded, Some(engine.metrics()))
                 }
-                Service::DegradedOnly(fb) => (degraded_only_answer(fb, *seed)?, None),
+                Service::DegradedOnly(fb) => {
+                    let served = degraded_only_answer(fb, *seed)?;
+                    (top_k_excluding_seed(&served.scores, *seed, *top), served.degraded, None)
+                }
             };
             let elapsed = start.elapsed().as_secs_f64();
-            let ranked = top_k_excluding_seed(&served.scores, *seed, *top);
             writeln!(
                 out,
                 "top {} nodes for seed {} ({elapsed:.6}s){}:",
                 ranked.len(),
                 seed,
-                degraded_tag(&served)
+                degraded_tag(degraded.as_ref())
             )
             .map_err(io_err)?;
             for s in &ranked {
@@ -641,7 +646,8 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
                     .map(|s| format!("{}:{:.6e}", s.node, s.score))
                     .collect::<Vec<_>>()
                     .join(" ");
-                writeln!(out, "  seed {seed}{}: {line}", degraded_tag(served)).map_err(io_err)?;
+                writeln!(out, "  seed {seed}{}: {line}", degraded_tag(served.degraded.as_ref()))
+                    .map_err(io_err)?;
             }
             match metrics {
                 Some(m) => write_metrics(&m, out).map_err(io_err),

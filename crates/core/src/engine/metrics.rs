@@ -58,6 +58,16 @@ pub struct Metrics {
     /// Per-query *amortized* compute latency (solve wall time divided by
     /// block width), weighted by width so each query contributes once.
     amortized_histogram: [AtomicU64; LATENCY_BUCKETS],
+    /// Top-k queries answered through the pruned path (certified or not).
+    topk_pruned_queries: AtomicU64,
+    /// Pruned top-k queries whose answer was certified by the bound pass.
+    topk_certified: AtomicU64,
+    /// Pruned top-k queries that fell back to the full solve.
+    topk_fallbacks: AtomicU64,
+    /// Candidates surviving pruning, summed over pruned top-k queries.
+    topk_candidates: AtomicU64,
+    /// Nodes never scored thanks to pruning, summed over pruned queries.
+    topk_nodes_pruned: AtomicU64,
 }
 
 impl Metrics {
@@ -78,6 +88,11 @@ impl Metrics {
             block_queries: AtomicU64::new(0),
             block_width_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
             amortized_histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+            topk_pruned_queries: AtomicU64::new(0),
+            topk_certified: AtomicU64::new(0),
+            topk_fallbacks: AtomicU64::new(0),
+            topk_candidates: AtomicU64::new(0),
+            topk_nodes_pruned: AtomicU64::new(0),
         }
     }
 
@@ -141,6 +156,20 @@ impl Metrics {
         self.degraded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Accounts one pruned top-k query: whether the bound pass certified
+    /// the answer (vs. falling back to the full solve), how many
+    /// candidates survived pruning, and how many nodes were never scored.
+    pub fn record_topk_pruned(&self, certified: bool, candidates: u64, nodes_pruned: u64) {
+        self.topk_pruned_queries.fetch_add(1, Ordering::Relaxed);
+        if certified {
+            self.topk_certified.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.topk_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        self.topk_candidates.fetch_add(candidates, Ordering::Relaxed);
+        self.topk_nodes_pruned.fetch_add(nodes_pruned, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let hit: Vec<u64> = self.hit_histogram.iter().map(|b| b.load(Ordering::Relaxed)).collect();
@@ -171,6 +200,11 @@ impl Metrics {
                     self.amortized_histogram.iter().map(|b| b.load(Ordering::Relaxed)).collect();
                 percentile_from(&amortized, 0.50)
             },
+            topk_pruned_queries: self.topk_pruned_queries.load(Ordering::Relaxed),
+            topk_certified: self.topk_certified.load(Ordering::Relaxed),
+            topk_fallbacks: self.topk_fallbacks.load(Ordering::Relaxed),
+            topk_candidates: self.topk_candidates.load(Ordering::Relaxed),
+            topk_nodes_pruned: self.topk_nodes_pruned.load(Ordering::Relaxed),
         }
     }
 }
@@ -240,6 +274,16 @@ pub struct MetricsSnapshot {
     /// Median per-query *amortized* compute latency (solve wall time
     /// divided by block width, each query weighted once).
     pub p50_amortized: Duration,
+    /// Top-k queries answered through the pruned path (certified or not).
+    pub topk_pruned_queries: u64,
+    /// Pruned top-k queries certified by the bound pass.
+    pub topk_certified: u64,
+    /// Pruned top-k queries that fell back to the full solve.
+    pub topk_fallbacks: u64,
+    /// Candidates surviving pruning, summed over pruned top-k queries.
+    pub topk_candidates: u64,
+    /// Nodes never scored thanks to pruning, summed over pruned queries.
+    pub topk_nodes_pruned: u64,
 }
 
 impl MetricsSnapshot {
@@ -259,6 +303,18 @@ impl MetricsSnapshot {
             0.0
         } else {
             self.block_queries as f64 / self.block_solves as f64
+        }
+    }
+
+    /// Fraction of candidate nodes the pruned top-k path never scored,
+    /// over all pruned queries: `nodes_pruned / (candidates + pruned)`.
+    /// `0.0` before any pruned query ran.
+    pub fn topk_prune_ratio(&self) -> f64 {
+        let total = self.topk_candidates + self.topk_nodes_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.topk_nodes_pruned as f64 / total as f64
         }
     }
 }

@@ -50,7 +50,7 @@ pub use metrics::{Metrics, MetricsSnapshot};
 #[cfg(not(loom))]
 pub use serving::{
     CancelToken, DegradedInfo, EngineConfig, EngineConfigBuilder, OverloadPolicy, QueryEngine,
-    QueryOptions, Served,
+    QueryOptions, Served, TopKServed, TopKStrategy,
 };
 
 /// Preallocated buffers for one query's block-elimination sweeps.

@@ -50,6 +50,7 @@ use super::{BlockWorkspace, MetricsSnapshot, QueryWorkspace};
 use crate::fallback::{DegradedReason, FallbackSolver};
 use crate::precompute::Bear;
 use crate::topk::{top_k_excluding_seed, ScoredNode};
+use crate::topk_pruned::TopKPruneOptions;
 use bear_sparse::{DenseBlock, Error, Result};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -133,6 +134,20 @@ pub enum OverloadPolicy {
     Block,
 }
 
+/// How [`QueryEngine::query_top_k`] computes its answer. Both strategies
+/// return bit-identical rankings with exact scores; they differ only in
+/// how much of the score vector they materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopKStrategy {
+    /// Solve the full n-vector and select — [`Bear::query_top_k`].
+    Full,
+    /// Bound-and-prune exact path ([`Bear::query_top_k_pruned_in`]):
+    /// resolve only the spoke blocks whose upper bound could reach the
+    /// top k, falling back to the full solve when certification fails.
+    #[default]
+    Pruned,
+}
+
 /// Configuration for [`QueryEngine`]. Validated at engine construction
 /// ([`EngineConfig::validate`]); build one with [`EngineConfig::builder`]
 /// to validate eagerly.
@@ -161,6 +176,8 @@ pub struct EngineConfig {
     /// bit-identical to per-seed ones, so this is purely a
     /// throughput/latency trade-off.
     pub block_width: usize,
+    /// How top-k queries are computed; see [`TopKStrategy`].
+    pub topk_strategy: TopKStrategy,
 }
 
 impl Default for EngineConfig {
@@ -172,6 +189,7 @@ impl Default for EngineConfig {
             overload: OverloadPolicy::Reject,
             default_deadline: None,
             block_width: 8,
+            topk_strategy: TopKStrategy::default(),
         }
     }
 }
@@ -257,6 +275,12 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// How top-k queries are computed; see [`TopKStrategy`].
+    pub fn topk_strategy(mut self, strategy: TopKStrategy) -> Self {
+        self.config.topk_strategy = strategy;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<EngineConfig> {
         self.config.validate()?;
@@ -335,16 +359,73 @@ impl Served {
     }
 }
 
+/// One served top-k answer: exact ranks and scores when `degraded` is
+/// `None` (whatever the [`TopKStrategy`]), otherwise the selection over
+/// a degraded full vector, tagged with why.
+#[derive(Debug, Clone)]
+pub struct TopKServed {
+    /// The best-scoring non-seed nodes, descending (ties by node id).
+    pub nodes: Arc<Vec<ScoredNode>>,
+    /// Present iff the answer came from the degraded fallback path.
+    pub degraded: Option<DegradedInfo>,
+}
+
+impl TopKServed {
+    /// Whether this is the exact BEAR answer.
+    pub fn is_exact(&self) -> bool {
+        self.degraded.is_none()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
+
+/// What a pool job computes.
+#[derive(Debug, Clone, Copy)]
+enum JobKind {
+    /// The full n-vector of RWR scores.
+    Full,
+    /// The top `k` non-seed nodes (exact; strategy chosen per engine).
+    TopK { k: usize },
+}
+
+/// What a pool job replies with; shape matches the [`JobKind`].
+enum Answer {
+    Full(Arc<Vec<f64>>),
+    TopK(Arc<Vec<ScoredNode>>),
+}
+
+impl Answer {
+    /// The full-vector payload; a shape mismatch is an internal bug
+    /// surfaced as a typed error, never a panic on the serving path.
+    fn into_full(self) -> Result<Arc<Vec<f64>>> {
+        match self {
+            Answer::Full(scores) => Ok(scores),
+            Answer::TopK(_) => {
+                Err(Error::InvalidStructure("internal: top-k reply to a full query".into()))
+            }
+        }
+    }
+
+    /// The top-k payload; same typed-error contract as [`Answer::into_full`].
+    fn into_topk(self) -> Result<Arc<Vec<ScoredNode>>> {
+        match self {
+            Answer::TopK(nodes) => Ok(nodes),
+            Answer::Full(_) => {
+                Err(Error::InvalidStructure("internal: full reply to a top-k query".into()))
+            }
+        }
+    }
+}
 
 /// One unit of work for the pool: answer `seed`, reply with `tag` so the
 /// submitter can reassemble batch order.
 struct Job {
     seed: usize,
     tag: usize,
-    reply: Sender<(usize, Result<Arc<Vec<f64>>>)>,
+    kind: JobKind,
+    reply: Sender<(usize, Result<Answer>)>,
     /// Deadline after which the job is shed at dequeue.
     deadline: Option<Instant>,
     /// Original budget, for [`Error::Timeout`] reporting.
@@ -385,12 +466,17 @@ pub struct QueryEngine {
     fallback: Option<Arc<FallbackSolver>>,
     overload: OverloadPolicy,
     default_deadline: Option<Duration>,
+    topk_strategy: TopKStrategy,
 }
 
 /// Full score vectors keyed by seed.
 type FullScoreCache = LruCache<usize, Arc<Vec<f64>>>;
-/// Top-k answers keyed by `(seed, k)`.
-type TopKCache = LruCache<(usize, usize), Arc<Vec<ScoredNode>>>;
+/// Top-k answers keyed by seed, holding the *largest-k* entry computed
+/// so far: any request for `k' ≤ len` is served by prefix truncation
+/// (the selection order is a strict total order, so the k'-prefix of a
+/// k-answer *is* the k'-answer). Keying by `(seed, k)` — the old scheme
+/// — made a `(seed, 10)` entry useless for a later `(seed, 5)` request.
+type TopKCache = LruCache<usize, Arc<Vec<ScoredNode>>>;
 
 impl QueryEngine {
     /// Validates `config`, spawns the worker pool, and returns a
@@ -429,14 +515,15 @@ impl QueryEngine {
         let queue = Arc::new(JobQueue::bounded(config.queue_capacity));
         let metrics = Arc::new(Metrics::new());
         let block_width = config.effective_block_width();
+        let topk_strategy = config.topk_strategy;
         let mut workers = Vec::with_capacity(config.threads);
         for i in 0..config.threads {
             let bear = Arc::clone(&bear);
             let worker_queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
-            let spawned = std::thread::Builder::new()
-                .name(format!("bear-query-{i}"))
-                .spawn(move || worker_loop(&bear, &worker_queue, &metrics, block_width));
+            let spawned = std::thread::Builder::new().name(format!("bear-query-{i}")).spawn(
+                move || worker_loop(&bear, &worker_queue, &metrics, block_width, topk_strategy),
+            );
             match spawned {
                 Ok(handle) => workers.push(handle),
                 Err(e) => {
@@ -466,6 +553,7 @@ impl QueryEngine {
             fallback,
             overload: config.overload,
             default_deadline: config.default_deadline,
+            topk_strategy,
         })
     }
 
@@ -550,7 +638,9 @@ impl QueryEngine {
                         return Err(Error::QueueFull { capacity });
                     };
                     match self.queue.try_pop() {
-                        Some(job) => run_job(&self.bear, &mut ws, job, &self.metrics),
+                        Some(job) => {
+                            run_job(&self.bear, &mut ws, job, &self.metrics, self.topk_strategy)
+                        }
                         // A worker drained the queue between the rejection
                         // and our pop; the retry will find space.
                         None => std::thread::yield_now(),
@@ -591,7 +681,15 @@ impl QueryEngine {
         let token = cancel.cloned().unwrap_or_default();
         let (reply_tx, reply_rx) = channel();
         self.admit(
-            Job { seed, tag: 0, reply: reply_tx, deadline, budget, cancel: Some(token.clone()) },
+            Job {
+                seed,
+                tag: 0,
+                kind: JobKind::Full,
+                reply: reply_tx,
+                deadline,
+                budget,
+                cancel: Some(token.clone()),
+            },
             deadline,
         )?;
         // Caller-assist: if the spare workspace is free, answer a pending
@@ -602,11 +700,11 @@ impl QueryEngine {
         if deadline.is_none() {
             if let Ok(mut ws) = self.caller_ws.try_lock() {
                 if let Some(job) = self.queue.try_pop() {
-                    run_job(&self.bear, &mut ws, job, &self.metrics);
+                    run_job(&self.bear, &mut ws, job, &self.metrics, self.topk_strategy);
                 }
             }
         }
-        let scores = self.wait_reply(&reply_rx, deadline, budget, &token)?;
+        let scores = self.wait_reply(&reply_rx, deadline, budget, &token)?.into_full()?;
         if let Some(cache) = &self.full_cache {
             if let Ok(mut c) = cache.lock() {
                 c.insert(seed, Arc::clone(&scores));
@@ -615,16 +713,81 @@ impl QueryEngine {
         Ok((scores, false))
     }
 
+    /// Computes (or fetches) the top `effective_k` nodes for `seed`,
+    /// without touching the query/hit metrics. Returns
+    /// `(nodes, was_cache_hit)`. Same admission, deadline, caller-assist,
+    /// and cancellation discipline as [`QueryEngine::fetch_full`] — the
+    /// old top-k path bypassed all of it, so an `X-Deadline-Ms` on
+    /// `/v1/topk` was silently ignored and could never 504 or degrade.
+    ///
+    /// The cache stores the largest-k answer per seed; a request for a
+    /// smaller k is served by prefix truncation, and a longer fresh
+    /// answer replaces the shorter cached one.
+    fn fetch_topk(
+        &self,
+        seed: usize,
+        effective_k: usize,
+        deadline: Option<Instant>,
+        budget: Option<Duration>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Arc<Vec<ScoredNode>>, bool)> {
+        if let Some(cache) = &self.topk_cache {
+            if let Some(hit) = cache.lock().ok().and_then(|mut c| c.get(&seed)) {
+                if hit.len() == effective_k {
+                    return Ok((hit, true));
+                }
+                if hit.len() > effective_k {
+                    let prefix: Vec<ScoredNode> =
+                        hit.iter().take(effective_k).copied().collect();
+                    return Ok((Arc::new(prefix), true));
+                }
+            }
+        }
+        let token = cancel.cloned().unwrap_or_default();
+        let (reply_tx, reply_rx) = channel();
+        self.admit(
+            Job {
+                seed,
+                tag: 0,
+                kind: JobKind::TopK { k: effective_k },
+                reply: reply_tx,
+                deadline,
+                budget,
+                cancel: Some(token.clone()),
+            },
+            deadline,
+        )?;
+        if deadline.is_none() {
+            if let Ok(mut ws) = self.caller_ws.try_lock() {
+                if let Some(job) = self.queue.try_pop() {
+                    run_job(&self.bear, &mut ws, job, &self.metrics, self.topk_strategy);
+                }
+            }
+        }
+        let nodes = self.wait_reply(&reply_rx, deadline, budget, &token)?.into_topk()?;
+        if let Some(cache) = &self.topk_cache {
+            if let Ok(mut c) = cache.lock() {
+                // Keep whichever answer covers more: replacing a longer
+                // entry with a shorter one would throw away prefix hits.
+                let longer_cached = c.get(&seed).is_some_and(|cur| cur.len() >= nodes.len());
+                if !longer_cached {
+                    c.insert(seed, Arc::clone(&nodes));
+                }
+            }
+        }
+        Ok((nodes, false))
+    }
+
     /// Waits for one reply, bounded by `deadline`. On timeout the job is
     /// cancelled (so it stops consuming the pool) and [`Error::Timeout`]
     /// is returned.
     fn wait_reply(
         &self,
-        rx: &Receiver<(usize, Result<Arc<Vec<f64>>>)>,
+        rx: &Receiver<(usize, Result<Answer>)>,
         deadline: Option<Instant>,
         budget: Option<Duration>,
         token: &CancelToken,
-    ) -> Result<Arc<Vec<f64>>> {
+    ) -> Result<Answer> {
         let reply = match deadline {
             None => rx.recv().map_err(|_| Error::PoolShutDown)?,
             Some(at) => {
@@ -658,28 +821,42 @@ impl QueryEngine {
         Ok(scores)
     }
 
-    /// The `k` most relevant nodes w.r.t. `seed` (seed excluded),
-    /// identical to [`Bear::query_top_k`].
-    pub fn query_top_k(&self, seed: usize, k: usize) -> Result<Arc<Vec<ScoredNode>>> {
+    /// The `k` most relevant nodes w.r.t. `seed` (seed excluded) —
+    /// ranks and scores identical to [`Bear::query_top_k`], computed by
+    /// the configured [`TopKStrategy`] on the worker pool.
+    ///
+    /// Runs through the same admission, deadline, and degradation
+    /// ladder as [`QueryEngine::serve`]: an expired deadline fails fast
+    /// with [`Error::Timeout`], and with a fallback attached, faults
+    /// produce a degraded selection tagged in [`TopKServed::degraded`]
+    /// (never cached). `k = 0` returns an empty answer; HTTP callers
+    /// reject it earlier with `400` (see the serve crate).
+    pub fn query_top_k(&self, seed: usize, k: usize, opts: &QueryOptions) -> Result<TopKServed> {
         let start = Instant::now();
         self.check_seed(seed)?;
-        if let Some(cache) = &self.topk_cache {
-            if let Some(hit) = cache.lock().ok().and_then(|mut c| c.get(&(seed, k))) {
-                self.metrics.record(true, start.elapsed());
-                return Ok(hit);
-            }
+        let effective_k = k.min(self.bear.num_nodes().saturating_sub(1));
+        if effective_k == 0 {
+            return Ok(TopKServed { nodes: Arc::new(Vec::new()), degraded: None });
         }
-        let budget = self.default_deadline;
+        let budget = opts.deadline.or(self.default_deadline);
         let deadline = budget.map(|b| start + b);
-        let (scores, hit) = self.fetch_full(seed, deadline, budget, None)?;
-        let top = Arc::new(top_k_excluding_seed(&scores, seed, k));
-        if let Some(cache) = &self.topk_cache {
-            if let Ok(mut c) = cache.lock() {
-                c.insert((seed, k), Arc::clone(&top));
+        match self.fetch_topk(seed, effective_k, deadline, budget, opts.cancel.as_ref()) {
+            Ok((nodes, hit)) => {
+                self.metrics.record(hit, start.elapsed());
+                Ok(TopKServed { nodes, degraded: None })
             }
+            Err(e) => match (degraded_reason(&e), self.fallback.as_deref()) {
+                (Some(reason), Some(fallback)) => {
+                    let served = self.degrade(fallback, seed, reason)?;
+                    self.metrics.record(false, start.elapsed());
+                    Ok(TopKServed {
+                        nodes: Arc::new(top_k_excluding_seed(&served.scores, seed, effective_k)),
+                        degraded: served.degraded,
+                    })
+                }
+                _ => Err(e),
+            },
         }
-        self.metrics.record(hit, start.elapsed());
-        Ok(top)
     }
 
     /// Answers `seed` through the full fault-tolerance ladder: exact
@@ -807,6 +984,7 @@ impl QueryEngine {
                     let make_job = || Job {
                         seed,
                         tag,
+                        kind: JobKind::Full,
                         reply: reply_tx.clone(),
                         deadline,
                         budget,
@@ -831,9 +1009,10 @@ impl QueryEngine {
                       dispatched: &[Option<Instant>],
                       seeds: &[usize],
                       tag: usize,
-                      result: Result<Arc<Vec<f64>>>|
+                      result: Result<Answer>|
          -> Result<()> {
-            let scores = result.inspect_err(|_| token.cancel())?;
+            let scores =
+                result.and_then(Answer::into_full).inspect_err(|_| token.cancel())?;
             if let Some(cache) = &engine.full_cache {
                 if let Ok(mut c) = cache.lock() {
                     c.insert(seeds[tag], Arc::clone(&scores));
@@ -856,7 +1035,7 @@ impl QueryEngine {
             }
             if let Some(ws) = caller_ws.as_deref_mut() {
                 if let Some(job) = self.queue.try_pop() {
-                    run_job(&self.bear, ws, job, &self.metrics);
+                    run_job(&self.bear, ws, job, &self.metrics, self.topk_strategy);
                     continue;
                 }
             }
@@ -944,7 +1123,13 @@ fn degraded_reason(e: &Error) -> Option<DegradedReason> {
 /// never waits for company, and an idle queue degenerates to the plain
 /// one-job-at-a-time loop (width-1 solves take the `matvec` fallback, so
 /// coalescing costs nothing when there is nothing to coalesce).
-fn worker_loop(bear: &Bear, queue: &JobQueue<Job>, metrics: &Metrics, block_width: usize) {
+fn worker_loop(
+    bear: &Bear,
+    queue: &JobQueue<Job>,
+    metrics: &Metrics,
+    block_width: usize,
+    topk_strategy: TopKStrategy,
+) {
     let mut ws = QueryWorkspace::for_bear(bear);
     let mut block_ws = BlockWorkspace::for_bear(bear);
     let mut jobs: Vec<Job> = Vec::with_capacity(block_width);
@@ -959,13 +1144,25 @@ fn worker_loop(bear: &Bear, queue: &JobQueue<Job>, metrics: &Metrics, block_widt
                 None => break,
             }
         }
+        // Top-k jobs answer solo — their pruned path is not block-shaped
+        // — while full jobs keep coalescing. (Order within a coalesced
+        // drain carries no ordering contract, so swap_remove is fine.)
+        let mut i = 0;
+        while i < jobs.len() {
+            if matches!(jobs.get(i).map(|j| j.kind), Some(JobKind::TopK { .. })) {
+                let job = jobs.swap_remove(i);
+                run_job(bear, &mut ws, job, metrics, topk_strategy);
+            } else {
+                i += 1;
+            }
+        }
         // One job buffered: run it solo (pop cannot miss — the job was
         // pushed just above, and this `if let` keeps that a non-panic).
         if jobs.len() == 1 {
             if let Some(job) = jobs.pop() {
-                run_job(bear, &mut ws, job, metrics);
+                run_job(bear, &mut ws, job, metrics, topk_strategy);
             }
-        } else {
+        } else if !jobs.is_empty() {
             run_block(bear, &mut block_ws, &mut jobs, &mut live, &mut seeds, &mut out, metrics);
         }
         jobs.clear();
@@ -999,7 +1196,13 @@ fn shed_if_dead(job: Job, metrics: &Metrics) -> Option<Job> {
 /// survive poisoned inputs. Jobs whose deadline already passed, or whose
 /// caller cancelled, are shed without computing. Shared by pool workers
 /// and caller-assist.
-fn run_job(bear: &Bear, ws: &mut QueryWorkspace, job: Job, metrics: &Metrics) {
+fn run_job(
+    bear: &Bear,
+    ws: &mut QueryWorkspace,
+    job: Job,
+    metrics: &Metrics,
+    topk_strategy: TopKStrategy,
+) {
     // Failpoint `queue::pop`: simulate a slow dequeue path so jobs age
     // past their deadline. Only the Delay action makes sense here — pop
     // has no error channel — so that's all this site honors.
@@ -1009,11 +1212,36 @@ fn run_job(bear: &Bear, ws: &mut QueryWorkspace, job: Job, metrics: &Metrics) {
     }
     let Some(job) = shed_if_dead(job, metrics) else { return };
     let start = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Answer> {
         crate::fail_point!("engine::run_job");
-        let mut result = vec![0.0; bear.num_nodes()];
-        bear.query_into(job.seed, ws, &mut result)?;
-        Ok(Arc::new(result))
+        match job.kind {
+            JobKind::Full => {
+                let mut result = vec![0.0; bear.num_nodes()];
+                bear.query_into(job.seed, ws, &mut result)?;
+                Ok(Answer::Full(Arc::new(result)))
+            }
+            JobKind::TopK { k } => match topk_strategy {
+                TopKStrategy::Pruned => {
+                    let (nodes, stats) = bear.query_top_k_pruned_in(
+                        job.seed,
+                        k,
+                        &TopKPruneOptions::default(),
+                        ws,
+                    )?;
+                    metrics.record_topk_pruned(
+                        stats.certified,
+                        stats.candidates as u64,
+                        stats.nodes_pruned as u64,
+                    );
+                    Ok(Answer::TopK(Arc::new(nodes)))
+                }
+                TopKStrategy::Full => {
+                    let mut result = vec![0.0; bear.num_nodes()];
+                    bear.query_into(job.seed, ws, &mut result)?;
+                    Ok(Answer::TopK(Arc::new(top_k_excluding_seed(&result, job.seed, k))))
+                }
+            },
+        }
     }))
     .unwrap_or_else(|_| {
         metrics.record_worker_panic();
@@ -1067,7 +1295,8 @@ fn run_block(
     match outcome {
         Ok(Ok(())) => {
             for (j, job) in live.drain(..).enumerate() {
-                let _ = job.reply.send((job.tag, Ok(Arc::new(out.col(j).to_vec()))));
+                let _ =
+                    job.reply.send((job.tag, Ok(Answer::Full(Arc::new(out.col(j).to_vec())))));
             }
         }
         // Seeds are validated at admission, so a typed error here is a
@@ -1176,10 +1405,70 @@ mod tests {
         let bear = test_bear(15);
         let engine = QueryEngine::new(Arc::clone(&bear), config(2, 16)).unwrap();
         let want = bear.query_top_k(2, 5).unwrap();
-        let got = engine.query_top_k(2, 5).unwrap();
-        assert_eq!(*got, want);
-        let again = engine.query_top_k(2, 5).unwrap();
-        assert!(Arc::ptr_eq(&got, &again));
+        let got = engine.query_top_k(2, 5, &QueryOptions::default()).unwrap();
+        assert!(got.is_exact());
+        assert_eq!(*got.nodes, want);
+        let again = engine.query_top_k(2, 5, &QueryOptions::default()).unwrap();
+        assert!(Arc::ptr_eq(&got.nodes, &again.nodes));
+    }
+
+    #[test]
+    fn top_k_smaller_k_hits_cache_with_exact_prefix() {
+        let bear = test_bear(15);
+        let engine = QueryEngine::new(Arc::clone(&bear), config(2, 16)).unwrap();
+        let full = engine.query_top_k(2, 8, &QueryOptions::default()).unwrap();
+        let before = engine.metrics();
+        let small = engine.query_top_k(2, 3, &QueryOptions::default()).unwrap();
+        let after = engine.metrics();
+        assert_eq!(after.cache_hits, before.cache_hits + 1, "k' <= cached k is a hit");
+        assert_eq!(small.nodes.len(), 3);
+        // The prefix must be the cached answer's prefix, bit for bit.
+        for (a, b) in small.nodes.iter().zip(full.nodes.iter()) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // A larger k than cached is a miss and replaces the entry.
+        let bigger = engine.query_top_k(2, 10, &QueryOptions::default()).unwrap();
+        assert_eq!(bigger.nodes.len(), 10);
+        let m2 = engine.metrics();
+        assert_eq!(m2.cache_misses, after.cache_misses + 1);
+    }
+
+    #[test]
+    fn top_k_full_strategy_matches_pruned() {
+        let bear = test_bear(15);
+        let pruned = QueryEngine::new(Arc::clone(&bear), config(2, 0)).unwrap();
+        let full_cfg = EngineConfig::builder()
+            .threads(2)
+            .cache_capacity(0)
+            .topk_strategy(TopKStrategy::Full)
+            .build()
+            .unwrap();
+        let full = QueryEngine::new(Arc::clone(&bear), full_cfg).unwrap();
+        for seed in 0..15 {
+            for k in [1, 4, 14, 20] {
+                let a = pruned.query_top_k(seed, k, &QueryOptions::default()).unwrap();
+                let b = full.query_top_k(seed, k, &QueryOptions::default()).unwrap();
+                assert_eq!(a.nodes.len(), b.nodes.len());
+                for (x, y) in a.nodes.iter().zip(b.nodes.iter()) {
+                    assert_eq!(x.node, y.node);
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
+        let m = pruned.metrics();
+        assert!(m.topk_pruned_queries > 0, "pruned engine records pruning stats");
+    }
+
+    #[test]
+    fn top_k_zero_k_is_empty_and_uncached() {
+        let bear = test_bear(10);
+        let engine = QueryEngine::new(bear, config(1, 16)).unwrap();
+        let served = engine.query_top_k(4, 0, &QueryOptions::default()).unwrap();
+        assert!(served.nodes.is_empty());
+        assert!(served.is_exact());
+        let m = engine.metrics();
+        assert_eq!(m.cache_hits + m.cache_misses, 0, "k = 0 never touches cache or pool");
     }
 
     #[test]

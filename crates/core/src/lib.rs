@@ -50,6 +50,7 @@ pub mod solver;
 pub mod stats;
 pub(crate) mod sync;
 pub mod topk;
+pub mod topk_pruned;
 pub mod variants;
 
 /// Evaluates a named failpoint site (see the `failpoints` module, gated
@@ -70,7 +71,7 @@ pub use engine::{BlockWorkspace, MetricsSnapshot, QueryWorkspace};
 #[cfg(not(loom))]
 pub use engine::{
     CancelToken, DegradedInfo, EngineConfig, EngineConfigBuilder, OverloadPolicy, QueryEngine,
-    QueryOptions, Served,
+    QueryOptions, Served, TopKServed, TopKStrategy,
 };
 #[cfg(not(loom))]
 pub use fallback::{DegradedReason, FallbackAnswer, FallbackSolver, DEFAULT_FALLBACK_ITERATIONS};
@@ -80,3 +81,4 @@ pub use rwr::{build_h, Normalization, RwrConfig};
 pub use solver::RwrSolver;
 pub use stats::{PrecomputedStats, StageTimings};
 pub use topk::ScoredNode;
+pub use topk_pruned::{TopKFallbackReason, TopKPruneOptions, TopKPruneStats};

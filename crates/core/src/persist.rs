@@ -620,6 +620,7 @@ fn assemble(
         // Preprocessing happened in the process that wrote the index;
         // a loaded index reports zero stage timings.
         timings: crate::stats::StageTimings::default(),
+        topk_bounds: std::sync::OnceLock::new(),
     })
 }
 

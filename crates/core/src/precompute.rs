@@ -250,6 +250,9 @@ pub struct Bear {
     pub(crate) degrees: Vec<usize>,
     /// Per-stage preprocessing timings (zeros for a loaded index).
     pub(crate) timings: StageTimings,
+    /// Lazily computed per-block norm tables for the pruned top-k path
+    /// (never persisted; rebuilt on first pruned query).
+    pub(crate) topk_bounds: std::sync::OnceLock<crate::topk_pruned::TopKBounds>,
 }
 
 impl Bear {
@@ -313,6 +316,7 @@ impl Bear {
             block_sizes: parts.block_sizes,
             degrees: parts.degrees,
             timings,
+            topk_bounds: std::sync::OnceLock::new(),
         })
     }
 

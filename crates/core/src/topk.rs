@@ -21,7 +21,7 @@ pub struct ScoredNode {
 /// [`f64::total_cmp`] so NaN scores order deterministically (at the ends
 /// of the IEEE total order) instead of depending on pivot order, which
 /// the old `partial_cmp().unwrap_or(Equal)` comparator did.
-fn score_desc(a: &ScoredNode, b: &ScoredNode) -> std::cmp::Ordering {
+pub(crate) fn score_desc(a: &ScoredNode, b: &ScoredNode) -> std::cmp::Ordering {
     b.score.total_cmp(&a.score).then(a.node.cmp(&b.node))
 }
 

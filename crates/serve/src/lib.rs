@@ -12,7 +12,7 @@
 //! | Method | Path          | Parameters                      | Answer |
 //! |--------|---------------|---------------------------------|--------|
 //! | GET    | `/v1/query`   | `graph`, `seed`                 | full RWR score vector (JSON) |
-//! | GET    | `/v1/topk`    | `graph`, `seed`, `k`            | top-k nodes excluding the seed |
+//! | GET    | `/v1/topk`    | `graph`, `seed`, `k` (≥ 1, default 10) | top-k nodes excluding the seed; `k=0` is rejected with `400 bad_request` |
 //! | GET    | `/v1/batch`   | `graph`, `seeds=0,3,7`          | one score vector per seed |
 //! | POST   | `/admin/load` | `graph`, `index` (server path)  | publishes the next index version |
 //! | GET    | `/healthz`    | —                               | liveness (200 while the process runs) |
@@ -25,7 +25,15 @@
 //! fast at admission. Fault classes map onto dedicated status codes
 //! (`504` deadline, `429` overload, `503` shutdown — the HTTP mirror
 //! of the CLI's exit codes), and degraded answers carry `X-Degraded`,
-//! `X-Residual`, `X-Error-Bound`, and `X-Iterations` headers.
+//! `X-Residual`, `X-Error-Bound`, and `X-Iterations` headers — on
+//! `/v1/topk` just as on the full-vector endpoints.
+//!
+//! `/v1/topk` goes through [`bear_core::QueryEngine::query_top_k`]:
+//! the exact pruned solver (`bear_core::topk_pruned`) plus a
+//! prefix-aware cache (a request for `k' ≤` a cached `k` is served by
+//! truncating the cached ranking — sound because the ranking order is
+//! a strict total order). Answers are bit-identical to ranking the
+//! full score vector.
 //!
 //! Score payloads use Rust's shortest round-trip `f64` formatting, so
 //! parsing the JSON numbers back recovers bit-identical values — the

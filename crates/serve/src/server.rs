@@ -34,8 +34,7 @@
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::registry::{Registry, Tenant};
 use bear_core::engine::queue::JobQueue;
-use bear_core::topk::top_k_excluding_seed;
-use bear_core::{Bear, EngineConfig, QueryEngine, QueryOptions, Served};
+use bear_core::{Bear, DegradedInfo, EngineConfig, QueryEngine, QueryOptions};
 use bear_sparse::{Error, Result};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -561,9 +560,9 @@ fn parse_usize(req: &Request, name: &str) -> std::result::Result<usize, Response
 /// Tags a response with the serving version and, for degraded answers,
 /// the full degradation ladder context (`X-Degraded` reason plus the
 /// fallback's residual / error bound / iteration count).
-fn tag(resp: Response, tenant: &Tenant, served: Option<&Served>) -> Response {
+fn tag(resp: Response, tenant: &Tenant, degraded: Option<&DegradedInfo>) -> Response {
     let resp = resp.header("X-Graph-Version", tenant.version.to_string());
-    match served.and_then(|s| s.degraded.as_ref()) {
+    match degraded {
         None => resp,
         Some(info) => resp
             .header("X-Degraded", format!("{}", info.reason))
@@ -611,7 +610,7 @@ fn handle_query(ctx: &ServerCtx, req: &Request) -> Response {
             let mut body = format!("{{\"version\":{},\"seed\":{seed},\"scores\":[", tenant.version);
             push_scores(&mut body, &served.scores);
             body.push_str("]}");
-            tag(Response::json(200, body), &tenant, Some(&served))
+            tag(Response::json(200, body), &tenant, served.degraded.as_ref())
         }
         Err(e) => tag(error_response(&e), &tenant, None),
     }
@@ -638,25 +637,31 @@ fn handle_topk(ctx: &ServerCtx, req: &Request) -> Response {
             }
         },
     };
+    // k = 0 used to be accepted and answered with an empty 200, which
+    // hid typoed requests (`k=` → 0). An empty ranking is never what a
+    // client meant, so it is a request error.
+    if k == 0 {
+        return Response::json(400, error_body("parameter k must be >= 1", "bad_request"));
+    }
     let opts = match query_options(req) {
         Ok(o) => o,
         Err(resp) => return resp,
     };
-    // Route through `serve` (not the top-k cache) so deadlines and the
-    // degradation ladder apply uniformly across endpoints.
-    match tenant.engine.serve(seed, &opts) {
+    // Route through the engine's top-k path: same admission control,
+    // deadline enforcement, and degradation ladder as `/v1/query`, plus
+    // the pruned solver and the prefix-aware top-k cache.
+    match tenant.engine.query_top_k(seed, k, &opts) {
         Ok(served) => {
-            let ranked = top_k_excluding_seed(&served.scores, seed, k);
             let mut body =
                 format!("{{\"version\":{},\"seed\":{seed},\"k\":{k},\"nodes\":[", tenant.version);
-            for (i, s) in ranked.iter().enumerate() {
+            for (i, s) in served.nodes.iter().enumerate() {
                 if i > 0 {
                     body.push(',');
                 }
                 body.push_str(&format!("{{\"node\":{},\"score\":{}}}", s.node, json_f64(s.score)));
             }
             body.push_str("]}");
-            tag(Response::json(200, body), &tenant, Some(&served))
+            tag(Response::json(200, body), &tenant, served.degraded.as_ref())
         }
         Err(e) => tag(error_response(&e), &tenant, None),
     }
@@ -718,7 +723,7 @@ fn handle_batch(ctx: &ServerCtx, req: &Request) -> Response {
                 body.push_str("]}");
             }
             body.push_str("]}");
-            let first_degraded = answers.iter().find(|s| !s.is_exact());
+            let first_degraded = answers.iter().find_map(|s| s.degraded.as_ref());
             tag(Response::json(200, body), &tenant, first_degraded)
                 .header("X-Degraded-Count", degraded.to_string())
         }
@@ -829,9 +834,15 @@ fn handle_metrics(ctx: &ServerCtx) -> Response {
             ("bear_degraded_total", s.degraded),
             ("bear_worker_panics_total", s.worker_panics),
             ("bear_block_solves_total", s.block_solves),
+            ("bear_topk_pruned_queries_total", s.topk_pruned_queries),
+            ("bear_topk_certified_total", s.topk_certified),
+            ("bear_topk_fallbacks_total", s.topk_fallbacks),
+            ("bear_topk_candidates_total", s.topk_candidates),
+            ("bear_topk_nodes_pruned_total", s.topk_nodes_pruned),
         ] {
             let _ = writeln!(out, "{metric}{label} {v}");
         }
+        let _ = writeln!(out, "bear_topk_prune_ratio{label} {}", s.topk_prune_ratio());
         for (metric, d) in [
             ("bear_latency_p50_seconds", s.p50),
             ("bear_latency_p99_seconds", s.p99),

@@ -11,7 +11,8 @@
 #![cfg(feature = "failpoints")]
 
 use bear_core::failpoints::{self, FailAction};
-use bear_core::{Bear, BearConfig, EngineConfig, QueryEngine};
+use bear_core::rwr::RwrConfig;
+use bear_core::{Bear, BearConfig, EngineConfig, FallbackSolver, QueryEngine};
 use bear_graph::Graph;
 use bear_serve::{client, Registry, Server, ServerConfig};
 use std::sync::Arc;
@@ -90,6 +91,53 @@ fn queue_full_maps_to_429_with_retry_after() {
     assert!(m.queue_rejections >= 1, "rejection must be counted: {m:?}");
     let text = client::get(addr, "/metrics", &[]).unwrap().body_str();
     assert!(text.contains("bear_http_responses_429_total 1"), "{text}");
+
+    server.shutdown();
+}
+
+/// Satellite regression: a degraded *top-k* answer carries the same
+/// `X-Degraded` ladder headers as the full-vector endpoints — the old
+/// path lost the tag because `/v1/topk` never consulted the engine's
+/// fallback. A worker panic (injected) with a fallback attached must
+/// produce `200` + `X-Degraded: worker panicked`, and the degraded
+/// ranking must never enter the top-k cache.
+#[test]
+fn degraded_topk_carries_x_degraded_header() {
+    let g = star_graph();
+    let bear = Arc::new(Bear::new(&g, &BearConfig::exact(0.15)).unwrap());
+    let rwr = RwrConfig { c: 0.15, ..RwrConfig::default() };
+    let fallback = Arc::new(FallbackSolver::new(&g, &rwr, 64).unwrap());
+    let engine_config =
+        EngineConfig::builder().threads(1).cache_capacity(8).block_width(1).build().unwrap();
+    let engine = QueryEngine::with_fallback(bear, engine_config.clone(), fallback).unwrap();
+    let registry = Arc::new(Registry::new());
+    registry.publish("g", Arc::new(engine));
+    let tenant = registry.get("g").unwrap();
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig { http_threads: 2, engine_config, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    failpoints::configure("engine::run_job", FailAction::Panic);
+    let resp = client::get(addr, "/v1/topk?graph=g&seed=1&k=3", &[]).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert_eq!(resp.header("x-degraded"), Some("worker panicked"), "{}", resp.body_str());
+    assert!(resp.header("x-error-bound").is_some());
+    assert_eq!(resp.body_str().matches("\"node\":").count(), 3);
+    failpoints::clear_all();
+
+    let m = tenant.engine.metrics();
+    assert!(m.degraded >= 1, "degradation must be counted: {m:?}");
+    assert!(m.worker_panics >= 1, "panic must be counted: {m:?}");
+
+    // The degraded ranking must not have been cached: with the
+    // failpoint cleared, the same request is answered exact (no
+    // X-Degraded) rather than served from a poisoned cache entry.
+    let resp = client::get(addr, "/v1/topk?graph=g&seed=1&k=3", &[]).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert_eq!(resp.header("x-degraded"), None, "degraded answers must never be cached");
 
     server.shutdown();
 }

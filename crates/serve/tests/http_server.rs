@@ -177,6 +177,7 @@ fn bad_parameters_map_to_400_and_unknown_graph_to_404() {
         "/v1/batch?graph=g",             // missing seeds
         "/v1/batch?graph=g&seeds=1,x",   // malformed seed list
         "/v1/topk?graph=g&seed=1&k=-3",  // malformed k
+        "/v1/topk?graph=g&seed=1&k=0",   // k = 0 used to return an empty 200
     ] {
         let resp = client::get(addr, target, &[]).unwrap();
         assert_eq!(resp.status, 400, "{target}: {}", resp.body_str());
@@ -194,6 +195,68 @@ fn bad_parameters_map_to_400_and_unknown_graph_to_404() {
 
     server.shutdown();
     std::fs::remove_file(&path).ok();
+}
+
+/// Satellite regression: the top-k cache keeps the largest-k answer per
+/// seed and serves any smaller k' from it by prefix truncation — so a
+/// `k=8` request followed by `k=3` for the same seed is a cache hit
+/// whose payload is the exact 3-prefix of the `k=8` ranking.
+#[test]
+fn topk_smaller_k_is_served_from_cache_prefix() {
+    let (server, _, path) = test_server("topk_prefix");
+    let addr = server.addr();
+
+    let big = client::get(addr, "/v1/topk?graph=g&seed=3&k=8", &[]).unwrap();
+    assert_eq!(big.status, 200, "{}", big.body_str());
+    let hits_after_big = scrape_cache_hits(addr);
+
+    let small = client::get(addr, "/v1/topk?graph=g&seed=3&k=3", &[]).unwrap();
+    assert_eq!(small.status, 200, "{}", small.body_str());
+    assert_eq!(
+        scrape_cache_hits(addr),
+        hits_after_big + 1,
+        "k' <= cached k must be a cache hit"
+    );
+
+    // The k=3 payload is the exact character-level prefix of the k=8
+    // node list (same nodes, same order, same shortest-round-trip f64s).
+    let prefix_of = |body: &str| -> String {
+        let start = body.find("\"nodes\":[").expect("nodes array") + "\"nodes\":[".len();
+        let mut depth = 0usize;
+        let mut objects = 0usize;
+        let mut end = start;
+        for (i, ch) in body[start..].char_indices() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        objects += 1;
+                        if objects == 3 {
+                            end = start + i + 1;
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        body[start..end].to_string()
+    };
+    assert_eq!(prefix_of(&small.body_str()), prefix_of(&big.body_str()));
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+fn scrape_cache_hits(addr: std::net::SocketAddr) -> u64 {
+    let metrics = client::get(addr, "/metrics", &[]).unwrap().body_str();
+    metrics
+        .lines()
+        .find(|l| l.starts_with("bear_cache_hits_total"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .expect("cache hits metric present")
 }
 
 #[test]

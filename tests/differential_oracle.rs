@@ -120,3 +120,83 @@ fn every_query_path_matches_the_dense_inversion_oracle() {
         }
     }
 }
+
+/// The pruned top-k path must be *bit-identical* to ranking the full
+/// exact score vector: same nodes, same order, same `f64` bits — not
+/// merely within tolerance. Covers every panel graph, both BEAR-Exact
+/// (ξ = 0) and BEAR-Approx (ξ > 0; pruning must be exact w.r.t. the
+/// sparsified operator it runs on), all seeds, and k from 1 through
+/// past n (where the answer is all n − 1 non-seed nodes).
+#[test]
+fn pruned_top_k_is_bit_identical_to_full_ranking() {
+    for (name, g) in graph_panel() {
+        let n = g.num_nodes();
+        for xi in [0.0, 1e-4] {
+            let bear = Bear::new(&g, &BearConfig::approx(C, xi)).expect("bear");
+            let seeds: Vec<usize> = (0..6).map(|i| (i * 977) % n).collect();
+            for &seed in &seeds {
+                let full = bear.query(seed).unwrap();
+                for k in [1usize, 2, 5, n / 2, n.saturating_sub(1), n + 2] {
+                    let want = bear_core::topk::top_k_excluding_seed(&full, seed, k);
+                    let (got, stats) = bear
+                        .query_top_k_pruned_with(seed, k, &bear_core::TopKPruneOptions::default())
+                        .unwrap();
+                    assert_eq!(
+                        got.len(),
+                        want.len(),
+                        "{name} xi={xi} seed={seed} k={k}: length mismatch"
+                    );
+                    for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            a.node, b.node,
+                            "{name} xi={xi} seed={seed} k={k}: rank {i} node differs"
+                        );
+                        assert_eq!(
+                            a.score.to_bits(),
+                            b.score.to_bits(),
+                            "{name} xi={xi} seed={seed} k={k}: rank {i} score bits differ"
+                        );
+                    }
+                    // Accounting sanity: every non-seed node is either a
+                    // candidate or pruned, fallback or not.
+                    assert_eq!(
+                        stats.candidates + stats.nodes_pruned,
+                        n - 1,
+                        "{name} xi={xi} seed={seed} k={k}: stats don't cover the graph"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// When the resolve budget forbids certification, the path must fall
+/// back to the full solve — typed, stats-visible, and still exact.
+#[test]
+fn pruned_top_k_fallback_is_typed_and_exact() {
+    use bear_core::{TopKFallbackReason, TopKPruneOptions};
+    // Pick a panel graph with enough spokes that `k = n₂ + 2` is
+    // non-degenerate: the heap cannot fill from hub scores alone, so a
+    // zero resolve budget must trip the typed fallback.
+    let (name, g, bear) = graph_panel()
+        .into_iter()
+        .find_map(|(name, g)| {
+            let bear = Bear::new(&g, &BearConfig::exact(C)).ok()?;
+            (bear.n_hubs() + 2 < g.num_nodes().saturating_sub(1)).then_some((name, g, bear))
+        })
+        .expect("panel has a graph with enough spokes");
+    let n = g.num_nodes();
+    let seed = 1 % n;
+    let k = bear.n_hubs() + 2; // needs spoke scores → needs resolution
+    let opts = TopKPruneOptions { max_resolve_fraction: 0.0 };
+    let full = bear.query(seed).unwrap();
+    let want = bear_core::topk::top_k_excluding_seed(&full, seed, k);
+    let (got, stats) = bear.query_top_k_pruned_with(seed, k, &opts).unwrap();
+    assert!(!stats.certified, "{name}: zero budget cannot certify");
+    assert_eq!(stats.fallback, Some(TopKFallbackReason::BoundsTooLoose));
+    assert_eq!(got.len(), want.len());
+    for (a, b) in got.iter().zip(&want) {
+        assert_eq!(a.node, b.node);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+    }
+}

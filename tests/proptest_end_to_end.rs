@@ -189,6 +189,30 @@ proptest! {
     }
 
     #[test]
+    fn pruned_top_k_bit_identical_on_random_graphs(
+        g in arb_graph(),
+        seed_frac in 0.0f64..1.0,
+        k_frac in 0.0f64..1.2,
+        xi_sel in 0usize..3,
+    ) {
+        let n = g.num_nodes();
+        let seed = ((seed_frac * n as f64) as usize).min(n - 1);
+        // k sweeps from 1 past n (k_frac up to 1.2 → k up to n + 2).
+        let k = (((k_frac * (n + 2) as f64) as usize).max(1)).min(n + 2);
+        // ξ = 0 (BEAR-Exact) plus two BEAR-Approx regimes.
+        let xi = [0.0, 1e-5, 1e-3][xi_sel.min(2)];
+        let bear = Bear::new(&g, &BearConfig::approx(0.15, xi)).unwrap();
+        let full = bear.query(seed).unwrap();
+        let want = bear_core::topk::top_k_excluding_seed(&full, seed, k);
+        let got = bear.query_top_k_pruned(seed, k).unwrap();
+        prop_assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert_eq!(a.node, b.node, "node rank order differs");
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits(), "score bits differ");
+        }
+    }
+
+    #[test]
     fn ppr_superposition_on_random_graphs(g in arb_graph()) {
         let n = g.num_nodes();
         let bear = Bear::new(&g, &BearConfig::exact(0.25)).unwrap();
