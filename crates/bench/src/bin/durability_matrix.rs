@@ -3,10 +3,13 @@
 //! every cell — the artifact CI uploads so a regression shows exactly
 //! which damage class started slipping through.
 //!
-//! For a freshly preprocessed index, each cell applies one corruption
-//! (truncation to a fraction of the file, a single bit flip at a
-//! position, header garbage, trailing junk) and asserts the durability
-//! contract: `Bear::load` must either return the typed
+//! The grid runs over **both persisted formats**: the monolithic v2
+//! image and the sharded out-of-core v3 image (whose cells add
+//! segment-boundary truncations and bit flips inside shard payloads,
+//! the segment directory, and the v3 trailer). Each cell applies one
+//! corruption (truncation to a fraction of the file, a single bit flip
+//! at a position, header garbage, trailing junk) and asserts the
+//! durability contract: `Bear::load` must either return the typed
 //! `CorruptIndex` error or — only when the damage is a full-length
 //! no-op — answer bit-identically to the undamaged index. Any panic,
 //! untyped error, or silently absorbed corruption fails the run.
@@ -22,7 +25,8 @@ use bear_sparse::Error;
 use std::path::PathBuf;
 
 struct Cell {
-    /// Damage class label (JSON `method` column).
+    /// Damage class label (JSON `method` column, prefixed with the
+    /// format version).
     class: &'static str,
     /// Cell parameter (offset/fraction description).
     param: String,
@@ -30,7 +34,9 @@ struct Cell {
     bytes: Vec<u8>,
 }
 
-fn cells(full: &[u8]) -> Vec<Cell> {
+/// The format-agnostic damage grid. `trailer_len` steers the
+/// "all_but_trailer" cut (20 bytes for v2, 28 for v3).
+fn cells(full: &[u8], trailer_len: usize) -> Vec<Cell> {
     let len = full.len();
     let mut cells = Vec::new();
     // Torn writes: prefixes at coarse fractions plus the exact frame
@@ -42,7 +48,7 @@ fn cells(full: &[u8]) -> Vec<Cell> {
         ("1/4", len / 4),
         ("1/2", len / 2),
         ("3/4", 3 * len / 4),
-        ("all_but_trailer", len.saturating_sub(20)),
+        ("all_but_trailer", len.saturating_sub(trailer_len)),
         ("all_but_one", len - 1),
     ] {
         cells.push(Cell {
@@ -53,7 +59,7 @@ fn cells(full: &[u8]) -> Vec<Cell> {
     }
     // Bit rot: single flips spread across the span, including the
     // header, the first payload, and the trailer checksum itself.
-    for byte in [0, 7, 9, 33, len / 3, len / 2, len - 21, len - 9, len - 1] {
+    for byte in [0, 7, 9, 33, len / 3, len / 2, len - trailer_len - 1, len - 9, len - 1] {
         let mut bytes = full.to_vec();
         bytes[byte] ^= 1 << (byte % 8);
         cells.push(Cell { class: "bit_flip", param: format!("byte {byte}"), bytes });
@@ -71,39 +77,75 @@ fn cells(full: &[u8]) -> Vec<Cell> {
     cells
 }
 
-fn main() {
-    let args = bear_bench::cli::Args::from_env();
-    let dataset = args.get("--dataset").unwrap_or("small_routing").to_string();
-    let json_path = args.get("--json").unwrap_or("results/DURABILITY_matrix.json").to_string();
+/// v3-only cells aimed at the sharded layout: cuts on and inside
+/// segment frames, flips in a shard payload, the resident region
+/// (which holds the `SDIR` segment directory), and the trailer's
+/// resident-offset field.
+fn v3_shard_cells(full: &[u8]) -> Vec<Cell> {
+    let read_u64 =
+        |pos: usize| u64::from_le_bytes(full[pos..pos + 8].try_into().expect("u64 window"));
+    let trailer_off = full.len() - 28;
+    let resident_off = read_u64(trailer_off + 12) as usize;
+    let mut cells = Vec::new();
 
-    let spec = bear_datasets::dataset_by_name(&dataset)
-        .unwrap_or_else(|| panic!("unknown dataset '{dataset}'"));
-    let g = spec.load();
-    let bear = Bear::new(&g, &BearConfig::exact(0.05)).expect("preprocess");
-    let path: PathBuf = std::env::temp_dir().join("bear_durability_matrix.idx");
-    bear.save(&path).expect("save");
-    let full = std::fs::read(&path).expect("read image");
-    let reference = bear.query(0).expect("reference query");
+    if resident_off > 8 {
+        // First segment frame: tag(4) len(8) payload crc(4) at offset 8.
+        let seg0_payload_len = read_u64(12) as usize;
+        let seg0_end = 8 + 12 + seg0_payload_len + 4;
+        for (tag, keep) in [
+            ("mid_first_segment", 8 + 12 + seg0_payload_len / 2),
+            ("first_segment_boundary", seg0_end),
+            ("segments_only", resident_off),
+        ] {
+            cells.push(Cell {
+                class: "truncate_shard",
+                param: format!("{tag} ({keep} bytes)"),
+                bytes: full[..keep].to_vec(),
+            });
+        }
+        let inside_seg0 = 8 + 12 + seg0_payload_len / 2;
+        let mut bytes = full.to_vec();
+        bytes[inside_seg0] ^= 1;
+        cells.push(Cell {
+            class: "bit_flip_shard",
+            param: format!("first segment payload byte {inside_seg0}"),
+            bytes,
+        });
+    }
+    let inside_resident = resident_off + (trailer_off - resident_off) / 2;
+    let mut bytes = full.to_vec();
+    bytes[inside_resident] ^= 0x10;
+    cells.push(Cell {
+        class: "bit_flip_resident",
+        param: format!("resident region byte {inside_resident}"),
+        bytes,
+    });
+    let mut bytes = full.to_vec();
+    bytes[trailer_off + 12] ^= 0x01; // resident_off low byte
+    cells.push(Cell {
+        class: "bit_flip_trailer",
+        param: "trailer resident_off field".into(),
+        bytes,
+    });
+    cells
+}
 
-    // The pristine image must verify end to end before any cell runs.
-    let report = persist::verify_index(&path).expect("fresh index must verify");
-    assert_eq!(report.version, 2);
-
-    let mut out = ExperimentResult::new(
-        "durability_matrix",
-        &format!(
-            "read-side corruption grid over a {}-byte v2 index of '{dataset}': every cell \
-             must fail with the typed CorruptIndex error (never panic, never load damaged \
-             data); verify_index must agree with load on every cell",
-            full.len()
-        ),
-    );
-
+/// Runs every cell against one persisted format, appending a row per
+/// cell. Returns the number of contract violations.
+fn run_grid(
+    out: &mut ExperimentResult,
+    dataset: &str,
+    version_tag: &str,
+    path: &PathBuf,
+    full: &[u8],
+    reference: &[f64],
+    grid: Vec<Cell>,
+) -> u32 {
     let mut failures = 0u32;
-    for cell in cells(&full) {
-        std::fs::write(&path, &cell.bytes).expect("write cell");
-        let load = std::panic::catch_unwind(|| Bear::load(&path));
-        let verify = persist::verify_index(&path);
+    for cell in grid {
+        std::fs::write(path, &cell.bytes).expect("write cell");
+        let load = std::panic::catch_unwind(|| Bear::load(path));
+        let verify = persist::verify_index(path);
         let outcome = match &load {
             Err(_) => {
                 failures += 1;
@@ -118,7 +160,10 @@ fn main() {
                 // Only acceptable if the damage was byte-preserving,
                 // which no cell in this grid is.
                 failures += 1;
-                let identical = loaded.query(0).map(|s| s == reference).unwrap_or(false);
+                let identical = loaded
+                    .query(0)
+                    .map(|s| s.iter().zip(reference).all(|(a, b)| a.to_bits() == b.to_bits()))
+                    .unwrap_or(false);
                 format!("ABSORBED (bit_identical={identical})")
             }
         };
@@ -127,7 +172,7 @@ fn main() {
         if !verdicts_agree {
             failures += 1;
         }
-        let mut row = ResultRow::new(&dataset, cell.class);
+        let mut row = ResultRow::new(dataset, &format!("{version_tag}_{}", cell.class));
         row.param = Some(format!("{}: load={outcome} verify_agrees={verdicts_agree}", cell.param));
         row.memory_bytes = Some(cell.bytes.len());
         if outcome.starts_with("PANIC")
@@ -139,16 +184,64 @@ fn main() {
         }
         out.rows.push(row);
     }
+    failures
+}
 
-    // Control: restore the pristine image and prove it still answers.
-    std::fs::write(&path, &full).expect("restore");
-    let restored = Bear::load(&path).expect("restored image must load");
-    assert_eq!(restored.query(0).expect("restored query"), reference, "control answer drifted");
-    std::fs::remove_file(&path).ok();
+fn main() {
+    let args = bear_bench::cli::Args::from_env();
+    let dataset = args.get("--dataset").unwrap_or("small_routing").to_string();
+    let json_path = args.get("--json").unwrap_or("results/DURABILITY_matrix.json").to_string();
+
+    let spec = bear_datasets::dataset_by_name(&dataset)
+        .unwrap_or_else(|| panic!("unknown dataset '{dataset}'"));
+    let g = spec.load();
+    let bear = Bear::new(&g, &BearConfig::exact(0.05)).expect("preprocess");
+    let reference = bear.query(0).expect("reference query");
+
+    let mut out = ExperimentResult::new(
+        "durability_matrix",
+        &format!(
+            "read-side corruption grid over v2 and sharded v3 images of '{dataset}': every \
+             cell must fail with the typed CorruptIndex error (never panic, never load \
+             damaged data); verify_index must agree with load on every cell"
+        ),
+    );
+
+    let mut failures = 0u32;
+    for version in [2u32, 3] {
+        let path: PathBuf = std::env::temp_dir().join(format!("bear_durability_matrix_v{version}.idx"));
+        match version {
+            2 => bear.save(&path).expect("save v2"),
+            _ => bear.save_v3(&path).expect("save v3"),
+        }
+        let full = std::fs::read(&path).expect("read image");
+
+        // The pristine image must verify end to end before any cell runs.
+        let report = persist::verify_index(&path).expect("fresh index must verify");
+        assert_eq!(report.version, version);
+
+        let trailer_len = if version == 2 { 20 } else { 28 };
+        let mut grid = cells(&full, trailer_len);
+        if version == 3 {
+            grid.extend(v3_shard_cells(&full));
+        }
+        let tag = format!("v{version}");
+        failures += run_grid(&mut out, &dataset, &tag, &path, &full, &reference, grid);
+
+        // Control: restore the pristine image and prove it still answers.
+        std::fs::write(&path, &full).expect("restore");
+        let restored = Bear::load(&path).expect("restored image must load");
+        let answer = restored.query(0).expect("restored query");
+        assert!(
+            answer.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "{tag} control answer drifted"
+        );
+        std::fs::remove_file(&path).ok();
+    }
 
     out.print_table();
     out.write_json(&json_path).expect("write json");
     println!("wrote {json_path} ({} cells)", out.rows.len());
     assert_eq!(failures, 0, "{failures} durability cell(s) violated the corruption contract");
-    println!("durability matrix clean: every damaged image failed typed");
+    println!("durability matrix clean: every damaged image failed typed (v2 and v3)");
 }

@@ -1,0 +1,192 @@
+//! Out-of-core serving benchmark and differential gate.
+//!
+//! Streams a preprocessed index to a sharded v3 file
+//! (`preprocess_to_disk`), re-opens it behind the block pager with a
+//! resident-set cap of **one quarter of the spoke factors** (so the
+//! on-disk index is ≥ 4x the memory budget by construction), and proves
+//! the paged stack answers **bit-identically** to the fully resident
+//! one on two fronts:
+//!
+//! * in-process: `query` and `query_top_k_pruned` on the paged index
+//!   vs. the in-memory reference, f64-bit for f64-bit;
+//! * over HTTP: `GET /v1/query` against a `bear-serve` server whose
+//!   engine caps the pager, vs. the same reference.
+//!
+//! The run fails unless the pager actually paged (misses > 0 and
+//! evictions > 0 under the cap) and every comparison was exact. The
+//! JSON artifact records the resident cap, index size, shard count,
+//! pager counters, and `host_cores`.
+//!
+//! ```text
+//! cargo run --release -p bear-bench --bin outofcore_bench -- \
+//!     [--dataset small_routing] [--seeds 64] [--json results/BENCH_outofcore.json]
+//! ```
+
+use bear_bench::cli::Args;
+use bear_bench::harness::{measure, ExperimentResult, ResultRow};
+use bear_core::{persist, Bear, BearConfig, EngineConfig, LoadOptions, QueryEngine};
+use bear_serve::{client, Registry, Server, ServerConfig};
+use bear_sparse::mem::MemBudget;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let dataset = args.get("--dataset").unwrap_or("small_routing").to_string();
+    let num_seeds: usize = args.get_or("--seeds", 64usize).max(1);
+    let json_path = args.get("--json").unwrap_or("results/BENCH_outofcore.json").to_string();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let spec = bear_datasets::dataset_by_name(&dataset)
+        .unwrap_or_else(|| panic!("unknown dataset '{dataset}'"));
+    let g = spec.load();
+    let n = g.num_nodes();
+    let config = BearConfig::exact(0.05);
+
+    // Fully resident reference: the oracle every paged answer must hit
+    // bit-for-bit.
+    let (reference, preprocess_s) = measure(|| Bear::new(&g, &config).expect("preprocess"));
+
+    // Streamed out-of-core write: finished spoke blocks go to disk one
+    // shard at a time.
+    let path = std::env::temp_dir().join("bear_outofcore_bench.idx");
+    let (_, stream_s) =
+        measure(|| bear_core::preprocess_to_disk(&g, &config, &path).expect("streamed write"));
+    let file_len = std::fs::metadata(&path).expect("index metadata").len();
+    let report = persist::verify_index(&path).expect("fresh v3 index must verify");
+    assert_eq!(report.version, 3, "streamed writer must emit the sharded v3 layout");
+
+    // Open paged (unlimited budget), touch every block once, and read
+    // back the total resident size of the spoke factors; the serving cap
+    // is a quarter of that, so the on-disk index is >= 4x the budget.
+    let paged = Bear::load(&path).expect("paged load");
+    let pager = paged.pager().expect("v3 load must be paged");
+    paged.query(0).expect("warm-up query");
+    let total_spoke_bytes = pager.stats().resident_bytes;
+    let resident_cap = (total_spoke_bytes / 4).max(1);
+    assert!(
+        file_len >= 4 * resident_cap,
+        "index ({file_len} bytes) must be at least 4x the resident cap ({resident_cap} bytes)"
+    );
+    pager.set_budget(Some(resident_cap as usize)).expect("apply resident cap");
+
+    println!(
+        "outofcore: dataset={dataset} n={n} | host cores: {host_cores} | \
+         index={file_len}B in {} shards, spokes={total_spoke_bytes}B, \
+         resident cap={resident_cap}B ({}x over budget)",
+        report.segments,
+        file_len / resident_cap.max(1)
+    );
+
+    // Deterministic seed sample spread over the node range.
+    let seeds: Vec<usize> =
+        (0..num_seeds.min(n)).map(|i| i * n / num_seeds.min(n).max(1) % n).collect();
+    let k = 10.min(n.saturating_sub(1)).max(1);
+
+    // In-process differential + timings: full vectors and pruned top-k.
+    let mut resident_total_s = 0.0;
+    let mut paged_total_s = 0.0;
+    for &seed in &seeds {
+        let (want, r_s) = measure(|| reference.query(seed).expect("resident query"));
+        let (got, p_s) = measure(|| paged.query(seed).expect("paged query"));
+        resident_total_s += r_s;
+        paged_total_s += p_s;
+        assert_eq!(got.len(), want.len(), "seed {seed}: length drift");
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "seed {seed} node {i}: paged {a:?} != {b:?}");
+        }
+        let want_k = reference.query_top_k_pruned(seed, k).expect("resident top-k");
+        let got_k = paged.query_top_k_pruned(seed, k).expect("paged top-k");
+        assert_eq!(got_k.len(), want_k.len(), "seed {seed}: top-k length drift");
+        for (a, b) in got_k.iter().zip(&want_k) {
+            assert_eq!(a.node, b.node, "seed {seed}: top-k node order drift");
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "seed {seed}: top-k score drift");
+        }
+    }
+    let stats = pager.stats();
+    assert!(stats.misses > 0, "the capped pager never faulted a block in — cap too generous?");
+    assert!(stats.evictions > 0, "the capped pager never evicted — cap too generous?");
+
+    // Same differential over HTTP: the serving stack caps its pager via
+    // the engine config, and every served score must still be exact.
+    let engine_config = EngineConfig::builder()
+        .spoke_residency_bytes(Some(resident_cap))
+        .build()
+        .expect("engine config");
+    let http_bear = Arc::new(
+        Bear::load_with(&path, &LoadOptions { budget: MemBudget::unlimited(), resident: false })
+            .expect("paged load for serving"),
+    );
+    let engine = QueryEngine::new(http_bear, engine_config.clone()).expect("engine");
+    let registry = Arc::new(Registry::new());
+    registry.publish("ooc", Arc::new(engine));
+    let server = Server::start(registry, ServerConfig { engine_config, ..ServerConfig::default() })
+        .expect("start server");
+    let addr = server.addr();
+    let mut http_total_s = 0.0;
+    for &seed in &seeds {
+        let (resp, h_s) = measure(|| {
+            client::get(addr, &format!("/v1/query?graph=ooc&seed={seed}"), &[]).expect("http get")
+        });
+        http_total_s += h_s;
+        assert_eq!(resp.status, 200, "seed {seed}: {}", resp.body_str());
+        let scores = client::json_number_array(&resp.body_str(), "scores").expect("scores array");
+        let want = reference.query(seed).expect("resident query");
+        assert_eq!(scores.len(), want.len(), "seed {seed}: HTTP length drift");
+        for (i, (a, b)) in scores.iter().zip(&want).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "seed {seed} node {i}: HTTP {a:?} != {b:?}");
+        }
+    }
+    let metrics_body = client::get(addr, "/metrics", &[]).expect("scrape metrics").body_str();
+    assert!(
+        metrics_body.contains("bear_pager_misses_total"),
+        "/metrics must expose the pager counters"
+    );
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+
+    let per_seed = |total: f64| total / seeds.len() as f64;
+    let base_param = format!(
+        "host_cores={host_cores} resident_cap_bytes={resident_cap} index_bytes={file_len} \
+         spoke_bytes={total_spoke_bytes} shards={} seeds={}",
+        report.segments,
+        seeds.len()
+    );
+    let mut out = ExperimentResult::new(
+        "outofcore_serving",
+        &format!(
+            "sharded v3 index served under a resident cap of 1/4 of the spoke factors \
+             (index {file_len}B >= 4x cap {resident_cap}B): in-process and HTTP answers \
+             bit-identical to the fully resident index on {} seeds; host_cores={host_cores}",
+            seeds.len()
+        ),
+    );
+    let mut row = ResultRow::new(&dataset, "resident_query");
+    row.param = Some(base_param.clone());
+    row.preprocess_s = Some(preprocess_s);
+    row.query_s = Some(per_seed(resident_total_s));
+    row.memory_bytes = Some(total_spoke_bytes as usize);
+    out.rows.push(row);
+    let mut row = ResultRow::new(&dataset, "paged_query");
+    row.param = Some(format!(
+        "{base_param} pager_hits={} pager_misses={} pager_evictions={} pager_resident_bytes={}",
+        stats.hits, stats.misses, stats.evictions, stats.resident_bytes
+    ));
+    row.preprocess_s = Some(stream_s);
+    row.query_s = Some(per_seed(paged_total_s));
+    row.memory_bytes = Some(stats.resident_bytes as usize);
+    out.rows.push(row);
+    let mut row = ResultRow::new(&dataset, "http_paged_query");
+    row.param = Some(base_param);
+    row.query_s = Some(per_seed(http_total_s));
+    out.rows.push(row);
+    out.print_table();
+    out.write_json(&json_path).expect("write json");
+    println!("wrote {json_path}");
+    println!(
+        "outofcore clean: {} seeds bit-identical in-process and over HTTP under a \
+         {resident_cap}B cap (misses={} evictions={})",
+        seeds.len(),
+        stats.misses,
+        stats.evictions
+    );
+}

@@ -60,6 +60,11 @@ pub enum Command {
         /// Preprocessing worker threads (0 = all cores). The index is
         /// bit-identical for any thread count.
         threads: usize,
+        /// Stream finished spoke blocks to a sharded v3 index
+        /// (`--out-of-core`): peak preprocessing memory stays independent
+        /// of the total factor size, and the written file is byte-for-byte
+        /// identical to an in-memory `save_v3`.
+        out_of_core: bool,
     },
     /// Query a saved index.
     Query {
@@ -149,11 +154,22 @@ pub struct ServeFlags {
     /// Restart probability for the fallback solver when the index (and
     /// its stored `c`) could not be loaded (`--c`).
     pub c: f64,
+    /// Resident-set cap in MiB for the spoke-block pager of an
+    /// out-of-core (v3) index (`--resident-mb`; 0 keeps the load-time
+    /// budget, i.e. unlimited). Ignored for fully resident indexes.
+    pub resident_mb: u64,
 }
 
 impl Default for ServeFlags {
     fn default() -> Self {
-        ServeFlags { queue_cap: 0, deadline_ms: 0, block_width: 0, fallback_graph: None, c: 0.05 }
+        ServeFlags {
+            queue_cap: 0,
+            deadline_ms: 0,
+            block_width: 0,
+            fallback_graph: None,
+            c: 0.05,
+            resident_mb: 0,
+        }
     }
 }
 
@@ -192,6 +208,7 @@ fn parse_serve_flags(args: &[String]) -> Result<ServeFlags> {
             .and_then(|i| args.get(i + 1))
             .cloned(),
         c: float_flag(args, "--c", 0.05)?,
+        resident_mb: int_flag(args, "--resident-mb", 0u64)?,
     })
 }
 
@@ -215,6 +232,7 @@ pub fn parse_command(args: &[String]) -> Result<Command> {
                 c: float_flag(args, "--c", 0.05)?,
                 xi: float_flag(args, "--xi", 0.0)?,
                 threads: int_flag(args, "--threads", 0usize)?,
+                out_of_core: args.iter().any(|a| a == "--out-of-core"),
             })
         }
         Some("query") => {
@@ -338,6 +356,7 @@ bear — block elimination approach for random walk with restart
 
 USAGE:
   bear preprocess <graph.txt> <index.bear> [--c 0.05] [--xi 0] [--threads 0]
+                  [--out-of-core]
   bear query <index.bear> <seed> [--top 10] [--threads 0] [serving flags]
   bear batch <index.bear> <seed>... [--top 10] [--threads 0] [serving flags]
   bear serve <name=index.bear>... [--addr 127.0.0.1:7171] [--http-threads 0]
@@ -351,6 +370,10 @@ PREPROCESS FLAGS:
   --xi F               drop tolerance; 0 = exact BEAR (default 0)
   --threads N          preprocessing worker threads; 0 = all cores. The
                        written index is bit-identical for any N.
+  --out-of-core        stream finished spoke blocks to a sharded v3 index:
+                       peak preprocessing memory is independent of the
+                       total factor size, and the file is byte-identical
+                       to an in-memory v3 save
 
 SERVING FLAGS (query/batch):
   --queue-cap N        admission-control bound on queued jobs (0 = default)
@@ -363,6 +386,11 @@ SERVING FLAGS (query/batch):
                        index load serves degraded-only instead of exiting
   --c F                restart probability for the fallback when the index
                        (and its stored c) could not be loaded (default 0.05)
+  --resident-mb N      resident-set cap (MiB) for the spoke-block pager of
+                       an out-of-core (v3) index; blocks beyond the cap are
+                       paged from disk on demand, answers stay bit-identical.
+                       0 keeps the load-time budget; ignored for fully
+                       resident indexes
 
 SERVE FLAGS:
   --addr HOST:PORT     bind address (default 127.0.0.1:7171; port 0 picks
@@ -453,6 +481,9 @@ fn engine_config_from(threads: usize, serve: &ServeFlags) -> Result<EngineConfig
     }
     if serve.block_width > 0 {
         builder = builder.block_width(serve.block_width);
+    }
+    if serve.resident_mb > 0 {
+        builder = builder.spoke_residency_bytes(Some(serve.resident_mb.saturating_mul(1 << 20)));
     }
     builder.build()
 }
@@ -550,12 +581,31 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
     let io_err = |e: std::io::Error| Error::InvalidStructure(format!("output error: {e}"));
     match cmd {
         Command::Help => writeln!(out, "{USAGE}").map_err(io_err),
-        Command::Preprocess { graph, index, c, xi, threads } => {
+        Command::Preprocess { graph, index, c, xi, threads, out_of_core } => {
             let g = read_edge_list(Path::new(graph), None)?;
             // `xi` passes through unconditionally (approx(c, 0) == exact(c))
             // so a NaN/negative/infinite tolerance reaches
             // `BearConfig::validate` instead of silently meaning "exact".
             let config = BearConfig { threads: *threads, ..BearConfig::approx(*c, *xi) };
+            if *out_of_core {
+                let start = std::time::Instant::now();
+                bear_core::preprocess_to_disk(&g, &config, Path::new(index))?;
+                let elapsed = start.elapsed().as_secs_f64();
+                let report = bear_core::persist::verify_index(Path::new(index))?;
+                return writeln!(
+                    out,
+                    "preprocessed {} nodes / {} edges in {elapsed:.3}s (streamed): \
+                     n1={} n2={} segments={} bytes={} -> {index} (v{})",
+                    g.num_nodes(),
+                    g.num_edges(),
+                    report.n1,
+                    report.n2,
+                    report.segments,
+                    report.file_len,
+                    report.version
+                )
+                .map_err(io_err);
+            }
             let start = std::time::Instant::now();
             let bear = Bear::new(&g, &config)?;
             let elapsed = start.elapsed().as_secs_f64();
@@ -662,6 +712,10 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> Result<()> {
                 report.version, report.file_len, report.n1, report.n2, report.c
             )
             .map_err(io_err)?;
+            if report.version >= 3 {
+                writeln!(out, "  spoke segments: {} shards, crc ok", report.segments)
+                    .map_err(io_err)?;
+            }
             for s in &report.sections {
                 writeln!(out, "  section {}: {} bytes, crc ok", s.tag, s.len).map_err(io_err)?;
             }
@@ -789,11 +843,15 @@ mod tests {
                 c: 0.1,
                 xi: 1e-4,
                 threads: 4,
+                out_of_core: false,
             }
         );
         // --threads defaults to 0 (all cores).
         let cmd = parse(&["preprocess", "g.txt", "g.idx"]).unwrap();
-        assert!(matches!(cmd, Command::Preprocess { threads: 0, .. }));
+        assert!(matches!(cmd, Command::Preprocess { threads: 0, out_of_core: false, .. }));
+        // --out-of-core switches to the streamed v3 writer.
+        let cmd = parse(&["preprocess", "g.txt", "g.idx", "--out-of-core"]).unwrap();
+        assert!(matches!(cmd, Command::Preprocess { out_of_core: true, .. }));
     }
 
     /// Integer flags are parsed as integers: fractional, negative, or
@@ -881,6 +939,7 @@ mod tests {
                     block_width: 16,
                     fallback_graph: Some("g.txt".into()),
                     c: 0.05,
+                    resident_mb: 0,
                 },
             }
         );
@@ -959,6 +1018,7 @@ mod tests {
                 c: 0.05,
                 xi: 0.0,
                 threads: 1,
+                out_of_core: false,
             },
             &mut buf,
         )
@@ -1079,6 +1139,7 @@ mod tests {
                 c: 0.05,
                 xi: 0.0,
                 threads: 1,
+                out_of_core: false,
             },
             &mut buf,
         )
@@ -1145,6 +1206,7 @@ mod tests {
                 c: 0.05,
                 xi: 0.0,
                 threads: 2,
+                out_of_core: false,
             },
             &mut buf,
         )
@@ -1227,6 +1289,7 @@ mod tests {
                     c: 0.05,
                     xi,
                     threads: 1,
+                    out_of_core: false,
                 },
                 &mut buf,
             )

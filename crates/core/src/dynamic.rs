@@ -16,6 +16,7 @@
 //! fall back to full preprocessing. [`DynamicBear::insert_edge`] reports
 //! which path was taken.
 
+use crate::paging::Factor;
 use crate::precompute::{Bear, BearConfig};
 use crate::rwr::{build_h, Normalization};
 use bear_graph::Graph;
@@ -204,8 +205,8 @@ impl DynamicBear {
             for &(r, v) in &self.h12_cols[col] {
                 dense_col[r] = v;
             }
-            let t = self.bear.l1_inv.matvec(&dense_col)?;
-            let t = self.bear.u1_inv.matvec(&t)?;
+            let t = self.bear.spokes.matvec(Factor::L1, &dense_col)?;
+            let t = self.bear.spokes.matvec(Factor::U1, &t)?;
             let y = self.bear.h21.matvec(&t)?;
             let mut s_col = vec![0.0f64; n2];
             for &(r, v) in &self.h22_cols[col] {

@@ -205,6 +205,11 @@ impl Metrics {
             topk_fallbacks: self.topk_fallbacks.load(Ordering::Relaxed),
             topk_candidates: self.topk_candidates.load(Ordering::Relaxed),
             topk_nodes_pruned: self.topk_nodes_pruned.load(Ordering::Relaxed),
+            pager_hits: 0,
+            pager_misses: 0,
+            pager_evictions: 0,
+            pager_resident_bytes: 0,
+            pager_resident_blocks: 0,
         }
     }
 }
@@ -284,6 +289,18 @@ pub struct MetricsSnapshot {
     pub topk_candidates: u64,
     /// Nodes never scored thanks to pruning, summed over pruned queries.
     pub topk_nodes_pruned: u64,
+    /// Spoke-segment cache hits (paged v3 index only; zero otherwise).
+    /// These five are merged in from the block pager at snapshot time —
+    /// [`Metrics`] itself stays pager-unaware.
+    pub pager_hits: u64,
+    /// Spoke segments read and decoded from disk.
+    pub pager_misses: u64,
+    /// Spoke segments evicted to stay within the residency budget.
+    pub pager_evictions: u64,
+    /// Bytes of spoke factors currently resident in the pager cache.
+    pub pager_resident_bytes: u64,
+    /// Spoke blocks currently resident in the pager cache.
+    pub pager_resident_blocks: u64,
 }
 
 impl MetricsSnapshot {

@@ -178,6 +178,13 @@ pub struct EngineConfig {
     pub block_width: usize,
     /// How top-k queries are computed; see [`TopKStrategy`].
     pub topk_strategy: TopKStrategy,
+    /// Resident-set cap (bytes) applied to the index's block pager at
+    /// engine construction, when the [`Bear`] was loaded from a v3
+    /// (out-of-core) index. `None` leaves the budget from load time
+    /// untouched; `Some(bytes)` re-caps the pager (shrinking evicts
+    /// immediately). Ignored — not an error — for fully resident
+    /// indexes, so one config serves both layouts.
+    pub spoke_residency_bytes: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -190,6 +197,7 @@ impl Default for EngineConfig {
             default_deadline: None,
             block_width: 8,
             topk_strategy: TopKStrategy::default(),
+            spoke_residency_bytes: None,
         }
     }
 }
@@ -278,6 +286,13 @@ impl EngineConfigBuilder {
     /// How top-k queries are computed; see [`TopKStrategy`].
     pub fn topk_strategy(mut self, strategy: TopKStrategy) -> Self {
         self.config.topk_strategy = strategy;
+        self
+    }
+
+    /// Resident-set cap for a paged (v3) index; ignored for resident
+    /// indexes. See [`EngineConfig::spoke_residency_bytes`].
+    pub fn spoke_residency_bytes(mut self, bytes: Option<u64>) -> Self {
+        self.config.spoke_residency_bytes = bytes;
         self
     }
 
@@ -512,6 +527,12 @@ impl QueryEngine {
         fallback: Option<Arc<FallbackSolver>>,
     ) -> Result<Self> {
         config.validate()?;
+        if let Some(bytes) = config.spoke_residency_bytes {
+            if let Some(pager) = bear.spokes.pager() {
+                let cap = usize::try_from(bytes).unwrap_or(usize::MAX);
+                pager.set_budget(Some(cap))?;
+            }
+        }
         let queue = Arc::new(JobQueue::bounded(config.queue_capacity));
         let metrics = Arc::new(Metrics::new());
         let block_width = config.effective_block_width();
@@ -562,9 +583,20 @@ impl QueryEngine {
         &self.bear
     }
 
-    /// Point-in-time serving metrics.
+    /// Point-in-time serving metrics. When the index is paged (v3),
+    /// block-pager counters are merged into the snapshot here; the
+    /// [`Metrics`] sink itself stays pager-unaware.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        if let Some(pager) = self.bear.spokes.pager() {
+            let stats = pager.stats();
+            snap.pager_hits = stats.hits;
+            snap.pager_misses = stats.misses;
+            snap.pager_evictions = stats.evictions;
+            snap.pager_resident_bytes = stats.resident_bytes;
+            snap.pager_resident_blocks = stats.resident_blocks;
+        }
+        snap
     }
 
     /// Entries currently held in the full-score cache.

@@ -42,6 +42,7 @@ pub mod failpoints;
 pub mod fallback;
 pub mod hub_iterative;
 pub mod metrics;
+pub mod paging;
 pub mod persist;
 pub mod precompute;
 pub mod query;
@@ -76,7 +77,9 @@ pub use engine::{
 #[cfg(not(loom))]
 pub use fallback::{DegradedReason, FallbackAnswer, FallbackSolver, DEFAULT_FALLBACK_ITERATIONS};
 pub use hub_iterative::BearHubIterative;
-pub use precompute::{Bear, BearConfig};
+pub use paging::{BlockPager, PagerStats};
+pub use persist::LoadOptions;
+pub use precompute::{preprocess_to_disk, Bear, BearConfig};
 pub use rwr::{build_h, Normalization, RwrConfig};
 pub use solver::RwrSolver;
 pub use stats::{PrecomputedStats, StageTimings};

@@ -14,14 +14,17 @@
 //! 9. (BEAR-Approx) drop entries below the drop tolerance `ξ` from all
 //!    six precomputed matrices.
 
+use crate::paging::{Factor, FactorPair, SpokeFactors};
+use crate::persist::{ResidentParts, V3StreamWriter};
 use crate::rwr::{build_h, RwrConfig};
 use crate::stats::{PrecomputedStats, StageTimings};
 use bear_graph::{slashburn, Graph, SlashBurnConfig};
 use bear_sparse::mem::{MemBudget, MemoryUsage};
 use bear_sparse::parallel::{par_invert_triangular, par_spgemm};
-use bear_sparse::sparsify::{par_drop_tolerance_csc, par_drop_tolerance_csr};
+use bear_sparse::sparsify::{drop_tolerance_csc, par_drop_tolerance_csc, par_drop_tolerance_csr};
 use bear_sparse::triangular::Triangle;
 use bear_sparse::{ops, BlockDiagLu, CscMatrix, CsrMatrix, Error, Permutation, Result, SparseLu};
+use std::path::Path;
 use std::time::Instant;
 
 /// Configuration for BEAR preprocessing.
@@ -219,14 +222,243 @@ pub(crate) fn preprocess_to_schur(g: &Graph, config: &BearConfig) -> Result<Prep
     })
 }
 
+/// Persistent per-row Gustavson accumulators for the streamed Schur
+/// complement: `r3 = H₂₁ · (U₁⁻¹ L₁⁻¹ H₁₂)` is assembled one spoke
+/// block at a time while only that block's factors are in memory.
+///
+/// The global kernel ([`ops::spgemm`]) scatters, for each output row
+/// `i`, the rows of `B` referenced by `H₂₁`'s row `i` in ascending
+/// column order. Per-row state (accumulator, first-touch marks, touched
+/// list, and a cursor into `H₂₁`'s row that advances monotonically
+/// through the block ranges) replays exactly that (i, k) visitation
+/// order across block boundaries, so the gathered matrix is
+/// bit-identical to the one-shot product.
+struct SchurAccumulator {
+    n2: usize,
+    /// Row-major `n2 × n2` dense accumulators.
+    acc: Vec<f64>,
+    mark: Vec<bool>,
+    /// Per row, touched columns in first-touch order.
+    touched: Vec<Vec<usize>>,
+    /// Per row, position within `H₂₁.row(i)` of the next unseen entry.
+    cursor: Vec<usize>,
+}
+
+impl SchurAccumulator {
+    fn new(n2: usize) -> Self {
+        SchurAccumulator {
+            n2,
+            acc: vec![0.0; n2 * n2],
+            mark: vec![false; n2 * n2],
+            touched: vec![Vec::new(); n2],
+            cursor: vec![0; n2],
+        }
+    }
+
+    /// Folds in block `[bs, be)`: `r2b` holds the rows `[bs, be)` of
+    /// `U₁⁻¹ L₁⁻¹ H₁₂` (block-local row indices).
+    fn scatter_block(&mut self, h21: &CsrMatrix, bs: usize, be: usize, r2b: &CsrMatrix) -> Result<()> {
+        for i in 0..self.n2 {
+            let (cols, vals) = h21.row(i);
+            let base = i * self.n2;
+            let cur = &mut self.cursor[i];
+            while *cur < cols.len() && cols[*cur] < be {
+                let k = cols[*cur];
+                let aik = vals[*cur];
+                *cur += 1;
+                let kk = k.checked_sub(bs).ok_or_else(|| {
+                    Error::InvalidStructure(format!(
+                        "H21 column {k} revisited below block start {bs}"
+                    ))
+                })?;
+                let (b_cols, b_vals) = r2b.row(kk);
+                for (&j, &bkj) in b_cols.iter().zip(b_vals) {
+                    if !self.mark[base + j] {
+                        self.mark[base + j] = true;
+                        self.touched[i].push(j);
+                        self.acc[base + j] = aik * bkj;
+                    } else {
+                        self.acc[base + j] += aik * bkj;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Gathers the accumulated product, replicating the global kernel's
+    /// per-row epilogue: sort the touched columns, skip exact zeros.
+    fn finish(mut self) -> CsrMatrix {
+        let n2 = self.n2;
+        let mut indptr = Vec::with_capacity(n2 + 1);
+        let mut indices: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        indptr.push(0);
+        for i in 0..n2 {
+            self.touched[i].sort_unstable();
+            let base = i * n2;
+            for &j in &self.touched[i] {
+                let v = self.acc[base + j];
+                if v != 0.0 {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        // lint:allow(L3, mirrors the in-crate spgemm epilogue for byte-identity; indices sorted and deduped by construction above)
+        CsrMatrix::from_raw_unchecked(n2, n2, indptr, indices, values)
+    }
+}
+
+/// Runs Algorithm 1 and streams the result straight to a v3 on-disk
+/// index at `path`, never holding more than one spoke block's inverted
+/// factors in memory: peak preprocessing RSS is bounded by the graph,
+/// the hub-side matrices, and the largest single block — independent of
+/// the total index size.
+///
+/// The output is byte-for-byte identical to
+/// `Bear::new(g, config)?.save_v3(path)`: per-block factorization and
+/// inversion follow the exact code path of [`BlockDiagLu::factor`], the
+/// Schur complement is accumulated in the global kernel's visitation
+/// order (see [`SchurAccumulator`]), and the drop tolerance filters per
+/// entry so filtering each block equals slicing the filtered whole.
+///
+/// `config.budget` bounds the *resident working set* (hub matrices plus
+/// one block), not the total index written — that is the point of the
+/// streamed path. `config.threads` parallelizes only the hub-side
+/// kernels; the per-block pipeline is sequential so at most one block
+/// is alive at a time.
+pub fn preprocess_to_disk(g: &Graph, config: &BearConfig, path: &Path) -> Result<()> {
+    config.validate()?;
+    let n = g.num_nodes();
+    let threads = config.effective_threads();
+    let xi = config.drop_tolerance;
+
+    // Lines 1–4: same front as `preprocess_to_schur`.
+    let h = build_h(g, &config.rwr)?;
+    let mut sb_config = match config.slashburn_k {
+        Some(k) => SlashBurnConfig::with_k(k),
+        None => SlashBurnConfig::paper_default(n),
+    };
+    sb_config.sort_blocks_by_degree = config.sort_blocks_by_degree;
+    let ordering = slashburn(g, &sb_config)?;
+    let (n1, n2) = (ordering.n_spokes, ordering.n_hubs);
+    let h = ordering.perm.permute_symmetric(&h)?;
+    let h11 = h.submatrix(0, n1, 0, n1)?;
+    let mut h12 = h.submatrix(0, n1, n1, n)?;
+    let mut h21 = h.submatrix(n1, n, 0, n1)?;
+    let h22 = h.submatrix(n1, n, n1, n)?;
+    drop(h);
+    config.budget.check(h12.memory_bytes() + h21.memory_bytes())?;
+
+    // Same block-layout validation as `BlockDiagLu::factor`: an entry
+    // outside the claimed diagonal blocks would be silently dropped by
+    // the per-block submatrix slicing and corrupt the factors.
+    let total: usize = ordering.block_sizes.iter().sum();
+    if total != n1 {
+        return Err(Error::InvalidStructure(format!(
+            "block sizes sum to {total}, expected {n1}"
+        )));
+    }
+    let mut block_of = vec![0usize; n1];
+    let mut off = 0usize;
+    for (bid, &sz) in ordering.block_sizes.iter().enumerate() {
+        block_of[off..off + sz].fill(bid);
+        off += sz;
+    }
+    for (r, c, _) in h11.iter() {
+        if block_of[r] != block_of[c] {
+            return Err(Error::InvalidStructure(format!("entry ({r}, {c}) crosses block boundary")));
+        }
+    }
+
+    // Lines 5–6, fused per block: factor, invert, fold the block's Schur
+    // contribution (undropped factors — `Bear::new` sparsifies only
+    // after the Schur complement is formed), sparsify, stream the
+    // segment out, free the block.
+    let mut writer = V3StreamWriter::create(path)?;
+    let mut schur = SchurAccumulator::new(n2);
+    let mut off = 0usize;
+    for &sz in &ordering.block_sizes {
+        let sub = h11.submatrix(off, off + sz, off, off + sz)?;
+        let lu = SparseLu::factor(&sub.to_csc())?;
+        let (l1b, u1b) = lu.invert_factors()?;
+        let h12b = h12.submatrix(off, off + sz, 0, n2)?;
+        let r1b = ops::spgemm(&l1b.to_csr(), &h12b)?;
+        let r2b = ops::spgemm(&u1b.to_csr(), &r1b)?;
+        schur.scatter_block(&h21, off, off + sz, &r2b)?;
+        let (l1b, u1b) =
+            if xi > 0.0 { (drop_tolerance_csc(&l1b, xi), drop_tolerance_csc(&u1b, xi)) } else { (l1b, u1b) };
+        config.budget.check(
+            h12.memory_bytes()
+                + h21.memory_bytes()
+                + l1b.memory_bytes()
+                + u1b.memory_bytes(),
+        )?;
+        writer.write_segment(&FactorPair::new(l1b, u1b)?)?;
+        off += sz;
+    }
+    let r3 = schur.finish();
+    let mut s = ops::sub(&h22, &r3)?;
+
+    // Line 7: reorder hubs ascending by degree within S.
+    let hub_perm =
+        if config.reorder_hubs { hub_degree_ordering(&s) } else { Permutation::identity(n2) };
+    s = hub_perm.permute_symmetric(&s)?;
+    h12 = hub_perm.permute_cols(&h12)?;
+    h21 = hub_perm.permute_rows(&h21)?;
+    let mut full_forward: Vec<usize> = (0..n).collect();
+    for new_hub in 0..n2 {
+        full_forward[n1 + new_hub] = n1 + hub_perm.old_of(new_hub);
+    }
+    let hub_lift = Permutation::from_new_to_old(full_forward)?;
+    let perm = hub_lift.compose(&ordering.perm)?;
+
+    // Line 8: LU of S and inverted factors.
+    let s_lu = SparseLu::factor(&s.to_csc())?;
+    let l2_inv = par_invert_triangular(s_lu.l(), Triangle::Lower, true, threads)?;
+    let u2_inv = par_invert_triangular(s_lu.u(), Triangle::Upper, false, threads)?;
+
+    // Line 9 for the resident matrices (the segments are already
+    // sparsified per block above).
+    let (l2_inv, u2_inv, h12, h21) = if xi > 0.0 {
+        (
+            par_drop_tolerance_csc(&l2_inv, xi, threads)?,
+            par_drop_tolerance_csc(&u2_inv, xi, threads)?,
+            par_drop_tolerance_csr(&h12, xi, threads)?,
+            par_drop_tolerance_csr(&h21, xi, threads)?,
+        )
+    } else {
+        (l2_inv, u2_inv, h12, h21)
+    };
+    config.budget.check(
+        l2_inv.memory_bytes() + u2_inv.memory_bytes() + h12.memory_bytes() + h21.memory_bytes(),
+    )?;
+
+    let degrees = g.undirected_degrees();
+    writer.finish(&ResidentParts {
+        n1,
+        n2,
+        c: config.rwr.c,
+        perm: &perm,
+        block_sizes: &ordering.block_sizes,
+        degrees: &degrees,
+        l2_inv: &l2_inv,
+        u2_inv: &u2_inv,
+        h12: &h12,
+        h21: &h21,
+    })
+}
+
 /// A preprocessed BEAR solver (output of Algorithm 1), ready to answer
 /// queries via block elimination (Algorithm 2).
 #[derive(Debug, Clone)]
 pub struct Bear {
-    /// `L₁⁻¹` — inverse of the unit-lower factor of `H₁₁` (block diagonal).
-    pub(crate) l1_inv: CscMatrix,
-    /// `U₁⁻¹` — inverse of the upper factor of `H₁₁` (block diagonal).
-    pub(crate) u1_inv: CscMatrix,
+    /// `L₁⁻¹`/`U₁⁻¹` — inverted factors of `H₁₁` (block diagonal),
+    /// either fully resident or paged per block from a v3 index
+    /// (see `crate::paging`).
+    pub(crate) spokes: SpokeFactors,
     /// `L₂⁻¹` — inverse of the unit-lower factor of the Schur complement.
     pub(crate) l2_inv: CscMatrix,
     /// `U₂⁻¹` — inverse of the upper factor of the Schur complement.
@@ -303,8 +535,7 @@ impl Bear {
         config.budget.check(total_bytes)?;
 
         Ok(Bear {
-            l1_inv,
-            u1_inv,
+            spokes: SpokeFactors::Resident { l1_inv, u1_inv },
             l2_inv,
             u2_inv,
             h12,
@@ -356,6 +587,15 @@ impl Bear {
         &self.timings
     }
 
+    /// The block pager backing the spoke factors, when this index was
+    /// loaded out-of-core (v3, [`crate::LoadOptions::resident`] false). `None`
+    /// for fully resident indexes. Use it to re-cap the resident set
+    /// ([`crate::BlockPager::set_budget`]) or read paging counters
+    /// ([`crate::BlockPager::stats`]).
+    pub fn pager(&self) -> Option<&crate::BlockPager> {
+        self.spokes.pager()
+    }
+
     /// Per-matrix nonzero counts and byte sizes of the precomputed data
     /// (the paper's Table 4 columns).
     pub fn stats(&self) -> PrecomputedStats {
@@ -365,14 +605,13 @@ impl Bear {
             n2: self.n2,
             num_blocks: self.block_sizes.len(),
             sum_block_sq: self.block_sizes.iter().map(|&b| (b as u128) * (b as u128)).sum(),
-            nnz_l1_inv: self.l1_inv.nnz(),
-            nnz_u1_inv: self.u1_inv.nnz(),
+            nnz_l1_inv: self.spokes.nnz(Factor::L1),
+            nnz_u1_inv: self.spokes.nnz(Factor::U1),
             nnz_l2_inv: self.l2_inv.nnz(),
             nnz_u2_inv: self.u2_inv.nnz(),
             nnz_h12: self.h12.nnz(),
             nnz_h21: self.h21.nnz(),
-            bytes: self.l1_inv.memory_bytes()
-                + self.u1_inv.memory_bytes()
+            bytes: self.spokes.memory_bytes()
                 + self.l2_inv.memory_bytes()
                 + self.u2_inv.memory_bytes()
                 + self.h12.memory_bytes()
@@ -475,6 +714,54 @@ mod tests {
         rand::rngs::StdRng::seed_from_u64(seed)
     }
 
+    /// The streamed out-of-core preprocessing path must write the exact
+    /// bytes `Bear::new` + `save_v3` would: per-block factorization,
+    /// the block-streamed Schur complement, and per-block sparsification
+    /// are all proven bit-identical to the in-memory pipeline by
+    /// comparing the finished images directly.
+    #[test]
+    fn streamed_preprocessing_writes_identical_v3_bytes() {
+        let g = bear_graph::generators::hub_and_spoke(
+            &bear_graph::generators::HubSpokeConfig {
+                num_hubs: 5,
+                num_caves: 25,
+                max_cave_size: 6,
+                cave_density: 0.5,
+                hub_links: 2,
+                hub_density: 0.5,
+            },
+            &mut rand_rng(17),
+        );
+        for (tag, xi) in [("exact", 0.0), ("approx", 1e-3)] {
+            let cfg = if xi == 0.0 { BearConfig::exact(0.12) } else { BearConfig::approx(0.12, xi) };
+            let a = std::env::temp_dir().join(format!("bear_stream_{tag}_mem.idx"));
+            let b = std::env::temp_dir().join(format!("bear_stream_{tag}_disk.idx"));
+            Bear::new(&g, &cfg).unwrap().save_v3(&a).unwrap();
+            preprocess_to_disk(&g, &cfg, &b).unwrap();
+            let (ba, bb) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+            std::fs::remove_file(&a).ok();
+            std::fs::remove_file(&b).ok();
+            assert_eq!(ba, bb, "{tag}: streamed image differs from the in-memory one");
+        }
+    }
+
+    /// The streamed path must work under a budget far below the total
+    /// index size (that is its purpose), and the result must load and
+    /// answer queries.
+    #[test]
+    fn streamed_preprocessing_loads_and_answers() {
+        let g = star_graph();
+        let cfg = BearConfig::exact(0.1);
+        let path = std::env::temp_dir().join("bear_stream_roundtrip.idx");
+        preprocess_to_disk(&g, &cfg, &path).unwrap();
+        let loaded = Bear::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let oracle = Bear::new(&g, &cfg).unwrap();
+        for seed in 0..g.num_nodes() {
+            assert_eq!(oracle.query(seed).unwrap(), loaded.query(seed).unwrap());
+        }
+    }
+
     #[test]
     fn parallel_preprocessing_matches_serial() {
         let g = bear_graph::generators::hub_and_spoke(
@@ -503,8 +790,10 @@ mod tests {
         assert_eq!(a.perm.as_new_to_old(), b.perm.as_new_to_old(), "permutation diverged");
         assert_eq!(a.block_sizes, b.block_sizes, "block sizes diverged");
         assert_eq!((a.n1, a.n2), (b.n1, b.n2), "spoke/hub split diverged");
-        assert_eq!(a.l1_inv, b.l1_inv, "L1_inv diverged");
-        assert_eq!(a.u1_inv, b.u1_inv, "U1_inv diverged");
+        let (a_l1, a_u1) = a.spokes.to_whole().unwrap();
+        let (b_l1, b_u1) = b.spokes.to_whole().unwrap();
+        assert_eq!(a_l1, b_l1, "L1_inv diverged");
+        assert_eq!(a_u1, b_u1, "U1_inv diverged");
         assert_eq!(a.l2_inv, b.l2_inv, "L2_inv diverged");
         assert_eq!(a.u2_inv, b.u2_inv, "U2_inv diverged");
         assert_eq!(a.h12, b.h12, "H12 diverged");

@@ -12,6 +12,7 @@
 //! paper's query complexity `O(Σ n₁ᵢ² + n₂² + min(n₁n₂, m))` (Theorem 3).
 
 use crate::engine::{BlockWorkspace, QueryWorkspace};
+use crate::paging::Factor;
 use crate::precompute::Bear;
 use crate::rwr::validate_distribution;
 use crate::solver::RwrSolver;
@@ -79,8 +80,8 @@ impl Bear {
         let (q1, q2) = ws.q_perm.split_at(self.n1);
 
         // r₂ = c U₂⁻¹ L₂⁻¹ (q₂ − H₂₁ U₁⁻¹ L₁⁻¹ q₁)
-        self.l1_inv.matvec_into(q1, &mut ws.t1)?;
-        self.u1_inv.matvec_into(&ws.t1, &mut ws.t2)?;
+        self.spokes.matvec_into(Factor::L1, q1, &mut ws.t1)?;
+        self.spokes.matvec_into(Factor::U1, &ws.t1, &mut ws.t2)?;
         self.h21.matvec_into(&ws.t2, &mut ws.t3)?;
         for (t, &qv) in ws.t3.iter_mut().zip(q2) {
             *t = qv - *t;
@@ -97,8 +98,8 @@ impl Bear {
         for (t, &qv) in ws.t1.iter_mut().zip(q1) {
             *t = self.c * qv - *t;
         }
-        self.l1_inv.matvec_into(&ws.t1, &mut ws.t2)?;
-        self.u1_inv.matvec_into(&ws.t2, r1)?;
+        self.spokes.matvec_into(Factor::L1, &ws.t1, &mut ws.t2)?;
+        self.spokes.matvec_into(Factor::U1, &ws.t2, r1)?;
 
         // Map back to the original node ids.
         self.perm.unpermute_vec_into(&ws.r, out)
@@ -164,8 +165,8 @@ impl Bear {
         }
 
         // r₂ = c U₂⁻¹ L₂⁻¹ (q₂ − H₂₁ U₁⁻¹ L₁⁻¹ q₁), one column per seed.
-        self.l1_inv.spmm_into(&ws.q1, &mut ws.t1)?;
-        self.u1_inv.spmm_into(&ws.t1, &mut ws.t2)?;
+        self.spokes.spmm_into(Factor::L1, &ws.q1, &mut ws.t1)?;
+        self.spokes.spmm_into(Factor::U1, &ws.t1, &mut ws.t2)?;
         self.h21.spmm_into(&ws.t2, &mut ws.t3)?;
         for (t, &qv) in ws.t3.data_mut().iter_mut().zip(ws.q2.data()) {
             *t = qv - *t;
@@ -181,8 +182,8 @@ impl Bear {
         for (t, &qv) in ws.t1.data_mut().iter_mut().zip(ws.q1.data()) {
             *t = self.c * qv - *t;
         }
-        self.l1_inv.spmm_into(&ws.t1, &mut ws.t2)?;
-        self.u1_inv.spmm_into(&ws.t2, &mut ws.t1)?;
+        self.spokes.spmm_into(Factor::L1, &ws.t1, &mut ws.t2)?;
+        self.spokes.spmm_into(Factor::U1, &ws.t2, &mut ws.t1)?;
 
         // Map each column back to the original node ids.
         for j in 0..k {
@@ -281,8 +282,7 @@ impl RwrSolver for Bear {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.l1_inv.memory_bytes()
-            + self.u1_inv.memory_bytes()
+        self.spokes.memory_bytes()
             + self.l2_inv.memory_bytes()
             + self.u2_inv.memory_bytes()
             + self.h12.memory_bytes()

@@ -89,9 +89,10 @@
 use std::collections::BinaryHeap;
 
 use crate::engine::QueryWorkspace;
+use crate::paging::{Factor, SpokeFactors};
 use crate::precompute::Bear;
 use crate::topk::{score_desc, top_k_excluding_seed, ScoredNode};
-use bear_sparse::{CscMatrix, Error, Result};
+use bear_sparse::{Error, Result};
 
 /// Tuning knobs for the pruned top-k path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -214,7 +215,7 @@ pub(crate) struct TopKBounds {
 }
 
 impl TopKBounds {
-    fn for_bear(bear: &Bear) -> TopKBounds {
+    fn for_bear(bear: &Bear) -> Result<TopKBounds> {
         let n1 = bear.n1;
         let nb = bear.block_sizes.len();
         let mut starts = Vec::with_capacity(nb + 1);
@@ -225,48 +226,102 @@ impl TopKBounds {
             starts.push(acc);
         }
 
-        // lrow_l = Σ_j |L₁⁻¹_{lj}|: row absolute sums, accumulated by
-        // walking the CSC columns.
         let mut lrow = vec![0.0f64; n1];
-        for c in 0..n1 {
-            let (rows, vals) = bear.l1_inv.col(c);
-            for (&r, &v) in rows.iter().zip(vals) {
-                if let Some(slot) = lrow.get_mut(r) {
-                    *slot += v.abs();
-                }
-            }
-        }
-        // w_i = Σ_l |U₁⁻¹_{il}|·lrow_l and u_j = max_i |U₁⁻¹_{ij}|,
-        // both from one column walk over U₁⁻¹.
         let mut w = vec![0.0f64; n1];
         let mut u_colmax = vec![0.0f64; n1];
-        for c in 0..n1 {
-            let scale = lrow.get(c).copied().unwrap_or(0.0);
-            let (rows, vals) = bear.u1_inv.col(c);
-            let mut cm = 0.0f64;
-            for (&r, &v) in rows.iter().zip(vals) {
-                let a = v.abs();
-                if a > cm {
-                    cm = a;
-                }
-                if let Some(slot) = w.get_mut(r) {
-                    *slot += a * scale;
-                }
-            }
-            if let Some(slot) = u_colmax.get_mut(c) {
-                *slot = cm;
-            }
-        }
-        // g_l = Σ_j |L₁⁻¹_{jl}|·u_j: column walk over L₁⁻¹.
         let mut g = vec![0.0f64; n1];
-        for c in 0..n1 {
-            let (rows, vals) = bear.l1_inv.col(c);
-            let mut acc = 0.0f64;
-            for (&r, &v) in rows.iter().zip(vals) {
-                acc += v.abs() * u_colmax.get(r).copied().unwrap_or(0.0);
+        match &bear.spokes {
+            SpokeFactors::Resident { l1_inv, u1_inv } => {
+                // lrow_l = Σ_j |L₁⁻¹_{lj}|: row absolute sums,
+                // accumulated by walking the CSC columns.
+                for c in 0..n1 {
+                    let (rows, vals) = l1_inv.col(c);
+                    for (&r, &v) in rows.iter().zip(vals) {
+                        if let Some(slot) = lrow.get_mut(r) {
+                            *slot += v.abs();
+                        }
+                    }
+                }
+                // w_i = Σ_l |U₁⁻¹_{il}|·lrow_l and u_j = max_i |U₁⁻¹_{ij}|,
+                // both from one column walk over U₁⁻¹.
+                for c in 0..n1 {
+                    let scale = lrow.get(c).copied().unwrap_or(0.0);
+                    let (rows, vals) = u1_inv.col(c);
+                    let mut cm = 0.0f64;
+                    for (&r, &v) in rows.iter().zip(vals) {
+                        let a = v.abs();
+                        if a > cm {
+                            cm = a;
+                        }
+                        if let Some(slot) = w.get_mut(r) {
+                            *slot += a * scale;
+                        }
+                    }
+                    if let Some(slot) = u_colmax.get_mut(c) {
+                        *slot = cm;
+                    }
+                }
+                // g_l = Σ_j |L₁⁻¹_{jl}|·u_j: column walk over L₁⁻¹.
+                for c in 0..n1 {
+                    let (rows, vals) = l1_inv.col(c);
+                    let mut acc = 0.0f64;
+                    for (&r, &v) in rows.iter().zip(vals) {
+                        acc += v.abs() * u_colmax.get(r).copied().unwrap_or(0.0);
+                    }
+                    if let Some(slot) = g.get_mut(c) {
+                        *slot = acc;
+                    }
+                }
             }
-            if let Some(slot) = g.get_mut(c) {
-                *slot = acc;
+            SpokeFactors::Paged { pager } => {
+                // Same three walks, one block at a time. `L₁⁻¹`/`U₁⁻¹`
+                // are block diagonal, so every table entry depends only
+                // on entries of its own block: ascending per-block
+                // column walks visit the same nonzeros in the same
+                // order as the global walks above, and each block is
+                // fetched exactly once.
+                for (b, win) in starts.windows(2).enumerate() {
+                    let (bs, be) = match win {
+                        [bs, be] => (*bs, (*be).min(n1)),
+                        _ => continue,
+                    };
+                    let pair = pager.fetch(b)?;
+                    for c in 0..be.saturating_sub(bs) {
+                        let (rows, vals) = pair.l1.col(c);
+                        for (&r, &v) in rows.iter().zip(vals) {
+                            if let Some(slot) = lrow.get_mut(bs + r) {
+                                *slot += v.abs();
+                            }
+                        }
+                    }
+                    for c in 0..be.saturating_sub(bs) {
+                        let scale = lrow.get(bs + c).copied().unwrap_or(0.0);
+                        let (rows, vals) = pair.u1.col(c);
+                        let mut cm = 0.0f64;
+                        for (&r, &v) in rows.iter().zip(vals) {
+                            let a = v.abs();
+                            if a > cm {
+                                cm = a;
+                            }
+                            if let Some(slot) = w.get_mut(bs + r) {
+                                *slot += a * scale;
+                            }
+                        }
+                        if let Some(slot) = u_colmax.get_mut(bs + c) {
+                            *slot = cm;
+                        }
+                    }
+                    for c in 0..be.saturating_sub(bs) {
+                        let (rows, vals) = pair.l1.col(c);
+                        let mut acc = 0.0f64;
+                        for (&r, &v) in rows.iter().zip(vals) {
+                            acc += v.abs() * u_colmax.get(bs + r).copied().unwrap_or(0.0);
+                        }
+                        if let Some(slot) = g.get_mut(bs + c) {
+                            *slot = acc;
+                        }
+                    }
+                }
             }
         }
 
@@ -291,7 +346,7 @@ impl TopKBounds {
                 *slot = wb;
             }
         }
-        TopKBounds { starts, w_max, g, finite }
+        Ok(TopKBounds { starts, w_max, g, finite })
     }
 
     /// Block owning permuted spoke position `pos`, `None` for hubs.
@@ -355,33 +410,6 @@ fn push_bounded(heap: &mut BinaryHeap<HeapItem>, k: usize, cand: ScoredNode) {
     }
 }
 
-/// Column-range-restricted CSC scatter: `y[bs..be] = m[:, bs..be] ·
-/// x[bs..be]` for a block-diagonal `m`. Mirrors `CscMatrix::
-/// matvec_into` exactly — zero the destination, then accumulate
-/// columns in ascending order, skipping exact-zero inputs — so every
-/// `y[r]` sees the same additions in the same order as the full
-/// kernel (columns outside a block touch no row inside it).
-fn scatter_block(m: &CscMatrix, x: &[f64], y: &mut [f64], bs: usize, be: usize) -> Result<()> {
-    y.get_mut(bs..be)
-        .ok_or_else(|| Error::InvalidStructure("top-k block range out of bounds".into()))?
-        .fill(0.0);
-    let xb = x
-        .get(bs..be)
-        .ok_or_else(|| Error::InvalidStructure("top-k block range out of bounds".into()))?;
-    for (off, &xc) in xb.iter().enumerate() {
-        if xc == 0.0 {
-            continue;
-        }
-        let (rows, vals) = m.col(bs + off);
-        for (&r, &v) in rows.iter().zip(vals) {
-            if let Some(slot) = y.get_mut(r) {
-                *slot += v * xc;
-            }
-        }
-    }
-    Ok(())
-}
-
 /// One block's upper bound in the resolution queue. `Ord` is by bound
 /// descending (then block id ascending, for determinism), so a
 /// max-heap pops the loosest block first. Heapifying is `O(blocks)`
@@ -419,9 +447,16 @@ enum CoreOutcome {
 }
 
 impl Bear {
-    /// The cached bound tables, computing them on first use.
-    pub(crate) fn topk_bounds(&self) -> &TopKBounds {
-        self.topk_bounds.get_or_init(|| TopKBounds::for_bear(self))
+    /// The cached bound tables, computing them on first use. Fallible
+    /// because a paged index fetches every spoke block once to build
+    /// them (a losing race computes the tables twice; the first init
+    /// wins and both results are bit-identical).
+    pub(crate) fn topk_bounds(&self) -> Result<&TopKBounds> {
+        if let Some(b) = self.topk_bounds.get() {
+            return Ok(b);
+        }
+        let computed = TopKBounds::for_bear(self)?;
+        Ok(self.topk_bounds.get_or_init(|| computed))
     }
 
     /// The `k` most relevant nodes w.r.t. `seed` via bound-and-prune —
@@ -508,7 +543,7 @@ impl Bear {
         opts: &TopKPruneOptions,
         ws: &mut QueryWorkspace,
     ) -> Result<CoreOutcome> {
-        let bounds = self.topk_bounds();
+        let bounds = self.topk_bounds()?;
         if !bounds.finite {
             return Ok(CoreOutcome::Fallback(TopKFallbackReason::NonFiniteBounds));
         }
@@ -530,8 +565,8 @@ impl Bear {
         // Hub sweep — the exact kernel sequence of
         // `query_distribution_into`, so `r₂` is bit-identical to the
         // full solve's hub scores.
-        self.l1_inv.matvec_into(q1, &mut ws.t1)?;
-        self.u1_inv.matvec_into(&ws.t1, &mut ws.t2)?;
+        self.spokes.matvec_into(Factor::L1, q1, &mut ws.t1)?;
+        self.spokes.matvec_into(Factor::U1, &ws.t1, &mut ws.t2)?;
         self.h21.matvec_into(&ws.t2, &mut ws.t3)?;
         for (t, &qv) in ws.t3.iter_mut().zip(q2) {
             *t = qv - *t;
@@ -634,13 +669,13 @@ impl Bear {
                 // exactly the k best under a strict total order, so
                 // block resolution order cannot change the answer).
                 fallback = Some(TopKFallbackReason::BoundsTooLoose);
-                self.resolve_into_heap(bs, be, &ws.t1, &mut ws.t2, r1, seed, effective_k, &mut heap)?;
+                self.resolve_into_heap(b, bs, be, &ws.t1, &mut ws.t2, r1, seed, effective_k, &mut heap)?;
                 resolved_nodes += width;
                 blocks_resolved += 1;
                 candidates += width - usize::from(seed_block == Some(b));
                 break;
             }
-            self.resolve_into_heap(bs, be, &ws.t1, &mut ws.t2, r1, seed, effective_k, &mut heap)?;
+            self.resolve_into_heap(b, bs, be, &ws.t1, &mut ws.t2, r1, seed, effective_k, &mut heap)?;
             resolved_nodes += width;
             blocks_resolved += 1;
             candidates += width - usize::from(seed_block == Some(b));
@@ -648,7 +683,7 @@ impl Bear {
         if fallback.is_some() {
             for BlockBound { b, .. } in order.into_vec() {
                 let (bs, be) = bounds.block_range(b)?;
-                self.resolve_into_heap(bs, be, &ws.t1, &mut ws.t2, r1, seed, effective_k, &mut heap)?;
+                self.resolve_into_heap(b, bs, be, &ws.t1, &mut ws.t2, r1, seed, effective_k, &mut heap)?;
                 resolved_nodes += be - bs;
                 blocks_resolved += 1;
                 candidates += (be - bs) - usize::from(seed_block == Some(b));
@@ -679,6 +714,7 @@ impl Bear {
     #[allow(clippy::too_many_arguments)]
     fn resolve_into_heap(
         &self,
+        b: usize,
         bs: usize,
         be: usize,
         t1: &[f64],
@@ -688,8 +724,8 @@ impl Bear {
         effective_k: usize,
         heap: &mut BinaryHeap<HeapItem>,
     ) -> Result<()> {
-        scatter_block(&self.l1_inv, t1, t2, bs, be)?;
-        scatter_block(&self.u1_inv, t2, r1, bs, be)?;
+        self.spokes.scatter_block(Factor::L1, b, bs, be, t1, t2)?;
+        self.spokes.scatter_block(Factor::U1, b, bs, be, t2, r1)?;
         let r1b = r1
             .get(bs..be)
             .ok_or_else(|| Error::InvalidStructure("top-k block range out of bounds".into()))?;

@@ -330,3 +330,193 @@ fn untouched_round_trip_still_loads() {
     std::fs::remove_file(&path).ok();
     assert_eq!(loaded.num_nodes(), 12);
 }
+
+// ---------------------------------------------------------------------------
+// v3 shard surgery
+// ---------------------------------------------------------------------------
+//
+// The sharded v3 layout wraps each spoke block in its own CRC frame
+// (`SPKB tag(4) len(8) payload crc(4)`) before the resident region and a
+// 28-byte trailer. As above, naive surgery bounces off the checksums, so
+// [`fix_checksums_v3`] re-fixes the whole chain — segment frame CRC, the
+// copy of it inside the `SDIR` directory, every resident section CRC,
+// and the trailer's resident-region CRC — so the corruption reaches the
+// segment *decoder*. Decoding is lazy (the load-time sweep only checks
+// CRCs), so the contract under content corruption is: the load may
+// succeed, but the first query touching the shard must fail with the
+// typed `CorruptIndex` naming it — never a panic, never a wrong answer.
+
+/// Trailer layout: magic (8) + region crc32 (4) + resident_off (8) +
+/// total length (8).
+const TRAILER_LEN_V3: usize = 28;
+
+/// `(payload offset, payload length)` of every `SPKB` segment frame.
+fn walk_segments_v3(bytes: &[u8]) -> Vec<(usize, usize)> {
+    assert_eq!(&bytes[..8], b"BEARIDX3");
+    let trailer_off = bytes.len() - TRAILER_LEN_V3;
+    let resident_off = read_u64_at(bytes, trailer_off + 12) as usize;
+    let mut pos = 8;
+    let mut segments = Vec::new();
+    while pos < resident_off {
+        assert_eq!(&bytes[pos..pos + 4], b"SPKB", "segment walker off the rails");
+        let len = read_u64_at(bytes, pos + 4) as usize;
+        segments.push((pos + 12, len));
+        pos += 12 + len + 4;
+    }
+    assert_eq!(pos, resident_off, "walker must consume every segment exactly");
+    segments
+}
+
+/// Recomputes the full v3 checksum chain after payload surgery.
+fn fix_checksums_v3(bytes: &mut [u8]) {
+    let trailer_off = bytes.len() - TRAILER_LEN_V3;
+    let resident_off = read_u64_at(bytes, trailer_off + 12) as usize;
+    // Segment frames and their fresh CRCs, in block order.
+    let segments = walk_segments_v3(bytes);
+    let mut seg_crcs = Vec::with_capacity(segments.len());
+    for &(payload, len) in &segments {
+        let crc = crc32::crc32(&bytes[payload..payload + len]);
+        bytes[payload + len..payload + len + 4].copy_from_slice(&crc.to_le_bytes());
+        seg_crcs.push(crc);
+    }
+    // Resident sections: update the SDIR payload's crc column first,
+    // then re-fix every section frame CRC.
+    let mut pos = resident_off;
+    while pos < trailer_off {
+        let tag: [u8; 4] = bytes[pos..pos + 4].try_into().unwrap();
+        let len = read_u64_at(bytes, pos + 4) as usize;
+        let payload = pos + 12;
+        if &tag == b"SDIR" {
+            let count = read_u64_at(bytes, payload) as usize;
+            assert_eq!(count, seg_crcs.len(), "directory count must match the segment walk");
+            for (i, &crc) in seg_crcs.iter().enumerate() {
+                // Entry: offset, frame_len, crc, block_dim, l1_nnz, u1_nnz.
+                let entry = payload + 8 + i * 48;
+                write_u64_at(bytes, entry + 16, u64::from(crc));
+            }
+        }
+        let crc = crc32::crc32(&bytes[payload..payload + len]);
+        bytes[payload + len..payload + len + 4].copy_from_slice(&crc.to_le_bytes());
+        pos = payload + len + 4;
+    }
+    let region_crc = crc32::crc32(&bytes[resident_off..trailer_off]);
+    bytes[trailer_off + 8..trailer_off + 12].copy_from_slice(&region_crc.to_le_bytes());
+}
+
+/// Same graph as [`saved_index`], persisted in the sharded v3 layout.
+fn saved_index_v3(tag: &str) -> (Vec<u8>, PathBuf) {
+    let mut edges = Vec::new();
+    for v in 1..12 {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    edges.push((5, 6));
+    edges.push((6, 5));
+    let g = Graph::from_edges(12, &edges).unwrap();
+    let bear = Bear::new(&g, &BearConfig::exact(0.15)).unwrap();
+    let path = std::env::temp_dir().join(format!("bear_corrupt_v3_{tag}.idx"));
+    bear.save_v3(&path).unwrap();
+    (std::fs::read(&path).unwrap(), path)
+}
+
+/// Re-fixes the v3 checksum chain, writes the image, and asserts the
+/// corruption surfaces typed — at load, or (lazy decode) at the first
+/// query touching the shard. Returns the typed error for detail checks.
+fn assert_v3_rejected(bytes: &[u8], path: &PathBuf, what: &str) -> Error {
+    let mut fixed = bytes.to_vec();
+    fix_checksums_v3(&mut fixed);
+    std::fs::write(path, &fixed).unwrap();
+    let result = Bear::load(path);
+    let err = match result {
+        Err(e) => {
+            assert!(
+                matches!(e, Error::CorruptIndex { .. }),
+                "corrupt v3 index ({what}) must fail typed at load, got: {e:?}"
+            );
+            e
+        }
+        Ok(bear) => {
+            // CRC-consistent content corruption is caught by the lazy
+            // segment decoder: some query must fail typed; none may
+            // panic or answer from the damaged shard.
+            let mut first = None;
+            for seed in 0..bear.num_nodes() {
+                match bear.query(seed) {
+                    Ok(_) => {}
+                    Err(e @ Error::CorruptIndex { .. }) => {
+                        first = Some(e);
+                        break;
+                    }
+                    Err(e) => panic!("corrupt v3 shard ({what}) surfaced untyped: {e:?}"),
+                }
+            }
+            first.unwrap_or_else(|| panic!("corrupt v3 index ({what}) was accepted end to end"))
+        }
+    };
+    std::fs::remove_file(path).ok();
+    err
+}
+
+#[test]
+fn v3_segment_wrong_block_index_is_rejected() {
+    let (mut bytes, path) = saved_index_v3("blockidx");
+    let segments = walk_segments_v3(&bytes);
+    // First payload word is the block index; claim block 0 is block 1.
+    let (payload, _) = segments[0];
+    write_u64_at(&mut bytes, payload, 1);
+    let err = assert_v3_rejected(&bytes, &path, "segment block-index mismatch");
+    assert!(
+        matches!(err, Error::CorruptIndex { section: "spoke_segment", .. }),
+        "want the shard section named, got: {err:?}"
+    );
+    assert!(format!("{err}").contains("shard 0"), "detail must name the shard: {err}");
+}
+
+#[test]
+fn v3_segment_wrong_dimension_is_rejected() {
+    let (mut bytes, path) = saved_index_v3("dim");
+    let segments = walk_segments_v3(&bytes);
+    // Second payload word is the block dimension; disagree with the
+    // directory.
+    let (payload, _) = segments[0];
+    let dim = read_u64_at(&bytes, payload + 8);
+    write_u64_at(&mut bytes, payload + 8, dim + 1);
+    let err = assert_v3_rejected(&bytes, &path, "segment dimension mismatch");
+    assert!(
+        matches!(err, Error::CorruptIndex { section: "spoke_segment", .. }),
+        "want the shard section named, got: {err:?}"
+    );
+}
+
+#[test]
+fn v3_segment_nan_value_is_rejected() {
+    let (mut bytes, path) = saved_index_v3("nan");
+    let segments = walk_segments_v3(&bytes);
+    // Payload: block(8) dim(8), then l1 indptr/indices/values as
+    // length-prefixed arrays; poison the first l1 value (the factor has
+    // a unit diagonal, so at least one value exists per block).
+    let (payload, _) = segments[0];
+    let mut pos = payload + 16;
+    let indptr_len = read_u64_at(&bytes, pos) as usize;
+    pos += 8 + 8 * indptr_len;
+    let indices_len = read_u64_at(&bytes, pos) as usize;
+    pos += 8 + 8 * indices_len;
+    let values_len = read_u64_at(&bytes, pos) as usize;
+    assert!(values_len >= 1, "L1 inverse block must store its unit diagonal");
+    bytes[pos + 8..pos + 16].copy_from_slice(&f64::NAN.to_le_bytes());
+    let err = assert_v3_rejected(&bytes, &path, "NaN in a shard's values");
+    assert!(format!("{err}").contains("non-finite"), "detail lost the root cause: {err}");
+}
+
+#[test]
+fn v3_untouched_round_trip_still_loads_and_answers() {
+    // Control: the v3 walker and checksum fixer are sound — a re-fixed
+    // but unmodified image loads and pages correctly.
+    let (mut bytes, path) = saved_index_v3("control");
+    fix_checksums_v3(&mut bytes);
+    std::fs::write(&path, &bytes).unwrap();
+    let loaded = Bear::load(&path).unwrap();
+    assert_eq!(loaded.num_nodes(), 12);
+    loaded.query(0).unwrap();
+    std::fs::remove_file(&path).ok();
+}

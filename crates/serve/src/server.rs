@@ -839,6 +839,11 @@ fn handle_metrics(ctx: &ServerCtx) -> Response {
             ("bear_topk_fallbacks_total", s.topk_fallbacks),
             ("bear_topk_candidates_total", s.topk_candidates),
             ("bear_topk_nodes_pruned_total", s.topk_nodes_pruned),
+            ("bear_pager_hits_total", s.pager_hits),
+            ("bear_pager_misses_total", s.pager_misses),
+            ("bear_pager_evictions_total", s.pager_evictions),
+            ("bear_pager_resident_bytes", s.pager_resident_bytes),
+            ("bear_pager_resident_blocks", s.pager_resident_blocks),
         ] {
             let _ = writeln!(out, "{metric}{label} {v}");
         }

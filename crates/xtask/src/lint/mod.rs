@@ -90,6 +90,7 @@ impl LintConfig {
                     "crates/core/src/engine/queue.rs".into(),
                     "crates/core/src/query.rs".into(),
                     "crates/core/src/topk_pruned.rs".into(),
+                    "crates/core/src/paging.rs".into(),
                     "crates/serve/src".into(),
                 ],
                 exclude: Vec::new(),

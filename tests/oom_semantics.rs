@@ -66,3 +66,124 @@ fn unlimited_budget_never_fails_for_budget_reasons() {
     assert!(QrDecomp::new(&g, &rwr, &unlimited).is_ok());
     assert!(LuDecomp::new(&g, &rwr, &unlimited).is_ok());
 }
+
+/// Exceeding the budget at load time means different things per format:
+/// a fully resident v1/v2 image that does not fit is a typed
+/// [`Error::OutOfBudget`], while a v3 image *pages* — the same budget
+/// that rejects the resident formats serves the sharded one, with
+/// answers bit-identical to an unlimited load.
+#[test]
+fn v3_pages_under_a_budget_that_rejects_resident_formats() {
+    use bear_core::LoadOptions;
+
+    let g = small_suite()[0].load();
+    let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+    let dir = std::env::temp_dir();
+    let v1 = dir.join("bear_oom_v1.idx");
+    let v2 = dir.join("bear_oom_v2.idx");
+    let v3 = dir.join("bear_oom_v3.idx");
+    bear.save_v1(&v1).unwrap();
+    bear.save(&v2).unwrap();
+    bear.save_v3(&v3).unwrap();
+
+    // A budget one byte short of the full index: the resident formats
+    // need all of it and must refuse, while v3 only charges its hub
+    // part (the spoke factors page) and loads fine.
+    let full = bear.memory_bytes();
+    let budget_bytes = full - 1;
+    let opts = LoadOptions { budget: MemBudget::bytes(budget_bytes), resident: false };
+    assert!(
+        matches!(Bear::load_with(&v1, &opts), Err(Error::OutOfBudget { .. })),
+        "a v1 image over budget must fail typed, not load"
+    );
+    assert!(
+        matches!(Bear::load_with(&v2, &opts), Err(Error::OutOfBudget { .. })),
+        "a v2 image over budget must fail typed, not load"
+    );
+    let paged = Bear::load_with(&v3, &opts)
+        .expect("a v3 image over budget must page its spoke factors, not error");
+    assert!(paged.pager().is_some(), "under-budget v3 load must be paged");
+    for seed in [0, 1, g.num_nodes() - 1] {
+        let got = paged.query(seed).unwrap();
+        let want = bear.query(seed).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits(), "paged answer drifted under budget");
+        }
+    }
+
+    for p in [&v1, &v2, &v3] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// Hammers one engine over a paged index from many threads under a
+/// one-byte resident cap — every fetch evicts someone else's block.
+/// The run must not deadlock, every answer stays bit-identical, and
+/// the pager counters reconcile: every access is a hit or a miss, and
+/// the resident set respects the cap's block floor.
+#[test]
+fn concurrent_engine_on_tiny_budget_stays_exact_and_consistent() {
+    use bear_core::engine::{EngineConfig, QueryEngine};
+    use bear_core::QueryOptions;
+    use std::sync::Arc;
+
+    let g = small_suite()[0].load();
+    let bear = Bear::new(&g, &BearConfig::default()).unwrap();
+    let path = std::env::temp_dir().join("bear_oom_hammer.idx");
+    bear.save_v3(&path).unwrap();
+
+    let paged = Arc::new(Bear::load(&path).unwrap());
+    let pager = paged.pager().expect("v3 load is paged").clone();
+    let n = paged.num_nodes();
+    let reference: Vec<Vec<f64>> = (0..n).map(|s| bear.query(s).unwrap()).collect();
+
+    let config = EngineConfig::builder()
+        .threads(4)
+        .cache_capacity(0) // every query recomputes => maximal pager churn
+        .spoke_residency_bytes(Some(1))
+        .build()
+        .unwrap();
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&paged), config).unwrap());
+
+    let callers: Vec<_> = (0..4)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let reference = Arc::new(reference.clone());
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    let seed = (i * 13 + t * 7) % reference.len();
+                    let served = engine.serve(seed, &QueryOptions::default()).unwrap();
+                    assert!(served.is_exact());
+                    for (a, b) in served.scores.iter().zip(&reference[seed]) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "concurrent paged answer drifted (seed {seed})"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in callers {
+        c.join().expect("hammer thread must not panic or deadlock");
+    }
+
+    let stats = pager.stats();
+    assert!(stats.misses > 0, "a one-byte cap must fault blocks in");
+    assert!(stats.evictions > 0, "a one-byte cap must evict");
+    // Eviction conservation: what was faulted in and is no longer
+    // resident must have been evicted.
+    assert_eq!(
+        stats.misses - stats.resident_blocks,
+        stats.evictions,
+        "pager counters must reconcile: misses - resident = evictions"
+    );
+    // A 1-byte cap still keeps at most one block pinned (over-budget
+    // fetches are allowed through, then evicted down to the cap).
+    assert!(stats.resident_blocks <= 1, "cap of 1 byte holds at most one block");
+
+    drop(engine);
+    std::fs::remove_file(&path).ok();
+}
